@@ -1,0 +1,102 @@
+// Ablation (extension): joint penalized least squares (Gam::Fit, what
+// PyGAM effectively does) versus classical backfitting (Hastie &
+// Tibshirani [15]) as the engine for fitting Γ. Backfitting solves one
+// small system per term per cycle instead of one (Σp_t)³ system, so its
+// advantage should grow with the number of components — relevant when an
+// analyst asks for a large |F'| on a wide dataset like Superconductivity.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/split.h"
+#include "data/superconductivity.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/threshold_index.h"
+#include "gam/backfit.h"
+#include "gef/feature_selection.h"
+#include "gef/sampling.h"
+#include "stats/metrics.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace gef;
+
+namespace {
+
+TermList MakeTerms(const std::vector<int>& selected,
+                   const std::vector<std::vector<double>>& domains,
+                   int basis) {
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  for (int f : selected) {
+    terms.push_back(std::make_unique<SplineTerm>(
+        f, BSplineBasis::FromSites(domains[f], basis)));
+  }
+  return terms;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Ablation — joint penalized LS vs backfitting as the GAM engine",
+      "same objective, different algorithm: backfitting's per-term "
+      "solves scale better in the number of components");
+
+  Rng rng(42);
+  Dataset data =
+      MakeSuperconductivityDataset(6000 * bench::Scale(), &rng);
+  Forest forest =
+      TrainGbdt(data, nullptr,
+                bench::PaperRealForestConfig(Objective::kRegression))
+          .forest;
+  ThresholdIndex index(forest);
+  auto domains = BuildAllDomains(forest, index,
+                                 SamplingStrategy::kEquiSize, 64, 0.05,
+                                 &rng);
+  Dataset dstar = GenerateSyntheticDataset(
+      forest, domains, 6000 * static_cast<size_t>(bench::Scale()), &rng);
+  auto split = SplitTrainTest(dstar, 0.2, &rng);
+
+  const double lambda = 1.0;
+  bench::Row({"#splines", "joint(ms)", "backfit(ms)", "joint RMSE",
+              "backfit RMSE"});
+  for (int count : {5, 10, 20, 40}) {
+    std::vector<int> selected = SelectTopFeatures(forest, count);
+    if (static_cast<int>(selected.size()) < count) break;
+
+    Timer timer;
+    Gam joint;
+    GamConfig joint_config;
+    joint_config.lambda_grid = {lambda};
+    bool ok = joint.Fit(MakeTerms(selected, domains, 10), split.train,
+                        joint_config);
+    double joint_ms = timer.ElapsedMillis();
+    double joint_rmse =
+        ok ? Rmse(joint.PredictBatch(split.test), split.test.targets())
+           : -1.0;
+
+    timer.Reset();
+    BackfitConfig backfit_config;
+    backfit_config.lambda = lambda;
+    Gam backfit = FitGamByBackfitting(
+        MakeTerms(selected, domains, 10), split.train, backfit_config);
+    double backfit_ms = timer.ElapsedMillis();
+    double backfit_rmse =
+        backfit.fitted() ? Rmse(backfit.PredictBatch(split.test),
+                                split.test.targets())
+                         : -1.0;
+
+    bench::Row({std::to_string(count), FormatDouble(joint_ms, 4),
+                FormatDouble(backfit_ms, 4),
+                FormatDouble(joint_rmse, 4),
+                FormatDouble(backfit_rmse, 4)});
+  }
+
+  std::printf(
+      "\nExpected shape: the two engines reach near-identical RMSE; the "
+      "joint solve's time grows ~cubically in the total coefficient "
+      "count while backfitting grows ~linearly in the number of terms, "
+      "crossing over as components accumulate.\n");
+  return 0;
+}

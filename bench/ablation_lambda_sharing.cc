@@ -1,0 +1,64 @@
+// Ablation (extension beyond the paper): shared smoothing λ (the paper's
+// λ_1 = … = λ_{p+q} restriction, Sec. 3.5) versus per-term λ refined by
+// coordinate descent on GCV. g' mixes very smooth components (x1 linear,
+// x5 hyperbola) with wiggly ones (x2 sine, x3 sigmoid), so a single λ
+// must compromise.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/explainer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace gef;
+
+int main() {
+  bench::Banner(
+      "Ablation — shared λ (paper) vs per-term λ (extension)",
+      "the paper fixes one λ for all terms to keep tuning simple; this "
+      "quantifies what that simplification costs on g'");
+
+  Rng rng(42);
+  Dataset dprime = MakeGPrimeDataset(8000 * bench::Scale(), &rng);
+  Forest forest =
+      TrainGbdt(dprime, nullptr, bench::PaperSyntheticForestConfig())
+          .forest;
+
+  for (bool per_term : {false, true}) {
+    GefConfig config;
+    config.num_univariate = 5;
+    config.sampling = SamplingStrategy::kEquiSize;
+    config.k = 96;
+    config.num_samples = 8000 * static_cast<size_t>(bench::Scale());
+    config.per_term_lambda = per_term;
+    Timer timer;
+    auto explanation = ExplainForest(forest, config);
+    if (explanation == nullptr) {
+      std::printf("fit failed\n");
+      return 1;
+    }
+    std::printf("\n%-22s fit %.1fs  fidelity RMSE %.5f  GCV %.6f  "
+                "edof %.1f\n",
+                per_term ? "per-term lambda:" : "shared lambda (paper):",
+                timer.ElapsedSeconds(),
+                explanation->fidelity_rmse_test,
+                explanation->gam.gcv_score(), explanation->gam.edof());
+    std::printf("  lambdas:");
+    for (size_t t = 1; t < explanation->gam.num_terms(); ++t) {
+      std::printf(" %s=%s", explanation->gam.TermLabel(t).c_str(),
+                  FormatDouble(explanation->gam.term_lambdas()[t], 3)
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nExpected shape: per-term λ never worsens GCV; smooth components "
+      "(s(x1), s(x5)) end with larger λ than wiggly ones (s(x2)); the "
+      "fidelity gain is modest — supporting the paper's choice of the "
+      "cheaper shared λ.\n");
+  return 0;
+}

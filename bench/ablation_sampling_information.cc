@@ -1,0 +1,152 @@
+// Ablation: does the forest's threshold information actually help the
+// sampling step (the premise of paper Sec. 3.3), or would plain
+// continuous-uniform sampling over the feature ranges do as well?
+//
+// Compares D* built from Equi-Size threshold domains against D* sampled
+// uniformly (continuously) from the same per-feature ranges, at equal N,
+// evaluated on a common uniform probe set. Run on both g' (thresholds
+// mildly informative — low-dimensional, well-covered space) and the
+// 81-feature Superconductivity simulator (thresholds concentrate on the
+// ~9 informative features).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/split.h"
+#include "data/superconductivity.h"
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/threshold_index.h"
+#include "gam/gam.h"
+#include "gef/feature_selection.h"
+#include "gef/sampling.h"
+#include "stats/metrics.h"
+#include "util/string_util.h"
+
+using namespace gef;
+
+namespace {
+
+// D* with every feature drawn continuously uniform over its (ε-extended)
+// threshold range — the threshold *positions* are discarded, only the
+// range survives.
+Dataset UniformContinuousDstar(const Forest& forest,
+                               const ThresholdIndex& index, size_t n,
+                               Rng* rng) {
+  std::vector<std::pair<double, double>> ranges(forest.num_features());
+  for (size_t f = 0; f < forest.num_features(); ++f) {
+    const auto& thresholds = index.Thresholds(static_cast<int>(f));
+    if (thresholds.empty()) {
+      ranges[f] = {0.0, 0.0};
+      continue;
+    }
+    double lo = thresholds.front(), hi = thresholds.back();
+    double eps = 0.05 * (hi - lo);
+    if (eps <= 0.0) eps = 0.05;
+    ranges[f] = {lo - eps, hi + eps};
+  }
+  Dataset dstar(forest.feature_names());
+  dstar.Reserve(n);
+  std::vector<double> row(forest.num_features());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < row.size(); ++f) {
+      row[f] = ranges[f].first == ranges[f].second
+                   ? ranges[f].first
+                   : rng->Uniform(ranges[f].first, ranges[f].second);
+    }
+    dstar.AppendRow(row, forest.PredictRaw(row));
+  }
+  return dstar;
+}
+
+// Fits the GEF GAM (splines over F') on a given D* and reports RMSE on a
+// common probe set.
+double FitAndEvaluate(const Forest& forest, const Dataset& dstar,
+                      const std::vector<int>& selected,
+                      const std::vector<std::vector<double>>& domains,
+                      const Dataset& probe, int spline_basis) {
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  for (int f : selected) {
+    const auto& domain = domains[f];
+    int basis = std::min(
+        spline_basis, std::max(5, static_cast<int>(domain.size()) * 2 / 3));
+    if (static_cast<int>(domain.size()) <= spline_basis / 2) {
+      terms.push_back(std::make_unique<FactorTerm>(f, domain));
+    } else {
+      terms.push_back(std::make_unique<SplineTerm>(
+          f, BSplineBasis::FromSites(domain, basis)));
+    }
+  }
+  GamConfig config;
+  config.lambda_grid = {1e-2, 1.0, 1e2};
+  Gam gam;
+  if (!gam.Fit(std::move(terms), dstar, config)) return -1.0;
+  return Rmse(gam.PredictBatch(probe), probe.targets());
+}
+
+void RunCase(const std::string& name, const Dataset& train,
+             const GbdtConfig& forest_config, int num_univariate) {
+  Rng rng(42);
+  Forest forest = TrainGbdt(train, nullptr, forest_config).forest;
+  ThresholdIndex index(forest);
+  std::vector<int> selected = SelectTopFeatures(forest, num_univariate);
+
+  const size_t n = 6000 * static_cast<size_t>(gef::bench::Scale());
+  auto domains = BuildAllDomains(forest, index,
+                                 SamplingStrategy::kEquiSize, 64, 0.05,
+                                 &rng);
+  Dataset informed = GenerateSyntheticDataset(forest, domains, n, &rng);
+  Dataset uniform = UniformContinuousDstar(forest, index, n, &rng);
+  // Two probe distributions: continuous-uniform over the ranges, and
+  // threshold-domain draws. Reporting the 2x2 separates "better training
+  // signal" from mere train/eval distribution matching.
+  Dataset probe_uniform = UniformContinuousDstar(forest, index, 3000, &rng);
+  Dataset probe_domains =
+      GenerateSyntheticDataset(forest, domains, 3000, &rng);
+
+  std::printf("\n%s:\n", name.c_str());
+  std::printf("  %-24s %-16s %-16s\n", "train \\ eval", "uniform probe",
+              "domain probe");
+  std::printf("  %-24s %-16.4f %-16.4f\n", "threshold-informed D*",
+              FitAndEvaluate(forest, informed, selected, domains,
+                             probe_uniform, 16),
+              FitAndEvaluate(forest, informed, selected, domains,
+                             probe_domains, 16));
+  std::printf("  %-24s %-16.4f %-16.4f\n", "uniform-continuous D*",
+              FitAndEvaluate(forest, uniform, selected, domains,
+                             probe_uniform, 16),
+              FitAndEvaluate(forest, uniform, selected, domains,
+                             probe_domains, 16));
+}
+
+}  // namespace
+
+int main() {
+  gef::bench::Banner(
+      "Ablation — threshold-informed sampling vs continuous uniform",
+      "GEF's premise: the forest's split thresholds mark where its "
+      "response varies, so concentrating D* there buys fidelity");
+
+  Rng rng(7);
+  Dataset dprime =
+      MakeGPrimeDataset(8000 * gef::bench::Scale(), &rng);
+  RunCase("g' (5 features)", dprime,
+          gef::bench::PaperSyntheticForestConfig(), 5);
+
+  Dataset superconductivity =
+      MakeSuperconductivityDataset(6000 * gef::bench::Scale(), &rng);
+  RunCase("Superconductivity",
+          superconductivity,
+          gef::bench::PaperRealForestConfig(Objective::kRegression), 7);
+
+  std::printf(
+      "\nExpected shape: each D* wins on the probe matching its own "
+      "distribution and the off-diagonal gaps are small — i.e., at these "
+      "dimensionalities the thresholds' *ranges* carry most of the "
+      "information, and the discrete domains' main practical value is "
+      "the paper's: a bounded, forest-aligned grid that caps |D_i| "
+      "(crucial when thresholds number in the tens of thousands) while "
+      "losing little fidelity anywhere.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: number of P-spline basis functions per univariate term. The
+// paper fixes "a fixed number of p-spline basis" without studying it;
+// this sweep shows the fidelity/complexity trade-off and the failure
+// mode at both extremes (too few: cannot track the sigmoid jump of x3;
+// too many: overfits D* noise and inflates edof).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/explainer.h"
+#include "util/string_util.h"
+
+using namespace gef;
+
+int main() {
+  bench::Banner(
+      "Ablation — P-spline basis count per univariate term",
+      "the paper fixes the basis size; this sweep locates the knee of "
+      "the fidelity curve on g'");
+
+  Rng rng(42);
+  Dataset dprime = MakeGPrimeDataset(8000 * bench::Scale(), &rng);
+  Forest forest =
+      TrainGbdt(dprime, nullptr, bench::PaperSyntheticForestConfig())
+          .forest;
+
+  // Common probe set (uniform in [0,1]^5, labelled by the forest).
+  Dataset probe(forest.feature_names());
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<double> x(5);
+    for (double& v : x) v = rng.Uniform();
+    probe.AppendRow(x, forest.PredictRaw(x));
+  }
+
+  bench::Row({"basis", "fidelity(D*)", "probe RMSE", "edof", "lambda"});
+  for (int basis : {5, 8, 12, 16, 24, 32}) {
+    GefConfig config;
+    config.num_univariate = 5;
+    config.sampling = SamplingStrategy::kEquiSize;
+    config.k = 96;
+    config.num_samples = 6000 * static_cast<size_t>(bench::Scale());
+    config.spline_basis = basis;
+    auto explanation = ExplainForest(forest, config);
+    if (explanation == nullptr) {
+      bench::Row({std::to_string(basis), "fit failed"});
+      continue;
+    }
+    std::vector<double> probe_preds =
+        explanation->gam.PredictBatch(probe);
+    double probe_rmse = 0.0;
+    for (size_t i = 0; i < probe.num_rows(); ++i) {
+      double d = probe_preds[i] - probe.target(i);
+      probe_rmse += d * d;
+    }
+    probe_rmse = std::sqrt(probe_rmse / probe.num_rows());
+    bench::Row({std::to_string(basis),
+                FormatDouble(explanation->fidelity_rmse_test, 4),
+                FormatDouble(probe_rmse, 4),
+                FormatDouble(explanation->gam.edof(), 4),
+                FormatDouble(explanation->gam.lambda(), 3)});
+  }
+
+  std::printf(
+      "\nExpected shape: fidelity improves sharply up to ~12-16 basis "
+      "functions (enough to track the x3 sigmoid), then flattens; GCV "
+      "raises λ to hold edof roughly constant beyond the knee.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gef {
+namespace bench {
+
+int Scale() {
+  const char* env = std::getenv("GEF_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  int scale = std::atoi(env);
+  return scale >= 1 ? scale : 1;
+}
+
+void Banner(const std::string& experiment, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("(GEF_BENCH_SCALE=%d; absolute numbers are scaled-down — "
+              "compare shapes)\n",
+              Scale());
+  std::printf("==============================================================\n");
+}
+
+void Section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+void Row(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+GbdtConfig PaperSyntheticForestConfig() {
+  GbdtConfig config;
+  config.num_trees = 120 * Scale();
+  config.num_leaves = 16;
+  config.learning_rate = 0.1;
+  config.min_samples_leaf = 10;
+  return config;
+}
+
+GbdtConfig PaperRealForestConfig(Objective objective) {
+  GbdtConfig config;
+  config.objective = objective;
+  config.num_trees = 100 * Scale();
+  config.num_leaves = 32;
+  config.learning_rate = 0.1;
+  config.min_samples_leaf = 20;
+  return config;
+}
+
+}  // namespace bench
+}  // namespace gef

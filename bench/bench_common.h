@@ -1,0 +1,48 @@
+#ifndef GEF_BENCH_BENCH_COMMON_H_
+#define GEF_BENCH_BENCH_COMMON_H_
+
+// Shared infrastructure for the experiment harness: banner/table printing
+// and the scaled-down default sizes of the paper's workloads.
+//
+// Every bench binary reproduces one table or figure of the paper
+// (mapping in DESIGN.md). Absolute numbers differ from the paper — this
+// substrate is a single-core reimplementation, and sizes are scaled by
+// GEF_BENCH_SCALE (default 1) — but each harness prints the same rows /
+// series so the paper's qualitative claims can be checked directly.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+#include "forest/gbdt_trainer.h"
+#include "stats/rng.h"
+
+namespace gef {
+namespace bench {
+
+/// Multiplier from the GEF_BENCH_SCALE environment variable (>= 1).
+/// Scale 1 finishes each bench in seconds-to-minutes on one core; larger
+/// values move sizes toward the paper's.
+int Scale();
+
+/// Prints the standard experiment banner.
+void Banner(const std::string& experiment, const std::string& claim);
+
+/// Prints a separator + section title.
+void Section(const std::string& title);
+
+/// Prints one row of '|'-separated cells padded to `width`.
+void Row(const std::vector<std::string>& cells, int width = 12);
+
+/// Paper Sec. 4.1 forest over D' / D'': scaled-down LightGBM-style
+/// configuration (paper: 1000 trees x 32 leaves, lr 0.01).
+GbdtConfig PaperSyntheticForestConfig();
+
+/// Paper Sec. 5.1 forest over the real-data substitutes.
+GbdtConfig PaperRealForestConfig(Objective objective);
+
+}  // namespace bench
+}  // namespace gef
+
+#endif  // GEF_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,123 @@
+// Figures 11, 12, 13: local explanations of the same Superconductivity
+// instance by GEF, SHAP and LIME. The paper's points: all three agree on
+// the dominant features (WEAM strongly negative below the jump), but
+// only GEF shows how a small feature change would flip the contribution
+// (the what-if deltas), plus credible intervals.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/split.h"
+#include "data/superconductivity.h"
+#include "explain/lime.h"
+#include "explain/treeshap.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/explainer.h"
+#include "gef/local_explanation.h"
+
+using namespace gef;
+
+int main() {
+  bench::Banner(
+      "Figures 11-13 — local explanations of one instance "
+      "(GEF vs SHAP vs LIME)",
+      "all agree WEAM dominates negatively just below the jump; only GEF "
+      "shows that a small increment reverses it");
+
+  Rng rng(42);
+  Dataset data =
+      MakeSuperconductivityDataset(5000 * bench::Scale(), &rng);
+  auto split = SplitTrainTest(data, 0.2, &rng);
+  Forest forest =
+      TrainGbdt(split.train, nullptr,
+                bench::PaperRealForestConfig(Objective::kRegression))
+          .forest;
+
+  GefConfig config;
+  config.num_univariate = 7;
+  config.sampling = SamplingStrategy::kEquiSize;
+  config.k = 64;
+  config.num_samples = 5000 * static_cast<size_t>(bench::Scale());
+  auto explanation = ExplainForest(forest, config);
+  if (explanation == nullptr) return 1;
+
+  // Pick a test instance just below the WEAM jump (the paper's sample
+  // has WEAM = 1.062, jump at ~1.1).
+  size_t chosen = 0;
+  double best_gap = 1e9;
+  for (size_t i = 0; i < split.test.num_rows(); ++i) {
+    double weam = split.test.Get(i, kWeamFeatureIndex);
+    double gap = std::fabs(weam - 1.06);
+    if (gap < best_gap) {
+      best_gap = gap;
+      chosen = i;
+    }
+  }
+  std::vector<double> instance = split.test.GetRow(chosen);
+  std::printf("instance: WEAM = %.3f (jump at ~1.1), forest predicts "
+              "%.2f K\n",
+              instance[kWeamFeatureIndex], forest.Predict(instance));
+
+  bench::Section("Figure 11 — GEF local explanation");
+  LocalExplanation local =
+      ExplainInstance(*explanation, forest, instance,
+                      /*step_fraction=*/0.05);
+  std::printf("%s", FormatLocalExplanation(local).c_str());
+  // The headline what-if: does a small WEAM increase flip the sign?
+  for (const auto& term : local.terms) {
+    if (term.features == std::vector<int>{kWeamFeatureIndex}) {
+      std::printf("\nWEAM what-if: contribution %+0.3f; after +step it "
+                  "moves by %+0.3f -> %s\n",
+                  term.contribution, term.delta_plus,
+                  term.contribution < 0.0 &&
+                          term.contribution + term.delta_plus > 0.0
+                      ? "SIGN FLIPS (the paper's key local insight)"
+                      : "moves toward the jump");
+    }
+  }
+
+  bench::Section("Figure 12 — SHAP local explanation");
+  TreeShapExplainer shap(forest);
+  ShapExplanation shap_result = shap.Explain(instance);
+  std::printf("E[f(X)] = %.3f, f(x) = %.3f\n", shap_result.base_value,
+              forest.PredictRaw(instance));
+  std::vector<std::pair<double, int>> ranked;
+  for (size_t f = 0; f < shap_result.values.size(); ++f) {
+    ranked.push_back({-std::fabs(shap_result.values[f]),
+                      static_cast<int>(f)});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (int i = 0; i < 7; ++i) {
+    int f = ranked[i].second;
+    std::printf("  %-28s phi = %+8.3f  (x = %.3f)\n",
+                forest.feature_names()[f].c_str(),
+                shap_result.values[f], instance[f]);
+  }
+
+  bench::Section("Figure 13 — LIME local explanation");
+  LimeConfig lime_config;
+  lime_config.num_samples = 3000;
+  LimeExplainer lime(forest, split.train, lime_config);
+  LimeExplanation lime_result = lime.Explain(instance);
+  std::printf("local R² = %.3f\n", lime_result.local_r2);
+  ranked.clear();
+  for (size_t f = 0; f < lime_result.coefficients.size(); ++f) {
+    ranked.push_back({-std::fabs(lime_result.coefficients[f]),
+                      static_cast<int>(f)});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (int i = 0; i < 7; ++i) {
+    int f = ranked[i].second;
+    std::printf("  %-28s coef = %+8.3f\n",
+                forest.feature_names()[f].c_str(),
+                lime_result.coefficients[f]);
+  }
+
+  std::printf("\nExpected shape: WEAM ranks top for all three explainers "
+              "with negative sign; GEF's +step delta is large and "
+              "positive (the imminent jump), which SHAP/LIME cannot "
+              "express.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 2: the paper's GAM illustration — bivariate data that look
+// unstructured as a scatter (Fig 2a/2b) decompose cleanly into a linear
+// s1(x1) and a sinusoidal s2(x2) once fitted as ŷ = s1(x1) + s2(x2)
+// (Fig 2c/2d). Demonstrates the interpretability claim GEF builds on.
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "bench_common.h"
+#include "gam/gam.h"
+#include "stats/descriptive.h"
+#include "stats/metrics.h"
+#include "stats/rng.h"
+
+using namespace gef;
+
+int main() {
+  bench::Banner(
+      "Figure 2 — GAM toy example",
+      "a GAM decomposes opaque bivariate data into one linear and one "
+      "sinusoidal component an analyst can read directly");
+
+  // y = 2 x1 + sin(2π x2) + noise: individually invisible in a raw
+  // scatter against either variable alone.
+  Rng rng(42);
+  Dataset data(std::vector<std::string>{"x1", "x2"});
+  const size_t n = 3000 * static_cast<size_t>(bench::Scale());
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.Uniform();
+    double x2 = rng.Uniform();
+    double y = 2.0 * x1 + std::sin(2.0 * std::numbers::pi * x2) +
+               rng.Normal(0.0, 0.15);
+    data.AppendRow({x1, x2}, y);
+  }
+
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  terms.push_back(std::make_unique<SplineTerm>(0, 0.0, 1.0, 12));
+  terms.push_back(std::make_unique<SplineTerm>(1, 0.0, 1.0, 12));
+  Gam gam;
+  if (!gam.Fit(std::move(terms), data, GamConfig{})) {
+    std::printf("fit failed\n");
+    return 1;
+  }
+  std::printf("fit: R² = %.4f, lambda = %g, edof = %.1f\n",
+              RSquared(gam.PredictBatch(data), data.targets()),
+              gam.lambda(), gam.edof());
+
+  bench::Section("Fig 2c/2d — the two recovered components");
+  std::printf("  %-8s %-12s %-14s %-12s %-14s\n", "x", "s1(x1)",
+              "true 2x-1", "s2(x2)", "true sin(2pi x)");
+  std::vector<double> s1_vals, s1_truth, s2_vals, s2_truth;
+  for (double x = 0.05; x <= 0.95; x += 0.09) {
+    double s1 = gam.TermContribution(1, {x, 0.5});
+    double s2 = gam.TermContribution(2, {0.5, x});
+    double t1 = 2.0 * x - 1.0;  // centered linear component
+    double t2 = std::sin(2.0 * std::numbers::pi * x);
+    s1_vals.push_back(s1);
+    s1_truth.push_back(t1);
+    s2_vals.push_back(s2);
+    s2_truth.push_back(t2);
+    std::printf("  %-8.2f %-+12.4f %-+14.4f %-+12.4f %-+14.4f\n", x, s1,
+                t1, s2, t2);
+  }
+  std::printf("\ncorrelation(s1, linear)     = %.4f\n",
+              PearsonCorrelation(s1_vals, s1_truth));
+  std::printf("correlation(s2, sinusoidal) = %.4f\n",
+              PearsonCorrelation(s2_vals, s2_truth));
+  std::printf("\nExpected shape: both correlations ~1.0 — the GAM "
+              "separates the linear and sinusoidal roles exactly as "
+              "Fig 2c/2d illustrate.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 3: how the five sampling strategies place their domain points
+// for a feature whose forest thresholds concentrate where the target
+// (a sharp sigmoid) varies most.
+//
+// Prints (a) the Gaussian-KDE of the forest's threshold distribution and
+// (b) each strategy's sampled domain, exactly the two ingredients of the
+// paper's figure (KDE curve + rug plots).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "forest/threshold_index.h"
+#include "gef/sampling.h"
+#include "stats/kde.h"
+#include "util/string_util.h"
+
+using namespace gef;
+
+int main() {
+  bench::Banner(
+      "Figure 3 — sampling strategies on a sigmoid-driven forest",
+      "thresholds pile up near x = 0.5; K-Quantile / K-Means / Equi-Size "
+      "follow that density, Equi-Width ignores it");
+
+  Rng rng(42);
+  Dataset data =
+      MakeSigmoidDataset(4000 * bench::Scale(), &rng, /*noise=*/0.01);
+  GbdtConfig config = bench::PaperSyntheticForestConfig();
+  config.num_leaves = 8;
+  Forest forest = TrainGbdt(data, nullptr, config).forest;
+  ThresholdIndex index(forest);
+  const std::vector<double>& thresholds =
+      index.ThresholdsWithMultiplicity(0);
+  std::printf("forest: %zu trees, %zu thresholds on x (%zu distinct)\n",
+              forest.num_trees(), thresholds.size(),
+              index.NumDistinctThresholds(0));
+
+  bench::Section("KDE of the threshold distribution (41-point grid)");
+  GaussianKde kde(thresholds);
+  std::vector<double> xs, density;
+  kde.EvaluateGrid(0.0, 1.0, 41, &xs, &density);
+  double peak = 0.0;
+  for (double d : density) peak = std::max(peak, d);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    int bars = static_cast<int>(50.0 * density[i] / peak);
+    std::printf("  x=%.3f  %8.3f  %s\n", xs[i], density[i],
+                std::string(bars, '#').c_str());
+  }
+
+  const int k = 20;
+  bench::Section("sampling domains per strategy (K = 20)");
+  for (SamplingStrategy strategy : AllSamplingStrategies()) {
+    Rng domain_rng(7);
+    std::vector<double> domain =
+        BuildSamplingDomain(thresholds, strategy, k, 0.05, &domain_rng);
+    // Fraction of domain points in the high-variability band [0.4, 0.6].
+    int central = 0;
+    for (double v : domain) central += (v >= 0.4 && v <= 0.6) ? 1 : 0;
+    std::printf("\n%-14s (%zu points, %.0f%% in [0.4, 0.6]):\n ",
+                SamplingStrategyName(strategy), domain.size(),
+                100.0 * central / domain.size());
+    for (double v : domain) std::printf(" %.4f", v);
+    std::printf("\n");
+    // Rug plot.
+    std::string rug(61, '.');
+    for (double v : domain) {
+      int pos = static_cast<int>(60.0 * std::clamp(v, 0.0, 1.0));
+      rug[pos] = '|';
+    }
+    std::printf("  [%s]\n", rug.c_str());
+  }
+
+  std::printf("\nExpected shape: density-following strategies place most "
+              "points near 0.5;\nEqui-Width spreads them uniformly.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8: sampling strategies vs K on the Superconductivity forest
+// with the Fig 7 choice fixed (7 splines, 0 interactions). The paper
+// finds Equi-Size K-sensitive but best after tuning; the other methods
+// are stable in K.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/superconductivity.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/explainer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace gef;
+
+int main() {
+  bench::Banner(
+      "Figure 8 — sampling strategies vs K (Superconductivity)",
+      "Equi-Size varies strongly with K and wins after tuning; the other "
+      "strategies are K-stable");
+
+  Rng rng(42);
+  Dataset data =
+      MakeSuperconductivityDataset(6000 * bench::Scale(), &rng);
+  Timer timer;
+  Forest forest =
+      TrainGbdt(data, nullptr,
+                bench::PaperRealForestConfig(Objective::kRegression))
+          .forest;
+  std::printf("forest trained in %.0fs\n", timer.ElapsedSeconds());
+
+  const std::vector<int> ks = {8, 16, 32, 64, 128};
+  bench::Row({"K", "All-Thresh", "K-Quantile", "Equi-Width", "K-Means",
+              "Equi-Size"});
+  double all_thresholds_rmse = -1.0;
+  for (int k : ks) {
+    std::vector<std::string> cells = {std::to_string(k)};
+    for (SamplingStrategy strategy : AllSamplingStrategies()) {
+      if (strategy == SamplingStrategy::kAllThresholds &&
+          all_thresholds_rmse >= 0.0) {
+        cells.push_back(FormatDouble(all_thresholds_rmse, 4));
+        continue;
+      }
+      GefConfig config;
+      config.num_univariate = 7;
+      config.num_bivariate = 0;
+      config.sampling = strategy;
+      config.k = k;
+      config.num_samples = 5000 * static_cast<size_t>(bench::Scale());
+      config.spline_basis = 10;
+      config.lambda_grid = {1e-2, 1.0, 1e2};
+      config.seed = 7;
+      auto explanation = ExplainForest(forest, config);
+      double rmse = explanation == nullptr
+                        ? -1.0
+                        : explanation->fidelity_rmse_test;
+      if (strategy == SamplingStrategy::kAllThresholds) {
+        all_thresholds_rmse = rmse;
+      }
+      cells.push_back(FormatDouble(rmse, 4));
+    }
+    bench::Row(cells);
+    std::printf("  (%.0fs elapsed)\n", timer.ElapsedSeconds());
+  }
+
+  std::printf("\nExpected shape: the Equi-Size column moves the most "
+              "across K and reaches the best tuned value; the others "
+              "are nearly flat.\n");
+  return 0;
+}

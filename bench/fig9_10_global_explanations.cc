@@ -1,0 +1,156 @@
+// Figures 9 and 10: global explanations — GEF splines (with 95% credible
+// intervals) next to SHAP dependence series for the top features, on
+// Superconductivity (regression, Fig 9) and Census (classification,
+// Fig 10). The paper's claim: the two views show consistent trends, but
+// GEF comes with intervals and needs no data.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/census.h"
+#include "data/split.h"
+#include "data/superconductivity.h"
+#include "explain/treeshap.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/explainer.h"
+#include "stats/descriptive.h"
+#include "util/timer.h"
+
+using namespace gef;
+
+namespace {
+
+// Bins the SHAP dependence scatter of `feature` into `bins` value bins
+// and returns (bin center, mean SHAP) series.
+void BinnedShap(const GlobalShapSummary& shap, int feature, int bins,
+                std::vector<double>* centers, std::vector<double>* means) {
+  const auto& xs = shap.feature_values[feature];
+  const auto& phis = shap.shap_values[feature];
+  double lo = *std::min_element(xs.begin(), xs.end());
+  double hi = *std::max_element(xs.begin(), xs.end());
+  if (hi <= lo) hi = lo + 1.0;
+  std::vector<double> sums(bins, 0.0);
+  std::vector<int> counts(bins, 0);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    int b = std::min(bins - 1, static_cast<int>((xs[i] - lo) /
+                                                (hi - lo) * bins));
+    sums[b] += phis[i];
+    counts[b] += 1;
+  }
+  for (int b = 0; b < bins; ++b) {
+    if (counts[b] == 0) continue;
+    centers->push_back(lo + (hi - lo) * (b + 0.5) / bins);
+    means->push_back(sums[b] / counts[b]);
+  }
+}
+
+void CompareGefAndShap(const Forest& forest,
+                       const GefExplanation& explanation,
+                       const Dataset& background, int top_features,
+                       const std::vector<double>& anchor) {
+  Dataset sample = background;
+  GlobalShapSummary shap = ComputeGlobalShap(forest, sample);
+
+  int shown = 0;
+  for (size_t i = 0; i < explanation.selected_features.size() &&
+                     shown < top_features;
+       ++i, ++shown) {
+    int feature = explanation.selected_features[i];
+    int term = explanation.univariate_term_index[i];
+    std::printf("\nfeature %s:\n",
+                forest.feature_names()[feature].c_str());
+    std::printf("  %-10s %-10s %-22s %-10s\n", "x", "GEF s(x)",
+                "95% CI", "SHAP(binned)");
+
+    std::vector<double> centers, shap_means;
+    BinnedShap(shap, feature, 9, &centers, &shap_means);
+    std::vector<double> gef_vals;
+    std::vector<double> probe = anchor;
+    for (size_t g = 0; g < centers.size(); ++g) {
+      probe[feature] = centers[g];
+      EffectInterval effect = explanation.gam.TermEffect(term, probe);
+      gef_vals.push_back(effect.value);
+      std::printf("  %-10.3f %-+10.4f [%+8.4f, %+8.4f]  %+10.4f\n",
+                  centers[g], effect.value, effect.lower, effect.upper,
+                  shap_means[g]);
+    }
+    if (centers.size() >= 3) {
+      std::printf("  trend correlation(GEF, SHAP) = %.3f\n",
+                  PearsonCorrelation(gef_vals, shap_means));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figures 9 & 10 — GEF splines vs SHAP dependence",
+      "GEF (data-free, with credible intervals) and SHAP (needs data) "
+      "show the same per-feature trends on both datasets");
+
+  Timer timer;
+  {
+    bench::Section("Figure 9 — Superconductivity (regression)");
+    Rng rng(42);
+    Dataset data =
+        MakeSuperconductivityDataset(5000 * bench::Scale(), &rng);
+    Forest forest =
+        TrainGbdt(data, nullptr,
+                  bench::PaperRealForestConfig(Objective::kRegression))
+            .forest;
+
+    GefConfig config;
+    config.num_univariate = 7;
+    config.sampling = SamplingStrategy::kEquiSize;
+    config.k = 64;
+    config.num_samples = 5000 * static_cast<size_t>(bench::Scale());
+    config.spline_basis = 12;
+    auto explanation = ExplainForest(forest, config);
+    if (explanation == nullptr) return 1;
+    std::printf("fidelity RMSE = %.3f (%.0fs)\n",
+                explanation->fidelity_rmse_test, timer.ElapsedSeconds());
+
+    Dataset background =
+        data.Subset(rng.SampleWithoutReplacement(data.num_rows(), 150));
+    CompareGefAndShap(forest, *explanation, background, 4,
+                      data.GetRow(0));
+    std::printf("\nWEAM check: the paper highlights a jump near "
+                "WEAM = 1.1 — visible above as a sharp rise in s(x).\n");
+  }
+
+  {
+    bench::Section("Figure 10 — Census (classification)");
+    Rng rng(43);
+    Dataset data = MakeCensusDatasetEncoded(6000 * bench::Scale(), &rng);
+    Forest forest = TrainGbdt(data, nullptr,
+                              bench::PaperRealForestConfig(
+                                  Objective::kBinaryClassification))
+                        .forest;
+
+    GefConfig config;
+    config.num_univariate = 5;
+    config.num_bivariate = 1;
+    config.sampling = SamplingStrategy::kKQuantile;
+    config.k = 48;
+    config.num_samples = 5000 * static_cast<size_t>(bench::Scale());
+    config.spline_basis = 10;
+    auto explanation = ExplainForest(forest, config);
+    if (explanation == nullptr) return 1;
+    std::printf("fidelity RMSE (probability scale) = %.4f (%.0fs)\n",
+                explanation->fidelity_rmse_test, timer.ElapsedSeconds());
+
+    Dataset background =
+        data.Subset(rng.SampleWithoutReplacement(data.num_rows(), 150));
+    CompareGefAndShap(forest, *explanation, background, 4,
+                      data.GetRow(0));
+    std::printf("\nEducationNum check: the paper reads a positive "
+                "correlation between education and the output — the "
+                "education_num spline above should rise.\n");
+  }
+
+  std::printf("\nExpected shape: every shown feature has trend "
+              "correlation(GEF, SHAP) well above 0; GEF additionally "
+              "reports credible intervals.\n");
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Performance microbenchmarks backing the paper's complexity claims
+// (Sec. 4.2 / 5.3):
+//   * Gain-Path is O(|T|) while H-Stat is O(N |F'|²) — orders of
+//     magnitude apart;
+//   * GEF's training cost depends on the forest's thresholds, not on the
+//     number of instances explained, while SHAP pays per instance.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "explain/hstat.h"
+#include "explain/treeshap.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/threshold_index.h"
+#include "gef/explainer.h"
+#include "gef/interaction.h"
+#include "gef/sampling.h"
+
+namespace gef {
+namespace {
+
+struct SharedState {
+  Forest forest;
+  Dataset data;
+  Dataset dstar_sample;
+};
+
+const SharedState& State() {
+  static SharedState* state = [] {
+    auto* s = new SharedState();
+    Rng rng(42);
+    s->data = MakeGDoublePrimeDataset(3000, {{0, 1}, {2, 3}}, &rng);
+    GbdtConfig config;
+    config.num_trees = 80;
+    config.num_leaves = 16;
+    config.learning_rate = 0.15;
+    s->forest = TrainGbdt(s->data, nullptr, config).forest;
+    ThresholdIndex index(s->forest);
+    auto domains = BuildAllDomains(s->forest, index,
+                                   SamplingStrategy::kKQuantile, 16, 0.05,
+                                   &rng);
+    s->dstar_sample =
+        GenerateSyntheticDataset(s->forest, domains, 60, &rng);
+    return s;
+  }();
+  return *state;
+}
+
+void BM_InteractionGainPath(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  for (auto _ : bench_state) {
+    auto ranked = RankInteractions(s.forest, {0, 1, 2, 3, 4},
+                                   InteractionStrategy::kGainPath,
+                                   nullptr);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_InteractionGainPath)->Unit(benchmark::kMillisecond);
+
+void BM_InteractionCountPath(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  for (auto _ : bench_state) {
+    auto ranked = RankInteractions(s.forest, {0, 1, 2, 3, 4},
+                                   InteractionStrategy::kCountPath,
+                                   nullptr);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_InteractionCountPath)->Unit(benchmark::kMillisecond);
+
+void BM_InteractionPairGain(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  for (auto _ : bench_state) {
+    auto ranked = RankInteractions(s.forest, {0, 1, 2, 3, 4},
+                                   InteractionStrategy::kPairGain,
+                                   nullptr);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_InteractionPairGain)->Unit(benchmark::kMillisecond);
+
+void BM_InteractionHStat(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  // The D* sample size drives H-Stat's O(N |F'|²) cost.
+  for (auto _ : bench_state) {
+    auto ranked = RankInteractions(s.forest, {0, 1, 2, 3, 4},
+                                   InteractionStrategy::kHStat,
+                                   &s.dstar_sample);
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_InteractionHStat)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  std::vector<double> x = {0.3, 0.6, 0.2, 0.8, 0.5};
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(s.forest.PredictRaw(x));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_TreeShapOneInstance(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  TreeShapExplainer explainer(s.forest);
+  std::vector<double> x = {0.3, 0.6, 0.2, 0.8, 0.5};
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(explainer.Explain(x));
+  }
+}
+BENCHMARK(BM_TreeShapOneInstance)->Unit(benchmark::kMillisecond);
+
+// GEF's one-off training cost vs SHAP's per-instance cost: the paper's
+// efficiency argument is that GEF pays once, SHAP pays per point.
+void BM_GefFullPipeline(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  GefConfig config;
+  config.num_univariate = 5;
+  config.num_samples = 2000;
+  config.k = 24;
+  config.spline_basis = 10;
+  config.lambda_grid = {1e-1, 1e1};
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(ExplainForest(s.forest, config));
+  }
+}
+BENCHMARK(BM_GefFullPipeline)->Unit(benchmark::kMillisecond);
+
+// SHAP over a growing instance set: linear in the set size.
+void BM_ShapGlobal(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  size_t rows = static_cast<size_t>(bench_state.range(0));
+  Rng rng(7);
+  Dataset sample =
+      s.data.Subset(rng.SampleWithoutReplacement(s.data.num_rows(), rows));
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(ComputeGlobalShap(s.forest, sample));
+  }
+  bench_state.SetComplexityN(bench_state.range(0));
+}
+BENCHMARK(BM_ShapGlobal)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+void BM_DstarGeneration(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  ThresholdIndex index(s.forest);
+  Rng rng(9);
+  auto domains = BuildAllDomains(s.forest, index,
+                                 SamplingStrategy::kEquiSize, 32, 0.05,
+                                 &rng);
+  size_t n = static_cast<size_t>(bench_state.range(0));
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(
+        GenerateSyntheticDataset(s.forest, domains, n, &rng));
+  }
+}
+BENCHMARK(BM_DstarGeneration)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gef
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Performance microbenchmarks for the substrate libraries (not tied to a
+// paper figure): GBDT training throughput, GAM fitting, B-spline
+// evaluation, Cholesky factorization and TreeSHAP-relevant forest
+// traversal. Tracks regressions in the pieces every experiment sits on.
+
+#include <algorithm>
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/grower.h"
+#include "gam/bspline.h"
+#include "gam/gam.h"
+#include "linalg/cholesky.h"
+#include "stats/quantile_sketch.h"
+#include "stats/rng.h"
+
+namespace gef {
+namespace {
+
+void BM_GbdtTrain(benchmark::State& state) {
+  Rng rng(42);
+  Dataset data = MakeGPrimeDataset(static_cast<size_t>(state.range(0)),
+                                   &rng);
+  GbdtConfig config;
+  config.num_trees = 20;
+  config.num_leaves = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainGbdt(data, nullptr, config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 20);
+}
+BENCHMARK(BM_GbdtTrain)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Binning(benchmark::State& state) {
+  Rng rng(43);
+  Dataset data = MakeGPrimeDataset(static_cast<size_t>(state.range(0)),
+                                   &rng);
+  for (auto _ : state) {
+    BinMapper mapper(data, 255);
+    BinnedData binned(data, mapper);
+    benchmark::DoNotOptimize(binned.num_rows());
+  }
+}
+BENCHMARK(BM_Binning)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_GamFitIdentity(benchmark::State& state) {
+  Rng rng(44);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset data(std::vector<std::string>{"a", "b", "c"});
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform(), c = rng.Uniform();
+    data.AppendRow({a, b, c},
+                   std::sin(6.0 * a) + b * b + c + rng.Normal(0.0, 0.1));
+  }
+  GamConfig config;
+  config.lambda_grid = {1e-2, 1.0, 1e2};
+  for (auto _ : state) {
+    TermList terms;
+    terms.push_back(std::make_unique<InterceptTerm>());
+    for (int f = 0; f < 3; ++f) {
+      terms.push_back(std::make_unique<SplineTerm>(f, 0.0, 1.0, 16));
+    }
+    Gam gam;
+    benchmark::DoNotOptimize(gam.Fit(std::move(terms), data, config));
+  }
+}
+BENCHMARK(BM_GamFitIdentity)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GamPredict(benchmark::State& state) {
+  Rng rng(45);
+  Dataset data(std::vector<std::string>{"a", "b", "c"});
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform(), c = rng.Uniform();
+    data.AppendRow({a, b, c}, a + b + c);
+  }
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  for (int f = 0; f < 3; ++f) {
+    terms.push_back(std::make_unique<SplineTerm>(f, 0.0, 1.0, 16));
+  }
+  Gam gam;
+  GamConfig config;
+  config.lambda_grid = {1.0};
+  gam.Fit(std::move(terms), data, config);
+  std::vector<double> x = {0.3, 0.6, 0.9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gam.PredictRaw(x));
+  }
+}
+BENCHMARK(BM_GamPredict);
+
+void BM_BSplineEvaluate(benchmark::State& state) {
+  BSplineBasis basis(0.0, 1.0, static_cast<int>(state.range(0)));
+  std::vector<double> out(static_cast<size_t>(state.range(0)));
+  Rng rng(46);
+  for (auto _ : state) {
+    basis.Evaluate(rng.Uniform(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BSplineEvaluate)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CholeskyFactorize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(47);
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) a(i, j) = rng.Normal();
+  }
+  Matrix spd = GramWeighted(a, {});
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Cholesky::Factorize(spd));
+  }
+}
+BENCHMARK(BM_CholeskyFactorize)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QuantileSketchAdd(benchmark::State& state) {
+  Rng rng(49);
+  QuantileSketch sketch(0.01);
+  for (auto _ : state) {
+    sketch.Add(rng.Normal());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileSketchAdd);
+
+void BM_SortBasedQuantiles(benchmark::State& state) {
+  Rng rng(50);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (double& v : values) v = rng.Normal();
+  for (auto _ : state) {
+    std::vector<double> copy = values;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy[copy.size() / 2]);
+  }
+}
+BENCHMARK(BM_SortBasedQuantiles)->Arg(20000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GramWeighted(benchmark::State& state) {
+  const size_t n = 5000;
+  const size_t p = static_cast<size_t>(state.range(0));
+  Rng rng(48);
+  Matrix x(n, p);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) x(i, j) = rng.Normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramWeighted(x, {}));
+  }
+}
+BENCHMARK(BM_GramWeighted)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gef
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Table 2: R² of the forest T and the GEF explainer Γ on the held-out
+// test splits of D' and D'', against (i) the forest's own predictions
+// and (ii) the true labels. For D'' the interactions are fixed to
+// Π = {(x1,x2), (x1,x5), (x2,x5)} as in the paper.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/explainer.h"
+#include "stats/metrics.h"
+#include "util/string_util.h"
+
+using namespace gef;
+
+namespace {
+
+struct FidelityResult {
+  double forest_r2_labels;
+  double gam_r2_forest;
+  double gam_r2_labels;
+};
+
+FidelityResult RunOne(const Dataset& data, int num_bivariate,
+                      uint64_t seed) {
+  Rng rng(seed);
+  auto split = SplitTrainTest(data, 0.2, &rng);
+  Forest forest =
+      TrainGbdt(split.train, nullptr,
+                gef::bench::PaperSyntheticForestConfig())
+          .forest;
+
+  GefConfig config;
+  config.num_univariate = 5;
+  config.num_bivariate = num_bivariate;
+  config.sampling = SamplingStrategy::kEquiSize;
+  config.k = 64 * gef::bench::Scale();
+  config.num_samples = 10000 * static_cast<size_t>(gef::bench::Scale());
+  config.interaction = InteractionStrategy::kGainPath;
+  auto explanation = ExplainForest(forest, config);
+
+  FidelityResult result{};
+  std::vector<double> forest_preds = forest.PredictRawBatch(split.test);
+  result.forest_r2_labels = RSquared(forest_preds, split.test.targets());
+  std::vector<double> gam_preds =
+      explanation->gam.PredictBatch(split.test);
+  result.gam_r2_forest = RSquared(gam_preds, forest_preds);
+  result.gam_r2_labels = RSquared(gam_preds, split.test.targets());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  gef::bench::Banner(
+      "Table 2 — fidelity of Γ on the original test data",
+      "Γ tracks T closely (R² 0.986 on D', 0.938 on D''); on D' the GAM "
+      "is as accurate as the forest on true labels");
+
+  const size_t rows = 10000 * static_cast<size_t>(gef::bench::Scale());
+  Rng rng(42);
+  Dataset dprime = MakeGPrimeDataset(rows, &rng);
+  std::vector<std::pair<int, int>> pi = {{0, 1}, {0, 4}, {1, 4}};
+  Dataset ddouble = MakeGDoublePrimeDataset(rows, pi, &rng);
+
+  FidelityResult r_prime = RunOne(dprime, 0, 7);
+  FidelityResult r_double = RunOne(ddouble, 3, 7);
+
+  gef::bench::Section("Table 2 (paper values in parentheses)");
+  gef::bench::Row({"", "D' T(x)|x", "D' y|x", "D'' T(x)|x", "D'' y|x"},
+                  14);
+  gef::bench::Row({"Forest (T)", "-",
+                   FormatDouble(r_prime.forest_r2_labels, 3) + " (.980)",
+                   "-",
+                   FormatDouble(r_double.forest_r2_labels, 3) + " (.986)"},
+                  14);
+  gef::bench::Row({"Explainer",
+                   FormatDouble(r_prime.gam_r2_forest, 3) + " (.986)",
+                   FormatDouble(r_prime.gam_r2_labels, 3) + " (.982)",
+                   FormatDouble(r_double.gam_r2_forest, 3) + " (.938)",
+                   FormatDouble(r_double.gam_r2_labels, 3) + " (.931)"},
+                  14);
+
+  std::printf("\nExpected shape: explainer R² vs forest > 0.9 on both; "
+              "D' fidelity > D'' fidelity (interactions are harder); on "
+              "D' the GAM's label R² ~ the forest's.\n");
+  return 0;
+}

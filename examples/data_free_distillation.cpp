@@ -1,0 +1,80 @@
+// Data-free model distillation: Table 2's striking observation — the GAM
+// fitted on forest-generated synthetic data can be as accurate as the
+// forest itself on the *original* task, making Γ a drop-in replacement
+// model. This example walks the full scenario: the model owner ships a
+// serialized forest; the receiving party reconstructs a deployable GAM
+// without ever seeing the training data.
+
+#include <cstdio>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/serialization.h"
+#include "gef/explainer.h"
+#include "stats/metrics.h"
+
+int main() {
+  const std::string model_path = "/tmp/gef_shipped_model.txt";
+
+  // ----- Party A: owns the data, trains and ships the forest. -----
+  {
+    gef::Rng rng(3);
+    gef::Dataset data = gef::MakeGPrimeDataset(10000, &rng);
+    auto split = gef::SplitTrainTest(data, 0.2, &rng);
+    gef::GbdtConfig config;
+    config.num_trees = 200;
+    config.num_leaves = 32;
+    config.learning_rate = 0.1;
+    config.min_samples_leaf = 20;
+    gef::Forest forest =
+        gef::TrainGbdt(split.train, nullptr, config).forest;
+    std::printf("[party A] forest R² on its private test set: %.4f\n",
+                gef::RSquared(forest.PredictRawBatch(split.test),
+                              split.test.targets()));
+    gef::Status status = gef::SaveForest(forest, model_path);
+    if (!status.ok()) {
+      std::printf("save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("[party A] shipped %s — the data never leaves\n\n",
+                model_path.c_str());
+  }
+
+  // ----- Party B: has only the model file. -----
+  auto forest = gef::LoadForest(model_path);
+  if (!forest.ok()) {
+    std::printf("load failed: %s\n", forest.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[party B] loaded forest: %zu trees, %zu features\n",
+              forest->num_trees(), forest->num_features());
+
+  gef::GefConfig config;
+  config.num_univariate = 5;
+  config.sampling = gef::SamplingStrategy::kEquiSize;
+  config.k = 96;
+  config.num_samples = 12000;
+  auto explanation = gef::ExplainForest(*forest, config);
+  if (explanation == nullptr) {
+    std::printf("GAM fit failed\n");
+    return 1;
+  }
+  std::printf("[party B] distilled GAM fidelity to forest: RMSE %.4f\n",
+              explanation->fidelity_rmse_test);
+
+  // ----- Verdict: evaluate both models on fresh ground-truth data. -----
+  gef::Rng fresh_rng(999);
+  gef::Dataset fresh = gef::MakeGPrimeDataset(3000, &fresh_rng);
+  double forest_r2 = gef::RSquared(forest->PredictRawBatch(fresh),
+                                   fresh.targets());
+  double gam_r2 = gef::RSquared(explanation->gam.PredictBatch(fresh),
+                                fresh.targets());
+  std::printf("\nOn fresh ground-truth data (never seen by either):\n");
+  std::printf("  forest R² = %.4f\n", forest_r2);
+  std::printf("  GAM    R² = %.4f  (distilled without any real data)\n",
+              gam_r2);
+  std::printf("\nThe GAM is %s as a replacement model.\n",
+              gam_r2 > forest_r2 - 0.02 ? "viable" : "close but weaker");
+  return 0;
+}

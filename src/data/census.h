@@ -1,0 +1,46 @@
+#ifndef GEF_DATA_CENSUS_H_
+#define GEF_DATA_CENSUS_H_
+
+// Simulated stand-in for the UCI Census / Adult dataset (Kohavi, 1996:
+// 48,842 rows x 14 attributes, target = annual salary > 50K). The real
+// file is not available offline; this generator reproduces the structural
+// properties the paper's classification experiment uses (Sec. 5):
+//
+//   * mixed schema: numeric columns (age, education-num, hours-per-week,
+//     capital-gain, capital-loss) and low-cardinality categorical columns
+//     (workclass, marital-status, occupation, relationship, race, sex,
+//     native-country) that are one-hot encoded before training, exactly
+//     as the paper preprocesses Census;
+//   * a logistic target positively correlated with education-num (the
+//     relationship the paper reads off the GEF splines in Fig 10) and
+//     with realistic dependencies on age, hours and marital status;
+//   * sensitive attributes (race, sex, relationship) that motivate the
+//     paper's explain-to-justify use case.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/one_hot.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+/// Raw (pre-one-hot) simulated census table. Categorical cells hold small
+/// integer level codes.
+Dataset MakeCensusDatasetRaw(size_t n, Rng* rng);
+
+/// Indices of the categorical columns in the raw table, in the order the
+/// paper lists them for one-hot encoding.
+std::vector<size_t> CensusCategoricalColumns();
+
+/// Convenience: generates the raw table and applies one-hot encoding,
+/// yielding the modelling-ready dataset with a {0,1} target.
+Dataset MakeCensusDatasetEncoded(size_t n, Rng* rng);
+
+/// The true conditional probability P(salary > 50K | raw row); exposed
+/// for tests of the generator's calibration.
+double CensusTargetProbability(const std::vector<double>& raw_row);
+
+}  // namespace gef
+
+#endif  // GEF_DATA_CENSUS_H_

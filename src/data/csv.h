@@ -1,0 +1,26 @@
+#ifndef GEF_DATA_CSV_H_
+#define GEF_DATA_CSV_H_
+
+// Minimal CSV I/O for Dataset: numeric values, a header row with feature
+// names, and an optional trailing target column. Used by the examples to
+// persist generated data and by users to load their own.
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace gef {
+
+/// Loads a CSV with a header row. When `last_column_is_target` is true the
+/// final column becomes the target; otherwise all columns are features.
+StatusOr<Dataset> LoadCsv(const std::string& path,
+                          bool last_column_is_target);
+
+/// Writes the dataset to `path`; the target column (when present) is
+/// written last under the name "target".
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace gef
+
+#endif  // GEF_DATA_CSV_H_

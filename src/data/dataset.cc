@@ -1,0 +1,69 @@
+#include "data/dataset.h"
+
+namespace gef {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names)), columns_(names_.size()) {}
+
+Dataset::Dataset(size_t num_features) : columns_(num_features) {
+  names_.reserve(num_features);
+  for (size_t j = 0; j < num_features; ++j) {
+    names_.push_back("f" + std::to_string(j));
+  }
+}
+
+int Dataset::FeatureIndex(const std::string& name) const {
+  for (size_t j = 0; j < names_.size(); ++j) {
+    if (names_[j] == name) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+void Dataset::AppendRow(const std::vector<double>& features) {
+  GEF_CHECK_EQ(features.size(), columns_.size());
+  GEF_CHECK_MSG(targets_.empty(),
+                "mixing rows with and without targets");
+  for (size_t j = 0; j < features.size(); ++j) {
+    columns_[j].push_back(features[j]);
+  }
+  ++num_rows_;
+}
+
+void Dataset::AppendRow(const std::vector<double>& features, double target) {
+  GEF_CHECK_EQ(features.size(), columns_.size());
+  GEF_CHECK_MSG(targets_.size() == num_rows_,
+                "mixing rows with and without targets");
+  for (size_t j = 0; j < features.size(); ++j) {
+    columns_[j].push_back(features[j]);
+  }
+  targets_.push_back(target);
+  ++num_rows_;
+}
+
+std::vector<double> Dataset::GetRow(size_t row) const {
+  GEF_CHECK(row < num_rows_);
+  std::vector<double> out(columns_.size());
+  for (size_t j = 0; j < columns_.size(); ++j) out[j] = columns_[j][row];
+  return out;
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out(names_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    GEF_CHECK(idx < num_rows_);
+    if (has_targets()) {
+      out.AppendRow(GetRow(idx), targets_[idx]);
+    } else {
+      out.AppendRow(GetRow(idx));
+    }
+  }
+  return out;
+}
+
+void Dataset::Reserve(size_t rows) {
+  for (auto& column : columns_) column.reserve(rows);
+  targets_.reserve(rows);
+}
+
+}  // namespace gef

@@ -1,0 +1,89 @@
+#ifndef GEF_DATA_DATASET_H_
+#define GEF_DATA_DATASET_H_
+
+// Column-major tabular dataset. Column-major storage matches how both the
+// forest trainer (per-feature split scans) and GEF's sampling code access
+// features.
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gef {
+
+/// A dense table of `num_rows` instances by `num_features` features plus
+/// an optional target column. Features are stored column-major.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with named feature columns.
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Creates an unnamed dataset with `num_features` columns (names are
+  /// auto-generated as f0, f1, …).
+  explicit Dataset(size_t num_features);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return columns_.size(); }
+  bool has_targets() const { return !targets_.empty(); }
+
+  const std::vector<std::string>& feature_names() const { return names_; }
+  const std::string& feature_name(size_t j) const {
+    GEF_DCHECK(j < names_.size());
+    return names_[j];
+  }
+
+  /// Index of the feature named `name`, or -1 if absent.
+  int FeatureIndex(const std::string& name) const;
+
+  double Get(size_t row, size_t feature) const {
+    GEF_DCHECK(row < num_rows_ && feature < columns_.size());
+    return columns_[feature][row];
+  }
+  void Set(size_t row, size_t feature, double value) {
+    GEF_DCHECK(row < num_rows_ && feature < columns_.size());
+    columns_[feature][row] = value;
+  }
+
+  const std::vector<double>& Column(size_t feature) const {
+    GEF_DCHECK(feature < columns_.size());
+    return columns_[feature];
+  }
+
+  double target(size_t row) const {
+    GEF_DCHECK(row < targets_.size());
+    return targets_[row];
+  }
+  const std::vector<double>& targets() const { return targets_; }
+  void set_targets(std::vector<double> targets) {
+    GEF_CHECK_EQ(targets.size(), num_rows_);
+    targets_ = std::move(targets);
+  }
+
+  /// Appends a row (feature values only). Target may be set later via
+  /// AppendRow(features, target) consistently across all rows.
+  void AppendRow(const std::vector<double>& features);
+  void AppendRow(const std::vector<double>& features, double target);
+
+  /// Materializes row `row` as a dense feature vector.
+  std::vector<double> GetRow(size_t row) const;
+
+  /// Returns the subset of rows given by `indices` (targets carried over
+  /// when present).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Reserves row capacity in every column.
+  void Reserve(size_t rows);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+  std::vector<double> targets_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace gef
+
+#endif  // GEF_DATA_DATASET_H_

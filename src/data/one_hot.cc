@@ -1,0 +1,72 @@
+#include "data/one_hot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace gef {
+
+OneHotEncoder::OneHotEncoder(const Dataset& dataset,
+                             const std::vector<size_t>& categorical_columns)
+    : categorical_columns_(categorical_columns),
+      input_features_(dataset.num_features()) {
+  std::sort(categorical_columns_.begin(), categorical_columns_.end());
+  for (size_t col : categorical_columns_) {
+    GEF_CHECK(col < dataset.num_features());
+    std::set<int> level_set;
+    for (double v : dataset.Column(col)) {
+      GEF_CHECK_MSG(v >= 0 && v == std::floor(v),
+                    "categorical column " << col
+                                          << " holds non-integer value " << v);
+      level_set.insert(static_cast<int>(v));
+    }
+    levels_.emplace_back(level_set.begin(), level_set.end());
+  }
+
+  // Output order: for each input column, either itself or its level
+  // columns in ascending level order.
+  size_t cat_pos = 0;
+  for (size_t j = 0; j < input_features_; ++j) {
+    if (cat_pos < categorical_columns_.size() &&
+        categorical_columns_[cat_pos] == j) {
+      for (int level : levels_[cat_pos]) {
+        output_names_.push_back(dataset.feature_name(j) + "=" +
+                                std::to_string(level));
+      }
+      ++cat_pos;
+    } else {
+      output_names_.push_back(dataset.feature_name(j));
+    }
+  }
+}
+
+Dataset OneHotEncoder::Transform(const Dataset& dataset) const {
+  GEF_CHECK_EQ(dataset.num_features(), input_features_);
+  Dataset out(output_names_);
+  out.Reserve(dataset.num_rows());
+  std::vector<double> row(output_names_.size());
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    size_t out_j = 0;
+    size_t cat_pos = 0;
+    for (size_t j = 0; j < input_features_; ++j) {
+      if (cat_pos < categorical_columns_.size() &&
+          categorical_columns_[cat_pos] == j) {
+        int value = static_cast<int>(dataset.Get(i, j));
+        for (int level : levels_[cat_pos]) {
+          row[out_j++] = (value == level) ? 1.0 : 0.0;
+        }
+        ++cat_pos;
+      } else {
+        row[out_j++] = dataset.Get(i, j);
+      }
+    }
+    if (dataset.has_targets()) {
+      out.AppendRow(row, dataset.target(i));
+    } else {
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace gef

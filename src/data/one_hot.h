@@ -1,0 +1,40 @@
+#ifndef GEF_DATA_ONE_HOT_H_
+#define GEF_DATA_ONE_HOT_H_
+
+// One-hot encoding of categorical columns, mirroring the paper's Census
+// preprocessing (Sec. 5.1: one-hot for workclass, marital-status, …).
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace gef {
+
+/// One-hot expands the listed categorical columns (whose cells must hold
+/// small non-negative integers encoding the level). Each level becomes a
+/// binary column named "<col>=<level>"; non-categorical columns are kept.
+class OneHotEncoder {
+ public:
+  /// Learns the level sets of `categorical_columns` from `dataset`.
+  OneHotEncoder(const Dataset& dataset,
+                const std::vector<size_t>& categorical_columns);
+
+  /// Applies the learned encoding. Unseen levels map to all-zeros.
+  Dataset Transform(const Dataset& dataset) const;
+
+  /// Names of the output columns, in output order.
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+
+ private:
+  std::vector<size_t> categorical_columns_;          // sorted
+  std::vector<std::vector<int>> levels_;             // per categorical col
+  std::vector<std::string> output_names_;
+  size_t input_features_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_DATA_ONE_HOT_H_

@@ -1,0 +1,36 @@
+#include "data/split.h"
+
+namespace gef {
+namespace {
+
+void SplitIndices(size_t n, double fraction_second, Rng* rng,
+                  std::vector<size_t>* first, std::vector<size_t>* second) {
+  GEF_CHECK(fraction_second > 0.0 && fraction_second < 1.0);
+  GEF_CHECK_GE(n, 2u);
+  std::vector<size_t> perm = rng->Permutation(n);
+  size_t num_second = static_cast<size_t>(
+      static_cast<double>(n) * fraction_second);
+  num_second = std::max<size_t>(1, std::min(num_second, n - 1));
+  second->assign(perm.begin(), perm.begin() + num_second);
+  first->assign(perm.begin() + num_second, perm.end());
+}
+
+}  // namespace
+
+TrainTestSplit SplitTrainTest(const Dataset& dataset, double test_fraction,
+                              Rng* rng) {
+  std::vector<size_t> train_idx, test_idx;
+  SplitIndices(dataset.num_rows(), test_fraction, rng, &train_idx,
+               &test_idx);
+  return {dataset.Subset(train_idx), dataset.Subset(test_idx)};
+}
+
+TrainValidSplit SplitTrainValid(const Dataset& dataset,
+                                double valid_fraction, Rng* rng) {
+  std::vector<size_t> train_idx, valid_idx;
+  SplitIndices(dataset.num_rows(), valid_fraction, rng, &train_idx,
+               &valid_idx);
+  return {dataset.Subset(train_idx), dataset.Subset(valid_idx)};
+}
+
+}  // namespace gef

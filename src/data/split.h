@@ -1,0 +1,32 @@
+#ifndef GEF_DATA_SPLIT_H_
+#define GEF_DATA_SPLIT_H_
+
+// Deterministic train/validation/test splitting, mirroring the paper's
+// protocol (80/20 train/test, 25% of train held out for early stopping).
+
+#include "data/dataset.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffles rows with `rng` and splits; `test_fraction` in (0, 1).
+TrainTestSplit SplitTrainTest(const Dataset& dataset, double test_fraction,
+                              Rng* rng);
+
+struct TrainValidSplit {
+  Dataset train;
+  Dataset valid;
+};
+
+/// Splits off the last `valid_fraction` of (shuffled) rows as validation.
+TrainValidSplit SplitTrainValid(const Dataset& dataset,
+                                double valid_fraction, Rng* rng);
+
+}  // namespace gef
+
+#endif  // GEF_DATA_SPLIT_H_

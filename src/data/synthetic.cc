@@ -1,0 +1,140 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace gef {
+
+double SyntheticComponent(int feature, double x) {
+  switch (feature) {
+    case 0:
+      return x;
+    case 1:
+      return std::sin(20.0 * x);
+    case 2: {
+      double e = std::exp(50.0 * (x - 0.5));
+      return e / (e + 1.0);
+    }
+    case 3:
+      return (std::atan(10.0 * x) - std::sin(10.0 * x)) / 2.0;
+    case 4:
+      return 2.0 / (x + 1.0);
+    default:
+      GEF_CHECK_MSG(false, "g' has exactly 5 components; got feature "
+                               << feature);
+      return 0.0;
+  }
+}
+
+double GPrime(const std::vector<double>& x) {
+  GEF_CHECK_EQ(x.size(), static_cast<size_t>(kNumSyntheticFeatures));
+  double sum = 0.0;
+  for (int j = 0; j < kNumSyntheticFeatures; ++j) {
+    sum += SyntheticComponent(j, x[j]);
+  }
+  return sum;
+}
+
+double InteractionBump(double xi, double xj) {
+  double d2 = (xi - 0.5) * (xi - 0.5) + (xj - 0.5) * (xj - 0.5);
+  return 2.0 * std::exp(-(1.0 / std::sqrt(2.0 * std::numbers::pi)) * d2 /
+                        2.0);
+}
+
+double GDoublePrime(const std::vector<double>& x,
+                    const std::vector<std::pair<int, int>>& pairs) {
+  double sum = GPrime(x);
+  for (const auto& [i, j] : pairs) {
+    GEF_CHECK(i >= 0 && i < kNumSyntheticFeatures);
+    GEF_CHECK(j >= 0 && j < kNumSyntheticFeatures);
+    sum += InteractionBump(x[i], x[j]);
+  }
+  return sum;
+}
+
+namespace {
+
+Dataset MakeSynthetic(size_t n, const std::vector<std::pair<int, int>>& pairs,
+                      bool with_pairs, Rng* rng, double noise_sigma) {
+  std::vector<std::string> names;
+  for (int j = 0; j < kNumSyntheticFeatures; ++j) {
+    // Paper numbering is 1-based (x1..x5).
+    names.push_back("x" + std::to_string(j + 1));
+  }
+  Dataset dataset(names);
+  dataset.Reserve(n);
+  std::vector<double> x(kNumSyntheticFeatures);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < kNumSyntheticFeatures; ++j) x[j] = rng->Uniform();
+    double y = 0.0;
+    // The paper adds N(0, 0.1²) noise "to each generating function".
+    for (int j = 0; j < kNumSyntheticFeatures; ++j) {
+      y += SyntheticComponent(j, x[j]);
+      if (noise_sigma > 0.0) y += rng->Normal(0.0, noise_sigma);
+    }
+    if (with_pairs) {
+      for (const auto& [a, b] : pairs) {
+        y += InteractionBump(x[a], x[b]);
+        if (noise_sigma > 0.0) y += rng->Normal(0.0, noise_sigma);
+      }
+    }
+    dataset.AppendRow(x, y);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+Dataset MakeGPrimeDataset(size_t n, Rng* rng, double noise_sigma) {
+  return MakeSynthetic(n, {}, /*with_pairs=*/false, rng, noise_sigma);
+}
+
+Dataset MakeGDoublePrimeDataset(size_t n,
+                                const std::vector<std::pair<int, int>>& pairs,
+                                Rng* rng, double noise_sigma) {
+  return MakeSynthetic(n, pairs, /*with_pairs=*/true, rng, noise_sigma);
+}
+
+std::vector<std::pair<int, int>> AllFeaturePairs5() {
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < kNumSyntheticFeatures; ++i) {
+    for (int j = i + 1; j < kNumSyntheticFeatures; ++j) {
+      pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+std::vector<std::vector<std::pair<int, int>>> AllInteractionTriples() {
+  std::vector<std::pair<int, int>> pairs = AllFeaturePairs5();
+  std::vector<std::vector<std::pair<int, int>>> triples;
+  for (size_t a = 0; a < pairs.size(); ++a) {
+    for (size_t b = a + 1; b < pairs.size(); ++b) {
+      for (size_t c = b + 1; c < pairs.size(); ++c) {
+        triples.push_back({pairs[a], pairs[b], pairs[c]});
+      }
+    }
+  }
+  return triples;  // C(10, 3) = 120 triples
+}
+
+double SigmoidTarget(double x) {
+  double e = std::exp(50.0 * (x - 0.5));
+  return e / (e + 1.0);
+}
+
+Dataset MakeSigmoidDataset(size_t n, Rng* rng, double noise_sigma) {
+  Dataset dataset(std::vector<std::string>{"x"});
+  dataset.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng->Uniform();
+    double y = SigmoidTarget(x);
+    if (noise_sigma > 0.0) y += rng->Normal(0.0, noise_sigma);
+    dataset.AppendRow({x}, y);
+  }
+  return dataset;
+}
+
+}  // namespace gef

@@ -1,0 +1,66 @@
+#ifndef GEF_DATA_SYNTHETIC_H_
+#define GEF_DATA_SYNTHETIC_H_
+
+// Synthetic target functions from Sec. 4.1 of the paper:
+//
+//   g'(x)   = x1 + sin(20 x2) + sigmoid(50 (x3 - 0.5))
+//             + (arctan(10 x4) - sin(10 x4)) / 2 + 2 / (x5 + 1)
+//   h(xi,xj)= 2 exp(-(1/sqrt(2π)) ((xi-0.5)² + (xj-0.5)²) / 2)
+//   g''_Π(x)= g'(x) + Σ_{(i,j) ∈ Π} h(xi, xj)
+//
+// Instances are sampled uniformly from [0, 1]^5; Gaussian noise
+// N(0, 0.1²) is added per generator function as in the paper.
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+/// Number of base features of g'.
+inline constexpr int kNumSyntheticFeatures = 5;
+
+/// Per-feature generator functions of g' (0-indexed: component j applies
+/// to feature j). Exposed individually so Fig 4 can compare learned
+/// splines against each ground-truth component.
+double SyntheticComponent(int feature, double x);
+
+/// g'(x) for a 5-dimensional instance (no noise).
+double GPrime(const std::vector<double>& x);
+
+/// The pairwise interaction bump h(xi, xj) (no noise).
+double InteractionBump(double xi, double xj);
+
+/// g''_Π(x): g'(x) plus the interaction bumps for every pair in `pairs`.
+double GDoublePrime(const std::vector<double>& x,
+                    const std::vector<std::pair<int, int>>& pairs);
+
+/// Samples `n` instances uniformly from [0,1]^5 labelled by g' plus
+/// per-component Gaussian noise (sigma 0.1 each, as in the paper).
+Dataset MakeGPrimeDataset(size_t n, Rng* rng, double noise_sigma = 0.1);
+
+/// Same for g''_Π with the given interaction pairs.
+Dataset MakeGDoublePrimeDataset(size_t n,
+                                const std::vector<std::pair<int, int>>& pairs,
+                                Rng* rng, double noise_sigma = 0.1);
+
+/// All C(5,2) = 10 feature pairs in canonical order — the candidate set
+/// for the interaction-detection study.
+std::vector<std::pair<int, int>> AllFeaturePairs5();
+
+/// All C(10,3) = 120 triples of feature pairs — the full interaction-set
+/// space swept by Fig 6 / Table 1.
+std::vector<std::vector<std::pair<int, int>>> AllInteractionTriples();
+
+/// The sigmoid target from Fig 3: y = exp(50(x-0.5)) / (exp(50(x-0.5))+1).
+double SigmoidTarget(double x);
+
+/// One-feature dataset for the Fig 3 illustration: x ~ U[0,1], y =
+/// sigmoid target plus optional noise.
+Dataset MakeSigmoidDataset(size_t n, Rng* rng, double noise_sigma = 0.01);
+
+}  // namespace gef
+
+#endif  // GEF_DATA_SYNTHETIC_H_

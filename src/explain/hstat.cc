@@ -1,0 +1,72 @@
+#include "explain/hstat.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+void CenterInPlace(std::vector<double>* values) {
+  double mean = 0.0;
+  for (double v : *values) mean += v;
+  mean /= static_cast<double>(values->size());
+  for (double& v : *values) v -= mean;
+}
+
+}  // namespace
+
+double HStatistic(const Forest& forest, const Dataset& sample,
+                  int feature_a, int feature_b) {
+  GEF_CHECK(static_cast<size_t>(feature_a) < forest.num_features());
+  GEF_CHECK(static_cast<size_t>(feature_b) < forest.num_features());
+  GEF_CHECK_NE(feature_a, feature_b);
+  const size_t n = sample.num_rows();
+  GEF_CHECK_GT(n, 1u);
+
+  // Partial dependence functions evaluated at each sample point's own
+  // coordinates, averaging the forest over the remaining features.
+  std::vector<double> pd_a(n, 0.0), pd_b(n, 0.0), pd_ab(n, 0.0);
+  std::vector<double> row;
+  for (size_t background = 0; background < n; ++background) {
+    row = sample.GetRow(background);
+    double original_a = row[feature_a];
+    double original_b = row[feature_b];
+    for (size_t k = 0; k < n; ++k) {
+      double xa = sample.Get(k, feature_a);
+      double xb = sample.Get(k, feature_b);
+      row[feature_a] = xa;
+      row[feature_b] = original_b;
+      pd_a[k] += forest.PredictRaw(row);
+      row[feature_a] = original_a;
+      row[feature_b] = xb;
+      pd_b[k] += forest.PredictRaw(row);
+      row[feature_a] = xa;
+      row[feature_b] = xb;
+      pd_ab[k] += forest.PredictRaw(row);
+      row[feature_a] = original_a;
+      row[feature_b] = original_b;
+    }
+  }
+  const double dn = static_cast<double>(n);
+  for (size_t k = 0; k < n; ++k) {
+    pd_a[k] /= dn;
+    pd_b[k] /= dn;
+    pd_ab[k] /= dn;
+  }
+  CenterInPlace(&pd_a);
+  CenterInPlace(&pd_b);
+  CenterInPlace(&pd_ab);
+
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    double gap = pd_ab[k] - pd_a[k] - pd_b[k];
+    numerator += gap * gap;
+    denominator += pd_ab[k] * pd_ab[k];
+  }
+  if (denominator <= 0.0) return 0.0;
+  return std::clamp(numerator / denominator, 0.0, 1.0);
+}
+
+}  // namespace gef

@@ -1,0 +1,179 @@
+#include "explain/kernelshap.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+// log C(n, k) via lgamma, to weight coalition sizes without overflow.
+double LogChoose(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+// The Shapley kernel weight of a coalition of size s among m features:
+// (m - 1) / (C(m, s) * s * (m - s)); infinite at s = 0 and s = m (those
+// are enforced as hard constraints instead).
+double KernelWeight(int m, int s) {
+  return (m - 1.0) /
+         (std::exp(LogChoose(m, s)) * static_cast<double>(s) * (m - s));
+}
+
+}  // namespace
+
+KernelShapExplainer::KernelShapExplainer(ModelFn model,
+                                         const Dataset& background,
+                                         const KernelShapConfig& config)
+    : model_(std::move(model)), config_(config) {
+  GEF_CHECK_GT(background.num_rows(), 0u);
+  GEF_CHECK_GT(background.num_features(), 0u);
+  num_features_ = background.num_features();
+
+  // Subsample the background once; all coalition evaluations share it.
+  if (config_.background_rows > 0 &&
+      static_cast<size_t>(config_.background_rows) <
+          background.num_rows()) {
+    Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+    background_ = background.Subset(rng.SampleWithoutReplacement(
+        background.num_rows(),
+        static_cast<size_t>(config_.background_rows)));
+  } else {
+    background_ = background;
+  }
+
+  double sum = 0.0;
+  for (size_t i = 0; i < background_.num_rows(); ++i) {
+    sum += model_(background_.GetRow(i));
+  }
+  base_value_ = sum / static_cast<double>(background_.num_rows());
+}
+
+KernelShapExplainer::KernelShapExplainer(const Forest& forest,
+                                         const Dataset& background,
+                                         const KernelShapConfig& config)
+    : KernelShapExplainer(
+          [&forest](const std::vector<double>& row) {
+            return forest.PredictRaw(row);
+          },
+          background, config) {}
+
+double KernelShapExplainer::CoalitionValue(
+    const std::vector<double>& x,
+    const std::vector<uint8_t>& coalition) const {
+  double sum = 0.0;
+  std::vector<double> row;
+  for (size_t i = 0; i < background_.num_rows(); ++i) {
+    row = background_.GetRow(i);
+    for (size_t f = 0; f < num_features_; ++f) {
+      if (coalition[f]) row[f] = x[f];
+    }
+    sum += model_(row);
+  }
+  return sum / static_cast<double>(background_.num_rows());
+}
+
+ShapExplanation KernelShapExplainer::Explain(
+    const std::vector<double>& x) const {
+  GEF_CHECK_GE(x.size(), num_features_);
+  const int m = static_cast<int>(num_features_);
+  ShapExplanation explanation;
+  explanation.base_value = base_value_;
+  explanation.values.assign(num_features_, 0.0);
+
+  const double fx = model_(x);
+  const double delta = fx - base_value_;
+  if (m == 1) {
+    explanation.values[0] = delta;  // all credit to the only feature
+    return explanation;
+  }
+
+  // Collect (coalition, weight) pairs, excluding empty and full
+  // coalitions (handled by the intercept and the sum constraint).
+  std::vector<std::vector<uint8_t>> coalitions;
+  std::vector<double> weights;
+  if (m <= config_.exact_enumeration_limit) {
+    for (uint64_t mask = 1; mask + 1 < (1ULL << m); ++mask) {
+      std::vector<uint8_t> z(m, 0);
+      int size = 0;
+      for (int f = 0; f < m; ++f) {
+        if (mask & (1ULL << f)) {
+          z[f] = 1;
+          ++size;
+        }
+      }
+      coalitions.push_back(std::move(z));
+      weights.push_back(KernelWeight(m, size));
+    }
+  } else {
+    // Sample coalition sizes proportionally to their total kernel mass,
+    // then a uniform subset of that size; uniform regression weights.
+    Rng rng(config_.seed);
+    std::vector<double> size_mass(m, 0.0);  // index s-1 for size s
+    double total = 0.0;
+    for (int s = 1; s < m; ++s) {
+      size_mass[s - 1] =
+          KernelWeight(m, s) * std::exp(LogChoose(m, s));
+      total += size_mass[s - 1];
+    }
+    GEF_CHECK_GT(config_.num_coalitions, 10);
+    for (int c = 0; c < config_.num_coalitions; ++c) {
+      double target = rng.Uniform() * total;
+      int size = m - 1;
+      double acc = 0.0;
+      for (int s = 1; s < m; ++s) {
+        acc += size_mass[s - 1];
+        if (acc >= target) {
+          size = s;
+          break;
+        }
+      }
+      std::vector<uint8_t> z(m, 0);
+      for (size_t f : rng.SampleWithoutReplacement(
+               static_cast<size_t>(m), static_cast<size_t>(size))) {
+        z[f] = 1;
+      }
+      coalitions.push_back(std::move(z));
+      weights.push_back(1.0);
+    }
+  }
+
+  // WLS with the efficiency constraint Σφ = Δ eliminated through the
+  // last feature: φ_{m-1} = Δ − Σ_{f<m-1} φ_f, giving the regression
+  //   v(z) − base − z_{m-1} Δ = Σ_{f<m-1} (z_f − z_{m-1}) φ_f.
+  const int p = m - 1;
+  Matrix design(coalitions.size(), p);
+  Vector targets(coalitions.size());
+  for (size_t c = 0; c < coalitions.size(); ++c) {
+    const std::vector<uint8_t>& z = coalitions[c];
+    double value = CoalitionValue(x, z);
+    double z_last = z[m - 1] ? 1.0 : 0.0;
+    targets[c] = value - base_value_ - z_last * delta;
+    for (int f = 0; f < p; ++f) {
+      design(c, f) = (z[f] ? 1.0 : 0.0) - z_last;
+    }
+  }
+
+  Matrix tiny_ridge = Matrix::Identity(p);
+  tiny_ridge.Scale(1e-10);
+  auto solution =
+      SolvePenalizedLeastSquares(design, targets, weights, tiny_ridge);
+  if (!solution.has_value()) {
+    // Degenerate (e.g. constant model): spread Δ evenly.
+    for (int f = 0; f < m; ++f) {
+      explanation.values[f] = delta / m;
+    }
+    return explanation;
+  }
+  double tail = delta;
+  for (int f = 0; f < p; ++f) {
+    explanation.values[f] = solution->beta[f];
+    tail -= solution->beta[f];
+  }
+  explanation.values[m - 1] = tail;
+  return explanation;
+}
+
+}  // namespace gef

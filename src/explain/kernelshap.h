@@ -1,0 +1,70 @@
+#ifndef GEF_EXPLAIN_KERNELSHAP_H_
+#define GEF_EXPLAIN_KERNELSHAP_H_
+
+// Kernel SHAP (Lundberg & Lee, 2017): model-agnostic Shapley value
+// estimation via weighted linear regression over feature coalitions,
+// with absent features imputed from a background dataset (marginal /
+// interventional expectation).
+//
+// Complements TreeSHAP in two ways: it works for any black box (so GEF's
+// surrogate Γ can itself be SHAP-audited), and on forests it provides an
+// independent estimate to cross-validate the exact tree algorithm — the
+// two agree when features are independent in the background.
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "explain/treeshap.h"
+#include "forest/forest.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+struct KernelShapConfig {
+  /// Coalitions are enumerated exactly when the feature count is at most
+  /// this; beyond it, `num_coalitions` are sampled by kernel weight.
+  int exact_enumeration_limit = 12;
+  int num_coalitions = 2048;
+  /// Background rows used per coalition to impute absent features (all
+  /// rows when <= 0 or larger than the background).
+  int background_rows = 100;
+  uint64_t seed = 23;
+};
+
+/// Model-agnostic SHAP over an arbitrary scoring function.
+class KernelShapExplainer {
+ public:
+  using ModelFn = std::function<double(const std::vector<double>&)>;
+
+  /// `model` maps a feature row to a score; `background` supplies the
+  /// imputation distribution for absent features.
+  KernelShapExplainer(ModelFn model, const Dataset& background,
+                      const KernelShapConfig& config);
+
+  /// Convenience: a forest's raw output as the model.
+  KernelShapExplainer(const Forest& forest, const Dataset& background,
+                      const KernelShapConfig& config);
+
+  /// Shapley estimate for one instance. Satisfies local accuracy by
+  /// construction: base_value + Σ values = model(x).
+  ShapExplanation Explain(const std::vector<double>& x) const;
+
+  double base_value() const { return base_value_; }
+
+ private:
+  // Average model output with `coalition[f]` features taken from x and
+  // the rest from background rows.
+  double CoalitionValue(const std::vector<double>& x,
+                        const std::vector<uint8_t>& coalition) const;
+
+  ModelFn model_;
+  Dataset background_;  // subsampled to config.background_rows
+  KernelShapConfig config_;
+  size_t num_features_;
+  double base_value_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_EXPLAIN_KERNELSHAP_H_

@@ -1,0 +1,90 @@
+#include "explain/lime.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "stats/descriptive.h"
+#include "stats/metrics.h"
+#include "util/check.h"
+
+namespace gef {
+
+LimeExplainer::LimeExplainer(const Forest& forest, const Dataset& background,
+                             const LimeConfig& config)
+    : forest_(forest), config_(config) {
+  GEF_CHECK_EQ(background.num_features(), forest.num_features());
+  GEF_CHECK_GT(background.num_rows(), 1u);
+  GEF_CHECK_GT(config_.num_samples, 10);
+  means_.resize(background.num_features());
+  scales_.resize(background.num_features());
+  for (size_t f = 0; f < background.num_features(); ++f) {
+    means_[f] = Mean(background.Column(f));
+    double sd = StdDev(background.Column(f));
+    scales_[f] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+LimeExplanation LimeExplainer::Explain(const std::vector<double>& x) const {
+  const size_t m = forest_.num_features();
+  GEF_CHECK_GE(x.size(), m);
+  Rng rng(config_.seed);
+
+  double kernel_width = config_.kernel_width > 0.0
+                            ? config_.kernel_width
+                            : 0.75 * std::sqrt(static_cast<double>(m));
+
+  const int n = config_.num_samples;
+  // Design in standardized offsets from x plus intercept column.
+  Matrix design(n, m + 1);
+  Vector targets(n), weights(n);
+  std::vector<double> perturbed(x);
+  for (int i = 0; i < n; ++i) {
+    double dist2 = 0.0;
+    double* row = design.Row(i);
+    row[0] = 1.0;
+    for (size_t f = 0; f < m; ++f) {
+      // First sample is the instance itself, as in the reference LIME.
+      double z = i == 0 ? 0.0 : rng.Normal();
+      row[f + 1] = z;
+      perturbed[f] = x[f] + z * scales_[f];
+      dist2 += z * z;
+    }
+    targets[i] = forest_.PredictRaw(perturbed);
+    weights[i] =
+        std::exp(-dist2 / (kernel_width * kernel_width));
+  }
+
+  LimeExplanation explanation;
+  // Ridge penalty on the coefficients but not the intercept.
+  Matrix penalty(m + 1, m + 1);
+  for (size_t j = 1; j <= m; ++j) penalty(j, j) = config_.ridge_lambda;
+  auto solution =
+      SolvePenalizedLeastSquares(design, targets, weights, penalty);
+  if (!solution.has_value()) {
+    explanation.coefficients.assign(m, 0.0);
+    return explanation;
+  }
+  explanation.intercept = solution->beta[0];
+  explanation.coefficients.assign(solution->beta.begin() + 1,
+                                  solution->beta.end());
+
+  // Weighted R² of the surrogate.
+  Vector fitted = MatVec(design, solution->beta);
+  double wsum = 0.0, wmean = 0.0;
+  for (int i = 0; i < n; ++i) {
+    wsum += weights[i];
+    wmean += weights[i] * targets[i];
+  }
+  wmean /= wsum;
+  double rss = 0.0, tss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double r = targets[i] - fitted[i];
+    double d = targets[i] - wmean;
+    rss += weights[i] * r * r;
+    tss += weights[i] * d * d;
+  }
+  explanation.local_r2 = tss > 0.0 ? 1.0 - rss / tss : 0.0;
+  return explanation;
+}
+
+}  // namespace gef

@@ -1,0 +1,54 @@
+#ifndef GEF_EXPLAIN_LIME_H_
+#define GEF_EXPLAIN_LIME_H_
+
+// LIME for tabular data (Ribeiro et al., 2016), with the reference
+// implementation's default behaviour the paper says it used (Sec. 5.3):
+// Gaussian perturbations scaled by per-feature training statistics, an
+// exponential kernel of width 0.75·sqrt(M) in standardized space, and a
+// weighted ridge surrogate whose coefficients are the explanation.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+struct LimeConfig {
+  int num_samples = 5000;
+  /// Kernel width in standardized distance units; <= 0 selects the LIME
+  /// default 0.75 * sqrt(num_features).
+  double kernel_width = -1.0;
+  double ridge_lambda = 1.0;
+  uint64_t seed = 17;
+};
+
+struct LimeExplanation {
+  double intercept = 0.0;
+  std::vector<double> coefficients;  // per feature, standardized space
+  /// Local fidelity: weighted R² of the ridge surrogate on the
+  /// perturbation sample.
+  double local_r2 = 0.0;
+};
+
+/// Local LIME surrogate around one instance.
+class LimeExplainer {
+ public:
+  /// `background` supplies per-feature means/scales for standardization
+  /// and perturbation width (LIME's training-data statistics).
+  LimeExplainer(const Forest& forest, const Dataset& background,
+                const LimeConfig& config);
+
+  LimeExplanation Explain(const std::vector<double>& x) const;
+
+ private:
+  const Forest& forest_;
+  LimeConfig config_;
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_EXPLAIN_LIME_H_

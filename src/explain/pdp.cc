@@ -1,0 +1,120 @@
+#include "explain/pdp.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gef {
+
+std::vector<double> PartialDependence1d(const Forest& forest,
+                                        const Dataset& background,
+                                        int feature,
+                                        const std::vector<double>& grid) {
+  GEF_CHECK(static_cast<size_t>(feature) < forest.num_features());
+  GEF_CHECK_GT(background.num_rows(), 0u);
+  std::vector<double> pd(grid.size(), 0.0);
+  std::vector<double> row;
+  for (size_t i = 0; i < background.num_rows(); ++i) {
+    row = background.GetRow(i);
+    for (size_t g = 0; g < grid.size(); ++g) {
+      row[feature] = grid[g];
+      pd[g] += forest.PredictRaw(row);
+    }
+  }
+  for (double& v : pd) v /= static_cast<double>(background.num_rows());
+  return pd;
+}
+
+std::vector<std::vector<double>> PartialDependence2d(
+    const Forest& forest, const Dataset& background, int feature_a,
+    int feature_b, const std::vector<double>& grid_a,
+    const std::vector<double>& grid_b) {
+  GEF_CHECK(static_cast<size_t>(feature_a) < forest.num_features());
+  GEF_CHECK(static_cast<size_t>(feature_b) < forest.num_features());
+  GEF_CHECK_NE(feature_a, feature_b);
+  GEF_CHECK_GT(background.num_rows(), 0u);
+  std::vector<std::vector<double>> pd(
+      grid_a.size(), std::vector<double>(grid_b.size(), 0.0));
+  std::vector<double> row;
+  for (size_t i = 0; i < background.num_rows(); ++i) {
+    row = background.GetRow(i);
+    for (size_t a = 0; a < grid_a.size(); ++a) {
+      row[feature_a] = grid_a[a];
+      for (size_t b = 0; b < grid_b.size(); ++b) {
+        row[feature_b] = grid_b[b];
+        pd[a][b] += forest.PredictRaw(row);
+      }
+    }
+  }
+  const double n = static_cast<double>(background.num_rows());
+  for (auto& row_values : pd) {
+    for (double& v : row_values) v /= n;
+  }
+  return pd;
+}
+
+std::vector<std::vector<double>> IceCurves(const Forest& forest,
+                                           const Dataset& background,
+                                           int feature,
+                                           const std::vector<double>& grid) {
+  GEF_CHECK(static_cast<size_t>(feature) < forest.num_features());
+  std::vector<std::vector<double>> curves(
+      background.num_rows(), std::vector<double>(grid.size(), 0.0));
+  std::vector<double> row;
+  for (size_t i = 0; i < background.num_rows(); ++i) {
+    row = background.GetRow(i);
+    for (size_t g = 0; g < grid.size(); ++g) {
+      row[feature] = grid[g];
+      curves[i][g] = forest.PredictRaw(row);
+    }
+  }
+  return curves;
+}
+
+double IceHeterogeneity(const Forest& forest, const Dataset& background,
+                        int feature, const std::vector<double>& grid) {
+  GEF_CHECK_GT(grid.size(), 1u);
+  std::vector<std::vector<double>> curves =
+      IceCurves(forest, background, feature, grid);
+  const size_t n = curves.size();
+  GEF_CHECK_GT(n, 1u);
+  // Center each curve by its own mean: what remains is the per-instance
+  // deviation from a pure vertical shift.
+  for (auto& curve : curves) {
+    double mean = 0.0;
+    for (double v : curve) mean += v;
+    mean /= static_cast<double>(curve.size());
+    for (double& v : curve) v -= mean;
+  }
+  // Mean (across grid points) of the across-instance variance.
+  double total_variance = 0.0;
+  for (size_t g = 0; g < grid.size(); ++g) {
+    double mean = 0.0;
+    for (const auto& curve : curves) mean += curve[g];
+    mean /= static_cast<double>(n);
+    double variance = 0.0;
+    for (const auto& curve : curves) {
+      double d = curve[g] - mean;
+      variance += d * d;
+    }
+    total_variance += variance / static_cast<double>(n - 1);
+  }
+  return total_variance / static_cast<double>(grid.size());
+}
+
+std::vector<double> FeatureGrid(const Dataset& data, int feature,
+                                int num_points) {
+  GEF_CHECK(static_cast<size_t>(feature) < data.num_features());
+  GEF_CHECK_GT(num_points, 1);
+  const std::vector<double>& column = data.Column(feature);
+  double lo = *std::min_element(column.begin(), column.end());
+  double hi = *std::max_element(column.begin(), column.end());
+  if (lo == hi) hi = lo + 1.0;
+  std::vector<double> grid(num_points);
+  for (int g = 0; g < num_points; ++g) {
+    grid[g] = lo + (hi - lo) * g / (num_points - 1);
+  }
+  return grid;
+}
+
+}  // namespace gef

@@ -1,0 +1,53 @@
+#ifndef GEF_EXPLAIN_PDP_H_
+#define GEF_EXPLAIN_PDP_H_
+
+// Partial dependence (Friedman, 2001) and Individual Conditional
+// Expectation curves over a forest's raw output. Used by the H-statistic
+// (interaction strength) and by the Fig 9/10 SHAP-vs-GEF comparisons.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+
+namespace gef {
+
+/// One-dimensional partial dependence of `feature` evaluated at `grid`
+/// values, averaging forest raw predictions over the rows of
+/// `background` with the feature forced to each grid value.
+std::vector<double> PartialDependence1d(const Forest& forest,
+                                        const Dataset& background,
+                                        int feature,
+                                        const std::vector<double>& grid);
+
+/// Two-dimensional partial dependence over the cross product of the two
+/// grids; result[a][b] pairs grid_a[a] with grid_b[b].
+std::vector<std::vector<double>> PartialDependence2d(
+    const Forest& forest, const Dataset& background, int feature_a,
+    int feature_b, const std::vector<double>& grid_a,
+    const std::vector<double>& grid_b);
+
+/// ICE curves: per-background-row prediction profiles along the grid;
+/// result[i][g] is row i's raw prediction at grid[g].
+std::vector<std::vector<double>> IceCurves(const Forest& forest,
+                                           const Dataset& background,
+                                           int feature,
+                                           const std::vector<double>& grid);
+
+/// Evenly spaced grid over the observed range of `feature` in `data`.
+std::vector<double> FeatureGrid(const Dataset& data, int feature,
+                                int num_points);
+
+/// ICE heterogeneity of a feature: the mean variance of the *centered*
+/// ICE curves across the grid. Zero iff the feature's effect is purely
+/// additive (every instance's curve is a vertical shift of the PD);
+/// large values mean the feature participates in interactions. Lets an
+/// analyst decide whether GEF needs bivariate components (|F''| > 0)
+/// before fitting anything — the question the paper's Fig 7 grid answers
+/// empirically.
+double IceHeterogeneity(const Forest& forest, const Dataset& background,
+                        int feature, const std::vector<double>& grid);
+
+}  // namespace gef
+
+#endif  // GEF_EXPLAIN_PDP_H_

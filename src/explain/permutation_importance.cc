@@ -1,0 +1,54 @@
+#include "explain/permutation_importance.h"
+
+#include "stats/metrics.h"
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+double BaseError(const Forest& forest, const Dataset& data,
+                 const std::vector<double>& predictions) {
+  if (forest.objective() == Objective::kBinaryClassification) {
+    return LogLoss(predictions, data.targets());
+  }
+  return Rmse(predictions, data.targets());
+}
+
+}  // namespace
+
+std::vector<double> PermutationImportance(
+    const Forest& forest, const Dataset& data,
+    const PermutationImportanceConfig& config) {
+  GEF_CHECK(data.has_targets());
+  GEF_CHECK_EQ(data.num_features(), forest.num_features());
+  GEF_CHECK_GT(data.num_rows(), 1u);
+  GEF_CHECK_GE(config.num_repeats, 1);
+
+  Rng rng(config.seed);
+  const bool classification =
+      forest.objective() == Objective::kBinaryClassification;
+  std::vector<double> baseline_preds = classification
+                                           ? forest.PredictBatch(data)
+                                           : forest.PredictRawBatch(data);
+  const double baseline = BaseError(forest, data, baseline_preds);
+
+  std::vector<double> importance(data.num_features(), 0.0);
+  std::vector<double> predictions(data.num_rows());
+  for (size_t f = 0; f < data.num_features(); ++f) {
+    double total = 0.0;
+    for (int repeat = 0; repeat < config.num_repeats; ++repeat) {
+      std::vector<size_t> perm = rng.Permutation(data.num_rows());
+      for (size_t i = 0; i < data.num_rows(); ++i) {
+        std::vector<double> row = data.GetRow(i);
+        row[f] = data.Get(perm[i], f);
+        predictions[i] = classification ? forest.Predict(row)
+                                        : forest.PredictRaw(row);
+      }
+      total += BaseError(forest, data, predictions) - baseline;
+    }
+    importance[f] = total / config.num_repeats;
+  }
+  return importance;
+}
+
+}  // namespace gef

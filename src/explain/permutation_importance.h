@@ -1,0 +1,32 @@
+#ifndef GEF_EXPLAIN_PERMUTATION_IMPORTANCE_H_
+#define GEF_EXPLAIN_PERMUTATION_IMPORTANCE_H_
+
+// Permutation feature importance (Breiman, 2001): the increase in a
+// forest's prediction error when one feature column is shuffled. A
+// data-dependent cross-check for GEF's data-free gain importance — when
+// the two rankings agree, the gain ranking (which GEF must use, having
+// no data) is trustworthy.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+struct PermutationImportanceConfig {
+  int num_repeats = 3;  // shuffles averaged per feature
+  uint64_t seed = 29;
+};
+
+/// Per-feature mean error increase (RMSE on raw scores for regression,
+/// log-loss for classification) when the feature is permuted in `data`
+/// (which must carry targets). Larger = more important; ~0 = unused.
+std::vector<double> PermutationImportance(
+    const Forest& forest, const Dataset& data,
+    const PermutationImportanceConfig& config = {});
+
+}  // namespace gef
+
+#endif  // GEF_EXPLAIN_PERMUTATION_IMPORTANCE_H_

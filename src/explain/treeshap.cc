@@ -1,0 +1,217 @@
+#include "explain/treeshap.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+// One element of the feature path maintained by the TreeSHAP recursion
+// (Lundberg et al., Algorithm 2).
+struct PathElement {
+  int feature = -1;        // -1 for the root placeholder element
+  double zero_fraction = 1.0;  // fraction of zero (hidden) paths
+  double one_fraction = 1.0;   // fraction of one (followed) paths
+  double pweight = 1.0;        // permutation weight
+};
+
+using Path = std::vector<PathElement>;
+
+void ExtendPath(Path* path, double zero_fraction, double one_fraction,
+                int feature) {
+  path->push_back({feature, zero_fraction, one_fraction,
+                   path->empty() ? 1.0 : 0.0});
+  int length = static_cast<int>(path->size()) - 1;
+  for (int i = length - 1; i >= 0; --i) {
+    (*path)[i + 1].pweight +=
+        one_fraction * (*path)[i].pweight * (i + 1) / (length + 1);
+    (*path)[i].pweight =
+        zero_fraction * (*path)[i].pweight * (length - i) / (length + 1);
+  }
+}
+
+Path UnwindPath(const Path& path, int index) {
+  int length = static_cast<int>(path.size()) - 1;
+  double one_fraction = path[index].one_fraction;
+  double zero_fraction = path[index].zero_fraction;
+  Path out = path;
+  double next = out[length].pweight;
+  for (int i = length - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      double tmp = out[i].pweight;
+      out[i].pweight = next * (length + 1) /
+                       ((i + 1) * one_fraction);
+      next = tmp - out[i].pweight * zero_fraction * (length - i) /
+                       (length + 1);
+    } else {
+      out[i].pweight =
+          out[i].pweight * (length + 1) / (zero_fraction * (length - i));
+    }
+  }
+  for (int i = index; i < length; ++i) {
+    out[i].feature = out[i + 1].feature;
+    out[i].zero_fraction = out[i + 1].zero_fraction;
+    out[i].one_fraction = out[i + 1].one_fraction;
+  }
+  out.pop_back();
+  return out;
+}
+
+double UnwoundPathSum(const Path& path, int index) {
+  int length = static_cast<int>(path.size()) - 1;
+  double one_fraction = path[index].one_fraction;
+  double zero_fraction = path[index].zero_fraction;
+  double next = path[length].pweight;
+  double total = 0.0;
+  for (int i = length - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      double tmp = next * (length + 1) / ((i + 1) * one_fraction);
+      total += tmp;
+      next = path[i].pweight -
+             tmp * zero_fraction * (length - i) / (length + 1);
+    } else {
+      total += path[i].pweight * (length + 1) /
+               (zero_fraction * (length - i));
+    }
+  }
+  return total;
+}
+
+class TreeShapRecursion {
+ public:
+  TreeShapRecursion(const Tree& tree, const std::vector<double>& x,
+                    std::vector<double>* phi)
+      : tree_(tree), x_(x), phi_(phi) {}
+
+  void Run() { Recurse(0, Path{}, 1.0, 1.0, -1); }
+
+ private:
+  void Recurse(int node_index, Path path, double zero_fraction,
+               double one_fraction, int feature) {
+    ExtendPath(&path, zero_fraction, one_fraction, feature);
+    const TreeNode& node = tree_.node(node_index);
+    if (node.is_leaf()) {
+      for (int i = 1; i < static_cast<int>(path.size()); ++i) {
+        double weight = UnwoundPathSum(path, i);
+        (*phi_)[path[i].feature] +=
+            weight * (path[i].one_fraction - path[i].zero_fraction) *
+            node.value;
+      }
+      return;
+    }
+
+    const TreeNode& left = tree_.node(node.left);
+    const TreeNode& right = tree_.node(node.right);
+    bool go_left = x_[node.feature] <= node.threshold;
+    int hot = go_left ? node.left : node.right;
+    int cold = go_left ? node.right : node.left;
+    double hot_cover = go_left ? left.count : right.count;
+    double cold_cover = go_left ? right.count : left.count;
+    double cover = node.count > 0 ? node.count : hot_cover + cold_cover;
+    if (cover <= 0.0) cover = 1.0;
+
+    double incoming_zero = 1.0;
+    double incoming_one = 1.0;
+    int found = -1;
+    for (int i = 1; i < static_cast<int>(path.size()); ++i) {
+      if (path[i].feature == node.feature) {
+        found = i;
+        break;
+      }
+    }
+    if (found >= 0) {
+      incoming_zero = path[found].zero_fraction;
+      incoming_one = path[found].one_fraction;
+      path = UnwindPath(path, found);
+    }
+
+    Recurse(hot, path, incoming_zero * hot_cover / cover, incoming_one,
+            node.feature);
+    Recurse(cold, path, incoming_zero * cold_cover / cover, 0.0,
+            node.feature);
+  }
+
+  const Tree& tree_;
+  const std::vector<double>& x_;
+  std::vector<double>* phi_;
+};
+
+// Expected output of one tree under its cover distribution.
+double TreeExpectedValue(const Tree& tree, int node_index) {
+  const TreeNode& node = tree.node(node_index);
+  if (node.is_leaf()) return node.value;
+  double left_cover = tree.node(node.left).count;
+  double right_cover = tree.node(node.right).count;
+  double total = left_cover + right_cover;
+  if (total <= 0.0) {
+    return 0.5 * (TreeExpectedValue(tree, node.left) +
+                  TreeExpectedValue(tree, node.right));
+  }
+  return (left_cover * TreeExpectedValue(tree, node.left) +
+          right_cover * TreeExpectedValue(tree, node.right)) /
+         total;
+}
+
+}  // namespace
+
+TreeShapExplainer::TreeShapExplainer(const Forest& forest)
+    : forest_(forest) {
+  tree_scale_ = forest.aggregation() == Aggregation::kAverage &&
+                        forest.num_trees() > 0
+                    ? 1.0 / static_cast<double>(forest.num_trees())
+                    : 1.0;
+  double expected = forest.aggregation() == Aggregation::kSum
+                        ? forest.init_score()
+                        : 0.0;
+  for (const Tree& tree : forest.trees()) {
+    expected += tree_scale_ * TreeExpectedValue(tree, 0);
+  }
+  base_value_ = expected;
+}
+
+ShapExplanation TreeShapExplainer::Explain(
+    const std::vector<double>& x) const {
+  GEF_CHECK_GE(x.size(), forest_.num_features());
+  ShapExplanation explanation;
+  explanation.base_value = base_value_;
+  explanation.values.assign(forest_.num_features(), 0.0);
+  std::vector<double> phi(forest_.num_features(), 0.0);
+  for (const Tree& tree : forest_.trees()) {
+    TreeShapRecursion(tree, x, &phi).Run();
+  }
+  for (size_t f = 0; f < phi.size(); ++f) {
+    explanation.values[f] = tree_scale_ * phi[f];
+  }
+  return explanation;
+}
+
+GlobalShapSummary ComputeGlobalShap(const Forest& forest,
+                                    const Dataset& data) {
+  GEF_CHECK_GT(data.num_rows(), 0u);
+  TreeShapExplainer explainer(forest);
+  GlobalShapSummary summary;
+  const size_t m = forest.num_features();
+  summary.mean_abs_shap.assign(m, 0.0);
+  summary.feature_values.resize(m);
+  summary.shap_values.resize(m);
+  for (size_t f = 0; f < m; ++f) {
+    summary.feature_values[f].reserve(data.num_rows());
+    summary.shap_values[f].reserve(data.num_rows());
+  }
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    std::vector<double> row = data.GetRow(i);
+    ShapExplanation explanation = explainer.Explain(row);
+    for (size_t f = 0; f < m; ++f) {
+      summary.mean_abs_shap[f] += std::fabs(explanation.values[f]);
+      summary.feature_values[f].push_back(row[f]);
+      summary.shap_values[f].push_back(explanation.values[f]);
+    }
+  }
+  for (size_t f = 0; f < m; ++f) {
+    summary.mean_abs_shap[f] /= static_cast<double>(data.num_rows());
+  }
+  return summary;
+}
+
+}  // namespace gef

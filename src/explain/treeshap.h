@@ -1,0 +1,55 @@
+#ifndef GEF_EXPLAIN_TREESHAP_H_
+#define GEF_EXPLAIN_TREESHAP_H_
+
+// Exact TreeSHAP (Lundberg et al., 2020): polynomial-time Shapley values
+// for tree ensembles, using the training cover counts stored in the
+// nodes. This is the SHAP baseline the paper compares GEF against
+// (Sec. 5.3), both locally (Fig 12) and globally via aggregation (Fig 9b,
+// 10b).
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+
+namespace gef {
+
+/// SHAP decomposition of one prediction: raw = base_value + Σ phi.
+struct ShapExplanation {
+  double base_value = 0.0;        // E[f(X)] under the tree distributions
+  std::vector<double> values;     // one phi per feature
+};
+
+/// Exact per-instance SHAP values on the forest's raw output.
+class TreeShapExplainer {
+ public:
+  explicit TreeShapExplainer(const Forest& forest);
+
+  /// Shapley values for one instance.
+  ShapExplanation Explain(const std::vector<double>& x) const;
+
+  /// Expected raw output of the forest under the cover distribution.
+  double base_value() const { return base_value_; }
+
+ private:
+  const Forest& forest_;
+  double base_value_;
+  double tree_scale_;  // 1 for kSum, 1/num_trees for kAverage
+};
+
+/// Aggregated (global) SHAP summary over a dataset, the paper's
+/// "aggregating the local explanations" route to a global view.
+struct GlobalShapSummary {
+  std::vector<double> mean_abs_shap;  // per-feature importance
+  // Per-feature SHAP dependence series (the scatter SHAP plots show):
+  // feature value and SHAP value per analyzed instance.
+  std::vector<std::vector<double>> feature_values;
+  std::vector<std::vector<double>> shap_values;
+};
+
+GlobalShapSummary ComputeGlobalShap(const Forest& forest,
+                                    const Dataset& data);
+
+}  // namespace gef
+
+#endif  // GEF_EXPLAIN_TREESHAP_H_

@@ -1,0 +1,97 @@
+#include "forest/forest.h"
+
+#include <cmath>
+
+namespace gef {
+
+Forest::Forest(std::vector<Tree> trees, double init_score,
+               Objective objective, Aggregation aggregation,
+               size_t num_features, std::vector<std::string> feature_names)
+    : trees_(std::move(trees)),
+      init_score_(init_score),
+      objective_(objective),
+      aggregation_(aggregation),
+      num_features_(num_features),
+      feature_names_(std::move(feature_names)) {
+  GEF_CHECK_GT(num_features_, 0u);
+  if (feature_names_.empty()) {
+    for (size_t j = 0; j < num_features_; ++j) {
+      feature_names_.push_back("f" + std::to_string(j));
+    }
+  }
+  GEF_CHECK_EQ(feature_names_.size(), num_features_);
+}
+
+double Forest::PredictRaw(const std::vector<double>& x) const {
+  return PredictRawStaged(x, trees_.size());
+}
+
+double Forest::PredictRawStaged(const std::vector<double>& x,
+                                size_t num_trees) const {
+  GEF_DCHECK(x.size() >= num_features_);
+  GEF_CHECK_LE(num_trees, trees_.size());
+  double sum = aggregation_ == Aggregation::kSum ? init_score_ : 0.0;
+  for (size_t t = 0; t < num_trees; ++t) sum += trees_[t].Predict(x);
+  if (aggregation_ == Aggregation::kAverage && num_trees > 0) {
+    sum /= static_cast<double>(num_trees);
+  }
+  return sum;
+}
+
+double Forest::Predict(const std::vector<double>& x) const {
+  double raw = PredictRaw(x);
+  return objective_ == Objective::kBinaryClassification
+             ? SigmoidTransform(raw)
+             : raw;
+}
+
+std::vector<double> Forest::PredictRawBatch(const Dataset& dataset) const {
+  std::vector<double> out(dataset.num_rows());
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    out[i] = PredictRaw(dataset.GetRow(i));
+  }
+  return out;
+}
+
+std::vector<double> Forest::PredictBatch(const Dataset& dataset) const {
+  std::vector<double> out = PredictRawBatch(dataset);
+  if (objective_ == Objective::kBinaryClassification) {
+    for (double& v : out) v = SigmoidTransform(v);
+  }
+  return out;
+}
+
+size_t Forest::num_internal_nodes() const {
+  size_t count = 0;
+  for (const Tree& tree : trees_) {
+    for (const TreeNode& node : tree.nodes()) count += node.is_leaf() ? 0 : 1;
+  }
+  return count;
+}
+
+std::vector<double> Forest::GainImportance() const {
+  std::vector<double> importance(num_features_, 0.0);
+  for (const Tree& tree : trees_) {
+    for (const TreeNode& node : tree.nodes()) {
+      if (!node.is_leaf()) {
+        GEF_DCHECK(static_cast<size_t>(node.feature) < num_features_);
+        importance[node.feature] += node.gain;
+      }
+    }
+  }
+  return importance;
+}
+
+std::vector<int> Forest::SplitCountImportance() const {
+  std::vector<int> counts(num_features_, 0);
+  for (const Tree& tree : trees_) {
+    for (const TreeNode& node : tree.nodes()) {
+      if (!node.is_leaf()) counts[node.feature] += 1;
+    }
+  }
+  return counts;
+}
+
+double SigmoidTransform(double raw) { return 1.0 / (1.0 + std::exp(-raw)); }
+
+}  // namespace gef

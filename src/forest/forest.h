@@ -1,0 +1,91 @@
+#ifndef GEF_FOREST_FOREST_H_
+#define GEF_FOREST_FOREST_H_
+
+// A forest of decision trees — the black-box model T that GEF explains.
+// Covers both GBDT ensembles (sum aggregation with an initial score) and
+// Random Forests (average aggregation), since the paper makes no stricter
+// assumption than "binary trees with x_i <= v predicates".
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/tree.h"
+
+namespace gef {
+
+enum class Objective {
+  kRegression,             // identity output
+  kBinaryClassification,   // raw score is a logit; Predict applies sigmoid
+};
+
+enum class Aggregation {
+  kSum,      // GBDT: init_score + Σ tree outputs
+  kAverage,  // Random Forest: mean of tree outputs
+};
+
+/// An immutable trained forest.
+class Forest {
+ public:
+  Forest() = default;
+  Forest(std::vector<Tree> trees, double init_score, Objective objective,
+         Aggregation aggregation, size_t num_features,
+         std::vector<std::string> feature_names);
+
+  /// Raw ensemble score (the margin for classification).
+  double PredictRaw(const std::vector<double>& x) const;
+
+  /// Raw score using only the first `num_trees` trees (staged prediction,
+  /// used by early stopping and learning-curve diagnostics).
+  double PredictRawStaged(const std::vector<double>& x,
+                          size_t num_trees) const;
+
+  /// Task-space prediction: identity for regression, sigmoid probability
+  /// for classification.
+  double Predict(const std::vector<double>& x) const;
+
+  /// Batch raw scores over a dataset.
+  std::vector<double> PredictRawBatch(const Dataset& dataset) const;
+
+  /// Batch task-space predictions.
+  std::vector<double> PredictBatch(const Dataset& dataset) const;
+
+  size_t num_trees() const { return trees_.size(); }
+  size_t num_features() const { return num_features_; }
+  const Tree& tree(size_t i) const {
+    GEF_DCHECK(i < trees_.size());
+    return trees_[i];
+  }
+  const std::vector<Tree>& trees() const { return trees_; }
+  double init_score() const { return init_score_; }
+  Objective objective() const { return objective_; }
+  Aggregation aggregation() const { return aggregation_; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Total number of internal (split) nodes across the ensemble.
+  size_t num_internal_nodes() const;
+
+  /// Per-feature importance: split gain accumulated over every internal
+  /// node that tests the feature (paper Sec. 3.2). Indexed by feature.
+  std::vector<double> GainImportance() const;
+
+  /// Per-feature importance by split count (secondary diagnostic).
+  std::vector<int> SplitCountImportance() const;
+
+ private:
+  std::vector<Tree> trees_;
+  double init_score_ = 0.0;
+  Objective objective_ = Objective::kRegression;
+  Aggregation aggregation_ = Aggregation::kSum;
+  size_t num_features_ = 0;
+  std::vector<std::string> feature_names_;
+};
+
+/// Applies the logistic function to a raw score.
+double SigmoidTransform(double raw);
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_FOREST_H_

@@ -1,0 +1,62 @@
+#ifndef GEF_FOREST_GBDT_TRAINER_H_
+#define GEF_FOREST_GBDT_TRAINER_H_
+
+// Gradient-boosted decision tree training in the LightGBM mould: Newton
+// boosting over binned features with leaf-wise growth, shrinkage, row
+// subsampling and validation-based early stopping — the recipe the paper
+// uses to produce the black-box forests it then explains (Sec. 4.1, 5.1).
+
+#include <optional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+#include "forest/grower.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+struct GbdtConfig {
+  Objective objective = Objective::kRegression;
+  int num_trees = 100;
+  int num_leaves = 31;
+  double learning_rate = 0.1;
+  int min_samples_leaf = 20;
+  double lambda_l2 = 1.0;
+  double min_gain = 1e-7;
+  int max_bins = 255;
+  double subsample_rows = 1.0;  // stochastic gradient boosting fraction
+  // Stop when the validation loss has not improved for this many rounds;
+  // 0 disables early stopping (a validation set is then optional).
+  int early_stopping_rounds = 0;
+  uint64_t seed = 42;
+};
+
+struct GbdtTrainResult {
+  Forest forest;
+  std::vector<double> train_loss_curve;  // per boosting round
+  std::vector<double> valid_loss_curve;  // empty without a validation set
+  int best_iteration = -1;               // -1 when early stopping is off
+};
+
+/// Trains a GBDT forest. `valid` may be null; it is required when
+/// `early_stopping_rounds > 0`. Both datasets must carry targets.
+GbdtTrainResult TrainGbdt(const Dataset& train, const Dataset* valid,
+                          const GbdtConfig& config);
+
+/// Cross-validated grid search over (num_trees, num_leaves,
+/// learning_rate), the paper's tuning protocol (5-fold CV). Returns the
+/// configuration with the lowest mean validation loss.
+struct GbdtGrid {
+  std::vector<int> num_trees;
+  std::vector<int> num_leaves;
+  std::vector<double> learning_rates;
+};
+
+GbdtConfig GridSearchGbdt(const Dataset& train, const GbdtGrid& grid,
+                          const GbdtConfig& base, int num_folds,
+                          Rng* rng);
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_GBDT_TRAINER_H_

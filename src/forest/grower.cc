@@ -1,0 +1,239 @@
+#include "forest/grower.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+namespace gef {
+
+BinMapper::BinMapper(const Dataset& dataset, int max_bins) {
+  GEF_CHECK_GT(max_bins, 1);
+  GEF_CHECK_GT(dataset.num_rows(), 0u);
+  boundaries_.resize(dataset.num_features());
+  for (size_t f = 0; f < dataset.num_features(); ++f) {
+    std::vector<double> values = dataset.Column(f);
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+
+    std::vector<double>& bounds = boundaries_[f];
+    if (static_cast<int>(values.size()) <= max_bins) {
+      // One bin per distinct value; boundaries at midpoints.
+      bounds.reserve(values.size() > 0 ? values.size() - 1 : 0);
+      for (size_t i = 0; i + 1 < values.size(); ++i) {
+        bounds.push_back(0.5 * (values[i] + values[i + 1]));
+      }
+    } else {
+      // Quantile binning over the distinct values: max_bins - 1 interior
+      // boundaries at midpoints of the bracketing distinct values.
+      bounds.reserve(static_cast<size_t>(max_bins) - 1);
+      for (int b = 1; b < max_bins; ++b) {
+        double pos = static_cast<double>(b) * static_cast<double>(
+            values.size()) / static_cast<double>(max_bins);
+        size_t idx = std::min(values.size() - 2,
+                              static_cast<size_t>(pos));
+        double boundary = 0.5 * (values[idx] + values[idx + 1]);
+        if (bounds.empty() || boundary > bounds.back()) {
+          bounds.push_back(boundary);
+        }
+      }
+    }
+  }
+}
+
+int BinMapper::BinFor(int feature, double value) const {
+  const std::vector<double>& bounds = boundaries_[feature];
+  return static_cast<int>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) -
+      bounds.begin());
+}
+
+double BinMapper::UpperBoundary(int feature, int bin) const {
+  const std::vector<double>& bounds = boundaries_[feature];
+  GEF_CHECK(bin >= 0 && static_cast<size_t>(bin) < bounds.size());
+  return bounds[bin];
+}
+
+BinnedData::BinnedData(const Dataset& dataset, const BinMapper& mapper)
+    : num_rows_(dataset.num_rows()) {
+  GEF_CHECK_EQ(dataset.num_features(), mapper.num_features());
+  bins_.resize(dataset.num_features());
+  for (size_t f = 0; f < dataset.num_features(); ++f) {
+    GEF_CHECK_MSG(mapper.NumBins(static_cast<int>(f)) <= 65536,
+                  "too many bins for uint16 storage");
+    bins_[f].resize(num_rows_);
+    const std::vector<double>& column = dataset.Column(f);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      bins_[f][i] =
+          static_cast<uint16_t>(mapper.BinFor(static_cast<int>(f),
+                                              column[i]));
+    }
+  }
+}
+
+TreeGrower::TreeGrower(const BinnedData& data, const BinMapper& mapper,
+                       const GrowerConfig& config)
+    : data_(data), mapper_(mapper), config_(config) {
+  GEF_CHECK_GE(config_.num_leaves, 1);
+  GEF_CHECK_GE(config_.min_samples_leaf, 1);
+  GEF_CHECK_GE(config_.lambda_l2, 0.0);
+  GEF_CHECK(config_.feature_fraction > 0.0 &&
+            config_.feature_fraction <= 1.0);
+}
+
+TreeGrower::SplitInfo TreeGrower::FindBestSplit(
+    const std::vector<int>& rows, double sum_g, double sum_h,
+    const double* gradients, const double* hessians,
+    const std::vector<uint8_t>& feature_mask) const {
+  SplitInfo best;
+  const double parent_score = LeafScore(sum_g, sum_h);
+  const int total_count = static_cast<int>(rows.size());
+
+  // Reusable histogram buffers sized for the widest feature.
+  static thread_local std::vector<double> hist_g, hist_h;
+  static thread_local std::vector<int> hist_c;
+
+  for (size_t f = 0; f < data_.num_features(); ++f) {
+    if (!feature_mask.empty() && !feature_mask[f]) continue;
+    const int num_bins = mapper_.NumBins(static_cast<int>(f));
+    if (num_bins < 2) continue;
+
+    hist_g.assign(num_bins, 0.0);
+    hist_h.assign(num_bins, 0.0);
+    hist_c.assign(num_bins, 0);
+    const std::vector<uint16_t>& column = data_.Column(f);
+    for (int row : rows) {
+      int bin = column[row];
+      hist_g[bin] += gradients[row];
+      hist_h[bin] += hessians[row];
+      hist_c[bin] += 1;
+    }
+
+    double left_g = 0.0, left_h = 0.0;
+    int left_c = 0;
+    for (int b = 0; b + 1 < num_bins; ++b) {
+      left_g += hist_g[b];
+      left_h += hist_h[b];
+      left_c += hist_c[b];
+      int right_c = total_count - left_c;
+      if (left_c < config_.min_samples_leaf) continue;
+      if (right_c < config_.min_samples_leaf) break;
+      double right_g = sum_g - left_g;
+      double right_h = sum_h - left_h;
+      double gain =
+          0.5 * (LeafScore(left_g, left_h) + LeafScore(right_g, right_h) -
+                 parent_score);
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = static_cast<int>(f);
+        best.bin = b;
+        best.left_value = LeafValue(left_g, left_h);
+        best.right_value = LeafValue(right_g, right_h);
+        best.left_count = left_c;
+        best.right_count = right_c;
+      }
+    }
+  }
+  return best;
+}
+
+Tree TreeGrower::Grow(const std::vector<double>& gradients,
+                      const std::vector<double>& hessians,
+                      const std::vector<int>& rows, Rng* rng) const {
+  GEF_CHECK_EQ(gradients.size(), data_.num_rows());
+  GEF_CHECK_EQ(hessians.size(), data_.num_rows());
+  GEF_CHECK(!rows.empty());
+
+  // Per-tree feature subsampling (Random Forest mode).
+  std::vector<uint8_t> feature_mask;
+  if (config_.feature_fraction < 1.0) {
+    GEF_CHECK(rng != nullptr);
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::round(config_.feature_fraction *
+                                          data_.num_features())));
+    feature_mask.assign(data_.num_features(), 0);
+    for (size_t f : rng->SampleWithoutReplacement(data_.num_features(),
+                                                  keep)) {
+      feature_mask[f] = 1;
+    }
+  }
+
+  double root_g = 0.0, root_h = 0.0;
+  for (int row : rows) {
+    root_g += gradients[row];
+    root_h += hessians[row];
+  }
+
+  Tree tree = Tree::Stump(LeafValue(root_g, root_h),
+                          static_cast<int>(rows.size()));
+
+  struct Candidate {
+    int leaf;                 // node index in tree
+    std::vector<int> rows;
+    double sum_g, sum_h;
+    SplitInfo split;
+  };
+  // Max-heap over candidate split gains; indices into `candidates`.
+  std::vector<Candidate> candidates;
+  auto gain_of = [&candidates](int i) {
+    return candidates[i].split.gain;
+  };
+  auto cmp = [&gain_of](int a, int b) { return gain_of(a) < gain_of(b); };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+  auto enqueue = [&](int leaf, std::vector<int> leaf_rows, double g,
+                     double h) {
+    if (static_cast<int>(leaf_rows.size()) < 2 * config_.min_samples_leaf) {
+      return;  // cannot produce two admissible children
+    }
+    SplitInfo split = FindBestSplit(leaf_rows, g, h, gradients.data(),
+                                    hessians.data(), feature_mask);
+    if (!split.valid() || split.gain <= config_.min_gain) return;
+    candidates.push_back(
+        {leaf, std::move(leaf_rows), g, h, split});
+    heap.push(static_cast<int>(candidates.size()) - 1);
+  };
+
+  enqueue(0, rows, root_g, root_h);
+
+  int num_leaves = 1;
+  while (num_leaves < config_.num_leaves && !heap.empty()) {
+    int ci = heap.top();
+    heap.pop();
+    Candidate& cand = candidates[ci];
+    const SplitInfo& split = cand.split;
+
+    double threshold = mapper_.UpperBoundary(split.feature, split.bin);
+    auto [left, right] = tree.SplitLeaf(
+        cand.leaf, split.feature, threshold, split.gain, split.left_value,
+        split.right_value, split.left_count, split.right_count);
+    ++num_leaves;
+
+    // Partition rows by bin.
+    const std::vector<uint16_t>& column = data_.Column(split.feature);
+    std::vector<int> left_rows, right_rows;
+    left_rows.reserve(split.left_count);
+    right_rows.reserve(split.right_count);
+    double left_g = 0.0, left_h = 0.0;
+    for (int row : cand.rows) {
+      if (column[row] <= split.bin) {
+        left_rows.push_back(row);
+        left_g += gradients[row];
+        left_h += hessians[row];
+      } else {
+        right_rows.push_back(row);
+      }
+    }
+    double right_g = cand.sum_g - left_g;
+    double right_h = cand.sum_h - left_h;
+    cand.rows.clear();
+    cand.rows.shrink_to_fit();
+
+    enqueue(left, std::move(left_rows), left_g, left_h);
+    enqueue(right, std::move(right_rows), right_g, right_h);
+  }
+
+  return tree;
+}
+
+}  // namespace gef

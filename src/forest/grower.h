@@ -1,0 +1,127 @@
+#ifndef GEF_FOREST_GROWER_H_
+#define GEF_FOREST_GROWER_H_
+
+// Leaf-wise (best-first) tree growth with histogram-based split finding,
+// the LightGBM strategy: features are pre-binned into quantile bins, each
+// candidate leaf accumulates per-bin gradient/hessian histograms, and the
+// leaf with the globally best split gain is expanded until `num_leaves`
+// is reached or no split improves the loss.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/tree.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+/// Per-feature discretization of a training set into at most `max_bins`
+/// bins. Split thresholds reported in grown trees are bin boundaries —
+/// midpoints between adjacent distinct feature values, as in LightGBM.
+class BinMapper {
+ public:
+  BinMapper(const Dataset& dataset, int max_bins);
+
+  size_t num_features() const { return boundaries_.size(); }
+
+  /// Number of bins for `feature` (boundaries + 1).
+  int NumBins(int feature) const {
+    return static_cast<int>(boundaries_[feature].size()) + 1;
+  }
+
+  /// Bin index of a raw value: the first bin whose upper boundary is
+  /// >= value (the last bin is unbounded above).
+  int BinFor(int feature, double value) const;
+
+  /// The split threshold associated with "bin <= b goes left": the upper
+  /// boundary of bin `b`. Requires b < NumBins(feature) - 1.
+  double UpperBoundary(int feature, int bin) const;
+
+  const std::vector<double>& boundaries(int feature) const {
+    GEF_DCHECK(static_cast<size_t>(feature) < boundaries_.size());
+    return boundaries_[feature];
+  }
+
+ private:
+  // boundaries_[f] is sorted ascending; bin b covers
+  // (boundaries_[f][b-1], boundaries_[f][b]].
+  std::vector<std::vector<double>> boundaries_;
+};
+
+/// Column-major binned copy of a dataset.
+class BinnedData {
+ public:
+  BinnedData(const Dataset& dataset, const BinMapper& mapper);
+
+  int Bin(size_t row, size_t feature) const {
+    return bins_[feature][row];
+  }
+  const std::vector<uint16_t>& Column(size_t feature) const {
+    return bins_[feature];
+  }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return bins_.size(); }
+
+ private:
+  std::vector<std::vector<uint16_t>> bins_;
+  size_t num_rows_;
+};
+
+struct GrowerConfig {
+  int num_leaves = 31;
+  int min_samples_leaf = 20;
+  double lambda_l2 = 1.0;    // L2 regularization on leaf values
+  double min_gain = 1e-7;    // smallest admissible split gain
+  double feature_fraction = 1.0;  // per-tree feature subsampling (RF mode)
+};
+
+/// Grows one tree against gradients/hessians (Newton boosting). The same
+/// grower serves GBDT (g = dL/ds, h = d²L/ds²) and Random Forest
+/// regression (g = -y, h = 1, so leaves hold mean targets).
+class TreeGrower {
+ public:
+  TreeGrower(const BinnedData& data, const BinMapper& mapper,
+             const GrowerConfig& config);
+
+  /// Grows a tree on `rows` (indices into the binned data; duplicates
+  /// allowed, enabling bootstrap samples). `rng` is only consulted when
+  /// feature_fraction < 1.
+  Tree Grow(const std::vector<double>& gradients,
+            const std::vector<double>& hessians,
+            const std::vector<int>& rows, Rng* rng) const;
+
+ private:
+  struct SplitInfo {
+    double gain = -1.0;
+    int feature = -1;
+    int bin = -1;            // "bin <= bin" goes left
+    double left_value = 0.0;
+    double right_value = 0.0;
+    int left_count = 0;
+    int right_count = 0;
+    bool valid() const { return feature >= 0; }
+  };
+
+  // Finds the best split over `rows` given their aggregate statistics.
+  // `gradients` / `hessians` are indexed by global row id.
+  SplitInfo FindBestSplit(const std::vector<int>& rows, double sum_g,
+                          double sum_h, const double* gradients,
+                          const double* hessians,
+                          const std::vector<uint8_t>& feature_mask) const;
+
+  double LeafValue(double sum_g, double sum_h) const {
+    return -sum_g / (sum_h + config_.lambda_l2);
+  }
+  double LeafScore(double sum_g, double sum_h) const {
+    return sum_g * sum_g / (sum_h + config_.lambda_l2);
+  }
+
+  const BinnedData& data_;
+  const BinMapper& mapper_;
+  GrowerConfig config_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_GROWER_H_

@@ -1,0 +1,33 @@
+#ifndef GEF_FOREST_LIGHTGBM_IMPORT_H_
+#define GEF_FOREST_LIGHTGBM_IMPORT_H_
+
+// Importer for LightGBM text model dumps (the `model.txt` written by
+// `Booster::SaveModel` / `booster.save_model()`).
+//
+// The paper trains its forests with LightGBM; a third-party explainer
+// must therefore be able to ingest a LightGBM dump directly. This parser
+// covers the numerical-split subset GEF needs: per-tree arrays
+// `split_feature`, `threshold`, `split_gain`, `left_child`,
+// `right_child`, `leaf_value`, `internal_count`, `leaf_count`, plus the
+// header's `feature_names`, `objective` and `max_feature_idx`.
+// Categorical splits (`decision_type` with the categorical bit set) are
+// rejected with a clear error, as GEF's sampling assumes `x <= v`
+// predicates (paper Sec. 3.2).
+
+#include <string>
+
+#include "forest/forest.h"
+#include "util/status.h"
+
+namespace gef {
+
+/// Parses a LightGBM text model into a Forest. Regression objectives map
+/// to Objective::kRegression, "binary" to kBinaryClassification.
+StatusOr<Forest> ParseLightGbmModel(const std::string& text);
+
+/// Loads and parses a LightGBM model file.
+StatusOr<Forest> LoadLightGbmModel(const std::string& path);
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_LIGHTGBM_IMPORT_H_

@@ -1,0 +1,84 @@
+#include "forest/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+
+double SquaredLoss::InitScore(const std::vector<double>& targets) const {
+  GEF_CHECK(!targets.empty());
+  double sum = 0.0;
+  for (double t : targets) sum += t;
+  return sum / static_cast<double>(targets.size());
+}
+
+void SquaredLoss::ComputeDerivatives(const std::vector<double>& targets,
+                                     const std::vector<double>& scores,
+                                     std::vector<double>* gradients,
+                                     std::vector<double>* hessians) const {
+  GEF_CHECK_EQ(targets.size(), scores.size());
+  gradients->resize(targets.size());
+  hessians->resize(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    (*gradients)[i] = scores[i] - targets[i];
+    (*hessians)[i] = 1.0;
+  }
+}
+
+double SquaredLoss::Evaluate(const std::vector<double>& targets,
+                             const std::vector<double>& scores) const {
+  GEF_CHECK_EQ(targets.size(), scores.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double d = scores[i] - targets[i];
+    sum += 0.5 * d * d;
+  }
+  return sum / static_cast<double>(targets.size());
+}
+
+double LogisticLoss::InitScore(const std::vector<double>& targets) const {
+  GEF_CHECK(!targets.empty());
+  double positives = 0.0;
+  for (double t : targets) positives += t >= 0.5 ? 1.0 : 0.0;
+  double p = positives / static_cast<double>(targets.size());
+  p = std::clamp(p, 1e-6, 1.0 - 1e-6);
+  return std::log(p / (1.0 - p));
+}
+
+void LogisticLoss::ComputeDerivatives(const std::vector<double>& targets,
+                                      const std::vector<double>& scores,
+                                      std::vector<double>* gradients,
+                                      std::vector<double>* hessians) const {
+  GEF_CHECK_EQ(targets.size(), scores.size());
+  gradients->resize(targets.size());
+  hessians->resize(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double p = SigmoidTransform(scores[i]);
+    (*gradients)[i] = p - (targets[i] >= 0.5 ? 1.0 : 0.0);
+    (*hessians)[i] = std::max(p * (1.0 - p), 1e-12);
+  }
+}
+
+double LogisticLoss::Evaluate(const std::vector<double>& targets,
+                              const std::vector<double>& scores) const {
+  GEF_CHECK_EQ(targets.size(), scores.size());
+  constexpr double kEps = 1e-12;
+  double sum = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double p = std::clamp(SigmoidTransform(scores[i]), kEps, 1.0 - kEps);
+    sum += targets[i] >= 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return sum / static_cast<double>(targets.size());
+}
+
+const Loss& LossFor(Objective objective) {
+  static const SquaredLoss* squared = new SquaredLoss();
+  static const LogisticLoss* logistic = new LogisticLoss();
+  return objective == Objective::kBinaryClassification
+             ? static_cast<const Loss&>(*logistic)
+             : static_cast<const Loss&>(*squared);
+}
+
+}  // namespace gef

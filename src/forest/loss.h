@@ -1,0 +1,65 @@
+#ifndef GEF_FOREST_LOSS_H_
+#define GEF_FOREST_LOSS_H_
+
+// Differentiable losses for gradient boosting. The trainer works with
+// first and second derivatives (LightGBM-style Newton boosting): squared
+// loss for regression and logistic loss for binary classification — the
+// two objectives the paper uses.
+
+#include <vector>
+
+#include "forest/forest.h"
+
+namespace gef {
+
+/// Interface for a twice-differentiable pointwise loss.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Optimal constant initial score for the targets (mean for L2,
+  /// log-odds for logistic).
+  virtual double InitScore(const std::vector<double>& targets) const = 0;
+
+  /// Writes per-instance gradients and hessians of the loss at `scores`.
+  virtual void ComputeDerivatives(const std::vector<double>& targets,
+                                  const std::vector<double>& scores,
+                                  std::vector<double>* gradients,
+                                  std::vector<double>* hessians) const = 0;
+
+  /// Mean validation loss at raw scores (used for early stopping).
+  virtual double Evaluate(const std::vector<double>& targets,
+                          const std::vector<double>& scores) const = 0;
+};
+
+/// 0.5 (y - s)²: gradient s - y, hessian 1.
+class SquaredLoss : public Loss {
+ public:
+  double InitScore(const std::vector<double>& targets) const override;
+  void ComputeDerivatives(const std::vector<double>& targets,
+                          const std::vector<double>& scores,
+                          std::vector<double>* gradients,
+                          std::vector<double>* hessians) const override;
+  double Evaluate(const std::vector<double>& targets,
+                  const std::vector<double>& scores) const override;
+};
+
+/// Binary cross-entropy on the logit: gradient sigmoid(s) - y, hessian
+/// sigmoid(s)(1 - sigmoid(s)).
+class LogisticLoss : public Loss {
+ public:
+  double InitScore(const std::vector<double>& targets) const override;
+  void ComputeDerivatives(const std::vector<double>& targets,
+                          const std::vector<double>& scores,
+                          std::vector<double>* gradients,
+                          std::vector<double>* hessians) const override;
+  double Evaluate(const std::vector<double>& targets,
+                  const std::vector<double>& scores) const override;
+};
+
+/// Factory for the loss matching an objective.
+const Loss& LossFor(Objective objective);
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_LOSS_H_

@@ -1,0 +1,53 @@
+#include "forest/random_forest_trainer.h"
+
+#include "forest/grower.h"
+#include "stats/rng.h"
+
+namespace gef {
+
+Forest TrainRandomForest(const Dataset& train,
+                         const RandomForestConfig& config) {
+  GEF_CHECK(train.has_targets());
+  GEF_CHECK_GT(config.num_trees, 0);
+  GEF_CHECK(config.bootstrap_fraction > 0.0 &&
+            config.bootstrap_fraction <= 1.0);
+
+  Rng rng(config.seed);
+  BinMapper mapper(train, config.max_bins);
+  BinnedData binned(train, mapper);
+
+  GrowerConfig grower_config;
+  grower_config.num_leaves = config.num_leaves;
+  grower_config.min_samples_leaf = config.min_samples_leaf;
+  grower_config.lambda_l2 = config.lambda_l2;
+  grower_config.feature_fraction = config.feature_fraction;
+  TreeGrower grower(binned, mapper, grower_config);
+
+  const size_t n = train.num_rows();
+  // With g = -y and h = 1, the Newton leaf value -G/(H+λ) is the leaf
+  // mean of the targets (for λ = 0) — exactly a regression tree.
+  std::vector<double> gradients(n), hessians(n, 1.0);
+  for (size_t i = 0; i < n; ++i) gradients[i] = -train.target(i);
+
+  const size_t draws = std::max<size_t>(
+      1, static_cast<size_t>(config.bootstrap_fraction *
+                             static_cast<double>(n)));
+
+  std::vector<Tree> trees;
+  trees.reserve(static_cast<size_t>(config.num_trees));
+  for (int t = 0; t < config.num_trees; ++t) {
+    std::vector<int> rows(draws);
+    for (size_t i = 0; i < draws; ++i) {
+      rows[i] = static_cast<int>(rng.UniformInt(n));
+    }
+    trees.push_back(grower.Grow(gradients, hessians, rows, &rng));
+  }
+
+  // Averaged trees predict in target space directly, so classification
+  // forests are exposed as kRegression over probabilities (see header).
+  return Forest(std::move(trees), /*init_score=*/0.0,
+                Objective::kRegression, Aggregation::kAverage,
+                train.num_features(), train.feature_names());
+}
+
+}  // namespace gef

@@ -1,0 +1,36 @@
+#ifndef GEF_FOREST_RANDOM_FOREST_TRAINER_H_
+#define GEF_FOREST_RANDOM_FOREST_TRAINER_H_
+
+// Random Forest training (Breiman): bootstrap row sampling + per-tree
+// feature subsampling, averaged tree outputs. The paper lists applying
+// GEF to Random Forests as future work; GEF itself makes no assumption
+// beyond the node predicate shape, so this trainer lets the repository
+// exercise that extension end to end.
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+
+namespace gef {
+
+struct RandomForestConfig {
+  Objective objective = Objective::kRegression;
+  int num_trees = 100;
+  int num_leaves = 64;
+  int min_samples_leaf = 5;
+  double lambda_l2 = 0.0;
+  int max_bins = 255;
+  double feature_fraction = 0.7;  // features considered per tree
+  double bootstrap_fraction = 1.0;  // rows drawn per tree (with repl.)
+  uint64_t seed = 42;
+};
+
+/// Trains a Random Forest. For classification the trees regress the
+/// {0,1} labels and the averaged output is interpreted as a probability;
+/// PredictRaw then already lives in probability space, so the forest is
+/// tagged kRegression-with-average to avoid a second sigmoid.
+Forest TrainRandomForest(const Dataset& train,
+                         const RandomForestConfig& config);
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_RANDOM_FOREST_TRAINER_H_

@@ -1,0 +1,28 @@
+#ifndef GEF_FOREST_SERIALIZATION_H_
+#define GEF_FOREST_SERIALIZATION_H_
+
+// Human-readable text (de)serialization for forests. The paper's scenario
+// has a third party (e.g. a certification authority) receive the forest
+// *file* — not the training data — and build the explanation from it; this
+// format is that hand-off artifact.
+
+#include <string>
+
+#include "forest/forest.h"
+#include "util/status.h"
+
+namespace gef {
+
+/// Serializes a forest to the text model format.
+std::string ForestToString(const Forest& forest);
+
+/// Parses a forest from the text model format.
+StatusOr<Forest> ForestFromString(const std::string& text);
+
+/// Saves to / loads from a file.
+Status SaveForest(const Forest& forest, const std::string& path);
+StatusOr<Forest> LoadForest(const std::string& path);
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_SERIALIZATION_H_

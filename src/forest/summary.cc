@@ -1,0 +1,97 @@
+#include "forest/summary.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "forest/threshold_index.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gef {
+
+ForestSummary SummarizeForest(const Forest& forest) {
+  GEF_CHECK_GT(forest.num_trees(), 0u);
+  ForestSummary summary;
+  summary.num_trees = forest.num_trees();
+  summary.num_features = forest.num_features();
+  summary.gain = forest.GainImportance();
+
+  summary.min_depth = std::numeric_limits<int>::max();
+  summary.min_leaf_value = std::numeric_limits<double>::infinity();
+  summary.max_leaf_value = -std::numeric_limits<double>::infinity();
+  double depth_sum = 0.0;
+  for (const Tree& tree : forest.trees()) {
+    int depth = tree.depth();
+    summary.min_depth = std::min(summary.min_depth, depth);
+    summary.max_depth = std::max(summary.max_depth, depth);
+    depth_sum += depth;
+    summary.total_leaves += tree.num_leaves();
+    for (const TreeNode& node : tree.nodes()) {
+      if (node.is_leaf()) {
+        summary.min_leaf_value =
+            std::min(summary.min_leaf_value, node.value);
+        summary.max_leaf_value =
+            std::max(summary.max_leaf_value, node.value);
+      } else {
+        ++summary.total_internal_nodes;
+      }
+    }
+  }
+  summary.mean_depth = depth_sum / static_cast<double>(forest.num_trees());
+  summary.mean_leaves_per_tree =
+      static_cast<double>(summary.total_leaves) /
+      static_cast<double>(forest.num_trees());
+
+  ThresholdIndex index(forest);
+  summary.distinct_thresholds.resize(forest.num_features());
+  for (size_t f = 0; f < forest.num_features(); ++f) {
+    summary.distinct_thresholds[f] =
+        index.NumDistinctThresholds(static_cast<int>(f));
+    if (summary.distinct_thresholds[f] > 0) ++summary.num_used_features;
+  }
+  return summary;
+}
+
+std::string FormatForestSummary(const ForestSummary& summary,
+                                const std::vector<std::string>&
+                                    feature_names,
+                                int top_features) {
+  std::ostringstream out;
+  out << "Forest: " << summary.num_trees << " trees, "
+      << summary.total_internal_nodes << " splits, "
+      << summary.total_leaves << " leaves\n";
+  out << "Depth: min " << summary.min_depth << ", mean "
+      << FormatDouble(summary.mean_depth, 3) << ", max "
+      << summary.max_depth << "; leaves/tree "
+      << FormatDouble(summary.mean_leaves_per_tree, 4) << "\n";
+  out << "Leaf values in [" << FormatDouble(summary.min_leaf_value, 4)
+      << ", " << FormatDouble(summary.max_leaf_value, 4) << "]\n";
+  out << "Features: " << summary.num_used_features << " of "
+      << summary.num_features << " used\n";
+
+  // Top features by gain.
+  std::vector<size_t> order(summary.num_features);
+  for (size_t f = 0; f < order.size(); ++f) order[f] = f;
+  std::stable_sort(order.begin(), order.end(),
+                   [&summary](size_t a, size_t b) {
+                     return summary.gain[a] > summary.gain[b];
+                   });
+  out << "Top features by accumulated gain:\n";
+  int shown = 0;
+  for (size_t f : order) {
+    if (shown >= top_features || summary.gain[f] <= 0.0) break;
+    std::string name = f < feature_names.size()
+                           ? feature_names[f]
+                           : "f" + std::to_string(f);
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "  %-30s gain %-12.4g thresholds %zu\n", name.c_str(),
+                  summary.gain[f], summary.distinct_thresholds[f]);
+    out << line;
+    ++shown;
+  }
+  return out.str();
+}
+
+}  // namespace gef

@@ -1,0 +1,46 @@
+#ifndef GEF_FOREST_SUMMARY_H_
+#define GEF_FOREST_SUMMARY_H_
+
+// Structural summary ("model card") of a forest: the statistics a
+// third-party explainer wants to see before running GEF — ensemble size,
+// depth/leaf distributions, and the per-feature threshold counts that
+// drive sampling-domain sizes and the categorical heuristic.
+
+#include <string>
+#include <vector>
+
+#include "forest/forest.h"
+
+namespace gef {
+
+struct ForestSummary {
+  size_t num_trees = 0;
+  size_t num_features = 0;
+  size_t total_internal_nodes = 0;
+  size_t total_leaves = 0;
+  int min_depth = 0;
+  int max_depth = 0;
+  double mean_depth = 0.0;
+  double mean_leaves_per_tree = 0.0;
+  double min_leaf_value = 0.0;
+  double max_leaf_value = 0.0;
+  /// Features that are actually split on somewhere.
+  size_t num_used_features = 0;
+  /// Distinct split thresholds per feature (0 for unused features).
+  std::vector<size_t> distinct_thresholds;
+  /// Accumulated split gain per feature.
+  std::vector<double> gain;
+};
+
+/// Computes the summary in one pass over the ensemble.
+ForestSummary SummarizeForest(const Forest& forest);
+
+/// Human-readable rendering with a top-`top_features` gain table.
+std::string FormatForestSummary(const ForestSummary& summary,
+                                const std::vector<std::string>&
+                                    feature_names,
+                                int top_features = 10);
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_SUMMARY_H_

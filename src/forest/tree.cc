@@ -1,0 +1,104 @@
+#include "forest/tree.h"
+
+#include <algorithm>
+
+namespace gef {
+
+Tree Tree::Stump(double value, int count) {
+  Tree tree;
+  TreeNode leaf;
+  leaf.value = value;
+  leaf.count = count;
+  tree.AddNode(leaf);
+  return tree;
+}
+
+int Tree::AddNode(const TreeNode& node) {
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+std::pair<int, int> Tree::SplitLeaf(int index, int feature, double threshold,
+                                    double gain, double left_value,
+                                    double right_value, int left_count,
+                                    int right_count) {
+  GEF_CHECK(index >= 0 && index < static_cast<int>(nodes_.size()));
+  GEF_CHECK_MSG(nodes_[index].is_leaf(), "splitting a non-leaf node");
+  GEF_CHECK_GE(feature, 0);
+
+  TreeNode left_leaf;
+  left_leaf.value = left_value;
+  left_leaf.count = left_count;
+  TreeNode right_leaf;
+  right_leaf.value = right_value;
+  right_leaf.count = right_count;
+  int left = AddNode(left_leaf);
+  int right = AddNode(right_leaf);
+
+  TreeNode& node = nodes_[index];
+  node.feature = feature;
+  node.threshold = threshold;
+  node.gain = gain;
+  node.left = left;
+  node.right = right;
+  node.value = 0.0;
+  return {left, right};
+}
+
+int Tree::LeafIndex(const std::vector<double>& x) const {
+  GEF_DCHECK(!nodes_.empty());
+  int index = 0;
+  while (!nodes_[index].is_leaf()) {
+    const TreeNode& node = nodes_[index];
+    GEF_DCHECK(static_cast<size_t>(node.feature) < x.size());
+    index = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return index;
+}
+
+size_t Tree::num_leaves() const {
+  size_t count = 0;
+  for (const TreeNode& node : nodes_) count += node.is_leaf() ? 1 : 0;
+  return count;
+}
+
+int Tree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative DFS carrying depth.
+  int max_depth = 1;
+  std::vector<std::pair<int, int>> stack = {{0, 1}};
+  while (!stack.empty()) {
+    auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const TreeNode& node = nodes_[index];
+    if (!node.is_leaf()) {
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+void Tree::ScaleLeaves(double factor) {
+  for (TreeNode& node : nodes_) {
+    if (node.is_leaf()) node.value *= factor;
+  }
+}
+
+bool Tree::IsWellFormed() const {
+  if (nodes_.empty()) return false;
+  int n = static_cast<int>(nodes_.size());
+  for (const TreeNode& node : nodes_) {
+    if (node.is_leaf()) {
+      if (node.left != -1 || node.right != -1) return false;
+    } else {
+      if (node.left < 0 || node.left >= n) return false;
+      if (node.right < 0 || node.right >= n) return false;
+      if (node.left == node.right) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gef

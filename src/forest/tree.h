@@ -1,0 +1,82 @@
+#ifndef GEF_FOREST_TREE_H_
+#define GEF_FOREST_TREE_H_
+
+// Binary decision tree with `x[feature] <= threshold` predicates — the
+// node shape GEF assumes (paper Sec. 3.2). Every internal node stores the
+// split gain recorded at training time; GEF's feature selection and the
+// Gain-Path interaction heuristic consume it.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gef {
+
+/// One node of a decision tree. Leaves have `feature == -1`.
+struct TreeNode {
+  int feature = -1;        // split feature, -1 for a leaf
+  double threshold = 0.0;  // split value: x[feature] <= threshold -> left
+  double gain = 0.0;       // loss reduction achieved by this split
+  int left = -1;           // child indices into Tree::nodes()
+  int right = -1;
+  double value = 0.0;      // leaf output (0 for internal nodes)
+  int count = 0;           // training instances that reached this node
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+/// A single decision tree; node 0 is the root.
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Creates a single-leaf tree with the given constant output.
+  static Tree Stump(double value, int count = 0);
+
+  /// Appends a node and returns its index.
+  int AddNode(const TreeNode& node);
+
+  /// Turns leaf `index` into an internal node with two fresh leaves;
+  /// returns {left_index, right_index}.
+  std::pair<int, int> SplitLeaf(int index, int feature, double threshold,
+                                double gain, double left_value,
+                                double right_value, int left_count,
+                                int right_count);
+
+  /// Prediction for a dense feature vector.
+  double Predict(const std::vector<double>& x) const {
+    return nodes_[LeafIndex(x)].value;
+  }
+
+  /// Index of the leaf that `x` falls into.
+  int LeafIndex(const std::vector<double>& x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+  int depth() const;
+
+  const TreeNode& node(size_t i) const {
+    GEF_DCHECK(i < nodes_.size());
+    return nodes_[i];
+  }
+  TreeNode& mutable_node(size_t i) {
+    GEF_DCHECK(i < nodes_.size());
+    return nodes_[i];
+  }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Multiplies every leaf value by `factor` (shrinkage / averaging).
+  void ScaleLeaves(double factor);
+
+  /// Structural sanity check: children in range, leaves have no children,
+  /// internal nodes have both. Used by tests and deserialization.
+  bool IsWellFormed() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_TREE_H_

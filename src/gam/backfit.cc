@@ -1,0 +1,154 @@
+#include "gam/backfit.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "stats/descriptive.h"
+
+namespace gef {
+
+Gam FitGamByBackfitting(TermList terms, const Dataset& data,
+                        const BackfitConfig& config) {
+  GEF_CHECK(!terms.empty());
+  GEF_CHECK(data.has_targets());
+  GEF_CHECK_GT(config.lambda, 0.0);
+  GEF_CHECK_GE(config.max_cycles, 1);
+
+  Gam gam;
+  gam.terms_ = std::move(terms);
+  gam.link_ = LinkType::kIdentity;
+  gam.layout_ = ComputeLayout(gam.terms_);
+  gam.feature_names_ = data.feature_names();
+  GEF_CHECK_MSG(
+      static_cast<size_t>(gam.layout_.total_cols) <= data.num_rows(),
+      "more GAM coefficients than training rows");
+
+  Matrix design = BuildRawDesign(gam.terms_, data, gam.layout_);
+  gam.centers_ = ComputeCenters(design, gam.terms_, gam.layout_);
+  CenterDesign(&design, gam.centers_);
+
+  const size_t n = data.num_rows();
+  const Vector& y = data.targets();
+  const size_t num_terms = gam.terms_.size();
+
+  // Per-term working state: design slice, factorized penalized Gram,
+  // fitted component values.
+  struct TermState {
+    Matrix design;                       // n x p_t
+    std::optional<Cholesky> factor;      // (X_tᵀX_t + λS_t + ridge)
+    Matrix gram;                         // X_tᵀX_t
+    Vector fitted;                       // X_t β_t
+    Vector beta;
+    int offset = 0;
+    bool is_intercept = false;
+  };
+  std::vector<TermState> states(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    TermState& state = states[t];
+    state.offset = gam.layout_.term_offsets[t];
+    state.is_intercept =
+        gam.terms_[t]->type() == TermType::kIntercept;
+    if (state.is_intercept) continue;
+    const int width = gam.terms_[t]->num_coeffs();
+    state.design = Matrix(n, width);
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = design.Row(i);
+      for (int j = 0; j < width; ++j) {
+        state.design(i, j) = row[state.offset + j];
+      }
+    }
+    state.gram = GramWeighted(state.design, {});
+    Matrix penalized = state.gram;
+    penalized.AddScaled(gam.terms_[t]->Penalty(), config.lambda);
+    double ridge = gam.terms_[t]->FixedRidge();
+    if (ridge > 0.0) {
+      for (size_t j = 0; j < penalized.rows(); ++j) {
+        penalized(j, j) += ridge;
+      }
+    }
+    state.factor = Cholesky::Factorize(penalized);
+    if (!state.factor.has_value()) return Gam();  // unfitted
+    state.fitted.assign(n, 0.0);
+    state.beta.assign(width, 0.0);
+  }
+
+  // Intercept: centered columns make every component mean-zero, so the
+  // intercept is simply mean(y) and stays fixed through the cycles.
+  const double intercept = Mean(y);
+
+  Vector residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = y[i] - intercept;
+
+  for (int cycle = 0; cycle < config.max_cycles; ++cycle) {
+    double max_change = 0.0;
+    double norm = 1e-12;
+    for (size_t t = 0; t < num_terms; ++t) {
+      TermState& state = states[t];
+      if (state.is_intercept) continue;
+      // Partial residual: add this term's current fit back in.
+      for (size_t i = 0; i < n; ++i) residual[i] += state.fitted[i];
+      Vector rhs = MatTVec(state.design, residual);
+      Vector beta = state.factor->Solve(rhs);
+      Vector fitted = MatVec(state.design, beta);
+      for (size_t i = 0; i < n; ++i) residual[i] -= fitted[i];
+
+      for (size_t j = 0; j < beta.size(); ++j) {
+        max_change = std::max(max_change,
+                              std::fabs(beta[j] - state.beta[j]));
+        norm = std::max(norm, std::fabs(beta[j]));
+      }
+      state.beta = std::move(beta);
+      state.fitted = std::move(fitted);
+    }
+    if (max_change / norm < config.tol) break;
+  }
+
+  // Assemble the Gam state.
+  gam.beta_.assign(gam.layout_.total_cols, 0.0);
+  double edof = 1.0;  // intercept
+  double rss = 0.0;
+  for (double r : residual) rss += r * r;
+  gam.covariance_ = Matrix(gam.layout_.total_cols,
+                           gam.layout_.total_cols);
+  for (size_t t = 0; t < num_terms; ++t) {
+    TermState& state = states[t];
+    if (state.is_intercept) {
+      gam.beta_[state.offset] = intercept;
+      continue;
+    }
+    for (size_t j = 0; j < state.beta.size(); ++j) {
+      gam.beta_[state.offset + j] = state.beta[j];
+    }
+    Matrix inverse = state.factor->Inverse();
+    Matrix influence = MatMul(inverse, state.gram);
+    for (size_t j = 0; j < influence.rows(); ++j) {
+      edof += influence(j, j);
+    }
+    // Block-diagonal covariance (see header note).
+    for (size_t a = 0; a < inverse.rows(); ++a) {
+      for (size_t b = 0; b < inverse.cols(); ++b) {
+        gam.covariance_(state.offset + a, state.offset + b) =
+            inverse(a, b);
+      }
+    }
+  }
+  const double dn = static_cast<double>(n);
+  double denom = std::max(1.0, dn - edof);
+  gam.lambda_ = config.lambda;
+  gam.lambdas_.assign(num_terms, config.lambda);
+  gam.edof_ = edof;
+  gam.scale_ = rss / denom;
+  gam.gcv_score_ = dn * rss / (denom * denom);
+  gam.covariance_.Scale(gam.scale_);
+  gam.fitted_ = true;
+
+  // Term importances, as in Gam::Fit.
+  gam.term_importances_.assign(num_terms, 0.0);
+  for (size_t t = 0; t < num_terms; ++t) {
+    if (states[t].is_intercept) continue;
+    gam.term_importances_[t] = StdDev(states[t].fitted);
+  }
+  return gam;
+}
+
+}  // namespace gef

@@ -1,0 +1,160 @@
+#include "gam/bspline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+
+BSplineBasis::BSplineBasis(std::vector<double> knots, int degree,
+                           double lo, double hi)
+    : lo_(lo),
+      hi_(hi),
+      num_basis_(static_cast<int>(knots.size()) - degree - 1),
+      degree_(degree),
+      knots_(std::move(knots)) {
+  GEF_CHECK(lo_ < hi_);
+  GEF_CHECK_GE(degree_, 1);
+  GEF_CHECK_GE(num_basis_, degree_ + 1);
+  GEF_CHECK(std::is_sorted(knots_.begin(), knots_.end()));
+}
+
+BSplineBasis::BSplineBasis(double lo, double hi, int num_basis,
+                           int degree)
+    : lo_(lo), hi_(hi), num_basis_(num_basis), degree_(degree) {
+  GEF_CHECK(lo < hi);
+  GEF_CHECK_GE(degree, 1);
+  GEF_CHECK_GE(num_basis, degree + 1);
+  // Uniform knots: num_basis - degree interior segments over [lo, hi],
+  // extended `degree` steps beyond each end.
+  const int segments = num_basis_ - degree_;
+  const double step = (hi_ - lo_) / segments;
+  const int total_knots = num_basis_ + degree_ + 1;
+  knots_.resize(total_knots);
+  for (int i = 0; i < total_knots; ++i) {
+    knots_[i] = lo_ + (i - degree_) * step;
+  }
+}
+
+BSplineBasis BSplineBasis::FromSites(const std::vector<double>& sites,
+                                     int num_basis, int degree) {
+  GEF_CHECK_GE(degree, 1);
+  GEF_CHECK_GE(num_basis, degree + 1);
+  GEF_CHECK(std::is_sorted(sites.begin(), sites.end()));
+  std::vector<double> distinct = sites;
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  GEF_CHECK_MSG(distinct.size() >= 2,
+                "FromSites needs at least two distinct values");
+  const double lo = distinct.front();
+  const double hi = distinct.back();
+
+  // Interior knots at quantile *order statistics* of the distinct sites
+  // (actual site values, never interpolated positions), kept strictly
+  // inside (lo, hi) and strictly increasing. Every knot interval is then
+  // bounded by sites, so no interval lacks support.
+  int interior = std::min<int>(num_basis - degree - 1,
+                               static_cast<int>(distinct.size()) - 2);
+  std::vector<double> interior_knots;
+  for (int i = 1; i <= interior; ++i) {
+    size_t idx = static_cast<size_t>(std::llround(
+        static_cast<double>(i) * static_cast<double>(distinct.size() - 1) /
+        (interior + 1)));
+    double candidate = distinct[idx];
+    if (candidate > lo && candidate < hi &&
+        (interior_knots.empty() || candidate > interior_knots.back())) {
+      interior_knots.push_back(candidate);
+    }
+  }
+
+  // Clamped knot vector: degree+1 copies of each boundary.
+  std::vector<double> knots;
+  knots.reserve(2 * (degree + 1) + interior_knots.size());
+  for (int i = 0; i <= degree; ++i) knots.push_back(lo);
+  for (double k : interior_knots) knots.push_back(k);
+  for (int i = 0; i <= degree; ++i) knots.push_back(hi);
+  return BSplineBasis(std::move(knots), degree, lo, hi);
+}
+
+BSplineBasis BSplineBasis::FromKnots(std::vector<double> knots,
+                                     int degree) {
+  GEF_CHECK_GE(degree, 1);
+  GEF_CHECK_GE(knots.size(), 2u * (degree + 1));
+  GEF_CHECK(std::is_sorted(knots.begin(), knots.end()));
+  double lo = knots[degree];
+  double hi = knots[knots.size() - degree - 1];
+  return BSplineBasis(std::move(knots), degree, lo, hi);
+}
+
+void BSplineBasis::Evaluate(double x, double* out) const {
+  x = std::clamp(x, lo_, hi_);
+  std::fill(out, out + num_basis_, 0.0);
+
+  // Knot span: largest j in [degree, num_basis - 1] with
+  // knots_[j] <= x (and x < knots_[j + 1] except at x == hi).
+  int span;
+  if (x >= knots_[num_basis_]) {
+    span = num_basis_ - 1;
+    // Repeated boundary knots: step back to the last nonempty interval.
+    while (span > degree_ && knots_[span] == knots_[span + 1]) --span;
+  } else {
+    span = static_cast<int>(
+               std::upper_bound(knots_.begin() + degree_,
+                                knots_.begin() + num_basis_ + 1, x) -
+               knots_.begin()) -
+           1;
+    span = std::clamp(span, degree_, num_basis_ - 1);
+  }
+
+  // Cox–de Boor recursion, local form: computes the degree+1 nonzero
+  // basis values N_{span-degree..span}.
+  std::vector<double> values(degree_ + 1, 0.0);
+  std::vector<double> left(degree_ + 1, 0.0);
+  std::vector<double> right(degree_ + 1, 0.0);
+  values[0] = 1.0;
+  for (int j = 1; j <= degree_; ++j) {
+    left[j] = x - knots_[span + 1 - j];
+    right[j] = knots_[span + j] - x;
+    double saved = 0.0;
+    for (int r = 0; r < j; ++r) {
+      double denom = right[r + 1] + left[j - r];
+      double temp = denom != 0.0 ? values[r] / denom : 0.0;
+      values[r] = saved + right[r + 1] * temp;
+      saved = left[j - r] * temp;
+    }
+    values[j] = saved;
+  }
+  for (int j = 0; j <= degree_; ++j) {
+    int index = span - degree_ + j;
+    GEF_DCHECK(index >= 0 && index < num_basis_);
+    out[index] = values[j];
+  }
+}
+
+std::vector<double> BSplineBasis::Evaluate(double x) const {
+  std::vector<double> out(num_basis_);
+  Evaluate(x, out.data());
+  return out;
+}
+
+Matrix BSplineBasis::DifferencePenalty(int order) const {
+  GEF_CHECK_GE(order, 1);
+  GEF_CHECK_LT(order, num_basis_);
+  // Build D iteratively: D1 is (n-1) x n first differences; higher orders
+  // compose first differences.
+  Matrix d = Matrix::Identity(num_basis_);
+  for (int o = 0; o < order; ++o) {
+    size_t rows = d.rows() - 1;
+    Matrix next(rows, d.cols());
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < d.cols(); ++j) {
+        next(i, j) = d(i + 1, j) - d(i, j);
+      }
+    }
+    d = std::move(next);
+  }
+  return MatMul(d.Transpose(), d);
+}
+
+}  // namespace gef

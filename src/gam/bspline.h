@@ -1,0 +1,78 @@
+#ifndef GEF_GAM_BSPLINE_H_
+#define GEF_GAM_BSPLINE_H_
+
+// Cubic B-spline basis plus the difference-based roughness penalty: the
+// P-spline construction of Eilers & Marx that PyGAM (the paper's GAM
+// engine) uses for its spline terms. A GAM term s_j(x_j) is a linear
+// combination of these basis functions; the paper fixes "third-order
+// spline terms with a fixed number of p-spline basis" per continuous
+// feature (Sec. 3.5).
+//
+// Two knot layouts are supported:
+//  * uniform knots over [lo, hi] (PyGAM's default), and
+//  * clamped knots with interior breakpoints at *quantiles of the
+//    sampling-domain points* (mgcv's default). The latter guarantees
+//    every knot interval contains support from D*, which prevents the
+//    between-lattice oscillation that uniform knots allow when a
+//    sampling strategy concentrates its domain points (see
+//    tests/bspline_test.cc and the explainer's term construction).
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace gef {
+
+/// B-spline basis of a given degree over [lo, hi].
+class BSplineBasis {
+ public:
+  /// Uniform-knot basis: `num_basis` >= degree + 1; degree 3 = cubic.
+  /// Inputs outside [lo, hi] are clamped to the range before evaluation,
+  /// giving constant extrapolation at the boundary (predictions never
+  /// explode outside the sampled domain).
+  BSplineBasis(double lo, double hi, int num_basis, int degree = 3);
+
+  /// Clamped basis with interior knots at quantiles of `sites` (sorted
+  /// ascending, at least two distinct values). The realized num_basis
+  /// may be smaller than requested when `sites` has too few distinct
+  /// values to host the interior knots.
+  static BSplineBasis FromSites(const std::vector<double>& sites,
+                                int num_basis, int degree = 3);
+
+  /// Rebuilds a basis from an explicit knot vector (serialization).
+  /// `knots` must be sorted with knots.size() >= 2 * (degree + 1).
+  static BSplineBasis FromKnots(std::vector<double> knots, int degree);
+
+  int num_basis() const { return num_basis_; }
+  int degree() const { return degree_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  const std::vector<double>& knots() const { return knots_; }
+
+  /// Writes the `num_basis` basis values at `x` into `out`. On [lo, hi]
+  /// the values are non-negative and sum to 1 (partition of unity).
+  void Evaluate(double x, double* out) const;
+
+  /// Convenience allocating overload.
+  std::vector<double> Evaluate(double x) const;
+
+  /// Second-order difference penalty S = D₂ᵀ D₂ (num_basis x num_basis):
+  /// penalizes squared second differences of adjacent coefficients, the
+  /// P-spline approximation of the integrated squared second derivative
+  /// in the paper's cost function J.
+  Matrix DifferencePenalty(int order = 2) const;
+
+ private:
+  BSplineBasis(std::vector<double> knots, int degree, double lo,
+               double hi);
+
+  double lo_;
+  double hi_;
+  int num_basis_;
+  int degree_;
+  std::vector<double> knots_;  // num_basis + degree + 1 knots
+};
+
+}  // namespace gef
+
+#endif  // GEF_GAM_BSPLINE_H_

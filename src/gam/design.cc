@@ -1,0 +1,96 @@
+#include "gam/design.h"
+
+namespace gef {
+
+DesignLayout ComputeLayout(const TermList& terms) {
+  GEF_CHECK(!terms.empty());
+  DesignLayout layout;
+  layout.term_offsets.reserve(terms.size());
+  int offset = 0;
+  for (const auto& term : terms) {
+    layout.term_offsets.push_back(offset);
+    offset += term->num_coeffs();
+  }
+  layout.total_cols = offset;
+  return layout;
+}
+
+Matrix BuildRawDesign(const TermList& terms, const Dataset& data,
+                      const DesignLayout& layout) {
+  GEF_CHECK_GT(data.num_rows(), 0u);
+  Matrix design(data.num_rows(), layout.total_cols);
+  std::vector<double> row_features;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    row_features = data.GetRow(i);
+    double* row = design.Row(i);
+    for (size_t t = 0; t < terms.size(); ++t) {
+      terms[t]->Evaluate(row_features, row + layout.term_offsets[t]);
+    }
+  }
+  return design;
+}
+
+std::vector<double> ComputeCenters(const Matrix& raw_design,
+                                   const TermList& terms,
+                                   const DesignLayout& layout) {
+  std::vector<double> centers(layout.total_cols, 0.0);
+  const double n = static_cast<double>(raw_design.rows());
+  for (size_t t = 0; t < terms.size(); ++t) {
+    if (terms[t]->type() == TermType::kIntercept) continue;
+    int begin = layout.term_offsets[t];
+    int end = begin + terms[t]->num_coeffs();
+    for (int j = begin; j < end; ++j) {
+      double sum = 0.0;
+      for (size_t i = 0; i < raw_design.rows(); ++i) sum += raw_design(i, j);
+      centers[j] = sum / n;
+    }
+  }
+  return centers;
+}
+
+void CenterDesign(Matrix* design, const std::vector<double>& centers) {
+  GEF_CHECK_EQ(design->cols(), centers.size());
+  for (size_t i = 0; i < design->rows(); ++i) {
+    double* row = design->Row(i);
+    for (size_t j = 0; j < centers.size(); ++j) row[j] -= centers[j];
+  }
+}
+
+Matrix BuildBlockPenalty(const TermList& terms,
+                         const DesignLayout& layout) {
+  Matrix penalty(layout.total_cols, layout.total_cols);
+  for (size_t t = 0; t < terms.size(); ++t) {
+    if (terms[t]->type() == TermType::kIntercept) continue;
+    Matrix block = terms[t]->Penalty();
+    int offset = layout.term_offsets[t];
+    for (size_t i = 0; i < block.rows(); ++i) {
+      for (size_t j = 0; j < block.cols(); ++j) {
+        penalty(offset + i, offset + j) = block(i, j);
+      }
+    }
+  }
+  return penalty;
+}
+
+Vector BuildFixedRidge(const TermList& terms, const DesignLayout& layout) {
+  Vector ridge(layout.total_cols, 0.0);
+  for (size_t t = 0; t < terms.size(); ++t) {
+    double r = terms[t]->FixedRidge();
+    if (r <= 0.0) continue;
+    int begin = layout.term_offsets[t];
+    int end = begin + terms[t]->num_coeffs();
+    for (int j = begin; j < end; ++j) ridge[j] = r;
+  }
+  return ridge;
+}
+
+void BuildDesignRow(const TermList& terms, const DesignLayout& layout,
+                    const std::vector<double>& centers,
+                    const std::vector<double>& features, double* out) {
+  for (size_t t = 0; t < terms.size(); ++t) {
+    terms[t]->Evaluate(features, out + layout.term_offsets[t]);
+  }
+  for (int j = 0; j < layout.total_cols; ++j) out[j] -= centers[j];
+}
+
+}  // namespace gef

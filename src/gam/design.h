@@ -1,0 +1,65 @@
+#ifndef GEF_GAM_DESIGN_H_
+#define GEF_GAM_DESIGN_H_
+
+// Design-matrix assembly for a GAM term list: horizontal concatenation of
+// term blocks, column centering of non-intercept blocks (which enforces
+// the paper's E[s_j(x_j)] = 0 identifiability constraint empirically),
+// and the block-diagonal unit penalty.
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "gam/terms.h"
+#include "linalg/matrix.h"
+
+namespace gef {
+
+/// Column layout of a term list.
+struct DesignLayout {
+  std::vector<int> term_offsets;  // first column of each term block
+  int total_cols = 0;
+
+  int TermCols(const TermList& terms, int t) const {
+    return terms[t]->num_coeffs();
+  }
+};
+
+/// Computes the layout (offsets and widths) of a term list.
+DesignLayout ComputeLayout(const TermList& terms);
+
+/// Evaluates every term on every dataset row: the raw (uncentered)
+/// design matrix.
+Matrix BuildRawDesign(const TermList& terms, const Dataset& data,
+                      const DesignLayout& layout);
+
+/// Column means of non-intercept blocks (0 for intercept columns).
+/// Subtracting them makes every fitted component mean-zero on the
+/// training data, with the level shift absorbed by the intercept.
+std::vector<double> ComputeCenters(const Matrix& raw_design,
+                                   const TermList& terms,
+                                   const DesignLayout& layout);
+
+/// Subtracts `centers` from each design column in place.
+void CenterDesign(Matrix* design, const std::vector<double>& centers);
+
+/// Block-diagonal penalty: each term's unit penalty placed at its offset;
+/// the intercept block stays zero. Multiply by λ when fitting.
+Matrix BuildBlockPenalty(const TermList& terms, const DesignLayout& layout);
+
+/// Per-coefficient fixed ridge (λ-independent; see Term::FixedRidge).
+/// The tensor block functionally overlaps the marginal spline spaces
+/// (each marginal basis sums to 1) and the Kronecker-sum penalty's null
+/// space contains those directions — without a fixed ridge the split
+/// between s_j and s_jk is unidentified and the Bayesian covariance
+/// blows up along it.
+Vector BuildFixedRidge(const TermList& terms, const DesignLayout& layout);
+
+/// Evaluates the term blocks for a single feature row into a centered
+/// design row.
+void BuildDesignRow(const TermList& terms, const DesignLayout& layout,
+                    const std::vector<double>& centers,
+                    const std::vector<double>& features, double* out);
+
+}  // namespace gef
+
+#endif  // GEF_GAM_DESIGN_H_

@@ -1,0 +1,323 @@
+#include "gam/gam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/cholesky.h"
+#include "stats/descriptive.h"
+
+namespace gef {
+
+Gam::FitCandidate Gam::FitIdentity(const Matrix& design, const Vector& y,
+                                   const Matrix& penalty,
+                                   const Vector& fixed_ridge) const {
+  FitCandidate fit;
+
+  // Gram and RHS are penalty-independent; the caller could hoist them,
+  // but the clarity of a self-contained candidate fit wins at these
+  // sizes.
+  Matrix gram = GramWeighted(design, {});
+  Vector rhs = GramWeightedRhs(design, {}, y);
+
+  Matrix penalized = gram;
+  penalized.Add(penalty);
+  for (size_t j = 0; j < fixed_ridge.size(); ++j) {
+    penalized(j, j) += fixed_ridge[j];
+  }
+  auto chol = Cholesky::Factorize(penalized);
+  if (!chol.has_value()) return fit;
+
+  fit.beta = chol->Solve(rhs);
+  fit.covariance = chol->Inverse();
+
+  Matrix influence = MatMul(fit.covariance, gram);
+  for (size_t i = 0; i < influence.rows(); ++i) fit.edof += influence(i, i);
+
+  Vector fitted = MatVec(design, fit.beta);
+  for (size_t i = 0; i < y.size(); ++i) {
+    double r = y[i] - fitted[i];
+    fit.rss += r * r;
+  }
+
+  const double n = static_cast<double>(y.size());
+  double denom = n - fit.edof;
+  if (denom < 1.0) denom = 1.0;  // guard tiny-sample over-parameterization
+  fit.gcv = n * fit.rss / (denom * denom);
+  fit.ok = true;
+  return fit;
+}
+
+Gam::FitCandidate Gam::FitLogit(const Matrix& design, const Vector& y,
+                                const Matrix& penalty,
+                                const Vector& fixed_ridge,
+                                const GamConfig& config) const {
+  FitCandidate fit;
+  const size_t n = y.size();
+
+  // PIRLS: iterate weighted penalized LS on the working response.
+  Vector eta(n);
+  for (size_t i = 0; i < n; ++i) {
+    double mu0 = std::clamp((y[i] + 0.5) / 2.0, 0.01, 0.99);
+    eta[i] = LinkApply(LinkType::kLogit, mu0);
+  }
+
+  Vector beta_prev;
+  Matrix gram;
+  Vector weights(n), working(n);
+  for (int iter = 0; iter < config.max_pirls_iters; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      double mu = LinkInverse(LinkType::kLogit, eta[i]);
+      double w = LinkVariance(LinkType::kLogit, mu);
+      weights[i] = std::max(w, 1e-10);
+      working[i] = eta[i] + (y[i] - mu) / weights[i];
+    }
+    gram = GramWeighted(design, weights);
+    Vector rhs = GramWeightedRhs(design, weights, working);
+    Matrix penalized = gram;
+    penalized.Add(penalty);
+    for (size_t j = 0; j < fixed_ridge.size(); ++j) {
+      penalized(j, j) += fixed_ridge[j];
+    }
+    auto chol = Cholesky::Factorize(penalized);
+    if (!chol.has_value()) return fit;
+
+    Vector beta = chol->Solve(rhs);
+    eta = MatVec(design, beta);
+
+    double delta = 0.0;
+    if (!beta_prev.empty()) {
+      Vector diff = beta;
+      Axpy(-1.0, beta_prev, &diff);
+      delta = Norm(diff) / std::max(1.0, Norm(beta));
+    } else {
+      delta = std::numeric_limits<double>::infinity();
+    }
+    beta_prev = beta;
+    fit.beta = std::move(beta);
+    fit.covariance = chol->Inverse();
+    if (delta < config.pirls_tol) break;
+  }
+
+  Matrix influence = MatMul(fit.covariance, gram);
+  fit.edof = 0.0;
+  for (size_t i = 0; i < influence.rows(); ++i) fit.edof += influence(i, i);
+
+  // Deviance-based GCV for the binomial family.
+  double deviance = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double mu = LinkInverse(LinkType::kLogit, eta[i]);
+    deviance += UnitDeviance(LinkType::kLogit, y[i], mu);
+  }
+  fit.rss = deviance;
+  const double dn = static_cast<double>(n);
+  double denom = dn - fit.edof;
+  if (denom < 1.0) denom = 1.0;
+  fit.gcv = dn * deviance / (denom * denom);
+  fit.ok = true;
+  return fit;
+}
+
+bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
+  GEF_CHECK(!terms.empty());
+  GEF_CHECK(data.has_targets());
+  GEF_CHECK_GT(data.num_rows(), 0u);
+  GEF_CHECK(!config.lambda_grid.empty());
+
+  terms_ = std::move(terms);
+  link_ = config.link;
+  layout_ = ComputeLayout(terms_);
+  GEF_CHECK_MSG(static_cast<size_t>(layout_.total_cols) <= data.num_rows(),
+                "more GAM coefficients (" << layout_.total_cols
+                                          << ") than training rows ("
+                                          << data.num_rows() << ")");
+  feature_names_ = data.feature_names();
+
+  Matrix design = BuildRawDesign(terms_, data, layout_);
+  centers_ = ComputeCenters(design, terms_, layout_);
+  CenterDesign(&design, centers_);
+  Vector fixed_ridge = BuildFixedRidge(terms_, layout_);
+
+  // Per-term unit penalty blocks, assembled into a full matrix for any
+  // per-term λ vector.
+  std::vector<Matrix> penalty_blocks(terms_.size());
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    if (terms_[t]->type() != TermType::kIntercept) {
+      penalty_blocks[t] = terms_[t]->Penalty();
+    }
+  }
+  auto assemble_penalty = [&](const std::vector<double>& lambdas) {
+    Matrix penalty(layout_.total_cols, layout_.total_cols);
+    for (size_t t = 0; t < terms_.size(); ++t) {
+      const Matrix& block = penalty_blocks[t];
+      if (block.empty()) continue;
+      int offset = layout_.term_offsets[t];
+      for (size_t i = 0; i < block.rows(); ++i) {
+        for (size_t j = 0; j < block.cols(); ++j) {
+          penalty(offset + i, offset + j) = lambdas[t] * block(i, j);
+        }
+      }
+    }
+    return penalty;
+  };
+
+  const Vector& y = data.targets();
+  auto fit_with = [&](const std::vector<double>& lambdas) {
+    Matrix penalty = assemble_penalty(lambdas);
+    return link_ == LinkType::kIdentity
+               ? FitIdentity(design, y, penalty, fixed_ridge)
+               : FitLogit(design, y, penalty, fixed_ridge, config);
+  };
+
+  // Stage 1: the paper's shared-λ GCV grid search.
+  FitCandidate best;
+  double best_gcv = std::numeric_limits<double>::infinity();
+  double best_lambda = 0.0;
+  for (double lambda : config.lambda_grid) {
+    GEF_CHECK_GT(lambda, 0.0);
+    std::vector<double> lambdas(terms_.size(), lambda);
+    FitCandidate candidate = fit_with(lambdas);
+    if (candidate.ok && candidate.gcv < best_gcv) {
+      best_gcv = candidate.gcv;
+      best_lambda = lambda;
+      best = std::move(candidate);
+    }
+  }
+  if (!best.ok) return false;
+  std::vector<double> lambdas(terms_.size(), best_lambda);
+
+  // Stage 2 (extension): per-term coordinate descent on GCV.
+  if (config.per_term_lambda) {
+    for (int round = 0; round < config.per_term_rounds; ++round) {
+      bool improved = false;
+      for (size_t t = 0; t < terms_.size(); ++t) {
+        if (terms_[t]->type() == TermType::kIntercept) continue;
+        for (double factor : config.per_term_factors) {
+          std::vector<double> trial = lambdas;
+          trial[t] = lambdas[t] * factor;
+          FitCandidate candidate = fit_with(trial);
+          if (candidate.ok && candidate.gcv < best_gcv - 1e-12) {
+            best_gcv = candidate.gcv;
+            best = std::move(candidate);
+            lambdas = trial;
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  beta_ = std::move(best.beta);
+  lambda_ = best_lambda;
+  lambdas_ = std::move(lambdas);
+  gcv_score_ = best.gcv;
+  edof_ = best.edof;
+  const double n = static_cast<double>(data.num_rows());
+  scale_ = link_ == LinkType::kIdentity
+               ? best.rss / std::max(1.0, n - best.edof)
+               : 1.0;
+  covariance_ = std::move(best.covariance);
+  covariance_.Scale(scale_);
+  fitted_ = true;
+
+  // Empirical term importances: SD of each component over the fit data.
+  term_importances_.assign(terms_.size(), 0.0);
+  std::vector<std::vector<double>> contributions(
+      terms_.size(), std::vector<double>(data.num_rows()));
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    std::vector<double> row = data.GetRow(i);
+    for (size_t t = 0; t < terms_.size(); ++t) {
+      contributions[t][i] = TermContribution(t, row);
+    }
+  }
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    term_importances_[t] = StdDev(contributions[t]);
+  }
+  return true;
+}
+
+double Gam::PredictRaw(const std::vector<double>& features) const {
+  GEF_CHECK_MSG(fitted_, "Predict on an unfitted GAM");
+  static thread_local std::vector<double> row;
+  row.resize(layout_.total_cols);
+  BuildDesignRow(terms_, layout_, centers_, features, row.data());
+  double eta = 0.0;
+  for (int j = 0; j < layout_.total_cols; ++j) eta += row[j] * beta_[j];
+  return eta;
+}
+
+double Gam::Predict(const std::vector<double>& features) const {
+  return LinkInverse(link_, PredictRaw(features));
+}
+
+std::vector<double> Gam::PredictBatch(const Dataset& data) const {
+  std::vector<double> out(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    out[i] = Predict(data.GetRow(i));
+  }
+  return out;
+}
+
+double Gam::TermContribution(size_t t,
+                             const std::vector<double>& features) const {
+  GEF_CHECK_MSG(fitted_, "TermContribution on an unfitted GAM");
+  GEF_CHECK_LT(t, terms_.size());
+  const Term& term = *terms_[t];
+  int width = term.num_coeffs();
+  int offset = layout_.term_offsets[t];
+  static thread_local std::vector<double> block;
+  block.resize(width);
+  term.Evaluate(features, block.data());
+  double sum = 0.0;
+  for (int j = 0; j < width; ++j) {
+    sum += (block[j] - centers_[offset + j]) * beta_[offset + j];
+  }
+  return sum;
+}
+
+EffectInterval Gam::TermEffect(size_t t, const std::vector<double>& features,
+                               double z) const {
+  GEF_CHECK_MSG(fitted_, "TermEffect on an unfitted GAM");
+  GEF_CHECK_LT(t, terms_.size());
+  const Term& term = *terms_[t];
+  int width = term.num_coeffs();
+  int offset = layout_.term_offsets[t];
+  std::vector<double> block(width);
+  term.Evaluate(features, block.data());
+  for (int j = 0; j < width; ++j) block[j] -= centers_[offset + j];
+
+  EffectInterval effect;
+  for (int j = 0; j < width; ++j) {
+    effect.value += block[j] * beta_[offset + j];
+  }
+  // Var = bᵀ V_block b over the term's diagonal covariance block.
+  double variance = 0.0;
+  for (int a = 0; a < width; ++a) {
+    for (int b = 0; b < width; ++b) {
+      variance += block[a] * covariance_(offset + a, offset + b) * block[b];
+    }
+  }
+  double half_width = z * std::sqrt(std::max(0.0, variance));
+  effect.lower = effect.value - half_width;
+  effect.upper = effect.value + half_width;
+  return effect;
+}
+
+double Gam::intercept() const {
+  GEF_CHECK_MSG(fitted_, "intercept on an unfitted GAM");
+  // The intercept term is conventionally first, but search to be safe.
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    if (terms_[t]->type() == TermType::kIntercept) {
+      return beta_[layout_.term_offsets[t]];
+    }
+  }
+  return 0.0;
+}
+
+std::string Gam::TermLabel(size_t t) const {
+  GEF_CHECK_LT(t, terms_.size());
+  return terms_[t]->Label(feature_names_);
+}
+
+}  // namespace gef

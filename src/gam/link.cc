@@ -1,0 +1,40 @@
+#include "gam/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gef {
+namespace {
+constexpr double kProbEps = 1e-10;
+}
+
+double LinkInverse(LinkType link, double eta) {
+  if (link == LinkType::kIdentity) return eta;
+  return 1.0 / (1.0 + std::exp(-eta));
+}
+
+double LinkApply(LinkType link, double mu) {
+  if (link == LinkType::kIdentity) return mu;
+  mu = std::clamp(mu, kProbEps, 1.0 - kProbEps);
+  return std::log(mu / (1.0 - mu));
+}
+
+double LinkVariance(LinkType link, double mu) {
+  if (link == LinkType::kIdentity) return 1.0;
+  mu = std::clamp(mu, kProbEps, 1.0 - kProbEps);
+  return mu * (1.0 - mu);
+}
+
+double UnitDeviance(LinkType link, double y, double mu) {
+  if (link == LinkType::kIdentity) {
+    double d = y - mu;
+    return d * d;
+  }
+  mu = std::clamp(mu, kProbEps, 1.0 - kProbEps);
+  double dev = 0.0;
+  if (y > kProbEps) dev += y * std::log(y / mu);
+  if (y < 1.0 - kProbEps) dev += (1.0 - y) * std::log((1.0 - y) / (1.0 - mu));
+  return 2.0 * dev;
+}
+
+}  // namespace gef

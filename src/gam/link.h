@@ -1,0 +1,29 @@
+#ifndef GEF_GAM_LINK_H_
+#define GEF_GAM_LINK_H_
+
+// Link functions (paper Sec. 3.5): identity + Normal for regression,
+// logit + Binomial for classification.
+
+namespace gef {
+
+enum class LinkType {
+  kIdentity,  // l(mu) = mu
+  kLogit,     // l(mu) = log(mu / (1 - mu))
+};
+
+/// mu = l⁻¹(eta).
+double LinkInverse(LinkType link, double eta);
+
+/// eta = l(mu). For the logit link mu is clamped away from {0, 1}.
+double LinkApply(LinkType link, double mu);
+
+/// GLM variance function V(mu): 1 for Normal, mu(1-mu) for Binomial.
+double LinkVariance(LinkType link, double mu);
+
+/// Unit deviance d(y, mu); summed over instances it forms the model
+/// deviance used by the logistic GCV criterion.
+double UnitDeviance(LinkType link, double y, double mu);
+
+}  // namespace gef
+
+#endif  // GEF_GAM_LINK_H_

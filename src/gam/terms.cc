@@ -1,0 +1,150 @@
+#include "gam/terms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+std::string FeatureLabel(const std::vector<std::string>& names, int index) {
+  if (index >= 0 && static_cast<size_t>(index) < names.size()) {
+    return names[index];
+  }
+  return "f" + std::to_string(index);
+}
+
+}  // namespace
+
+SplineTerm::SplineTerm(int feature, double lo, double hi, int num_basis,
+                       int degree, int penalty_order)
+    : feature_(feature),
+      basis_(lo, hi, num_basis, degree),
+      penalty_order_(penalty_order) {
+  GEF_CHECK_GE(feature, 0);
+}
+
+SplineTerm::SplineTerm(int feature, BSplineBasis basis, int penalty_order)
+    : feature_(feature),
+      basis_(std::move(basis)),
+      penalty_order_(penalty_order) {
+  GEF_CHECK_GE(feature, 0);
+  GEF_CHECK_LT(penalty_order, basis_.num_basis());
+}
+
+void SplineTerm::Evaluate(const std::vector<double>& row,
+                          double* out) const {
+  GEF_DCHECK(static_cast<size_t>(feature_) < row.size());
+  basis_.Evaluate(row[feature_], out);
+}
+
+Matrix SplineTerm::Penalty() const {
+  return basis_.DifferencePenalty(penalty_order_);
+}
+
+std::string SplineTerm::Label(
+    const std::vector<std::string>& feature_names) const {
+  return "s(" + FeatureLabel(feature_names, feature_) + ")";
+}
+
+FactorTerm::FactorTerm(int feature, std::vector<double> levels)
+    : feature_(feature), levels_(std::move(levels)) {
+  GEF_CHECK_GE(feature, 0);
+  GEF_CHECK(!levels_.empty());
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()),
+                levels_.end());
+}
+
+void FactorTerm::Evaluate(const std::vector<double>& row,
+                          double* out) const {
+  GEF_DCHECK(static_cast<size_t>(feature_) < row.size());
+  double x = row[feature_];
+  std::fill(out, out + levels_.size(), 0.0);
+  // Nearest level wins; exact match in the common case.
+  size_t best = 0;
+  double best_d = std::fabs(x - levels_[0]);
+  for (size_t i = 1; i < levels_.size(); ++i) {
+    double d = std::fabs(x - levels_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  out[best] = 1.0;
+}
+
+Matrix FactorTerm::Penalty() const {
+  // Ridge penalty keeps level coefficients finite and resolves the
+  // collinearity between the level indicators and the intercept.
+  return Matrix::Identity(levels_.size());
+}
+
+std::string FactorTerm::Label(
+    const std::vector<std::string>& feature_names) const {
+  return "factor(" + FeatureLabel(feature_names, feature_) + ")";
+}
+
+TensorTerm::TensorTerm(int feature_a, double lo_a, double hi_a,
+                       int feature_b, double lo_b, double hi_b,
+                       int num_basis_per_side, int degree,
+                       int penalty_order)
+    : feature_a_(feature_a),
+      feature_b_(feature_b),
+      basis_a_(lo_a, hi_a, num_basis_per_side, degree),
+      basis_b_(lo_b, hi_b, num_basis_per_side, degree),
+      penalty_order_(penalty_order) {
+  GEF_CHECK_GE(feature_a, 0);
+  GEF_CHECK_GE(feature_b, 0);
+  GEF_CHECK_NE(feature_a, feature_b);
+}
+
+TensorTerm::TensorTerm(int feature_a, BSplineBasis basis_a,
+                       int feature_b, BSplineBasis basis_b,
+                       int penalty_order)
+    : feature_a_(feature_a),
+      feature_b_(feature_b),
+      basis_a_(std::move(basis_a)),
+      basis_b_(std::move(basis_b)),
+      penalty_order_(penalty_order) {
+  GEF_CHECK_GE(feature_a, 0);
+  GEF_CHECK_GE(feature_b, 0);
+  GEF_CHECK_NE(feature_a, feature_b);
+}
+
+void TensorTerm::Evaluate(const std::vector<double>& row,
+                          double* out) const {
+  GEF_DCHECK(static_cast<size_t>(feature_a_) < row.size());
+  GEF_DCHECK(static_cast<size_t>(feature_b_) < row.size());
+  const int na = basis_a_.num_basis();
+  const int nb = basis_b_.num_basis();
+  static thread_local std::vector<double> va, vb;
+  va.resize(na);
+  vb.resize(nb);
+  basis_a_.Evaluate(row[feature_a_], va.data());
+  basis_b_.Evaluate(row[feature_b_], vb.data());
+  for (int i = 0; i < na; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      out[i * nb + j] = va[i] * vb[j];
+    }
+  }
+}
+
+Matrix TensorTerm::Penalty() const {
+  Matrix sa = basis_a_.DifferencePenalty(penalty_order_);
+  Matrix sb = basis_b_.DifferencePenalty(penalty_order_);
+  Matrix ia = Matrix::Identity(basis_a_.num_basis());
+  Matrix ib = Matrix::Identity(basis_b_.num_basis());
+  Matrix penalty = Kronecker(sa, ib);
+  penalty.Add(Kronecker(ia, sb));
+  return penalty;
+}
+
+std::string TensorTerm::Label(
+    const std::vector<std::string>& feature_names) const {
+  return "te(" + FeatureLabel(feature_names, feature_a_) + ", " +
+         FeatureLabel(feature_names, feature_b_) + ")";
+}
+
+}  // namespace gef

@@ -1,0 +1,169 @@
+#ifndef GEF_GAM_TERMS_H_
+#define GEF_GAM_TERMS_H_
+
+// GAM term types (paper Sec. 3.5): P-spline terms for continuous
+// features, factor terms for categorical features (detected via the
+// |V_i| < L threshold-count heuristic), and penalized tensor products
+// for the selected feature interactions F''.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gam/bspline.h"
+#include "linalg/matrix.h"
+
+namespace gef {
+
+enum class TermType { kIntercept, kSpline, kFactor, kTensor };
+
+/// One additive component of a GAM. A term owns a block of coefficients;
+/// the model's design matrix is the horizontal concatenation of all term
+/// blocks evaluated on the data.
+class Term {
+ public:
+  virtual ~Term() = default;
+
+  virtual TermType type() const = 0;
+
+  /// Width of this term's coefficient block.
+  virtual int num_coeffs() const = 0;
+
+  /// Writes the raw (uncentered) block values for a feature row.
+  virtual void Evaluate(const std::vector<double>& row, double* out)
+      const = 0;
+
+  /// Unit-λ penalty matrix for the block (num_coeffs x num_coeffs).
+  virtual Matrix Penalty() const = 0;
+
+  /// Fixed (λ-independent) ridge added to the block's diagonal at fit
+  /// time. Nonzero only for terms whose span overlaps other terms'
+  /// (tensor products contain their marginals): it pins down the split
+  /// without depending on the GCV-chosen smoothing level.
+  virtual double FixedRidge() const { return 0.0; }
+
+  /// Feature indices the term depends on (empty for the intercept).
+  virtual std::vector<int> Features() const = 0;
+
+  /// Human-readable label, e.g. "s(x3)" or "te(x1, x2)".
+  virtual std::string Label(
+      const std::vector<std::string>& feature_names) const = 0;
+};
+
+/// The constant α.
+class InterceptTerm : public Term {
+ public:
+  TermType type() const override { return TermType::kIntercept; }
+  int num_coeffs() const override { return 1; }
+  void Evaluate(const std::vector<double>& row, double* out) const override {
+    *out = 1.0;
+  }
+  Matrix Penalty() const override { return Matrix(1, 1); }
+  std::vector<int> Features() const override { return {}; }
+  std::string Label(const std::vector<std::string>&) const override {
+    return "intercept";
+  }
+};
+
+/// Univariate P-spline term s_j(x_j).
+class SplineTerm : public Term {
+ public:
+  /// Uniform-knot spline over [lo, hi].
+  SplineTerm(int feature, double lo, double hi, int num_basis,
+             int degree = 3, int penalty_order = 2);
+
+  /// Spline over a prebuilt basis (e.g. BSplineBasis::FromSites with
+  /// knots at sampling-domain quantiles — the explainer's default).
+  SplineTerm(int feature, BSplineBasis basis, int penalty_order = 2);
+
+  TermType type() const override { return TermType::kSpline; }
+  int num_coeffs() const override { return basis_.num_basis(); }
+  void Evaluate(const std::vector<double>& row, double* out) const override;
+  Matrix Penalty() const override;
+  std::vector<int> Features() const override { return {feature_}; }
+  std::string Label(
+      const std::vector<std::string>& feature_names) const override;
+
+  int feature() const { return feature_; }
+  const BSplineBasis& basis() const { return basis_; }
+  int penalty_order() const { return penalty_order_; }
+
+ private:
+  int feature_;
+  BSplineBasis basis_;
+  int penalty_order_;
+};
+
+/// Categorical term: one coefficient per level, ridge penalized. Levels
+/// are matched by nearest value to tolerate float round-trips.
+class FactorTerm : public Term {
+ public:
+  FactorTerm(int feature, std::vector<double> levels);
+
+  TermType type() const override { return TermType::kFactor; }
+  int num_coeffs() const override {
+    return static_cast<int>(levels_.size());
+  }
+  void Evaluate(const std::vector<double>& row, double* out) const override;
+  Matrix Penalty() const override;
+  std::vector<int> Features() const override { return {feature_}; }
+  std::string Label(
+      const std::vector<std::string>& feature_names) const override;
+
+  int feature() const { return feature_; }
+  const std::vector<double>& levels() const { return levels_; }
+
+ private:
+  int feature_;
+  std::vector<double> levels_;  // sorted
+};
+
+/// Penalized tensor-product interaction s_jk(x_j, x_k): the outer product
+/// of two marginal B-spline bases with penalty S₁⊗I + I⊗S₂ + ridge·I
+/// (the ridge resolves the overlap with the univariate marginal terms —
+/// see Penalty() — playing the role of mgcv's ti() decomposition).
+class TensorTerm : public Term {
+ public:
+  /// Ridge weight added to the tensor penalty diagonal.
+  static constexpr double kIdentifiabilityRidge = 1.0;
+
+  TensorTerm(int feature_a, double lo_a, double hi_a, int feature_b,
+             double lo_b, double hi_b, int num_basis_per_side,
+             int degree = 3, int penalty_order = 2);
+
+  /// Tensor over prebuilt marginal bases.
+  TensorTerm(int feature_a, BSplineBasis basis_a, int feature_b,
+             BSplineBasis basis_b, int penalty_order = 2);
+
+  TermType type() const override { return TermType::kTensor; }
+  int num_coeffs() const override {
+    return basis_a_.num_basis() * basis_b_.num_basis();
+  }
+  void Evaluate(const std::vector<double>& row, double* out) const override;
+  Matrix Penalty() const override;
+  double FixedRidge() const override { return kIdentifiabilityRidge; }
+  std::vector<int> Features() const override {
+    return {feature_a_, feature_b_};
+  }
+  std::string Label(
+      const std::vector<std::string>& feature_names) const override;
+
+  int feature_a() const { return feature_a_; }
+  int feature_b() const { return feature_b_; }
+  const BSplineBasis& basis_a() const { return basis_a_; }
+  const BSplineBasis& basis_b() const { return basis_b_; }
+  int penalty_order() const { return penalty_order_; }
+
+ private:
+  int feature_a_;
+  int feature_b_;
+  BSplineBasis basis_a_;
+  BSplineBasis basis_b_;
+  int penalty_order_;
+};
+
+using TermList = std::vector<std::unique_ptr<Term>>;
+
+}  // namespace gef
+
+#endif  // GEF_GAM_TERMS_H_

@@ -1,0 +1,157 @@
+#include "gef/evaluation.h"
+
+#include <cmath>
+
+#include "explain/pdp.h"
+#include "explain/treeshap.h"
+#include "stats/descriptive.h"
+#include "stats/metrics.h"
+#include "util/check.h"
+
+namespace gef {
+
+FidelityReport EvaluateFidelity(const GefExplanation& explanation,
+                                const Forest& forest,
+                                const Dataset& probe) {
+  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK_EQ(probe.num_features(), forest.num_features());
+  GEF_CHECK_GT(probe.num_rows(), 0u);
+
+  const bool classification =
+      forest.objective() == Objective::kBinaryClassification;
+  std::vector<double> forest_out(probe.num_rows());
+  std::vector<double> gam_out(probe.num_rows());
+  for (size_t i = 0; i < probe.num_rows(); ++i) {
+    std::vector<double> row = probe.GetRow(i);
+    forest_out[i] =
+        classification ? forest.Predict(row) : forest.PredictRaw(row);
+    gam_out[i] = explanation.gam.Predict(row);
+  }
+
+  FidelityReport report;
+  report.num_rows = probe.num_rows();
+  report.rmse = Rmse(gam_out, forest_out);
+  report.mae = MeanAbsoluteError(gam_out, forest_out);
+  report.r2 = RSquared(gam_out, forest_out);
+  return report;
+}
+
+std::vector<ComponentFidelity> PerComponentFidelity(
+    const GefExplanation& explanation, const Forest& forest,
+    const Dataset& background, int grid_points) {
+  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK_EQ(background.num_features(), forest.num_features());
+  GEF_CHECK_GE(grid_points, 3);
+
+  std::vector<ComponentFidelity> out;
+  out.reserve(explanation.selected_features.size());
+  std::vector<double> anchor(forest.num_features(), 0.0);
+  for (size_t f = 0; f < explanation.domains.size(); ++f) {
+    const std::vector<double>& domain = explanation.domains[f];
+    anchor[f] = domain[domain.size() / 2];
+  }
+
+  for (size_t i = 0; i < explanation.selected_features.size(); ++i) {
+    int feature = explanation.selected_features[i];
+    size_t term =
+        static_cast<size_t>(explanation.univariate_term_index[i]);
+    const std::vector<double>& domain = explanation.domains[feature];
+
+    std::vector<double> grid(grid_points);
+    double lo = domain.front();
+    double hi = domain.back();
+    if (hi <= lo) hi = lo + 1.0;
+    for (int g = 0; g < grid_points; ++g) {
+      grid[g] = lo + (hi - lo) * g / (grid_points - 1);
+    }
+
+    std::vector<double> pd =
+        PartialDependence1d(forest, background, feature, grid);
+    // Center the PD (GEF components are mean-zero by construction).
+    double pd_mean = Mean(pd);
+    std::vector<double> spline(grid_points);
+    std::vector<double> row = anchor;
+    for (int g = 0; g < grid_points; ++g) {
+      pd[g] -= pd_mean;
+      row[feature] = grid[g];
+      spline[g] = explanation.gam.TermContribution(term, row);
+    }
+    double spline_mean = Mean(spline);
+    for (double& v : spline) v -= spline_mean;
+
+    ComponentFidelity fidelity;
+    fidelity.feature = feature;
+    fidelity.curve_rmse = Rmse(spline, pd);
+    fidelity.correlation = PearsonCorrelation(spline, pd);
+    out.push_back(fidelity);
+  }
+  return out;
+}
+
+int ComponentMonotonicity(const GefExplanation& explanation,
+                          size_t selected_index, int grid_points,
+                          double tolerance) {
+  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK_LT(selected_index, explanation.selected_features.size());
+  GEF_CHECK_GE(grid_points, 3);
+  int feature = explanation.selected_features[selected_index];
+  size_t term = static_cast<size_t>(
+      explanation.univariate_term_index[selected_index]);
+  const std::vector<double>& domain = explanation.domains[feature];
+  double lo = domain.front();
+  double hi = domain.back();
+  if (hi <= lo) return 0;
+
+  std::vector<double> row(explanation.domains.size(), 0.0);
+  for (size_t f = 0; f < explanation.domains.size(); ++f) {
+    row[f] = explanation.domains[f][explanation.domains[f].size() / 2];
+  }
+  bool increasing = true;
+  bool decreasing = true;
+  double previous = 0.0;
+  for (int g = 0; g < grid_points; ++g) {
+    row[feature] = lo + (hi - lo) * g / (grid_points - 1);
+    double value = explanation.gam.TermContribution(term, row);
+    if (g > 0) {
+      if (value < previous - tolerance) increasing = false;
+      if (value > previous + tolerance) decreasing = false;
+    }
+    previous = value;
+  }
+  if (increasing && !decreasing) return 1;
+  if (decreasing && !increasing) return -1;
+  return 0;
+}
+
+std::vector<double> ShapTrendAgreement(const GefExplanation& explanation,
+                                       const Forest& forest,
+                                       const Dataset& probe) {
+  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK_EQ(probe.num_features(), forest.num_features());
+  GEF_CHECK_GT(probe.num_rows(), 1u);
+
+  GlobalShapSummary shap = ComputeGlobalShap(forest, probe);
+  std::vector<double> agreement;
+  agreement.reserve(explanation.selected_features.size());
+  for (size_t i = 0; i < explanation.selected_features.size(); ++i) {
+    int feature = explanation.selected_features[i];
+    size_t term =
+        static_cast<size_t>(explanation.univariate_term_index[i]);
+    std::vector<double> spline_vals, shap_vals;
+    std::vector<double> row(forest.num_features(), 0.0);
+    for (size_t f = 0; f < explanation.domains.size(); ++f) {
+      const std::vector<double>& domain = explanation.domains[f];
+      row[f] = domain[domain.size() / 2];
+    }
+    for (size_t s = 0; s < shap.feature_values[feature].size(); ++s) {
+      row[feature] = shap.feature_values[feature][s];
+      spline_vals.push_back(
+          explanation.gam.TermContribution(term, row));
+      shap_vals.push_back(shap.shap_values[feature][s]);
+    }
+    agreement.push_back(PearsonCorrelation(spline_vals, shap_vals));
+  }
+  return agreement;
+}
+
+}  // namespace gef

@@ -1,0 +1,65 @@
+#ifndef GEF_GEF_EVALUATION_H_
+#define GEF_GEF_EVALUATION_H_
+
+// Quantitative evaluation of a fitted explanation: surrogate fidelity on
+// arbitrary probe data (the paper's Table 2 protocol) and per-feature
+// trend agreement with SHAP (the paper's Sec. 5.3 consistency check),
+// packaged so users can audit an explanation on their own data.
+
+#include <vector>
+
+#include "forest/forest.h"
+#include "gef/explainer.h"
+
+namespace gef {
+
+/// Fidelity of Γ to the forest over a probe dataset (targets ignored;
+/// the forest's own outputs are the reference, in the model's output
+/// space: raw scores for regression, probabilities for classification).
+struct FidelityReport {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double r2 = 0.0;         // of Γ vs forest outputs
+  size_t num_rows = 0;
+};
+
+FidelityReport EvaluateFidelity(const GefExplanation& explanation,
+                                const Forest& forest,
+                                const Dataset& probe);
+
+/// Per-feature trend agreement between the GEF spline and the SHAP
+/// dependence of the same feature over `probe` (Pearson correlation of
+/// the spline value and the SHAP value at each probe point). One entry
+/// per selected univariate component, in F' order. Entries are 0 when
+/// the feature's SHAP values are constant.
+std::vector<double> ShapTrendAgreement(const GefExplanation& explanation,
+                                       const Forest& forest,
+                                       const Dataset& probe);
+
+/// Fidelity decomposed per selected feature: how well does each GEF
+/// component track the forest's partial dependence of that feature over
+/// `background`? The quantitative counterpart of the paper's Fig 9
+/// side-by-side plots — it pinpoints *which* feature's shape a weak
+/// surrogate gets wrong.
+struct ComponentFidelity {
+  int feature = -1;
+  double curve_rmse = 0.0;   // GEF spline vs centered forest PD
+  double correlation = 0.0;  // trend agreement on the grid
+};
+
+std::vector<ComponentFidelity> PerComponentFidelity(
+    const GefExplanation& explanation, const Forest& forest,
+    const Dataset& background, int grid_points = 25);
+
+/// Shape summary of a univariate component: +1 monotone increasing,
+/// -1 monotone decreasing, 0 non-monotone over the component's domain
+/// (evaluated on `grid_points` within the sampling domain, with a small
+/// tolerance for spline ripple). Used by reports — e.g. the paper reads
+/// "education_num is positively correlated with the output" off Fig 10.
+int ComponentMonotonicity(const GefExplanation& explanation,
+                          size_t selected_index, int grid_points = 41,
+                          double tolerance = 1e-6);
+
+}  // namespace gef
+
+#endif  // GEF_GEF_EVALUATION_H_

@@ -1,0 +1,159 @@
+#include "gef/explainer.h"
+
+#include <algorithm>
+
+#include "data/split.h"
+#include "forest/threshold_index.h"
+#include "gef/feature_selection.h"
+#include "stats/metrics.h"
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+// RMSE between GAM predictions and the D* labels (which are the forest's
+// own outputs — so this is surrogate fidelity, not accuracy).
+double FidelityRmse(const Gam& gam, const Dataset& dstar) {
+  return Rmse(gam.PredictBatch(dstar), dstar.targets());
+}
+
+void ValidateConfig(const GefConfig& config) {
+  GEF_CHECK_GT(config.num_univariate, 0);
+  GEF_CHECK_GE(config.num_bivariate, 0);
+  GEF_CHECK_GT(config.num_samples, 10u);
+  GEF_CHECK(config.test_fraction > 0.0 && config.test_fraction < 1.0);
+  GEF_CHECK_GE(config.spline_basis, 5);
+  GEF_CHECK_GE(config.tensor_basis, 4);
+}
+
+}  // namespace
+
+GefSamplingArtifacts BuildSamplingArtifacts(const Forest& forest,
+                                            const GefConfig& config) {
+  ValidateConfig(config);
+  Rng rng(config.seed);
+  ThresholdIndex index(forest);
+  GefSamplingArtifacts artifacts;
+  artifacts.domains =
+      BuildAllDomains(forest, index, config.sampling, config.k,
+                      config.epsilon_fraction, &rng);
+  artifacts.dstar = GenerateSyntheticDataset(forest, artifacts.domains,
+                                             config.num_samples, &rng);
+  return artifacts;
+}
+
+std::unique_ptr<GefExplanation> FitExplanation(
+    const Forest& forest, const GefSamplingArtifacts& artifacts,
+    const GefConfig& config) {
+  ValidateConfig(config);
+  GEF_CHECK_EQ(artifacts.domains.size(), forest.num_features());
+  GEF_CHECK(artifacts.dstar.has_targets());
+  // Offset keeps this stage's randomness independent of the sampling
+  // stage while staying a pure function of the seed.
+  Rng rng(config.seed ^ 0x5851f42d4c957f2dULL);
+  ThresholdIndex index(forest);
+
+  // --- Univariate component selection (F'). ---
+  std::vector<int> selected =
+      SelectTopFeatures(forest, config.num_univariate);
+  GEF_CHECK_MSG(!selected.empty(),
+                "the forest has no splits — nothing to explain");
+
+  // --- Bi-variate component selection (F''). ---
+  std::vector<std::pair<int, int>> pairs;
+  if (config.num_bivariate > 0 && selected.size() >= 2) {
+    const Dataset* hstat_sample_ptr = nullptr;
+    Dataset hstat_sample;
+    if (config.interaction == InteractionStrategy::kHStat) {
+      size_t rows =
+          std::min(config.hstat_sample_rows, artifacts.dstar.num_rows());
+      std::vector<size_t> idx =
+          rng.SampleWithoutReplacement(artifacts.dstar.num_rows(), rows);
+      hstat_sample = artifacts.dstar.Subset(idx);
+      hstat_sample_ptr = &hstat_sample;
+    }
+    pairs = SelectTopInteractions(forest, selected, config.interaction,
+                                  config.num_bivariate, hstat_sample_ptr);
+  }
+
+  // --- Term construction + GAM fit. ---
+  auto explanation = std::make_unique<GefExplanation>();
+  explanation->selected_features = selected;
+  explanation->selected_pairs = pairs;
+  explanation->domains = artifacts.domains;
+
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+
+  explanation->is_categorical.resize(selected.size(), false);
+  for (size_t i = 0; i < selected.size(); ++i) {
+    int f = selected[i];
+    const std::vector<double>& domain = artifacts.domains[f];
+    bool categorical =
+        static_cast<int>(index.NumDistinctThresholds(f)) <
+        config.categorical_threshold;
+    explanation->is_categorical[i] = categorical;
+    explanation->univariate_term_index.push_back(
+        static_cast<int>(terms.size()));
+    if (categorical || domain.size() < 2 ||
+        static_cast<int>(domain.size()) <= config.spline_basis / 2) {
+      // Few distinct values: a factor term per domain point is both more
+      // faithful and cheaper than a spline.
+      terms.push_back(std::make_unique<FactorTerm>(f, domain));
+    } else {
+      // Cap the basis count by the domain's support: basis functions
+      // without any domain point under them are identified only through
+      // the penalty, which blows up the Bayesian credible intervals.
+      int basis = std::min(
+          config.spline_basis,
+          std::max(5, static_cast<int>(domain.size()) * 2 / 3));
+      // Knots at domain quantiles (BSplineBasis::FromSites): every knot
+      // interval then contains D* support, so GCV cannot leave the
+      // spline free to oscillate between lattice points.
+      terms.push_back(std::make_unique<SplineTerm>(
+          f, BSplineBasis::FromSites(domain, basis)));
+    }
+  }
+  for (const auto& [a, b] : pairs) {
+    explanation->bivariate_term_index.push_back(
+        static_cast<int>(terms.size()));
+    auto marginal_basis = [&config, &artifacts](int f) {
+      const std::vector<double>& domain = artifacts.domains[f];
+      if (domain.size() >= 2) {
+        return BSplineBasis::FromSites(domain, config.tensor_basis);
+      }
+      double lo = domain.empty() ? 0.0 : domain.front();
+      return BSplineBasis(lo, lo + 1.0, config.tensor_basis);
+    };
+    terms.push_back(std::make_unique<TensorTerm>(
+        a, marginal_basis(a), b, marginal_basis(b)));
+  }
+
+  TrainTestSplit split =
+      SplitTrainTest(artifacts.dstar, config.test_fraction, &rng);
+
+  GamConfig gam_config;
+  gam_config.link = forest.objective() == Objective::kBinaryClassification
+                        ? LinkType::kLogit
+                        : LinkType::kIdentity;
+  gam_config.lambda_grid = config.lambda_grid;
+  gam_config.per_term_lambda = config.per_term_lambda;
+  if (!explanation->gam.Fit(std::move(terms), split.train, gam_config)) {
+    return nullptr;
+  }
+
+  explanation->fidelity_rmse_train =
+      FidelityRmse(explanation->gam, split.train);
+  explanation->fidelity_rmse_test =
+      FidelityRmse(explanation->gam, split.test);
+  explanation->dstar_test = std::move(split.test);
+  return explanation;
+}
+
+std::unique_ptr<GefExplanation> ExplainForest(const Forest& forest,
+                                              const GefConfig& config) {
+  GefSamplingArtifacts artifacts = BuildSamplingArtifacts(forest, config);
+  return FitExplanation(forest, artifacts, config);
+}
+
+}  // namespace gef

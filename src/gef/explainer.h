@@ -1,0 +1,107 @@
+#ifndef GEF_GEF_EXPLAINER_H_
+#define GEF_GEF_EXPLAINER_H_
+
+// The end-to-end GEF pipeline (paper Fig 1): feature selection → sampling
+// domain construction → synthetic dataset D* → interaction selection →
+// GAM fit. The input is the forest alone; the original training data is
+// never consulted.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+#include "gam/gam.h"
+#include "gef/interaction.h"
+#include "gef/sampling.h"
+
+namespace gef {
+
+struct GefConfig {
+  /// |F'|: number of univariate components the analyst requests.
+  int num_univariate = 5;
+  /// |F''|: number of bi-variate (tensor) components.
+  int num_bivariate = 0;
+
+  SamplingStrategy sampling = SamplingStrategy::kEquiSize;
+  /// K: points per sampling domain (ignored by All-Thresholds).
+  int k = 64;
+  /// ε extension fraction beyond the threshold range (paper: 0.05).
+  double epsilon_fraction = 0.05;
+  /// N: number of synthetic instances in D*.
+  size_t num_samples = 20000;
+  /// Fraction of D* held out to measure surrogate fidelity.
+  double test_fraction = 0.2;
+
+  InteractionStrategy interaction = InteractionStrategy::kGainPath;
+  /// Rows of D* used to estimate H-statistics (kHStat only).
+  size_t hstat_sample_rows = 150;
+
+  /// L: a feature with fewer distinct thresholds than this is treated as
+  /// categorical and modelled with a factor term (paper: L = 10).
+  int categorical_threshold = 10;
+
+  /// P-spline basis functions per univariate spline term.
+  int spline_basis = 16;
+  /// Marginal basis functions per side of a tensor term.
+  int tensor_basis = 6;
+  /// Smoothing-parameter grid searched by GCV (shared λ across terms).
+  std::vector<double> lambda_grid = {1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2};
+  /// Extension: refine a per-term λ after the shared search (the paper
+  /// fixes λ_1 = … = λ_{p+q}; see GamConfig::per_term_lambda).
+  bool per_term_lambda = false;
+
+  uint64_t seed = 7;
+};
+
+/// The fitted explanation: the GAM Γ plus everything the pipeline chose.
+struct GefExplanation {
+  Gam gam;
+  std::vector<int> selected_features;              // F', importance order
+  std::vector<std::pair<int, int>> selected_pairs; // F''
+  std::vector<std::vector<double>> domains;        // per forest feature
+  /// Index of the GAM term modelling selected_features[i] (intercept is
+  /// term 0, so univariate terms start at 1).
+  std::vector<int> univariate_term_index;
+  /// Index of the GAM term modelling selected_pairs[i].
+  std::vector<int> bivariate_term_index;
+  /// Which selected features were deemed categorical (|V_i| < L).
+  std::vector<bool> is_categorical;
+
+  /// Fidelity of Γ to the forest on the held-out D* split (RMSE between
+  /// Γ and forest outputs — the paper's main tuning metric).
+  double fidelity_rmse_test = 0.0;
+  double fidelity_rmse_train = 0.0;
+  /// D* held-out split, kept for downstream evaluation (Table 2).
+  Dataset dstar_test;
+};
+
+/// Runs the full pipeline on a forest. Fatal on invalid configs; returns
+/// nullptr only when the GAM fit is irreparably singular for every λ.
+std::unique_ptr<GefExplanation> ExplainForest(const Forest& forest,
+                                              const GefConfig& config);
+
+/// The sampling-stage output, reusable across GAM configurations. D*
+/// generation is the part of the pipeline whose cost scales with the
+/// forest size; sweeps over |F'| / |F''| / basis counts (like the
+/// paper's Fig 7 grid) should build it once.
+struct GefSamplingArtifacts {
+  std::vector<std::vector<double>> domains;  // per forest feature
+  Dataset dstar;
+};
+
+/// Stage 1: builds the sampling domains and D* per `config` (uses
+/// sampling, k, epsilon_fraction, num_samples, seed).
+GefSamplingArtifacts BuildSamplingArtifacts(const Forest& forest,
+                                            const GefConfig& config);
+
+/// Stage 2: component selection + GAM fit on previously built artifacts.
+/// `config`'s sampling-related fields are ignored here.
+std::unique_ptr<GefExplanation> FitExplanation(
+    const Forest& forest, const GefSamplingArtifacts& artifacts,
+    const GefConfig& config);
+
+}  // namespace gef
+
+#endif  // GEF_GEF_EXPLAINER_H_

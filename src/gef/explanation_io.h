@@ -1,0 +1,34 @@
+#ifndef GEF_GEF_EXPLANATION_IO_H_
+#define GEF_GEF_EXPLANATION_IO_H_
+
+// Text (de)serialization for complete GEF explanations: the fitted GAM
+// plus the pipeline metadata local explanations need (selected features
+// and pairs, per-feature sampling domains, term indices). This makes the
+// *explanation* a shippable artifact, mirroring the forest hand-off of
+// the paper's scenario in the opposite direction.
+//
+// The held-out D* split (`dstar_test`) is an evaluation transient and is
+// not serialized; a loaded explanation carries the recorded fidelity
+// numbers instead.
+
+#include <memory>
+#include <string>
+
+#include "gef/explainer.h"
+#include "util/status.h"
+
+namespace gef {
+
+std::string ExplanationToString(const GefExplanation& explanation);
+
+StatusOr<std::unique_ptr<GefExplanation>> ExplanationFromString(
+    const std::string& text);
+
+Status SaveExplanation(const GefExplanation& explanation,
+                       const std::string& path);
+StatusOr<std::unique_ptr<GefExplanation>> LoadExplanation(
+    const std::string& path);
+
+}  // namespace gef
+
+#endif  // GEF_GEF_EXPLANATION_IO_H_

@@ -1,0 +1,54 @@
+#include "gef/feature_selection.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace gef {
+
+std::vector<RankedFeature> RankFeaturesByGain(const Forest& forest) {
+  std::vector<double> gains = forest.GainImportance();
+  std::vector<RankedFeature> ranked(gains.size());
+  for (size_t f = 0; f < gains.size(); ++f) {
+    ranked[f] = {static_cast<int>(f), gains[f]};
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedFeature& a, const RankedFeature& b) {
+                     if (a.importance != b.importance) {
+                       return a.importance > b.importance;
+                     }
+                     return a.feature < b.feature;
+                   });
+  return ranked;
+}
+
+int SuggestNumUnivariate(const Forest& forest, double gain_coverage) {
+  GEF_CHECK(gain_coverage > 0.0 && gain_coverage <= 1.0);
+  std::vector<RankedFeature> ranked = RankFeaturesByGain(forest);
+  double total = 0.0;
+  for (const RankedFeature& rf : ranked) total += rf.importance;
+  if (total <= 0.0) return 1;
+  double covered = 0.0;
+  int k = 0;
+  for (const RankedFeature& rf : ranked) {
+    if (rf.importance <= 0.0) break;
+    covered += rf.importance;
+    ++k;
+    if (covered >= gain_coverage * total) break;
+  }
+  return std::max(k, 1);
+}
+
+std::vector<int> SelectTopFeatures(const Forest& forest, int num_features) {
+  GEF_CHECK_GT(num_features, 0);
+  std::vector<RankedFeature> ranked = RankFeaturesByGain(forest);
+  std::vector<int> selected;
+  for (const RankedFeature& rf : ranked) {
+    if (static_cast<int>(selected.size()) >= num_features) break;
+    if (rf.importance <= 0.0) break;  // feature never split on
+    selected.push_back(rf.feature);
+  }
+  return selected;
+}
+
+}  // namespace gef

@@ -1,0 +1,37 @@
+#ifndef GEF_GEF_FEATURE_SELECTION_H_
+#define GEF_GEF_FEATURE_SELECTION_H_
+
+// Univariate component selection (paper Sec. 3.2): rank features by the
+// loss reduction accumulated across every forest node that tests them and
+// keep the top |F'| — the analyst's accuracy/complexity dial.
+
+#include <vector>
+
+#include "forest/forest.h"
+
+namespace gef {
+
+struct RankedFeature {
+  int feature = -1;
+  double importance = 0.0;
+};
+
+/// All features ranked by accumulated split gain, descending; features
+/// that never appear in the forest rank last with importance 0. Ties are
+/// broken by feature index for determinism.
+std::vector<RankedFeature> RankFeaturesByGain(const Forest& forest);
+
+/// The top-`num_features` feature indices F' (fewer if the forest splits
+/// on fewer features than requested: a feature with zero gain carries no
+/// forest information to explain).
+std::vector<int> SelectTopFeatures(const Forest& forest, int num_features);
+
+/// Suggests |F'| for the analyst: the smallest k whose top-k features
+/// cover at least `gain_coverage` of the forest's total split gain
+/// (paper Sec. 3.2 leaves the choice to the analyst; this is the natural
+/// default dial). `gain_coverage` in (0, 1]; returns at least 1.
+int SuggestNumUnivariate(const Forest& forest, double gain_coverage = 0.95);
+
+}  // namespace gef
+
+#endif  // GEF_GEF_FEATURE_SELECTION_H_

@@ -1,0 +1,202 @@
+#include "gef/interaction.h"
+
+#include <algorithm>
+#include <map>
+
+#include "explain/hstat.h"
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+// Upper-triangular pair score accumulator over the forest's features.
+class PairScores {
+ public:
+  explicit PairScores(size_t num_features)
+      : num_features_(num_features),
+        scores_(num_features * num_features, 0.0) {}
+
+  void Add(int a, int b, double score) {
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    scores_[static_cast<size_t>(a) * num_features_ + b] += score;
+  }
+
+  double Get(int a, int b) const {
+    if (a > b) std::swap(a, b);
+    return scores_[static_cast<size_t>(a) * num_features_ + b];
+  }
+
+ private:
+  size_t num_features_;
+  std::vector<double> scores_;
+};
+
+// Count-Path: for every internal node u and every internal node w in the
+// subtree rooted at u with a different feature, add 1 to
+// I(feature(u), feature(w)). Implemented bottom-up with per-subtree
+// feature-count maps (O(nodes · distinct features) per tree).
+void AccumulateCountPath(const Tree& tree, PairScores* scores) {
+  std::vector<std::map<int, int>> subtree_counts(tree.num_nodes());
+  // Explicit post-order DFS (children fully processed before the parent),
+  // independent of node storage order.
+  std::vector<std::pair<int, bool>> stack = {{0, false}};
+  while (!stack.empty()) {
+    auto [index, expanded] = stack.back();
+    stack.pop_back();
+    const TreeNode& node = tree.node(index);
+    if (node.is_leaf()) continue;
+    if (!expanded) {
+      stack.push_back({index, true});
+      stack.push_back({node.left, false});
+      stack.push_back({node.right, false});
+      continue;
+    }
+    std::map<int, int>& counts = subtree_counts[index];
+    for (int child : {node.left, node.right}) {
+      for (const auto& [feature, count] : subtree_counts[child]) {
+        counts[feature] += count;
+      }
+      subtree_counts[child].clear();  // no longer needed
+    }
+    for (const auto& [feature, count] : counts) {
+      if (feature != node.feature) {
+        scores->Add(node.feature, feature, count);
+      }
+    }
+    counts[node.feature] += 1;
+  }
+}
+
+// Gain-Path: same pair enumeration as Count-Path but each (u, w) pair
+// contributes min(gain(u), gain(w)) — a gain-weighted Count-Path. Trees
+// are small (paper: 32-256 leaves), so the direct O(nodes²) subtree walk
+// is cheap and exact.
+void AccumulateGainPath(const Tree& tree, PairScores* scores) {
+  const size_t n = tree.num_nodes();
+  for (size_t u = 0; u < n; ++u) {
+    const TreeNode& top = tree.node(u);
+    if (top.is_leaf()) continue;
+    // DFS over the subtree below u.
+    std::vector<int> stack = {top.left, top.right};
+    while (!stack.empty()) {
+      int w = stack.back();
+      stack.pop_back();
+      const TreeNode& node = tree.node(w);
+      if (node.is_leaf()) continue;
+      if (node.feature != top.feature) {
+        scores->Add(top.feature, node.feature,
+                    std::min(top.gain, node.gain));
+      }
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+}  // namespace
+
+const char* InteractionStrategyName(InteractionStrategy strategy) {
+  switch (strategy) {
+    case InteractionStrategy::kPairGain:
+      return "Pair-Gain";
+    case InteractionStrategy::kCountPath:
+      return "Count-Path";
+    case InteractionStrategy::kGainPath:
+      return "Gain-Path";
+    case InteractionStrategy::kHStat:
+      return "H-Stat";
+  }
+  return "unknown";
+}
+
+std::vector<InteractionStrategy> AllInteractionStrategies() {
+  return {InteractionStrategy::kPairGain, InteractionStrategy::kCountPath,
+          InteractionStrategy::kGainPath, InteractionStrategy::kHStat};
+}
+
+std::vector<ScoredPair> RankInteractions(const Forest& forest,
+                                         const std::vector<int>&
+                                             candidate_features,
+                                         InteractionStrategy strategy,
+                                         const Dataset* dstar_sample) {
+  GEF_CHECK_GE(candidate_features.size(), 2u);
+  for (int f : candidate_features) {
+    GEF_CHECK(f >= 0 && static_cast<size_t>(f) < forest.num_features());
+  }
+
+  PairScores scores(forest.num_features());
+  switch (strategy) {
+    case InteractionStrategy::kPairGain: {
+      std::vector<double> gains = forest.GainImportance();
+      for (size_t i = 0; i < candidate_features.size(); ++i) {
+        for (size_t j = i + 1; j < candidate_features.size(); ++j) {
+          int a = candidate_features[i];
+          int b = candidate_features[j];
+          scores.Add(a, b, gains[a] + gains[b]);
+        }
+      }
+      break;
+    }
+    case InteractionStrategy::kCountPath:
+      for (const Tree& tree : forest.trees()) {
+        AccumulateCountPath(tree, &scores);
+      }
+      break;
+    case InteractionStrategy::kGainPath:
+      for (const Tree& tree : forest.trees()) {
+        AccumulateGainPath(tree, &scores);
+      }
+      break;
+    case InteractionStrategy::kHStat: {
+      GEF_CHECK_MSG(dstar_sample != nullptr && dstar_sample->num_rows() > 1,
+                    "H-Stat needs a D* sample");
+      for (size_t i = 0; i < candidate_features.size(); ++i) {
+        for (size_t j = i + 1; j < candidate_features.size(); ++j) {
+          int a = candidate_features[i];
+          int b = candidate_features[j];
+          scores.Add(a, b, HStatistic(forest, *dstar_sample, a, b));
+        }
+      }
+      break;
+    }
+  }
+
+  std::vector<ScoredPair> ranked;
+  ranked.reserve(candidate_features.size() *
+                 (candidate_features.size() - 1) / 2);
+  for (size_t i = 0; i < candidate_features.size(); ++i) {
+    for (size_t j = i + 1; j < candidate_features.size(); ++j) {
+      int a = std::min(candidate_features[i], candidate_features[j]);
+      int b = std::max(candidate_features[i], candidate_features[j]);
+      ranked.push_back({a, b, scores.Get(a, b)});
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ScoredPair& x, const ScoredPair& y) {
+                     if (x.score != y.score) return x.score > y.score;
+                     if (x.feature_a != y.feature_a) {
+                       return x.feature_a < y.feature_a;
+                     }
+                     return x.feature_b < y.feature_b;
+                   });
+  return ranked;
+}
+
+std::vector<std::pair<int, int>> SelectTopInteractions(
+    const Forest& forest, const std::vector<int>& candidate_features,
+    InteractionStrategy strategy, int num_pairs,
+    const Dataset* dstar_sample) {
+  GEF_CHECK_GE(num_pairs, 0);
+  if (num_pairs == 0) return {};
+  std::vector<ScoredPair> ranked =
+      RankInteractions(forest, candidate_features, strategy, dstar_sample);
+  std::vector<std::pair<int, int>> selected;
+  for (const ScoredPair& pair : ranked) {
+    if (static_cast<int>(selected.size()) >= num_pairs) break;
+    selected.emplace_back(pair.feature_a, pair.feature_b);
+  }
+  return selected;
+}
+
+}  // namespace gef

@@ -1,0 +1,48 @@
+#ifndef GEF_GEF_INTERACTION_H_
+#define GEF_GEF_INTERACTION_H_
+
+// Bi-variate component selection (paper Sec. 3.4): four heuristics that
+// score candidate feature pairs, ordered by computational cost —
+// Pair-Gain (importance sums), Count-Path and Gain-Path (subtree pair
+// statistics), and H-Stat (partial-dependence based). Candidates respect
+// the heredity principle: only pairs within F' are scored.
+
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+
+namespace gef {
+
+enum class InteractionStrategy { kPairGain, kCountPath, kGainPath, kHStat };
+
+const char* InteractionStrategyName(InteractionStrategy strategy);
+
+std::vector<InteractionStrategy> AllInteractionStrategies();
+
+struct ScoredPair {
+  int feature_a = -1;  // always < feature_b
+  int feature_b = -1;
+  double score = 0.0;
+};
+
+/// Scores every unordered pair within `candidate_features` and returns
+/// them sorted by descending score (ties broken by pair index for
+/// determinism). `dstar_sample` is only consulted by kHStat: it must then
+/// be a (sample of a) synthetic dataset over the forest's feature space.
+std::vector<ScoredPair> RankInteractions(const Forest& forest,
+                                         const std::vector<int>&
+                                             candidate_features,
+                                         InteractionStrategy strategy,
+                                         const Dataset* dstar_sample);
+
+/// The top `num_pairs` pairs as (a, b) with a < b — the set F''.
+std::vector<std::pair<int, int>> SelectTopInteractions(
+    const Forest& forest, const std::vector<int>& candidate_features,
+    InteractionStrategy strategy, int num_pairs,
+    const Dataset* dstar_sample);
+
+}  // namespace gef
+
+#endif  // GEF_GEF_INTERACTION_H_

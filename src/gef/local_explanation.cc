@@ -1,0 +1,86 @@
+#include "gef/local_explanation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gef {
+
+LocalExplanation ExplainInstance(const GefExplanation& explanation,
+                                 const Forest& forest,
+                                 const std::vector<double>& x,
+                                 double step_fraction) {
+  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK_GE(x.size(), forest.num_features());
+  GEF_CHECK(step_fraction > 0.0 && step_fraction < 1.0);
+
+  LocalExplanation local;
+  local.gam_prediction = explanation.gam.Predict(x);
+  local.forest_prediction = forest.Predict(x);
+  local.intercept = explanation.gam.intercept();
+
+  const Gam& gam = explanation.gam;
+  for (size_t t = 0; t < gam.num_terms(); ++t) {
+    if (gam.term(t).type() == TermType::kIntercept) continue;
+    LocalTermContribution contribution;
+    contribution.label = gam.TermLabel(t);
+    contribution.features = gam.term(t).Features();
+
+    EffectInterval effect = gam.TermEffect(t, x);
+    contribution.contribution = effect.value;
+    contribution.lower = effect.lower;
+    contribution.upper = effect.upper;
+
+    // What-if deltas on the first involved feature, stepped by a fraction
+    // of that feature's sampling-domain span.
+    int feature = contribution.features.front();
+    const std::vector<double>& domain = explanation.domains[feature];
+    double span = domain.back() - domain.front();
+    if (span <= 0.0) span = 1.0;
+    double step = step_fraction * span;
+
+    std::vector<double> perturbed = x;
+    perturbed[feature] = x[feature] - step;
+    contribution.delta_minus =
+        gam.TermContribution(t, perturbed) - effect.value;
+    perturbed[feature] = x[feature] + step;
+    contribution.delta_plus =
+        gam.TermContribution(t, perturbed) - effect.value;
+
+    local.terms.push_back(std::move(contribution));
+  }
+
+  std::stable_sort(local.terms.begin(), local.terms.end(),
+                   [](const LocalTermContribution& a,
+                      const LocalTermContribution& b) {
+                     return std::fabs(a.contribution) >
+                            std::fabs(b.contribution);
+                   });
+  return local;
+}
+
+std::string FormatLocalExplanation(const LocalExplanation& local) {
+  std::ostringstream out;
+  out << "GAM prediction    " << FormatDouble(local.gam_prediction, 5)
+      << "\n";
+  out << "Forest prediction " << FormatDouble(local.forest_prediction, 5)
+      << "\n";
+  out << "Intercept (alpha) " << FormatDouble(local.intercept, 5) << "\n";
+  out << "term                          contrib     95% CI              "
+         "d(-step)   d(+step)\n";
+  for (const LocalTermContribution& term : local.terms) {
+    std::string ci = "[" + FormatDouble(term.lower, 4) + ", " +
+                     FormatDouble(term.upper, 4) + "]";
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-28s %+10.4f  %-20s %+9.4f  %+9.4f\n",
+                  term.label.c_str(), term.contribution, ci.c_str(),
+                  term.delta_minus, term.delta_plus);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace gef

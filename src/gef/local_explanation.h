@@ -1,0 +1,52 @@
+#ifndef GEF_GEF_LOCAL_EXPLANATION_H_
+#define GEF_GEF_LOCAL_EXPLANATION_H_
+
+// Local explanations from a fitted GEF model (paper Sec. 5.3, Fig 11):
+// per-term additive contributions with Bayesian credible intervals, plus
+// the what-if analysis SHAP and LIME cannot provide — how the prediction
+// moves under small perturbations of each feature, read directly off the
+// GAM splines.
+
+#include <string>
+#include <vector>
+
+#include "forest/forest.h"
+#include "gef/explainer.h"
+
+namespace gef {
+
+/// One term's share of a single prediction.
+struct LocalTermContribution {
+  std::string label;              // e.g. "s(WEAM)" or "te(x1, x2)"
+  std::vector<int> features;      // feature indices involved
+  double contribution = 0.0;      // centered additive contribution to η
+  double lower = 0.0;             // 95% credible interval
+  double upper = 0.0;
+  /// What-if deltas: change of this term's contribution when the first
+  /// involved feature is nudged to x - step and x + step respectively
+  /// (step = step_fraction of the feature's domain span).
+  double delta_minus = 0.0;
+  double delta_plus = 0.0;
+};
+
+struct LocalExplanation {
+  double gam_prediction = 0.0;     // Γ(x), response scale
+  double forest_prediction = 0.0;  // T(x), response scale
+  double intercept = 0.0;          // α: the baseline the deltas move from
+  /// Terms sorted by |contribution| descending (intercept excluded).
+  std::vector<LocalTermContribution> terms;
+};
+
+/// Explains a single instance using the fitted GEF explanation.
+LocalExplanation ExplainInstance(const GefExplanation& explanation,
+                                 const Forest& forest,
+                                 const std::vector<double>& x,
+                                 double step_fraction = 0.05);
+
+/// Renders a local explanation as an aligned text table (the bench and
+/// example binaries print this for the Fig 11 comparison).
+std::string FormatLocalExplanation(const LocalExplanation& local);
+
+}  // namespace gef
+
+#endif  // GEF_GEF_LOCAL_EXPLANATION_H_

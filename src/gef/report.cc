@@ -1,0 +1,183 @@
+#include "gef/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "gef/evaluation.h"
+#include "util/string_util.h"
+
+namespace gef {
+namespace {
+
+// Anchor row for evaluating one term's effect while the other features
+// sit at their domain midpoints (only the term's own features matter for
+// its contribution, but Evaluate needs a full row).
+std::vector<double> AnchorRow(const GefExplanation& explanation) {
+  std::vector<double> row(explanation.domains.size(), 0.0);
+  for (size_t f = 0; f < explanation.domains.size(); ++f) {
+    const std::vector<double>& domain = explanation.domains[f];
+    row[f] = domain[domain.size() / 2];
+  }
+  return row;
+}
+
+std::vector<double> EffectGrid(const std::vector<double>& domain,
+                               int points) {
+  double lo = domain.front();
+  double hi = domain.back();
+  if (hi <= lo) hi = lo + 1.0;
+  std::vector<double> grid(points);
+  for (int g = 0; g < points; ++g) {
+    grid[g] = lo + (hi - lo) * g / (points - 1);
+  }
+  return grid;
+}
+
+}  // namespace
+
+std::string DescribeExplanation(const GefExplanation& explanation,
+                                const Forest& forest) {
+  std::ostringstream out;
+  const Gam& gam = explanation.gam;
+  out << "GEF explanation of a forest with " << forest.num_trees()
+      << " trees / " << forest.num_internal_nodes() << " split nodes ("
+      << (forest.objective() == Objective::kBinaryClassification
+              ? "classification"
+              : "regression")
+      << ")\n";
+  out << "Surrogate fidelity (RMSE vs forest on held-out D*): "
+      << FormatDouble(explanation.fidelity_rmse_test, 5) << "\n";
+  out << "GAM: lambda = " << FormatDouble(gam.lambda(), 4)
+      << ", edof = " << FormatDouble(gam.edof(), 4)
+      << ", GCV = " << FormatDouble(gam.gcv_score(), 5)
+      << ", intercept = " << FormatDouble(gam.intercept(), 5) << "\n";
+  // Per-term smoothing, when the λ refinement diverged from shared.
+  bool shared = true;
+  for (double l : gam.term_lambdas()) {
+    if (l != gam.lambda()) shared = false;
+  }
+  if (!shared) {
+    out << "Per-term lambda:";
+    for (size_t t = 0; t < gam.num_terms(); ++t) {
+      if (gam.term(t).type() == TermType::kIntercept) continue;
+      out << ' ' << gam.TermLabel(t) << '='
+          << FormatDouble(gam.term_lambdas()[t], 3);
+    }
+    out << "\n";
+  }
+
+  out << "\nUnivariate components (F'):\n";
+  const std::vector<double> gains = forest.GainImportance();
+  for (size_t i = 0; i < explanation.selected_features.size(); ++i) {
+    int f = explanation.selected_features[i];
+    int term = explanation.univariate_term_index[i];
+    const char* shape = "";
+    if (!explanation.is_categorical[i]) {
+      switch (ComponentMonotonicity(explanation, i)) {
+        case 1:
+          shape = " [monotone +]";
+          break;
+        case -1:
+          shape = " [monotone -]";
+          break;
+        default:
+          shape = "";
+      }
+    }
+    char line[160];
+    std::snprintf(
+        line, sizeof(line),
+        "  %-30s forest gain %-12.4g GAM importance %-10.4g%s%s\n",
+        gam.TermLabel(term).c_str(), gains[f],
+        gam.term_importances()[term],
+        explanation.is_categorical[i] ? " [categorical]" : "", shape);
+    out << line;
+  }
+  if (!explanation.selected_pairs.empty()) {
+    out << "\nBi-variate components (F''):\n";
+    for (size_t i = 0; i < explanation.selected_pairs.size(); ++i) {
+      int term = explanation.bivariate_term_index[i];
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-30s GAM importance %-10.4g\n",
+                    gam.TermLabel(term).c_str(),
+                    gam.term_importances()[term]);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+Status ExportCurvesCsv(const GefExplanation& explanation,
+                       const Forest& forest, const std::string& path,
+                       int points) {
+  GEF_CHECK_GE(points, 2);
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write " + path);
+  out << "term,feature,x,x2,effect,lower,upper\n";
+
+  const Gam& gam = explanation.gam;
+  std::vector<double> row = AnchorRow(explanation);
+
+  // CSV cells must not contain the delimiter; tensor labels are
+  // "te(a, b)", so commas become semicolons.
+  auto sanitize = [](std::string label) {
+    for (char& c : label) {
+      if (c == ',') c = ';';
+    }
+    return label;
+  };
+
+  auto write_point = [&](const std::string& label,
+                         const std::string& feature_name, double x,
+                         const std::string& x2, size_t term) {
+    EffectInterval effect = gam.TermEffect(term, row);
+    out << label << ',' << feature_name << ',' << FormatDouble(x, 10)
+        << ',' << x2 << ',' << FormatDouble(effect.value, 10) << ','
+        << FormatDouble(effect.lower, 10) << ','
+        << FormatDouble(effect.upper, 10) << "\n";
+  };
+
+  for (size_t i = 0; i < explanation.selected_features.size(); ++i) {
+    int f = explanation.selected_features[i];
+    size_t term = static_cast<size_t>(
+        explanation.univariate_term_index[i]);
+    const std::string& name = forest.feature_names()[f];
+    std::string label = sanitize(gam.TermLabel(term));
+    if (gam.term(term).type() == TermType::kFactor) {
+      for (double level : explanation.domains[f]) {
+        row[f] = level;
+        write_point(label, name, level, "", term);
+      }
+    } else {
+      for (double x : EffectGrid(explanation.domains[f], points)) {
+        row[f] = x;
+        write_point(label, name, x, "", term);
+      }
+    }
+    row[f] = explanation.domains[f][explanation.domains[f].size() / 2];
+  }
+
+  for (size_t i = 0; i < explanation.selected_pairs.size(); ++i) {
+    auto [a, b] = explanation.selected_pairs[i];
+    size_t term = static_cast<size_t>(
+        explanation.bivariate_term_index[i]);
+    std::string label = sanitize(gam.TermLabel(term));
+    std::string name = forest.feature_names()[a] + "*" +
+                       forest.feature_names()[b];
+    for (double xa : EffectGrid(explanation.domains[a], points)) {
+      row[a] = xa;
+      for (double xb : EffectGrid(explanation.domains[b], points)) {
+        row[b] = xb;
+        write_point(label, name, xa, FormatDouble(xb, 10), term);
+      }
+    }
+    row[a] = explanation.domains[a][explanation.domains[a].size() / 2];
+    row[b] = explanation.domains[b][explanation.domains[b].size() / 2];
+  }
+
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace gef

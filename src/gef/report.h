@@ -1,0 +1,32 @@
+#ifndef GEF_GEF_REPORT_H_
+#define GEF_GEF_REPORT_H_
+
+// Reporting and export for fitted GEF explanations: a human-readable
+// summary and CSV spline-curve dumps (x, effect, 95% interval) ready for
+// plotting — the artifacts an analyst consumes (paper Figs 4, 9, 10).
+
+#include <string>
+
+#include "forest/forest.h"
+#include "gef/explainer.h"
+#include "util/status.h"
+
+namespace gef {
+
+/// Multi-line summary of an explanation: the selected components with
+/// importances, the fitted GAM's λ/edof/GCV, and surrogate fidelity.
+std::string DescribeExplanation(const GefExplanation& explanation,
+                                const Forest& forest);
+
+/// Writes the effect curves of every component to a CSV with columns
+///   term,feature,x,x2,effect,lower,upper
+/// Univariate terms emit `points` rows sampled over their domain (x2
+/// empty); factor terms one row per level; tensor terms a points×points
+/// grid with both coordinates filled.
+Status ExportCurvesCsv(const GefExplanation& explanation,
+                       const Forest& forest, const std::string& path,
+                       int points = 41);
+
+}  // namespace gef
+
+#endif  // GEF_GEF_REPORT_H_

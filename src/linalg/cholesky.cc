@@ -1,0 +1,100 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace gef {
+namespace {
+
+// Attempts a plain LLᵀ factorization in place; returns false when a
+// non-positive pivot is encountered.
+bool TryFactorize(Matrix* a) {
+  const size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double diag = (*a)(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= (*a)(j, k) * (*a)(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    double ljj = std::sqrt(diag);
+    (*a)(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = (*a)(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= (*a)(i, k) * (*a)(j, k);
+      (*a)(i, j) = sum / ljj;
+    }
+    // Zero the strictly-upper part so lower() is a clean triangle.
+    for (size_t k = j + 1; k < n; ++k) (*a)(j, k) = 0.0;
+  }
+  return true;
+}
+
+double MaxAbsDiagonal(const Matrix& a) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) m = std::max(m, std::fabs(a(i, i)));
+  return m;
+}
+
+}  // namespace
+
+std::optional<Cholesky> Cholesky::Factorize(const Matrix& a,
+                                            int max_jitter_steps) {
+  GEF_CHECK_EQ(a.rows(), a.cols());
+  GEF_CHECK_GT(a.rows(), 0u);
+  double jitter = 0.0;
+  double base = MaxAbsDiagonal(a);
+  if (base == 0.0) base = 1.0;
+  for (int attempt = 0; attempt <= max_jitter_steps; ++attempt) {
+    Matrix work = a;
+    if (jitter > 0.0) {
+      for (size_t i = 0; i < work.rows(); ++i) work(i, i) += jitter;
+    }
+    if (TryFactorize(&work)) {
+      return Cholesky(std::move(work), jitter);
+    }
+    jitter = (jitter == 0.0) ? base * 1e-10 : jitter * 100.0;
+  }
+  return std::nullopt;
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const size_t n = l_.rows();
+  GEF_CHECK_EQ(b.size(), n);
+  Vector y(n);
+  // Forward substitution: L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = l_.Row(i);
+    for (size_t k = 0; k < i; ++k) sum -= row[k] * y[k];
+    y[i] = sum / row[i];
+  }
+  // Backward substitution: Lᵀ x = y.
+  Vector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b) const {
+  GEF_CHECK_EQ(b.rows(), l_.rows());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    for (size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    Vector sol = Solve(col);
+    for (size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+Matrix Cholesky::Inverse() const {
+  return SolveMatrix(Matrix::Identity(l_.rows()));
+}
+
+double Cholesky::LogDet() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace gef

@@ -1,0 +1,53 @@
+#ifndef GEF_LINALG_CHOLESKY_H_
+#define GEF_LINALG_CHOLESKY_H_
+
+// Cholesky (LLᵀ) factorization with a diagonal-jitter fallback. The GAM
+// fitter solves (XᵀWX + Σ λ_j S_j) β = XᵀWz repeatedly during PIRLS and
+// GCV; the penalized Gram matrix is symmetric positive semi-definite and
+// may be numerically singular for tiny λ, so the factorization retries
+// with geometrically increasing jitter before giving up.
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace gef {
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes `a` (only the lower triangle is read). Returns nullopt if
+  /// the matrix is not positive definite even after `max_jitter_steps`
+  /// rounds of diagonal jitter.
+  static std::optional<Cholesky> Factorize(const Matrix& a,
+                                           int max_jitter_steps = 8);
+
+  /// Solves L Lᵀ x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves for multiple right-hand sides, the columns of `b`.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// Returns the inverse of the factorized matrix (used for the Bayesian
+  /// posterior covariance of the GAM coefficients).
+  Matrix Inverse() const;
+
+  /// log(det(A)) = 2 Σ log L_ii.
+  double LogDet() const;
+
+  /// Total diagonal jitter that was added to make the factorization
+  /// succeed (0 for well-conditioned inputs).
+  double jitter() const { return jitter_; }
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  Cholesky(Matrix l, double jitter) : l_(std::move(l)), jitter_(jitter) {}
+
+  Matrix l_;
+  double jitter_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_LINALG_CHOLESKY_H_

@@ -1,0 +1,163 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace gef {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  GEF_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    GEF_CHECK_EQ(rows[i].size(), m.cols());
+    for (size_t j = 0; j < m.cols(); ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = row[j];
+  }
+  return t;
+}
+
+void Matrix::Add(const Matrix& other) { AddScaled(other, 1.0); }
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  GEF_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] += scale * other.data_[k];
+}
+
+void Matrix::Scale(double scale) {
+  for (double& v : data_) v *= scale;
+}
+
+double Matrix::FrobeniusDistance(const Matrix& other) const {
+  GEF_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double sum = 0.0;
+  for (size_t k = 0; k < data_.size(); ++k) {
+    double d = data_[k] - other.data_[k];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  GEF_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  GEF_CHECK_EQ(a.cols(), x.size());
+  Vector y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double sum = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector MatTVec(const Matrix& a, const Vector& x) {
+  GEF_CHECK_EQ(a.rows(), x.size());
+  Vector y(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) y[j] += row[j] * xi;
+  }
+  return y;
+}
+
+Matrix GramWeighted(const Matrix& a, const Vector& w) {
+  GEF_CHECK(w.empty() || w.size() == a.rows());
+  Matrix g(a.cols(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double wi = w.empty() ? 1.0 : w[i];
+    if (wi == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) {
+      double v = wi * row[j];
+      if (v == 0.0) continue;
+      double* grow = g.Row(j);
+      // Upper triangle only; mirrored below.
+      for (size_t k = j; k < a.cols(); ++k) grow[k] += v * row[k];
+    }
+  }
+  for (size_t j = 0; j < a.cols(); ++j) {
+    for (size_t k = j + 1; k < a.cols(); ++k) g(k, j) = g(j, k);
+  }
+  return g;
+}
+
+Vector GramWeightedRhs(const Matrix& a, const Vector& w, const Vector& y) {
+  GEF_CHECK_EQ(a.rows(), y.size());
+  GEF_CHECK(w.empty() || w.size() == a.rows());
+  Vector r(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double wy = (w.empty() ? 1.0 : w[i]) * y[i];
+    if (wy == 0.0) continue;
+    for (size_t j = 0; j < a.cols(); ++j) r[j] += row[j] * wy;
+  }
+  return r;
+}
+
+Matrix Kronecker(const Matrix& a, const Matrix& b) {
+  Matrix k(a.rows() * b.rows(), a.cols() * b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      double aij = a(i, j);
+      if (aij == 0.0) continue;
+      for (size_t p = 0; p < b.rows(); ++p) {
+        for (size_t q = 0; q < b.cols(); ++q) {
+          k(i * b.rows() + p, j * b.cols() + q) = aij * b(p, q);
+        }
+      }
+    }
+  }
+  return k;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  GEF_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+void Axpy(double scale, const Vector& b, Vector* a) {
+  GEF_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += scale * b[i];
+}
+
+}  // namespace gef

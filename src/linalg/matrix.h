@@ -1,0 +1,116 @@
+#ifndef GEF_LINALG_MATRIX_H_
+#define GEF_LINALG_MATRIX_H_
+
+// Dense row-major matrix and the vector helpers used throughout the GAM
+// fitting code. The sizes involved (design matrices of a few hundred
+// columns) do not justify an external BLAS; the routines here are simple,
+// cache-friendly loops.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace gef {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  /// Identity matrix of size n x n.
+  static Matrix Identity(size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix Diagonal(const Vector& diag);
+
+  /// Builds a matrix from nested initializer-style rows (for tests).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    GEF_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    GEF_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Pointer to the start of row `i`.
+  double* Row(size_t i) {
+    GEF_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+  const double* Row(size_t i) const {
+    GEF_DCHECK(i < rows_);
+    return data_.data() + i * cols_;
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Returns the transpose.
+  Matrix Transpose() const;
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+
+  /// this += scale * other (same shape).
+  void AddScaled(const Matrix& other, double scale);
+
+  /// Multiplies every entry by `scale`.
+  void Scale(double scale);
+
+  /// Frobenius-norm of (this - other); shapes must match.
+  double FrobeniusDistance(const Matrix& other) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+Vector MatVec(const Matrix& a, const Vector& x);
+
+/// y = Aᵀ * x.
+Vector MatTVec(const Matrix& a, const Vector& x);
+
+/// Returns Aᵀ diag(w) A — the weighted Gram matrix of a design matrix.
+/// `w` may be empty, meaning unit weights.
+Matrix GramWeighted(const Matrix& a, const Vector& w);
+
+/// Returns Aᵀ diag(w) y. `w` may be empty, meaning unit weights.
+Vector GramWeightedRhs(const Matrix& a, const Vector& w, const Vector& y);
+
+/// Kronecker product A ⊗ B (used for tensor-product spline penalties).
+Matrix Kronecker(const Matrix& a, const Matrix& b);
+
+/// Dot product of two equally sized vectors.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm(const Vector& v);
+
+/// a += scale * b.
+void Axpy(double scale, const Vector& b, Vector* a);
+
+}  // namespace gef
+
+#endif  // GEF_LINALG_MATRIX_H_

@@ -1,0 +1,53 @@
+#include "linalg/solve.h"
+
+#include "linalg/cholesky.h"
+
+namespace gef {
+
+std::optional<PenalizedLsSolution> SolvePenalizedLeastSquares(
+    const Matrix& x, const Vector& y, const Vector& weights,
+    const Matrix& penalty) {
+  GEF_CHECK_EQ(x.rows(), y.size());
+  Matrix gram = GramWeighted(x, weights);
+  Matrix penalized = gram;
+  if (!penalty.empty()) {
+    GEF_CHECK(penalty.rows() == x.cols() && penalty.cols() == x.cols());
+    penalized.Add(penalty);
+  }
+  auto chol = Cholesky::Factorize(penalized);
+  if (!chol.has_value()) return std::nullopt;
+
+  PenalizedLsSolution sol;
+  Vector rhs = GramWeightedRhs(x, weights, y);
+  sol.beta = chol->Solve(rhs);
+  sol.covariance = chol->Inverse();
+
+  // edof = tr((XᵀWX + S)⁻¹ XᵀWX): the trace of the influence matrix,
+  // which GCV uses as the model-complexity measure.
+  Matrix inv_gram = MatMul(sol.covariance, gram);
+  double edof = 0.0;
+  for (size_t i = 0; i < inv_gram.rows(); ++i) edof += inv_gram(i, i);
+  sol.edof = edof;
+
+  Vector fitted = MatVec(x, sol.beta);
+  double rss = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    double w = weights.empty() ? 1.0 : weights[i];
+    double r = y[i] - fitted[i];
+    rss += w * r * r;
+  }
+  sol.rss = rss;
+  return sol;
+}
+
+std::optional<Vector> SolveRidge(const Matrix& x, const Vector& y,
+                                 const Vector& weights, double lambda) {
+  GEF_CHECK_GE(lambda, 0.0);
+  Matrix penalty = Matrix::Identity(x.cols());
+  penalty.Scale(lambda);
+  auto sol = SolvePenalizedLeastSquares(x, y, weights, penalty);
+  if (!sol.has_value()) return std::nullopt;
+  return std::move(sol->beta);
+}
+
+}  // namespace gef

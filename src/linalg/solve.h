@@ -1,0 +1,35 @@
+#ifndef GEF_LINALG_SOLVE_H_
+#define GEF_LINALG_SOLVE_H_
+
+// Higher-level solve helpers built on Cholesky: penalized weighted least
+// squares (the core operation of both GAM fitting and LIME's local ridge
+// regression) and ridge regression.
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace gef {
+
+/// Solution of a penalized weighted least-squares problem.
+struct PenalizedLsSolution {
+  Vector beta;           // coefficient vector
+  Matrix covariance;     // (XᵀWX + S)⁻¹, the Bayesian posterior shape
+  double edof = 0.0;     // effective degrees of freedom: tr((XᵀWX+S)⁻¹ XᵀWX)
+  double rss = 0.0;      // weighted residual sum of squares
+};
+
+/// Minimizes ||W^{1/2}(y - Xβ)||² + βᵀSβ. `weights` may be empty (unit
+/// weights) and `penalty` may be empty (no penalty). Returns nullopt only
+/// if the normal equations are irreparably singular.
+std::optional<PenalizedLsSolution> SolvePenalizedLeastSquares(
+    const Matrix& x, const Vector& y, const Vector& weights,
+    const Matrix& penalty);
+
+/// Ridge regression: β = (XᵀWX + λI)⁻¹ XᵀWy. Used by the LIME baseline.
+std::optional<Vector> SolveRidge(const Matrix& x, const Vector& y,
+                                 const Vector& weights, double lambda);
+
+}  // namespace gef
+
+#endif  // GEF_LINALG_SOLVE_H_

@@ -1,0 +1,57 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+
+double Mean(const std::vector<double>& values) {
+  GEF_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Min(const std::vector<double>& values) {
+  GEF_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  GEF_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  GEF_CHECK_EQ(a.size(), b.size());
+  GEF_CHECK(!a.empty());
+  double mean_a = Mean(a);
+  double mean_b = Mean(b);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace gef

@@ -1,0 +1,28 @@
+#ifndef GEF_STATS_DESCRIPTIVE_H_
+#define GEF_STATS_DESCRIPTIVE_H_
+
+// Descriptive statistics used across the library and by the experiment
+// harness (Table 1 reports Mean/SD/Min/Max of Average Precision).
+
+#include <vector>
+
+namespace gef {
+
+double Mean(const std::vector<double>& values);
+
+/// Sample variance (divides by n - 1); returns 0 for fewer than 2 values.
+double Variance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& values);
+
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace gef
+
+#endif  // GEF_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,50 @@
+#include "stats/kde.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+#include "util/check.h"
+
+namespace gef {
+
+GaussianKde::GaussianKde(std::vector<double> sample, double bandwidth)
+    : sample_(std::move(sample)), bandwidth_(bandwidth) {
+  GEF_CHECK(!sample_.empty());
+  if (bandwidth_ <= 0.0) {
+    double sigma = StdDev(sample_);
+    if (sigma <= 0.0) sigma = 1.0;  // degenerate sample: all points equal
+    bandwidth_ =
+        sigma * std::pow(static_cast<double>(sample_.size()), -0.2);
+  }
+}
+
+double GaussianKde::Density(double x) const {
+  const double inv_h = 1.0 / bandwidth_;
+  const double norm =
+      inv_h / (std::sqrt(2.0 * std::numbers::pi) *
+               static_cast<double>(sample_.size()));
+  double sum = 0.0;
+  for (double s : sample_) {
+    double u = (x - s) * inv_h;
+    sum += std::exp(-0.5 * u * u);
+  }
+  return norm * sum;
+}
+
+void GaussianKde::EvaluateGrid(double lo, double hi, int num_points,
+                               std::vector<double>* xs,
+                               std::vector<double>* densities) const {
+  GEF_CHECK_GT(num_points, 1);
+  GEF_CHECK(lo < hi);
+  xs->resize(static_cast<size_t>(num_points));
+  densities->resize(static_cast<size_t>(num_points));
+  double step = (hi - lo) / (num_points - 1);
+  for (int i = 0; i < num_points; ++i) {
+    double x = lo + step * i;
+    (*xs)[i] = x;
+    (*densities)[i] = Density(x);
+  }
+}
+
+}  // namespace gef

@@ -1,0 +1,121 @@
+#include "stats/kmeans1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to squared
+// distance from the nearest chosen centroid.
+std::vector<double> SeedPlusPlus(const std::vector<double>& values, int k,
+                                 Rng* rng) {
+  std::vector<double> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(values[rng->UniformInt(values.size())]);
+  std::vector<double> dist2(values.size());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      double best = std::fabs(values[i] - centroids[0]);
+      for (size_t c = 1; c < centroids.size(); ++c) {
+        best = std::min(best, std::fabs(values[i] - centroids[c]));
+      }
+      dist2[i] = best * best;
+      total += dist2[i];
+    }
+    if (total == 0.0) {
+      // All points coincide with existing centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double target = rng->Uniform() * total;
+    size_t chosen = values.size() - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      acc += dist2[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(values[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeans1dResult KMeans1d(const std::vector<double>& values, int k, Rng* rng,
+                        int max_iters) {
+  GEF_CHECK(!values.empty());
+  GEF_CHECK_GT(k, 0);
+
+  std::set<double> distinct(values.begin(), values.end());
+  int effective_k = std::min<int>(k, static_cast<int>(distinct.size()));
+
+  KMeans1dResult result;
+  if (effective_k == static_cast<int>(distinct.size())) {
+    // Exact solution: each distinct value is its own centroid.
+    result.centroids.assign(distinct.begin(), distinct.end());
+  } else {
+    std::vector<double> centroids = SeedPlusPlus(values, effective_k, rng);
+    std::sort(centroids.begin(), centroids.end());
+    std::vector<int> assign(values.size(), -1);
+    for (int iter = 0; iter < max_iters; ++iter) {
+      bool changed = false;
+      // Assign each value to the nearest centroid (linear scan is fine for
+      // the small k used in sampling domains).
+      for (size_t i = 0; i < values.size(); ++i) {
+        int best = 0;
+        double best_d = std::fabs(values[i] - centroids[0]);
+        for (int c = 1; c < effective_k; ++c) {
+          double d = std::fabs(values[i] - centroids[c]);
+          if (d < best_d) {
+            best_d = d;
+            best = c;
+          }
+        }
+        if (assign[i] != best) {
+          assign[i] = best;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      // Recompute centroids; keep the old position for empty clusters.
+      std::vector<double> sums(effective_k, 0.0);
+      std::vector<int> counts(effective_k, 0);
+      for (size_t i = 0; i < values.size(); ++i) {
+        sums[assign[i]] += values[i];
+        counts[assign[i]] += 1;
+      }
+      for (int c = 0; c < effective_k; ++c) {
+        if (counts[c] > 0) centroids[c] = sums[c] / counts[c];
+      }
+      std::sort(centroids.begin(), centroids.end());
+    }
+    result.centroids = std::move(centroids);
+  }
+
+  // Final assignment + inertia against the (sorted) centroids.
+  result.assignments.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    int best = 0;
+    double best_d = std::fabs(values[i] - result.centroids[0]);
+    for (size_t c = 1; c < result.centroids.size(); ++c) {
+      double d = std::fabs(values[i] - result.centroids[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(c);
+      }
+    }
+    result.assignments[i] = best;
+    result.inertia += best_d * best_d;
+  }
+  return result;
+}
+
+}  // namespace gef

@@ -1,0 +1,29 @@
+#ifndef GEF_STATS_KMEANS1D_H_
+#define GEF_STATS_KMEANS1D_H_
+
+// One-dimensional k-means (Lloyd's algorithm with k-means++ seeding).
+// GEF's K-Means sampling strategy clusters a feature's split thresholds
+// and uses the centroids as the sampling domain (paper Sec. 3.3).
+
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace gef {
+
+struct KMeans1dResult {
+  std::vector<double> centroids;    // sorted ascending
+  std::vector<int> assignments;     // cluster index per input value
+  double inertia = 0.0;             // sum of squared distances to centroid
+};
+
+/// Clusters `values` into at most `k` clusters. If fewer than `k` distinct
+/// values exist, the number of clusters is reduced to the distinct count
+/// (as the paper prescribes: k = min(|V_i|, K)). `max_iters` bounds Lloyd
+/// iterations; convergence is reached when assignments stop changing.
+KMeans1dResult KMeans1d(const std::vector<double>& values, int k, Rng* rng,
+                        int max_iters = 100);
+
+}  // namespace gef
+
+#endif  // GEF_STATS_KMEANS1D_H_

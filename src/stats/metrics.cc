@@ -1,0 +1,129 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets) {
+  GEF_CHECK_EQ(predictions.size(), targets.size());
+  GEF_CHECK(!predictions.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    double d = predictions[i] - targets[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(predictions.size()));
+}
+
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets) {
+  GEF_CHECK_EQ(predictions.size(), targets.size());
+  GEF_CHECK(!predictions.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    sum += std::fabs(predictions[i] - targets[i]);
+  }
+  return sum / static_cast<double>(predictions.size());
+}
+
+double RSquared(const std::vector<double>& predictions,
+                const std::vector<double>& targets) {
+  GEF_CHECK_EQ(predictions.size(), targets.size());
+  GEF_CHECK(!predictions.empty());
+  double mean = 0.0;
+  for (double t : targets) mean += t;
+  mean /= static_cast<double>(targets.size());
+  double rss = 0.0, tss = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double r = targets[i] - predictions[i];
+    double d = targets[i] - mean;
+    rss += r * r;
+    tss += d * d;
+  }
+  if (tss == 0.0) return rss == 0.0 ? 1.0 : 0.0;
+  return 1.0 - rss / tss;
+}
+
+double AveragePrecision(const std::vector<bool>& relevant_in_rank_order) {
+  int total_relevant = 0;
+  for (bool r : relevant_in_rank_order) total_relevant += r ? 1 : 0;
+  if (total_relevant == 0) return 0.0;
+  double sum = 0.0;
+  int hits = 0;
+  for (size_t i = 0; i < relevant_in_rank_order.size(); ++i) {
+    if (relevant_in_rank_order[i]) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total_relevant);
+}
+
+double Accuracy(const std::vector<double>& probabilities,
+                const std::vector<double>& labels) {
+  GEF_CHECK_EQ(probabilities.size(), labels.size());
+  GEF_CHECK(!probabilities.empty());
+  int correct = 0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    int predicted = probabilities[i] >= 0.5 ? 1 : 0;
+    int actual = labels[i] >= 0.5 ? 1 : 0;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(probabilities.size());
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<double>& labels) {
+  GEF_CHECK_EQ(scores.size(), labels.size());
+  GEF_CHECK(!scores.empty());
+  // Mann–Whitney U: AUC = (rank sum of positives − n+(n+ + 1)/2) / n+n−.
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  // Average ranks over ties.
+  std::vector<double> ranks(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double positives = 0.0, rank_sum = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] >= 0.5) {
+      positives += 1.0;
+      rank_sum += ranks[k];
+    }
+  }
+  double negatives = static_cast<double>(labels.size()) - positives;
+  if (positives == 0.0 || negatives == 0.0) return 0.5;
+  return (rank_sum - positives * (positives + 1.0) / 2.0) /
+         (positives * negatives);
+}
+
+double LogLoss(const std::vector<double>& probabilities,
+               const std::vector<double>& labels) {
+  GEF_CHECK_EQ(probabilities.size(), labels.size());
+  GEF_CHECK(!probabilities.empty());
+  constexpr double kEps = 1e-12;
+  double sum = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    double p = std::clamp(probabilities[i], kEps, 1.0 - kEps);
+    sum += labels[i] >= 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return sum / static_cast<double>(probabilities.size());
+}
+
+}  // namespace gef

@@ -1,0 +1,46 @@
+#ifndef GEF_STATS_METRICS_H_
+#define GEF_STATS_METRICS_H_
+
+// Evaluation metrics from the paper: RMSE (Figs 5, 7, 8), the coefficient
+// of determination R² (Table 2), Average Precision for ranked interaction
+// retrieval (Fig 6 / Table 1), plus classification metrics for the Census
+// pipeline.
+
+#include <vector>
+
+namespace gef {
+
+/// Root mean squared error between predictions and targets.
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets);
+
+/// Mean absolute error.
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets);
+
+/// Coefficient of determination R² = 1 − RSS/TSS. Returns 1 when targets
+/// are constant and the fit is exact, 0 when constant and imperfect.
+double RSquared(const std::vector<double>& predictions,
+                const std::vector<double>& targets);
+
+/// Average Precision of a ranking. `relevant` flags each ranked item (in
+/// rank order, best first) as relevant; normalization is by the total
+/// number of relevant items. Ties must be pre-broken by the caller.
+double AveragePrecision(const std::vector<bool>& relevant_in_rank_order);
+
+/// Classification accuracy for probability predictions at threshold 0.5.
+double Accuracy(const std::vector<double>& probabilities,
+                const std::vector<double>& labels);
+
+/// Binary cross-entropy (log-loss) with probability clamping.
+double LogLoss(const std::vector<double>& probabilities,
+               const std::vector<double>& labels);
+
+/// Area under the ROC curve via the rank statistic (ties get half
+/// credit). Returns 0.5 when either class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<double>& labels);
+
+}  // namespace gef
+
+#endif  // GEF_STATS_METRICS_H_

@@ -1,0 +1,38 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+
+double QuantileSorted(const std::vector<double>& sorted_values, double q) {
+  GEF_CHECK(!sorted_values.empty());
+  GEF_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted_values.size() == 1) return sorted_values[0];
+  double pos = q * static_cast<double>(sorted_values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+std::vector<double> InnerQuantiles(std::vector<double> values, int k) {
+  GEF_CHECK_GT(k, 0);
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int i = 1; i <= k; ++i) {
+    out.push_back(
+        QuantileSorted(values, static_cast<double>(i) / (k + 1)));
+  }
+  return out;
+}
+
+}  // namespace gef

@@ -1,0 +1,25 @@
+#ifndef GEF_STATS_QUANTILE_H_
+#define GEF_STATS_QUANTILE_H_
+
+// Quantile computation (linear interpolation between order statistics,
+// matching numpy's default) — the basis of the K-Quantile sampling
+// strategy and of several dataset summaries.
+
+#include <vector>
+
+namespace gef {
+
+/// The `q`-quantile (q in [0, 1]) of `sorted_values`, which must be sorted
+/// ascending and non-empty. Linear interpolation between closest ranks.
+double QuantileSorted(const std::vector<double>& sorted_values, double q);
+
+/// Convenience: sorts a copy and evaluates QuantileSorted.
+double Quantile(std::vector<double> values, double q);
+
+/// The K inner quantiles {1/(K+1), …, K/(K+1)} of `values` — evenly spaced
+/// probability levels that partition the distribution into K+1 chunks.
+std::vector<double> InnerQuantiles(std::vector<double> values, int k);
+
+}  // namespace gef
+
+#endif  // GEF_STATS_QUANTILE_H_

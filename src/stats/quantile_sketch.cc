@@ -1,0 +1,98 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace gef {
+
+QuantileSketch::QuantileSketch(double epsilon) : epsilon_(epsilon) {
+  GEF_CHECK(epsilon > 0.0 && epsilon < 0.5);
+}
+
+void QuantileSketch::Add(double value) {
+  // Locate the insertion point (first tuple with larger value).
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+
+  size_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insertion: the allowed uncertainty at the current size.
+    delta = static_cast<size_t>(
+        std::floor(2.0 * epsilon_ * static_cast<double>(count_)));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+
+  // Compress periodically; the period keeps amortized O(log size) work.
+  if (++inserts_since_compress_ >=
+      static_cast<size_t>(1.0 / (2.0 * epsilon_)) + 1) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void QuantileSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  std::vector<Tuple> compressed;
+  compressed.reserve(tuples_.size());
+  compressed.push_back(tuples_.front());
+  // Merge tuple i into its successor when the combined band fits.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& current = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (static_cast<double>(current.g + next.g + next.delta) <=
+        threshold) {
+      // Defer current's mass into next by accumulating g.
+      tuples_[i + 1].g += current.g;
+    } else {
+      compressed.push_back(current);
+    }
+  }
+  compressed.push_back(tuples_.back());
+  tuples_ = std::move(compressed);
+}
+
+double QuantileSketch::Quantile(double q) const {
+  GEF_CHECK(!tuples_.empty());
+  GEF_CHECK(q >= 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(count_ - 1) + 1.0;
+  const double allowed = epsilon_ * static_cast<double>(count_);
+  size_t rank_min = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    rank_min += tuples_[i].g;
+    double rank_max = static_cast<double>(rank_min + tuples_[i].delta);
+    if (target - allowed <= static_cast<double>(rank_min) &&
+        rank_max <= target + allowed) {
+      return tuples_[i].value;
+    }
+    if (static_cast<double>(rank_min) >= target) {
+      return tuples_[i].value;  // first tuple at/after the target rank
+    }
+  }
+  return tuples_.back().value;
+}
+
+std::vector<double> QuantileSketch::InnerQuantiles(int k) const {
+  GEF_CHECK_GT(k, 0);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int i = 1; i <= k; ++i) {
+    out.push_back(Quantile(static_cast<double>(i) / (k + 1)));
+  }
+  return out;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  // Simple correct merge: replay the other sketch's tuples weighted by
+  // their g counts. Exact GK merge keeps tighter bounds, but replay
+  // preserves the ±2ε guarantee and is robust.
+  for (const Tuple& tuple : other.tuples_) {
+    for (size_t rep = 0; rep < tuple.g; ++rep) Add(tuple.value);
+  }
+}
+
+}  // namespace gef

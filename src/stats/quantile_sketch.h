@@ -1,0 +1,66 @@
+#ifndef GEF_STATS_QUANTILE_SKETCH_H_
+#define GEF_STATS_QUANTILE_SKETCH_H_
+
+// Greenwald–Khanna ε-approximate quantile sketch (SIGMOD 2001): answers
+// rank queries within ±εN while storing O((1/ε) log(εN)) tuples.
+//
+// The paper's forests expose up to ~20,000 split thresholds per feature;
+// the K-Quantile and Equi-Size sampling strategies only need quantile
+// summaries of that multiset. The sketch lets a GEF implementation
+// stream over the forest's nodes once — without materializing and
+// sorting per-feature threshold arrays — which matters when the forest
+// file is larger than memory (the database-systems deployment the
+// paper's EDBT venue implies).
+
+#include <cstddef>
+#include <vector>
+
+namespace gef {
+
+/// Streaming ε-approximate quantile summary.
+class QuantileSketch {
+ public:
+  /// `epsilon` is the target rank error as a fraction of the stream
+  /// length (e.g. 0.01 → ±1% of N).
+  explicit QuantileSketch(double epsilon = 0.01);
+
+  /// Inserts one value.
+  void Add(double value);
+
+  /// Number of values inserted.
+  size_t count() const { return count_; }
+
+  /// Number of stored tuples (the compression achieved).
+  size_t size() const { return tuples_.size(); }
+
+  /// Value whose rank is within ±εN of q·N, for q in [0, 1]. Requires a
+  /// non-empty sketch.
+  double Quantile(double q) const;
+
+  /// The K inner quantiles {1/(K+1), …, K/(K+1)} — the domain the
+  /// K-Quantile sampling strategy consumes.
+  std::vector<double> InnerQuantiles(int k) const;
+
+  /// Merges another sketch built with the same epsilon (e.g. per-tree
+  /// sketches combined into a forest-level one). The merged sketch keeps
+  /// the 2ε error bound of sequential GK merging.
+  void Merge(const QuantileSketch& other);
+
+ private:
+  struct Tuple {
+    double value;
+    size_t g;      // rank(value) - rank(previous value)
+    size_t delta;  // uncertainty band
+  };
+
+  void Compress();
+
+  double epsilon_;
+  size_t count_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+  size_t inserts_since_compress_ = 0;
+};
+
+}  // namespace gef
+
+#endif  // GEF_STATS_QUANTILE_SKETCH_H_

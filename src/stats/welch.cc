@@ -1,0 +1,102 @@
+#include "stats/welch.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/check.h"
+
+namespace gef {
+namespace {
+
+// Continued fraction for the incomplete beta function (Numerical Recipes
+// style Lentz algorithm).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIters = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIters; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  GEF_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                    a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  GEF_CHECK_GT(df, 0.0);
+  double x = df / (df + t * t);
+  double prob = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - prob : prob;
+}
+
+WelchResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  GEF_CHECK_GE(a.size(), 2u);
+  GEF_CHECK_GE(b.size(), 2u);
+  double mean_a = Mean(a);
+  double mean_b = Mean(b);
+  double var_a = Variance(a);
+  double var_b = Variance(b);
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+
+  double se2 = var_a / na + var_b / nb;
+  WelchResult result;
+  if (se2 <= 0.0) {
+    // Both samples are constant: identical means => p = 1, else p = 0.
+    result.t_statistic = (mean_a == mean_b) ? 0.0 : INFINITY;
+    result.degrees_of_freedom = na + nb - 2.0;
+    result.p_value = (mean_a == mean_b) ? 1.0 : 0.0;
+    return result;
+  }
+
+  result.t_statistic = (mean_a - mean_b) / std::sqrt(se2);
+  double num = se2 * se2;
+  double den = (var_a / na) * (var_a / na) / (na - 1.0) +
+               (var_b / nb) * (var_b / nb) / (nb - 1.0);
+  result.degrees_of_freedom = num / den;
+  double t_abs = std::fabs(result.t_statistic);
+  result.p_value =
+      2.0 * (1.0 - StudentTCdf(t_abs, result.degrees_of_freedom));
+  return result;
+}
+
+}  // namespace gef

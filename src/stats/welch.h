@@ -1,0 +1,32 @@
+#ifndef GEF_STATS_WELCH_H_
+#define GEF_STATS_WELCH_H_
+
+// Welch's unequal-variances t-test. Table 1 of the paper states that no
+// interaction-detection strategy differs significantly from Gain-Path at
+// alpha = 0.05 under a two-tailed Welch's t-test; the bench reproduces
+// that comparison.
+
+#include <vector>
+
+namespace gef {
+
+struct WelchResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;  // Welch–Satterthwaite approximation
+  double p_value = 1.0;             // two-tailed
+};
+
+/// Two-tailed Welch's t-test between two independent samples.
+WelchResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued
+/// fraction expansion; exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+}  // namespace gef
+
+#endif  // GEF_STATS_WELCH_H_

@@ -1,0 +1,88 @@
+#ifndef GEF_UTIL_CHECK_H_
+#define GEF_UTIL_CHECK_H_
+
+// Fatal precondition/invariant checks in the style of glog's CHECK.
+//
+// GEF_CHECK(cond) aborts with a diagnostic message when `cond` is false.
+// It is always enabled, including in release builds: the library's public
+// API uses it to reject malformed inputs (empty datasets, mismatched
+// dimensions, out-of-range parameters) where continuing would silently
+// corrupt results. GEF_DCHECK compiles away in release builds and is used
+// for internal invariants on hot paths.
+
+#include <sstream>
+#include <string>
+
+namespace gef {
+namespace internal {
+
+// Aborts the process after printing `message` with source location info.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Accumulates an optional streamed message for a failed check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace gef
+
+#define GEF_CHECK(cond)                                          \
+  (cond) ? (void)0                                               \
+         : (void)::gef::internal::CheckMessageBuilder(__FILE__,  \
+                                                      __LINE__, #cond)
+
+#define GEF_CHECK_MSG(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::gef::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)   \
+          << msg;                                                       \
+    }                                                                   \
+  } while (0)
+
+#define GEF_CHECK_EQ(a, b) GEF_CHECK_MSG((a) == (b), "expected equality")
+#define GEF_CHECK_NE(a, b) GEF_CHECK_MSG((a) != (b), "expected inequality")
+#define GEF_CHECK_LT(a, b) GEF_CHECK_MSG((a) < (b), "expected a < b")
+#define GEF_CHECK_LE(a, b) GEF_CHECK_MSG((a) <= (b), "expected a <= b")
+#define GEF_CHECK_GT(a, b) GEF_CHECK_MSG((a) > (b), "expected a > b")
+#define GEF_CHECK_GE(a, b) GEF_CHECK_MSG((a) >= (b), "expected a >= b")
+
+#ifdef NDEBUG
+#define GEF_DCHECK(cond) \
+  while (false) GEF_CHECK(cond)
+#else
+#define GEF_DCHECK(cond) GEF_CHECK(cond)
+#endif
+
+#endif  // GEF_UTIL_CHECK_H_

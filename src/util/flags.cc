@@ -1,0 +1,84 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace gef {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a flag");
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then bool).
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  return it->second;
+}
+
+int Flags::GetInt(const std::string& name, int fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  int value = 0;
+  GEF_CHECK_MSG(ParseInt(it->second, &value),
+                "flag --" << name << " expects an integer, got '"
+                          << it->second << "'");
+  return value;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  double value = 0.0;
+  GEF_CHECK_MSG(ParseDouble(it->second, &value),
+                "flag --" << name << " expects a number, got '"
+                          << it->second << "'");
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  read_[name] = true;
+  return it->second == "true" || it->second == "1" ||
+         it->second == "yes";
+}
+
+std::vector<std::string> Flags::UnreadFlags() const {
+  std::vector<std::string> unread;
+  for (const auto& [name, value] : values_) {
+    if (!read_.count(name)) unread.push_back(name);
+  }
+  return unread;
+}
+
+}  // namespace gef

@@ -1,0 +1,48 @@
+#ifndef GEF_UTIL_FLAGS_H_
+#define GEF_UTIL_FLAGS_H_
+
+// Minimal command-line flag parsing for the CLI tools: `--key value` and
+// `--key=value` forms, typed getters with defaults, and unknown-flag
+// detection.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gef {
+
+/// Parsed command-line flags.
+class Flags {
+ public:
+  /// Parses argv. Flags must come as `--name value` or `--name=value`;
+  /// bare `--name` is treated as boolean true. Non-flag arguments are
+  /// collected as positional.
+  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when the flag is absent and abort
+  /// via GEF_CHECK when the value cannot be parsed as the requested type.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of flags that were set but never read — lets tools reject
+  /// typos (`--univariat 5`).
+  std::vector<std::string> UnreadFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_FLAGS_H_

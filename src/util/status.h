@@ -1,0 +1,102 @@
+#ifndef GEF_UTIL_STATUS_H_
+#define GEF_UTIL_STATUS_H_
+
+// Lightweight Status / StatusOr for recoverable errors (file I/O, parsing).
+// Programming errors (dimension mismatches, invalid configs) use GEF_CHECK
+// instead; Status is reserved for conditions a caller can reasonably handle.
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gef {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Result of an operation that can fail in a recoverable way.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IO_ERROR: cannot open foo.csv".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    GEF_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GEF_CHECK_MSG(ok(), "value() on error StatusOr: " << status_.ToString());
+    return value_;
+  }
+  T& value() & {
+    GEF_CHECK_MSG(ok(), "value() on error StatusOr: " << status_.ToString());
+    return value_;
+  }
+  T&& value() && {
+    GEF_CHECK_MSG(ok(), "value() on error StatusOr: " << status_.ToString());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_STATUS_H_

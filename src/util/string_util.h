@@ -1,0 +1,39 @@
+#ifndef GEF_UTIL_STRING_UTIL_H_
+#define GEF_UTIL_STRING_UTIL_H_
+
+// Small string helpers shared across the library: splitting, trimming,
+// joining and number formatting used by CSV I/O, model serialization and
+// the benchmark harness table printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gef {
+
+/// Splits `text` on `delimiter`; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Formats `value` with `digits` significant decimal digits, trimming
+/// trailing zeros ("1.25", "3", "0.001").
+std::string FormatDouble(double value, int digits = 6);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double; returns false on malformed input (no partial parses).
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseInt(std::string_view text, int* out);
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_STRING_UTIL_H_

@@ -1,0 +1,9 @@
+#include "util/timer.h"
+
+namespace gef {
+
+double Timer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace gef

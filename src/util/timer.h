@@ -1,0 +1,32 @@
+#ifndef GEF_UTIL_TIMER_H_
+#define GEF_UTIL_TIMER_H_
+
+// Wall-clock timer used by the benchmark harness to report phase timings
+// (forest training, D* sampling, GAM fitting) alongside the reproduced
+// tables.
+
+#include <chrono>
+
+namespace gef {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const;
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_TIMER_H_

@@ -1,0 +1,237 @@
+// Tests for the B-spline basis: partition of unity (property-swept over
+// random ranges and basis sizes), locality, clamping, and the difference
+// penalty.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gam/bspline.h"
+#include "stats/rng.h"
+
+namespace gef {
+namespace {
+
+TEST(BSplineTest, PartitionOfUnityOnUnitInterval) {
+  BSplineBasis basis(0.0, 1.0, 10);
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    auto values = basis.Evaluate(x);
+    double sum = 0.0;
+    for (double v : values) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "at x = " << x;
+  }
+}
+
+TEST(BSplineTest, ClampingGivesConstantExtrapolation) {
+  BSplineBasis basis(0.0, 1.0, 8);
+  auto at_hi = basis.Evaluate(1.0);
+  auto beyond = basis.Evaluate(5.0);
+  for (int j = 0; j < 8; ++j) EXPECT_DOUBLE_EQ(at_hi[j], beyond[j]);
+  auto at_lo = basis.Evaluate(0.0);
+  auto below = basis.Evaluate(-3.0);
+  for (int j = 0; j < 8; ++j) EXPECT_DOUBLE_EQ(at_lo[j], below[j]);
+}
+
+TEST(BSplineTest, CubicBasisHasAtMostFourActiveFunctions) {
+  BSplineBasis basis(0.0, 1.0, 12, 3);
+  for (double x : {0.05, 0.33, 0.61, 0.99}) {
+    auto values = basis.Evaluate(x);
+    int active = 0;
+    for (double v : values) active += v > 1e-12 ? 1 : 0;
+    EXPECT_LE(active, 4);
+    EXPECT_GE(active, 1);
+  }
+}
+
+TEST(BSplineTest, ReproducesLinearFunctions) {
+  // B-splines of degree >= 1 reproduce linears: with coefficients equal
+  // to the Greville abscissae, the spline equals x.
+  const int n = 9;
+  const int degree = 3;
+  BSplineBasis basis(0.0, 1.0, n, degree);
+  // Greville abscissae for uniform knots t_i = (i - degree) * h:
+  // xi_j = (t_{j+1} + ... + t_{j+degree}) / degree.
+  double h = 1.0 / (n - degree);
+  std::vector<double> greville(n);
+  for (int j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (int k = 1; k <= degree; ++k) sum += (j + k - degree) * h;
+    greville[j] = sum / degree;
+  }
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    auto values = basis.Evaluate(x);
+    double spline = 0.0;
+    for (int j = 0; j < n; ++j) spline += values[j] * greville[j];
+    EXPECT_NEAR(spline, x, 1e-10);
+  }
+}
+
+TEST(BSplineTest, DifferencePenaltyAnnihilatesLinearCoefficients) {
+  BSplineBasis basis(0.0, 1.0, 10);
+  Matrix penalty = basis.DifferencePenalty(2);
+  // Second differences of an affine coefficient sequence vanish, so
+  // cᵀ S c = 0 for c_j = a + b j.
+  Vector c(10);
+  for (int j = 0; j < 10; ++j) c[j] = 2.0 + 0.7 * j;
+  Vector sc = MatVec(penalty, c);
+  EXPECT_NEAR(Norm(sc), 0.0, 1e-10);
+}
+
+TEST(BSplineTest, DifferencePenaltyPositiveForWigglyCoefficients) {
+  BSplineBasis basis(0.0, 1.0, 10);
+  Matrix penalty = basis.DifferencePenalty(2);
+  Vector c(10);
+  for (int j = 0; j < 10; ++j) c[j] = (j % 2 == 0) ? 1.0 : -1.0;
+  EXPECT_GT(Dot(c, MatVec(penalty, c)), 1.0);
+}
+
+TEST(BSplineTest, PenaltyIsSymmetric) {
+  BSplineBasis basis(-2.0, 3.0, 12);
+  Matrix penalty = basis.DifferencePenalty(2);
+  for (size_t i = 0; i < penalty.rows(); ++i) {
+    for (size_t j = 0; j < penalty.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(penalty(i, j), penalty(j, i));
+    }
+  }
+}
+
+TEST(BSplineDeathTest, TooFewBasisFunctionsAbort) {
+  EXPECT_DEATH(BSplineBasis(0.0, 1.0, 3, 3), "");
+}
+
+TEST(BSplineDeathTest, InvertedRangeAborts) {
+  EXPECT_DEATH(BSplineBasis(1.0, 0.0, 8), "");
+}
+
+TEST(BSplineFromSitesTest, KnotsAtSiteQuantiles) {
+  // Sites clustered near 0.5 with a sparse tail: interior knots follow
+  // the site density, so every knot interval contains sites.
+  std::vector<double> sites;
+  Rng rng(881);
+  for (int i = 0; i < 180; ++i) sites.push_back(rng.Normal(0.5, 0.02));
+  for (int i = 0; i < 20; ++i) sites.push_back(rng.Uniform());
+  std::sort(sites.begin(), sites.end());
+  BSplineBasis basis = BSplineBasis::FromSites(sites, 12);
+  EXPECT_LE(basis.num_basis(), 12);
+  EXPECT_DOUBLE_EQ(basis.lo(), sites.front());
+  EXPECT_DOUBLE_EQ(basis.hi(), sites.back());
+  // Every interior knot interval must contain at least one site.
+  const auto& knots = basis.knots();
+  for (size_t i = basis.degree();
+       i + basis.degree() + 1 < knots.size(); ++i) {
+    if (knots[i] == knots[i + 1]) continue;
+    bool has_site = false;
+    for (double s : sites) {
+      if (s >= knots[i] && s <= knots[i + 1]) {
+        has_site = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_site) << "empty knot interval [" << knots[i] << ", "
+                          << knots[i + 1] << "]";
+  }
+}
+
+TEST(BSplineFromSitesTest, PartitionOfUnityWithClampedKnots) {
+  std::vector<double> sites;
+  Rng rng(882);
+  for (int i = 0; i < 100; ++i) sites.push_back(rng.Uniform());
+  std::sort(sites.begin(), sites.end());
+  BSplineBasis basis = BSplineBasis::FromSites(sites, 10);
+  for (double x = sites.front(); x <= sites.back(); x += 0.01) {
+    auto values = basis.Evaluate(x);
+    double sum = 0.0;
+    for (double v : values) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "at x = " << x;
+  }
+  // Boundary points included.
+  auto at_hi = basis.Evaluate(sites.back());
+  double sum_hi = 0.0;
+  for (double v : at_hi) sum_hi += v;
+  EXPECT_NEAR(sum_hi, 1.0, 1e-9);
+}
+
+TEST(BSplineFromSitesTest, FewDistinctSitesShrinkTheBasis) {
+  std::vector<double> sites = {0.0, 0.5, 1.0};
+  BSplineBasis basis = BSplineBasis::FromSites(sites, 16);
+  // Only 1 usable interior quantile (0.5): basis = degree+1 + 1.
+  EXPECT_LE(basis.num_basis(), 6);
+  EXPECT_GE(basis.num_basis(), 4);
+}
+
+TEST(BSplineFromKnotsTest, RoundTripsKnotVector) {
+  std::vector<double> sites;
+  for (int i = 0; i <= 50; ++i) sites.push_back(i / 50.0);
+  BSplineBasis original = BSplineBasis::FromSites(sites, 9);
+  BSplineBasis restored =
+      BSplineBasis::FromKnots(original.knots(), original.degree());
+  EXPECT_EQ(restored.num_basis(), original.num_basis());
+  EXPECT_DOUBLE_EQ(restored.lo(), original.lo());
+  EXPECT_DOUBLE_EQ(restored.hi(), original.hi());
+  for (double x : {0.0, 0.21, 0.5, 0.77, 1.0}) {
+    auto a = original.Evaluate(x);
+    auto b = restored.Evaluate(x);
+    for (int j = 0; j < original.num_basis(); ++j) {
+      EXPECT_DOUBLE_EQ(a[j], b[j]);
+    }
+  }
+}
+
+TEST(BSplineFromKnotsTest, UniformBasisAlsoRoundTrips) {
+  BSplineBasis original(0.0, 1.0, 10);
+  BSplineBasis restored =
+      BSplineBasis::FromKnots(original.knots(), original.degree());
+  for (double x : {0.0, 0.33, 0.99}) {
+    auto a = original.Evaluate(x);
+    auto b = restored.Evaluate(x);
+    for (int j = 0; j < 10; ++j) EXPECT_DOUBLE_EQ(a[j], b[j]);
+  }
+}
+
+// Property sweep: partition of unity must hold for arbitrary ranges,
+// basis sizes and degrees.
+struct BasisParams {
+  double lo;
+  double hi;
+  int num_basis;
+  int degree;
+};
+
+class BSplinePropertyTest
+    : public ::testing::TestWithParam<BasisParams> {};
+
+TEST_P(BSplinePropertyTest, PartitionOfUnityHolds) {
+  const BasisParams& p = GetParam();
+  BSplineBasis basis(p.lo, p.hi, p.num_basis, p.degree);
+  Rng rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    double x = rng.Uniform(p.lo, p.hi);
+    auto values = basis.Evaluate(x);
+    double sum = 0.0;
+    for (double v : values) {
+      EXPECT_GE(v, -1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, BSplinePropertyTest,
+    ::testing::Values(BasisParams{0.0, 1.0, 5, 3},
+                      BasisParams{-10.0, 10.0, 8, 3},
+                      BasisParams{100.0, 100.5, 20, 3},
+                      BasisParams{-1e3, 1e3, 12, 3},
+                      BasisParams{0.0, 1.0, 6, 2},
+                      BasisParams{0.0, 1.0, 4, 1},
+                      BasisParams{-5.0, -1.0, 16, 3},
+                      BasisParams{0.25, 0.75, 30, 3}));
+
+}  // namespace
+}  // namespace gef

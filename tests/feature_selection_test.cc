@@ -1,0 +1,90 @@
+// Tests for GEF's gain-based univariate feature selection.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/feature_selection.h"
+
+namespace gef {
+namespace {
+
+Forest ForestWithKnownImportances() {
+  // Hand-built forest: feature 0 gain 10, feature 1 gain 3, feature 2
+  // unused, feature 3 gain 5.
+  Tree t1 = Tree::Stump(0.0, 100);
+  auto [l, r] = t1.SplitLeaf(0, 0, 0.5, 10.0, 0.0, 1.0, 50, 50);
+  t1.SplitLeaf(l, 3, 0.2, 5.0, 0.0, 1.0, 25, 25);
+  (void)r;
+  Tree t2 = Tree::Stump(0.0, 100);
+  t2.SplitLeaf(0, 1, 0.7, 3.0, 0.0, 1.0, 60, 40);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(t1));
+  trees.push_back(std::move(t2));
+  return Forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 4, {});
+}
+
+TEST(FeatureSelectionTest, RanksByAccumulatedGain) {
+  Forest forest = ForestWithKnownImportances();
+  auto ranked = RankFeaturesByGain(forest);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].feature, 0);
+  EXPECT_DOUBLE_EQ(ranked[0].importance, 10.0);
+  EXPECT_EQ(ranked[1].feature, 3);
+  EXPECT_EQ(ranked[2].feature, 1);
+  EXPECT_EQ(ranked[3].feature, 2);
+  EXPECT_DOUBLE_EQ(ranked[3].importance, 0.0);
+}
+
+TEST(FeatureSelectionTest, SelectTopTruncates) {
+  Forest forest = ForestWithKnownImportances();
+  auto top2 = SelectTopFeatures(forest, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 0);
+  EXPECT_EQ(top2[1], 3);
+}
+
+TEST(FeatureSelectionTest, NeverSelectsZeroGainFeatures) {
+  Forest forest = ForestWithKnownImportances();
+  auto all = SelectTopFeatures(forest, 10);
+  EXPECT_EQ(all.size(), 3u);  // feature 2 excluded
+  for (int f : all) EXPECT_NE(f, 2);
+}
+
+TEST(FeatureSelectionTest, TiesBrokenByIndex) {
+  Tree t = Tree::Stump(0.0, 10);
+  auto [l, r] = t.SplitLeaf(0, 1, 0.5, 2.0, 0.0, 0.0, 5, 5);
+  t.SplitLeaf(l, 0, 0.5, 2.0, 0.0, 1.0, 2, 3);
+  (void)r;
+  std::vector<Tree> trees;
+  trees.push_back(std::move(t));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+  auto ranked = RankFeaturesByGain(forest);
+  EXPECT_EQ(ranked[0].feature, 0);  // equal gains: lower index first
+}
+
+TEST(FeatureSelectionTest, IdentifiesSignalOnTrainedForest) {
+  Rng rng(501);
+  // Only features 0 and 2 carry signal.
+  Dataset data(std::vector<std::string>{"a", "b", "c", "d"});
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.Uniform(), b = rng.Uniform();
+    double c = rng.Uniform(), d = rng.Uniform();
+    data.AppendRow({a, b, c, d}, 5.0 * a + 3.0 * std::sin(8.0 * c));
+  }
+  GbdtConfig config;
+  config.num_trees = 60;
+  config.num_leaves = 8;
+  Forest forest = TrainGbdt(data, nullptr, config).forest;
+  auto top2 = SelectTopFeatures(forest, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_TRUE((top2[0] == 0 && top2[1] == 2) ||
+              (top2[0] == 2 && top2[1] == 0));
+}
+
+}  // namespace
+}  // namespace gef

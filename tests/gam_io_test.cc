@@ -1,0 +1,149 @@
+// Tests for GAM text (de)serialization: exact round-trip of predictions,
+// term contributions and credible intervals, plus malformed-input
+// rejection.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "gam/gam_io.h"
+#include "gef/explainer.h"
+
+namespace gef {
+namespace {
+
+class GamIoFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(66);
+    Dataset data = MakeGPrimeDataset(2000, &rng);
+    GbdtConfig fc;
+    fc.num_trees = 40;
+    fc.num_leaves = 8;
+    Forest forest = TrainGbdt(data, nullptr, fc).forest;
+    GefConfig config;
+    config.num_univariate = 3;
+    config.num_bivariate = 1;
+    config.num_samples = 2000;
+    config.k = 16;
+    explanation_ = ExplainForest(forest, config);
+    ASSERT_NE(explanation_, nullptr);
+  }
+
+  std::unique_ptr<GefExplanation> explanation_;
+};
+
+TEST_F(GamIoFixture, RoundTripPreservesPredictions) {
+  const Gam& original = explanation_->gam;
+  auto restored = GamFromString(GamToString(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  Rng rng(67);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(5);
+    for (double& v : x) v = rng.Uniform(-0.2, 1.2);
+    EXPECT_NEAR(restored->PredictRaw(x), original.PredictRaw(x), 1e-12);
+    EXPECT_NEAR(restored->Predict(x), original.Predict(x), 1e-12);
+  }
+}
+
+TEST_F(GamIoFixture, RoundTripPreservesTermStructure) {
+  const Gam& original = explanation_->gam;
+  auto restored = GamFromString(GamToString(original));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->num_terms(), original.num_terms());
+  for (size_t t = 0; t < original.num_terms(); ++t) {
+    EXPECT_EQ(restored->term(t).type(), original.term(t).type());
+    EXPECT_EQ(restored->term(t).num_coeffs(),
+              original.term(t).num_coeffs());
+    EXPECT_EQ(restored->TermLabel(t), original.TermLabel(t));
+  }
+  EXPECT_DOUBLE_EQ(restored->lambda(), original.lambda());
+  EXPECT_DOUBLE_EQ(restored->edof(), original.edof());
+  EXPECT_DOUBLE_EQ(restored->scale(), original.scale());
+  EXPECT_EQ(restored->term_lambdas(), original.term_lambdas());
+  EXPECT_EQ(restored->term_importances(), original.term_importances());
+}
+
+TEST_F(GamIoFixture, RoundTripPreservesEffectIntervals) {
+  const Gam& original = explanation_->gam;
+  auto restored = GamFromString(GamToString(original));
+  ASSERT_TRUE(restored.ok());
+  std::vector<double> x = {0.3, 0.6, 0.2, 0.8, 0.5};
+  for (size_t t = 1; t < original.num_terms(); ++t) {
+    EffectInterval a = original.TermEffect(t, x);
+    EffectInterval b = restored->TermEffect(t, x);
+    EXPECT_NEAR(a.value, b.value, 1e-12);
+    EXPECT_NEAR(a.lower, b.lower, 1e-12);
+    EXPECT_NEAR(a.upper, b.upper, 1e-12);
+  }
+}
+
+TEST_F(GamIoFixture, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "gef_gam_test.txt")
+          .string();
+  ASSERT_TRUE(SaveGam(explanation_->gam, path).ok());
+  auto restored = LoadGam(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_NEAR(restored->intercept(), explanation_->gam.intercept(),
+              1e-12);
+  std::remove(path.c_str());
+}
+
+TEST_F(GamIoFixture, TruncatedInputRejected) {
+  std::string text = GamToString(explanation_->gam);
+  auto result = GamFromString(text.substr(0, text.size() / 3));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(GamIoFixture, TamperedTermRejected) {
+  std::string text = GamToString(explanation_->gam);
+  size_t pos = text.find("term spline");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("term spline").size(), "term mystery");
+  EXPECT_FALSE(GamFromString(text).ok());
+}
+
+TEST(GamIoTest, BadMagicRejected) {
+  EXPECT_FALSE(GamFromString("not a gam\n").ok());
+  EXPECT_FALSE(GamFromString("").ok());
+}
+
+TEST(GamIoTest, MissingFileIsIoError) {
+  auto result = LoadGam("/nonexistent/gam.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(GamIoDeathTest, SerializingUnfittedGamAborts) {
+  Gam gam;
+  EXPECT_DEATH(GamToString(gam), "unfitted");
+}
+
+TEST(GamIoTest, LogitGamRoundTrips) {
+  Rng rng(68);
+  Dataset d(std::vector<std::string>{"x"});
+  for (int i = 0; i < 800; ++i) {
+    double x = rng.Uniform();
+    d.AppendRow({x}, x > 0.5 ? 1.0 : 0.0);
+  }
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  terms.push_back(std::make_unique<SplineTerm>(0, 0.0, 1.0, 8));
+  GamConfig config;
+  config.link = LinkType::kLogit;
+  Gam gam;
+  ASSERT_TRUE(gam.Fit(std::move(terms), d, config));
+  auto restored = GamFromString(GamToString(gam));
+  ASSERT_TRUE(restored.ok());
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(restored->Predict({x}), gam.Predict({x}), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gef

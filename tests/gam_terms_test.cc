@@ -1,0 +1,207 @@
+// Tests for GAM terms and design-matrix assembly.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "gam/design.h"
+#include "gam/terms.h"
+
+namespace gef {
+namespace {
+
+TEST(InterceptTermTest, ConstantOne) {
+  InterceptTerm term;
+  EXPECT_EQ(term.num_coeffs(), 1);
+  double out = 0.0;
+  term.Evaluate({1.0, 2.0}, &out);
+  EXPECT_DOUBLE_EQ(out, 1.0);
+  EXPECT_TRUE(term.Features().empty());
+  EXPECT_DOUBLE_EQ(term.Penalty()(0, 0), 0.0);
+}
+
+TEST(SplineTermTest, EvaluatesBasisOnItsFeature) {
+  SplineTerm term(/*feature=*/1, 0.0, 1.0, 8);
+  std::vector<double> out(8);
+  term.Evaluate({99.0, 0.5, -5.0}, out.data());
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-10);  // partition of unity at x1 = 0.5
+  EXPECT_EQ(term.Features(), std::vector<int>{1});
+}
+
+TEST(SplineTermTest, LabelUsesFeatureName) {
+  SplineTerm term(0, 0.0, 1.0, 8);
+  EXPECT_EQ(term.Label({"age", "income"}), "s(age)");
+  EXPECT_EQ(term.Label({}), "s(f0)");
+}
+
+TEST(FactorTermTest, OneHotOnNearestLevel) {
+  FactorTerm term(0, {0.0, 1.0, 2.0});
+  std::vector<double> out(3);
+  term.Evaluate({1.0}, out.data());
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  // Nearest-level matching tolerates float noise.
+  term.Evaluate({1.9999}, out.data());
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(FactorTermTest, LevelsDeduplicatedAndSorted) {
+  FactorTerm term(0, {2.0, 0.0, 2.0, 1.0});
+  EXPECT_EQ(term.num_coeffs(), 3);
+  EXPECT_DOUBLE_EQ(term.levels()[0], 0.0);
+  EXPECT_DOUBLE_EQ(term.levels()[2], 2.0);
+}
+
+TEST(FactorTermTest, RidgePenalty) {
+  FactorTerm term(0, {0.0, 1.0});
+  Matrix penalty = term.Penalty();
+  EXPECT_DOUBLE_EQ(penalty(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(penalty(0, 1), 0.0);
+}
+
+TEST(TensorTermTest, OuterProductOfMarginals) {
+  TensorTerm term(0, 0.0, 1.0, 1, 0.0, 1.0, 5);
+  ASSERT_EQ(term.num_coeffs(), 25);
+  std::vector<double> out(25);
+  term.Evaluate({0.3, 0.7}, out.data());
+  // Sum of the outer product of two partitions of unity is 1.
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  // Cross-check one entry against the marginals.
+  auto va = term.basis_a().Evaluate(0.3);
+  auto vb = term.basis_b().Evaluate(0.7);
+  EXPECT_NEAR(out[2 * 5 + 3], va[2] * vb[3], 1e-12);
+}
+
+TEST(TensorTermTest, PenaltyIsKroneckerSum) {
+  TensorTerm term(0, 0.0, 1.0, 1, 0.0, 1.0, 4);
+  Matrix penalty = term.Penalty();
+  ASSERT_EQ(penalty.rows(), 16u);
+  // Coefficients affine in both directions are in the null space of
+  // S1⊗I + I⊗S2 with 2nd-order difference penalties.
+  Vector c(16);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) c[i * 4 + j] = 1.0 + 2.0 * i - 3.0 * j;
+  }
+  EXPECT_NEAR(Norm(MatVec(penalty, c)), 0.0, 1e-10);
+}
+
+TEST(TensorTermTest, CarriesIdentifiabilityRidge) {
+  TensorTerm tensor(0, 0.0, 1.0, 1, 0.0, 1.0, 4);
+  EXPECT_GT(tensor.FixedRidge(), 0.0);
+  SplineTerm spline(0, 0.0, 1.0, 8);
+  EXPECT_DOUBLE_EQ(spline.FixedRidge(), 0.0);
+  InterceptTerm intercept;
+  EXPECT_DOUBLE_EQ(intercept.FixedRidge(), 0.0);
+}
+
+TEST(DesignTest, FixedRidgeCoversTensorBlockOnly) {
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  terms.push_back(std::make_unique<SplineTerm>(0, 0.0, 1.0, 6));
+  terms.push_back(
+      std::make_unique<TensorTerm>(0, 0.0, 1.0, 1, 0.0, 1.0, 4));
+  DesignLayout layout = ComputeLayout(terms);
+  Vector ridge = BuildFixedRidge(terms, layout);
+  ASSERT_EQ(ridge.size(), static_cast<size_t>(1 + 6 + 16));
+  for (int j = 0; j < 7; ++j) EXPECT_DOUBLE_EQ(ridge[j], 0.0);
+  for (int j = 7; j < 23; ++j) {
+    EXPECT_DOUBLE_EQ(ridge[j], TensorTerm::kIdentifiabilityRidge);
+  }
+}
+
+TEST(TensorTermDeathTest, SameFeatureTwiceAborts) {
+  EXPECT_DEATH(TensorTerm(2, 0.0, 1.0, 2, 0.0, 1.0, 4), "");
+}
+
+TermList MakeTerms() {
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  terms.push_back(std::make_unique<SplineTerm>(0, 0.0, 1.0, 6));
+  terms.push_back(std::make_unique<FactorTerm>(
+      1, std::vector<double>{0.0, 1.0}));
+  return terms;
+}
+
+Dataset MakeData() {
+  Dataset d(std::vector<std::string>{"x", "c"});
+  d.AppendRow({0.1, 0.0}, 1.0);
+  d.AppendRow({0.5, 1.0}, 2.0);
+  d.AppendRow({0.9, 0.0}, 3.0);
+  d.AppendRow({0.4, 1.0}, 4.0);
+  return d;
+}
+
+TEST(DesignTest, LayoutOffsets) {
+  TermList terms = MakeTerms();
+  DesignLayout layout = ComputeLayout(terms);
+  EXPECT_EQ(layout.total_cols, 1 + 6 + 2);
+  EXPECT_EQ(layout.term_offsets[0], 0);
+  EXPECT_EQ(layout.term_offsets[1], 1);
+  EXPECT_EQ(layout.term_offsets[2], 7);
+}
+
+TEST(DesignTest, RawDesignRowsMatchTermEvaluation) {
+  TermList terms = MakeTerms();
+  DesignLayout layout = ComputeLayout(terms);
+  Dataset d = MakeData();
+  Matrix design = BuildRawDesign(terms, d, layout);
+  ASSERT_EQ(design.rows(), 4u);
+  ASSERT_EQ(design.cols(), 9u);
+  EXPECT_DOUBLE_EQ(design(0, 0), 1.0);  // intercept
+  // Factor block of row 1 (c = 1): columns 7..8 = {0, 1}.
+  EXPECT_DOUBLE_EQ(design(1, 7), 0.0);
+  EXPECT_DOUBLE_EQ(design(1, 8), 1.0);
+}
+
+TEST(DesignTest, CentersZeroMeanTheColumns) {
+  TermList terms = MakeTerms();
+  DesignLayout layout = ComputeLayout(terms);
+  Dataset d = MakeData();
+  Matrix design = BuildRawDesign(terms, d, layout);
+  std::vector<double> centers = ComputeCenters(design, terms, layout);
+  EXPECT_DOUBLE_EQ(centers[0], 0.0);  // intercept not centered
+  CenterDesign(&design, centers);
+  for (size_t j = 1; j < design.cols(); ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < design.rows(); ++i) mean += design(i, j);
+    EXPECT_NEAR(mean / design.rows(), 0.0, 1e-12);
+  }
+}
+
+TEST(DesignTest, BlockPenaltyPlacement) {
+  TermList terms = MakeTerms();
+  DesignLayout layout = ComputeLayout(terms);
+  Matrix penalty = BuildBlockPenalty(terms, layout);
+  ASSERT_EQ(penalty.rows(), 9u);
+  EXPECT_DOUBLE_EQ(penalty(0, 0), 0.0);  // intercept unpenalized
+  // Factor ridge block on the diagonal.
+  EXPECT_DOUBLE_EQ(penalty(7, 7), 1.0);
+  EXPECT_DOUBLE_EQ(penalty(8, 8), 1.0);
+  // Off-diagonal cross-term coupling between blocks is zero.
+  EXPECT_DOUBLE_EQ(penalty(3, 8), 0.0);
+}
+
+TEST(DesignTest, BuildDesignRowMatchesMatrixRow) {
+  TermList terms = MakeTerms();
+  DesignLayout layout = ComputeLayout(terms);
+  Dataset d = MakeData();
+  Matrix raw = BuildRawDesign(terms, d, layout);
+  std::vector<double> centers = ComputeCenters(raw, terms, layout);
+  Matrix centered = raw;
+  CenterDesign(&centered, centers);
+  std::vector<double> row(layout.total_cols);
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    BuildDesignRow(terms, layout, centers, d.GetRow(i), row.data());
+    for (int j = 0; j < layout.total_cols; ++j) {
+      EXPECT_NEAR(row[j], centered(i, j), 1e-14);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gef

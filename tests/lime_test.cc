@@ -1,0 +1,119 @@
+// Tests for the LIME baseline.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "explain/lime.h"
+#include "forest/gbdt_trainer.h"
+
+namespace gef {
+namespace {
+
+Forest LinearForest(Rng* rng, Dataset* background) {
+  // y = 4·x0 − 2·x1: a forest approximating a linear function.
+  Dataset data(std::vector<std::string>{"x0", "x1"});
+  for (int i = 0; i < 3000; ++i) {
+    double x0 = rng->Uniform();
+    double x1 = rng->Uniform();
+    data.AppendRow({x0, x1}, 4.0 * x0 - 2.0 * x1);
+  }
+  *background = data;
+  GbdtConfig config;
+  config.num_trees = 150;
+  config.num_leaves = 16;
+  config.learning_rate = 0.1;
+  config.min_samples_leaf = 10;
+  return TrainGbdt(data, nullptr, config).forest;
+}
+
+TEST(LimeTest, RecoversLinearSignsAndRatios) {
+  Rng rng(301);
+  Dataset background;
+  Forest forest = LinearForest(&rng, &background);
+  LimeConfig config;
+  config.num_samples = 3000;
+  LimeExplainer lime(forest, background, config);
+  LimeExplanation e = lime.Explain({0.5, 0.5});
+  ASSERT_EQ(e.coefficients.size(), 2u);
+  // Coefficients are in standardized space; both features share the same
+  // scale here, so the sign and ~2:1 magnitude ratio must survive.
+  EXPECT_GT(e.coefficients[0], 0.0);
+  EXPECT_LT(e.coefficients[1], 0.0);
+  EXPECT_NEAR(std::fabs(e.coefficients[0] / e.coefficients[1]), 2.0, 0.5);
+  EXPECT_GT(e.local_r2, 0.5);
+}
+
+TEST(LimeTest, InterceptApproximatesLocalPrediction) {
+  Rng rng(302);
+  Dataset background;
+  Forest forest = LinearForest(&rng, &background);
+  LimeConfig config;
+  config.num_samples = 2000;
+  LimeExplainer lime(forest, background, config);
+  std::vector<double> x = {0.5, 0.5};
+  LimeExplanation e = lime.Explain(x);
+  // The ridge intercept is the surrogate's value at the instance (offsets
+  // are centered at x), so it should approximate f(x).
+  EXPECT_NEAR(e.intercept, forest.PredictRaw(x), 0.5);
+}
+
+TEST(LimeTest, DeterministicGivenSeed) {
+  Rng rng(303);
+  Dataset background;
+  Forest forest = LinearForest(&rng, &background);
+  LimeConfig config;
+  config.num_samples = 500;
+  config.seed = 99;
+  LimeExplainer lime(forest, background, config);
+  LimeExplanation a = lime.Explain({0.3, 0.7});
+  LimeExplanation b = lime.Explain({0.3, 0.7});
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_DOUBLE_EQ(a.coefficients[j], b.coefficients[j]);
+  }
+}
+
+TEST(LimeTest, LocalityDetectsLocalSlope) {
+  // y = |x − 0.5| has slope −1 left of 0.5 and +1 right of it; LIME at
+  // x = 0.15 must see a negative coefficient, at x = 0.85 a positive one.
+  Rng rng(304);
+  Dataset data(std::vector<std::string>{"x"});
+  for (int i = 0; i < 4000; ++i) {
+    double x = rng.Uniform();
+    data.AppendRow({x}, std::fabs(x - 0.5));
+  }
+  GbdtConfig fc;
+  fc.num_trees = 200;
+  fc.num_leaves = 16;
+  fc.learning_rate = 0.1;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+  LimeConfig config;
+  config.num_samples = 4000;
+  config.kernel_width = 0.2;  // tight neighbourhood in standardized units
+  LimeExplainer lime(forest, data, config);
+  EXPECT_LT(lime.Explain({0.15}).coefficients[0], 0.0);
+  EXPECT_GT(lime.Explain({0.85}).coefficients[0], 0.0);
+}
+
+TEST(LimeTest, ConstantFeatureGetsNegligibleWeight) {
+  Rng rng(305);
+  Dataset data(std::vector<std::string>{"x", "constantish"});
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.Uniform();
+    data.AppendRow({x, 0.5 + 1e-9 * rng.Normal()}, 3.0 * x);
+  }
+  GbdtConfig fc;
+  fc.num_trees = 50;
+  fc.num_leaves = 8;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+  LimeConfig config;
+  config.num_samples = 1000;
+  LimeExplainer lime(forest, data, config);
+  LimeExplanation e = lime.Explain({0.5, 0.5});
+  EXPECT_GT(std::fabs(e.coefficients[0]),
+            10.0 * std::fabs(e.coefficients[1]));
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,251 @@
+// Tests for linalg: Matrix ops, Cholesky (incl. property tests over
+// random SPD matrices), penalized least squares and ridge.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "stats/rng.h"
+
+namespace gef {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng->Normal();
+  }
+  return m;
+}
+
+// A ← AᵀA + n·I is SPD.
+Matrix RandomSpd(size_t n, Rng* rng) {
+  Matrix a = RandomMatrix(n, n, rng);
+  Matrix spd = GramWeighted(a, {});
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(1, 2), 0.0);
+  Matrix d = Matrix::Diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transpose();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_NEAR(t.Transpose().FrobeniusDistance(m), 0.0, 1e-15);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputedResult) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatVecAndMatTVec) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Vector x = {1, 0, -1};
+  Vector y = MatVec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+  Vector z = {1, 1};
+  Vector w = MatTVec(a, z);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 7.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+}
+
+TEST(MatrixTest, GramWeightedMatchesExplicitProduct) {
+  Rng rng(1);
+  Matrix x = RandomMatrix(20, 4, &rng);
+  Vector w(20);
+  for (double& v : w) v = rng.Uniform(0.1, 2.0);
+  Matrix gram = GramWeighted(x, w);
+  // Explicit Xᵀ diag(w) X.
+  Matrix xt = x.Transpose();
+  Matrix wx = x;
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) wx(i, j) *= w[i];
+  }
+  Matrix expected = MatMul(xt, wx);
+  EXPECT_NEAR(gram.FrobeniusDistance(expected), 0.0, 1e-10);
+}
+
+TEST(MatrixTest, GramUnweightedUsesUnitWeights) {
+  Rng rng(2);
+  Matrix x = RandomMatrix(10, 3, &rng);
+  Matrix gram = GramWeighted(x, {});
+  Matrix expected = MatMul(x.Transpose(), x);
+  EXPECT_NEAR(gram.FrobeniusDistance(expected), 0.0, 1e-10);
+}
+
+TEST(MatrixTest, KroneckerShapeAndValues) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{0, 5}, {6, 7}});
+  Matrix k = Kronecker(a, b);
+  ASSERT_EQ(k.rows(), 4u);
+  ASSERT_EQ(k.cols(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 1), 5.0);    // a00*b01
+  EXPECT_DOUBLE_EQ(k(1, 0), 6.0);    // a00*b10
+  EXPECT_DOUBLE_EQ(k(3, 3), 28.0);   // a11*b11
+  EXPECT_DOUBLE_EQ(k(2, 1), 15.0);   // a10*b01
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  Vector a = {1, 2, 3};
+  Vector b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm(Vector{3, 4}), 5.0);
+  Axpy(2.0, b, &a);
+  EXPECT_DOUBLE_EQ(a[0], 9.0);
+  EXPECT_DOUBLE_EQ(a[2], 15.0);
+}
+
+TEST(CholeskyTest, FactorizesKnownMatrix) {
+  // A = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol->lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol->lower()(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(chol->jitter(), 0.0);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.has_value());
+  Vector x = chol->Solve({10, 8});  // solution {7/4, 3/2}
+  EXPECT_NEAR(x[0], 1.75, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownDeterminant) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});  // det = 8
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->LogDet(), std::log(8.0), 1e-12);
+}
+
+TEST(CholeskyTest, SingularMatrixGetsJitterOrFails) {
+  Matrix a = Matrix::FromRows({{1, 1}, {1, 1}});  // rank 1
+  auto chol = Cholesky::Factorize(a);
+  // Jitter should rescue it.
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_GT(chol->jitter(), 0.0);
+}
+
+TEST(CholeskyTest, IndefiniteMatrixFailsEvenWithJitter) {
+  Matrix a = Matrix::FromRows({{1.0, 0.0}, {0.0, -100.0}});
+  auto chol = Cholesky::Factorize(a, /*max_jitter_steps=*/2);
+  EXPECT_FALSE(chol.has_value());
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyPropertyTest, ReconstructsAndSolvesRandomSpd) {
+  Rng rng(GetParam());
+  size_t n = 2 + rng.UniformInt(12);
+  Matrix a = RandomSpd(n, &rng);
+  auto chol = Cholesky::Factorize(a);
+  ASSERT_TRUE(chol.has_value());
+
+  // L Lᵀ reconstructs A.
+  Matrix reconstructed = MatMul(chol->lower(), chol->lower().Transpose());
+  EXPECT_LT(reconstructed.FrobeniusDistance(a), 1e-8 * (1.0 + n));
+
+  // Solve then multiply back.
+  Vector b(n);
+  for (double& v : b) v = rng.Normal();
+  Vector x = chol->Solve(b);
+  Vector back = MatVec(a, x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
+
+  // Inverse is a two-sided inverse.
+  Matrix inv = chol->Inverse();
+  Matrix prod = MatMul(a, inv);
+  EXPECT_LT(prod.FrobeniusDistance(Matrix::Identity(n)), 1e-8 * (1.0 + n));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CholeskyPropertyTest,
+                         ::testing::Range(1, 21));
+
+TEST(SolveTest, UnpenalizedLeastSquaresMatchesExactFit) {
+  // y = 2 + 3x fitted exactly by [1 x] design.
+  Matrix x = Matrix::FromRows({{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+  Vector y = {2, 5, 8, 11};
+  auto sol = SolvePenalizedLeastSquares(x, y, {}, Matrix());
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->beta[0], 2.0, 1e-10);
+  EXPECT_NEAR(sol->beta[1], 3.0, 1e-10);
+  EXPECT_NEAR(sol->rss, 0.0, 1e-18);
+  EXPECT_NEAR(sol->edof, 2.0, 1e-10);
+}
+
+TEST(SolveTest, PenaltyShrinksCoefficients) {
+  Rng rng(3);
+  Matrix x = RandomMatrix(50, 4, &rng);
+  Vector y(50);
+  for (double& v : y) v = rng.Normal();
+  auto free_fit = SolvePenalizedLeastSquares(x, y, {}, Matrix());
+  Matrix ridge = Matrix::Identity(4);
+  ridge.Scale(1000.0);
+  auto shrunk = SolvePenalizedLeastSquares(x, y, {}, ridge);
+  ASSERT_TRUE(free_fit.has_value() && shrunk.has_value());
+  EXPECT_LT(Norm(shrunk->beta), Norm(free_fit->beta));
+  EXPECT_LT(shrunk->edof, free_fit->edof);
+  EXPECT_GE(shrunk->rss, free_fit->rss - 1e-9);
+}
+
+TEST(SolveTest, WeightsChangeTheSolution) {
+  // Two incompatible observations of a constant; weights decide.
+  Matrix x = Matrix::FromRows({{1.0}, {1.0}});
+  Vector y = {0.0, 10.0};
+  auto heavy_first =
+      SolvePenalizedLeastSquares(x, y, {100.0, 1.0}, Matrix());
+  ASSERT_TRUE(heavy_first.has_value());
+  EXPECT_LT(heavy_first->beta[0], 1.0);
+  auto heavy_second =
+      SolvePenalizedLeastSquares(x, y, {1.0, 100.0}, Matrix());
+  ASSERT_TRUE(heavy_second.has_value());
+  EXPECT_GT(heavy_second->beta[0], 9.0);
+}
+
+TEST(SolveTest, RidgeRecoversLinearCoefficients) {
+  Rng rng(4);
+  Matrix x = RandomMatrix(200, 3, &rng);
+  Vector beta_true = {1.5, -2.0, 0.5};
+  Vector y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    y[i] = Dot({x(i, 0), x(i, 1), x(i, 2)}, beta_true) +
+           0.01 * rng.Normal();
+  }
+  auto beta = SolveRidge(x, y, {}, 1e-6);
+  ASSERT_TRUE(beta.has_value());
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR((*beta)[j], beta_true[j], 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace gef

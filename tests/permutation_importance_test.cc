@@ -1,0 +1,114 @@
+// Tests for permutation feature importance and its agreement with the
+// gain importance GEF relies on.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "explain/permutation_importance.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/feature_selection.h"
+
+namespace gef {
+namespace {
+
+TEST(PermutationImportanceTest, SignalOutranksNoise) {
+  Rng rng(401);
+  Dataset data(std::vector<std::string>{"signal", "noise"});
+  for (int i = 0; i < 1500; ++i) {
+    double s = rng.Uniform();
+    data.AppendRow({s, rng.Uniform()}, 4.0 * s);
+  }
+  GbdtConfig fc;
+  fc.num_trees = 30;
+  fc.num_leaves = 8;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+  auto importance = PermutationImportance(forest, data);
+  EXPECT_GT(importance[0], 0.5);
+  EXPECT_LT(std::fabs(importance[1]), 0.1);
+}
+
+TEST(PermutationImportanceTest, UnusedFeatureIsExactlyZero) {
+  // A feature the forest never splits on cannot change predictions.
+  Tree t = Tree::Stump(0.0, 10);
+  t.SplitLeaf(0, 0, 0.5, 1.0, 0.0, 1.0, 5, 5);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(t));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+  Rng rng(402);
+  Dataset data(2);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform();
+    data.AppendRow({x, rng.Uniform()}, x > 0.5 ? 1.0 : 0.0);
+  }
+  auto importance = PermutationImportance(forest, data);
+  EXPECT_DOUBLE_EQ(importance[1], 0.0);
+  EXPECT_GT(importance[0], 0.0);
+}
+
+TEST(PermutationImportanceTest, RankingAgreesWithGainOnGPrime) {
+  Rng rng(403);
+  Dataset data = MakeGPrimeDataset(3000, &rng);
+  GbdtConfig fc;
+  fc.num_trees = 80;
+  fc.num_leaves = 16;
+  fc.learning_rate = 0.15;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+
+  auto permutation = PermutationImportance(forest, data);
+  auto gain_ranked = RankFeaturesByGain(forest);
+  // The top gain feature must also top the permutation ranking.
+  int top_perm = static_cast<int>(
+      std::max_element(permutation.begin(), permutation.end()) -
+      permutation.begin());
+  EXPECT_EQ(top_perm, gain_ranked[0].feature);
+}
+
+TEST(PermutationImportanceTest, ClassificationUsesLogLoss) {
+  Rng rng(404);
+  Dataset data(std::vector<std::string>{"x", "noise"});
+  for (int i = 0; i < 1500; ++i) {
+    double x = rng.Uniform();
+    data.AppendRow({x, rng.Uniform()}, x > 0.5 ? 1.0 : 0.0);
+  }
+  GbdtConfig fc;
+  fc.objective = Objective::kBinaryClassification;
+  fc.num_trees = 30;
+  fc.num_leaves = 4;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+  auto importance = PermutationImportance(forest, data);
+  EXPECT_GT(importance[0], 10.0 * std::max(1e-6, importance[1]));
+}
+
+TEST(PermutationImportanceTest, DeterministicGivenSeed) {
+  Rng rng(405);
+  Dataset data = MakeGPrimeDataset(500, &rng);
+  GbdtConfig fc;
+  fc.num_trees = 10;
+  fc.num_leaves = 4;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+  PermutationImportanceConfig config;
+  config.seed = 7;
+  auto a = PermutationImportance(forest, data, config);
+  auto b = PermutationImportance(forest, data, config);
+  for (size_t f = 0; f < a.size(); ++f) EXPECT_DOUBLE_EQ(a[f], b[f]);
+}
+
+TEST(PermutationImportanceDeathTest, RequiresTargets) {
+  Rng rng(406);
+  Dataset no_targets(2);
+  no_targets.AppendRow({0.1, 0.2});
+  no_targets.AppendRow({0.3, 0.4});
+  Tree t = Tree::Stump(0.0, 2);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(t));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+  EXPECT_DEATH(PermutationImportance(forest, no_targets), "");
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,156 @@
+// Tests for the Greenwald–Khanna quantile sketch: rank-error guarantees
+// (property-swept over distributions and epsilons), compression, and
+// merging.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/quantile.h"
+#include "stats/quantile_sketch.h"
+#include "stats/rng.h"
+
+namespace gef {
+namespace {
+
+// Rank of `value` within sorted `data` (count of elements <= value).
+double RankOf(const std::vector<double>& sorted, double value) {
+  return static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), value) -
+      sorted.begin());
+}
+
+TEST(QuantileSketchTest, ExactOnSmallStreams) {
+  QuantileSketch sketch(0.05);
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) sketch.Add(v);
+  EXPECT_EQ(sketch.count(), 5u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 3.0);
+}
+
+struct SketchParams {
+  double epsilon;
+  int distribution;  // 0 uniform, 1 normal, 2 clustered, 3 sorted
+};
+
+class QuantileSketchPropertyTest
+    : public ::testing::TestWithParam<SketchParams> {};
+
+TEST_P(QuantileSketchPropertyTest, RankErrorWithinBound) {
+  const SketchParams& p = GetParam();
+  Rng rng(500 + p.distribution);
+  const size_t n = 20000;
+  std::vector<double> data;
+  data.reserve(n);
+  QuantileSketch sketch(p.epsilon);
+  for (size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    switch (p.distribution) {
+      case 0:
+        v = rng.Uniform();
+        break;
+      case 1:
+        v = rng.Normal();
+        break;
+      case 2:  // two tight clusters, like a sigmoid forest's thresholds
+        v = rng.Uniform() < 0.9 ? rng.Normal(0.5, 0.01)
+                                : rng.Uniform();
+        break;
+      case 3:  // adversarial sorted input
+        v = static_cast<double>(i);
+        break;
+    }
+    data.push_back(v);
+    sketch.Add(v);
+  }
+  std::sort(data.begin(), data.end());
+
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double estimate = sketch.Quantile(q);
+    double rank = RankOf(data, estimate);
+    double target = q * static_cast<double>(n);
+    // GK guarantee: |rank - target| <= eps*N (we allow 2x for the
+    // simplified compression).
+    EXPECT_LE(std::fabs(rank - target),
+              2.0 * p.epsilon * static_cast<double>(n) + 2.0)
+        << "q = " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, QuantileSketchPropertyTest,
+    ::testing::Values(SketchParams{0.01, 0}, SketchParams{0.01, 1},
+                      SketchParams{0.01, 2}, SketchParams{0.01, 3},
+                      SketchParams{0.05, 0}, SketchParams{0.05, 1},
+                      SketchParams{0.001, 0}, SketchParams{0.05, 3}));
+
+TEST(QuantileSketchTest, CompressionBoundsMemory) {
+  QuantileSketch sketch(0.01);
+  Rng rng(501);
+  for (int i = 0; i < 100000; ++i) sketch.Add(rng.Uniform());
+  // O((1/eps) log(eps N)) tuples: far fewer than N.
+  EXPECT_LT(sketch.size(), 5000u);
+  EXPECT_EQ(sketch.count(), 100000u);
+}
+
+TEST(QuantileSketchTest, InnerQuantilesSortedAndInRange) {
+  QuantileSketch sketch(0.01);
+  Rng rng(502);
+  for (int i = 0; i < 5000; ++i) sketch.Add(rng.Normal());
+  auto quantiles = sketch.InnerQuantiles(15);
+  ASSERT_EQ(quantiles.size(), 15u);
+  EXPECT_TRUE(std::is_sorted(quantiles.begin(), quantiles.end()));
+}
+
+TEST(QuantileSketchTest, AgreesWithExactQuantilesOnUniform) {
+  QuantileSketch sketch(0.005);
+  Rng rng(503);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    double v = rng.Uniform();
+    data.push_back(v);
+    sketch.Add(v);
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(sketch.Quantile(q), Quantile(data, q), 0.02);
+  }
+}
+
+TEST(QuantileSketchTest, MergePreservesApproximateQuantiles) {
+  Rng rng(504);
+  QuantileSketch a(0.01), b(0.01);
+  std::vector<double> all;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Normal(0.0, 1.0);
+    a.Add(v);
+    all.push_back(v);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Normal(3.0, 1.0);
+    b.Add(v);
+    all.push_back(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 20000u);
+  std::sort(all.begin(), all.end());
+  for (double q : {0.25, 0.5, 0.75}) {
+    double estimate = a.Quantile(q);
+    double rank = RankOf(all, estimate);
+    EXPECT_NEAR(rank, q * 20000.0, 0.04 * 20000.0) << "q = " << q;
+  }
+}
+
+TEST(QuantileSketchDeathTest, InvalidEpsilonAborts) {
+  EXPECT_DEATH(QuantileSketch(0.0), "");
+  EXPECT_DEATH(QuantileSketch(0.7), "");
+}
+
+TEST(QuantileSketchDeathTest, EmptySketchQuantileAborts) {
+  QuantileSketch sketch(0.01);
+  EXPECT_DEATH(sketch.Quantile(0.5), "");
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,111 @@
+// Tests for Random Forest training (the paper's future-work extension).
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "forest/random_forest_trainer.h"
+#include "stats/metrics.h"
+
+namespace gef {
+namespace {
+
+TEST(RandomForestTest, LearnsGPrime) {
+  Rng rng(101);
+  Dataset data = MakeGPrimeDataset(3000, &rng);
+  auto split = SplitTrainTest(data, 0.2, &rng);
+  RandomForestConfig config;
+  config.num_trees = 60;
+  config.num_leaves = 64;
+  config.min_samples_leaf = 3;
+  config.feature_fraction = 0.8;
+  Forest forest = TrainRandomForest(split.train, config);
+  EXPECT_EQ(forest.aggregation(), Aggregation::kAverage);
+  double r2 = RSquared(forest.PredictRawBatch(split.test),
+                       split.test.targets());
+  // Bagged forests trade bias for variance; they trail boosted forests
+  // on smooth targets but must still explain most of the variance.
+  EXPECT_GT(r2, 0.7);
+}
+
+TEST(RandomForestTest, AveragingBoundsPredictionsByLeafRange) {
+  Rng rng(102);
+  Dataset data(std::vector<std::string>{"x"});
+  for (int i = 0; i < 500; ++i) {
+    data.AppendRow({rng.Uniform()}, rng.Uniform(2.0, 3.0));
+  }
+  RandomForestConfig config;
+  config.num_trees = 10;
+  Forest forest = TrainRandomForest(data, config);
+  for (size_t i = 0; i < 50; ++i) {
+    double p = forest.PredictRaw({rng.Uniform()});
+    EXPECT_GE(p, 2.0 - 1e-9);
+    EXPECT_LE(p, 3.0 + 1e-9);
+  }
+}
+
+TEST(RandomForestTest, MoreTreesReduceVariance) {
+  Rng rng(103);
+  Dataset data = MakeGPrimeDataset(1000, &rng, 0.3);
+  auto split = SplitTrainTest(data, 0.3, &rng);
+  RandomForestConfig small;
+  small.num_trees = 2;
+  small.seed = 1;
+  RandomForestConfig large = small;
+  large.num_trees = 50;
+  double rmse_small =
+      Rmse(TrainRandomForest(split.train, small).PredictRawBatch(split.test),
+           split.test.targets());
+  double rmse_large =
+      Rmse(TrainRandomForest(split.train, large).PredictRawBatch(split.test),
+           split.test.targets());
+  EXPECT_LT(rmse_large, rmse_small);
+}
+
+TEST(RandomForestTest, ProbabilityAveragingForClassification) {
+  Rng rng(104);
+  Dataset data(std::vector<std::string>{"x"});
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform();
+    data.AppendRow({x}, x > 0.5 ? 1.0 : 0.0);
+  }
+  RandomForestConfig config;
+  config.num_trees = 30;
+  config.min_samples_leaf = 5;
+  Forest forest = TrainRandomForest(data, config);
+  // Averaged {0,1} leaves live in [0, 1] and act as probabilities.
+  double high = forest.PredictRaw({0.9});
+  double low = forest.PredictRaw({0.1});
+  EXPECT_GT(high, 0.9);
+  EXPECT_LT(low, 0.1);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  Rng rng(105);
+  Dataset data = MakeGPrimeDataset(400, &rng);
+  RandomForestConfig config;
+  config.num_trees = 8;
+  Forest a = TrainRandomForest(data, config);
+  Forest b = TrainRandomForest(data, config);
+  std::vector<double> pa = a.PredictRawBatch(data);
+  std::vector<double> pb = b.PredictRawBatch(data);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+TEST(RandomForestTest, GainImportanceIdentifiesSignalFeatures) {
+  Rng rng(106);
+  Dataset data(std::vector<std::string>{"signal", "noise"});
+  for (int i = 0; i < 1500; ++i) {
+    double s = rng.Uniform();
+    data.AppendRow({s, rng.Uniform()}, 5.0 * s);
+  }
+  RandomForestConfig config;
+  config.num_trees = 20;
+  config.feature_fraction = 1.0;
+  Forest forest = TrainRandomForest(data, config);
+  auto importance = forest.GainImportance();
+  EXPECT_GT(importance[0], 10.0 * importance[1]);
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,133 @@
+// Tests for forest text (de)serialization — the hand-off artifact of the
+// paper's third-party explanation scenario.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/serialization.h"
+
+namespace gef {
+namespace {
+
+Forest TrainSmallForest(Objective objective = Objective::kRegression) {
+  Rng rng(111);
+  Dataset data = MakeGPrimeDataset(400, &rng);
+  if (objective == Objective::kBinaryClassification) {
+    std::vector<double> labels(data.num_rows());
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      labels[i] = data.target(i) > 2.5 ? 1.0 : 0.0;
+    }
+    data.set_targets(labels);
+  }
+  GbdtConfig config;
+  config.objective = objective;
+  config.num_trees = 8;
+  config.num_leaves = 6;
+  config.min_samples_leaf = 5;
+  return TrainGbdt(data, nullptr, config).forest;
+}
+
+TEST(SerializationTest, RoundTripPreservesPredictions) {
+  Forest original = TrainSmallForest();
+  std::string text = ForestToString(original);
+  auto restored = ForestFromString(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  Rng rng(112);
+  Dataset probe = MakeGPrimeDataset(200, &rng);
+  std::vector<double> a = original.PredictRawBatch(probe);
+  std::vector<double> b = restored->PredictRawBatch(probe);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(SerializationTest, RoundTripPreservesMetadata) {
+  Forest original = TrainSmallForest(Objective::kBinaryClassification);
+  auto restored = ForestFromString(ForestToString(original));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->objective(), Objective::kBinaryClassification);
+  EXPECT_EQ(restored->aggregation(), Aggregation::kSum);
+  EXPECT_EQ(restored->num_trees(), original.num_trees());
+  EXPECT_EQ(restored->num_features(), original.num_features());
+  EXPECT_EQ(restored->feature_names(), original.feature_names());
+  EXPECT_DOUBLE_EQ(restored->init_score(), original.init_score());
+}
+
+TEST(SerializationTest, RoundTripPreservesGainsExactly) {
+  Forest original = TrainSmallForest();
+  auto restored = ForestFromString(ForestToString(original));
+  ASSERT_TRUE(restored.ok());
+  auto ga = original.GainImportance();
+  auto gb = restored->GainImportance();
+  for (size_t f = 0; f < ga.size(); ++f) EXPECT_DOUBLE_EQ(ga[f], gb[f]);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  Forest original = TrainSmallForest();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "gef_model_test.txt")
+          .string();
+  ASSERT_TRUE(SaveForest(original, path).ok());
+  auto restored = LoadForest(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_trees(), original.num_trees());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  auto result = ForestFromString("not a model\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializationTest, TruncatedModelRejected) {
+  Forest original = TrainSmallForest();
+  std::string text = ForestToString(original);
+  auto result = ForestFromString(text.substr(0, text.size() / 2));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SerializationTest, OutOfRangeFeatureRejected) {
+  std::string text =
+      "gef_forest v1\n"
+      "objective regression\n"
+      "aggregation sum\n"
+      "init_score 0\n"
+      "num_features 1\n"
+      "feature x\n"
+      "num_trees 1\n"
+      "tree 3\n"
+      "node 5 0.5 1.0 1 2 0 10\n"   // feature 5 out of range
+      "node -1 0 0 -1 -1 1.0 5\n"
+      "node -1 0 0 -1 -1 2.0 5\n";
+  auto result = ForestFromString(text);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SerializationTest, MalformedStructureRejected) {
+  std::string text =
+      "gef_forest v1\n"
+      "objective regression\n"
+      "aggregation sum\n"
+      "init_score 0\n"
+      "num_features 1\n"
+      "feature x\n"
+      "num_trees 1\n"
+      "tree 2\n"
+      "node 0 0.5 1.0 1 9 0 10\n"   // right child out of range
+      "node -1 0 0 -1 -1 1.0 5\n";
+  auto result = ForestFromString(text);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  auto result = LoadForest("/nonexistent/model.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,344 @@
+// Tests for the stats toolkit: RNG determinism and distribution sanity,
+// quantiles, 1-D k-means, KDE, Welch's t-test and evaluation metrics.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/kde.h"
+#include "stats/kmeans1d.h"
+#include "stats/metrics.h"
+#include "stats/quantile.h"
+#include "stats/rng.h"
+#include "stats/welch.h"
+
+namespace gef {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(10);
+  const int n = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double z = rng.Normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(12);
+  auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  auto sample = rng.SampleWithoutReplacement(50, 20);
+  std::set<size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (size_t v : sample) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(14);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ForkedGeneratorIsIndependent) {
+  Rng a(15);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Min(v), 2.0);
+  EXPECT_DOUBLE_EQ(Max(v), 9.0);
+}
+
+TEST(DescriptiveTest, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+}
+
+TEST(DescriptiveTest, PearsonPerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonConstantSideIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenRanks) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 7.5);
+}
+
+TEST(QuantileTest, InnerQuantilesAreSortedAndInRange) {
+  std::vector<double> v;
+  Rng rng(20);
+  for (int i = 0; i < 500; ++i) v.push_back(rng.Normal());
+  auto q = InnerQuantiles(v, 9);
+  ASSERT_EQ(q.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(q.begin(), q.end()));
+  std::sort(v.begin(), v.end());
+  EXPECT_GE(q.front(), v.front());
+  EXPECT_LE(q.back(), v.back());
+}
+
+TEST(KMeans1dTest, SeparatedClustersFound) {
+  std::vector<double> values;
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Normal(0.0, 0.1));
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Normal(10.0, 0.1));
+  auto result = KMeans1d(values, 2, &rng);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  EXPECT_NEAR(result.centroids[0], 0.0, 0.2);
+  EXPECT_NEAR(result.centroids[1], 10.0, 0.2);
+}
+
+TEST(KMeans1dTest, FewDistinctValuesReducesK) {
+  std::vector<double> values = {1.0, 1.0, 2.0, 2.0, 2.0};
+  Rng rng(22);
+  auto result = KMeans1d(values, 10, &rng);
+  ASSERT_EQ(result.centroids.size(), 2u);  // k = min(|V|, K) = 2
+  EXPECT_DOUBLE_EQ(result.centroids[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.centroids[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeans1dTest, CentroidsSortedAndAssignmentsConsistent) {
+  Rng rng(23);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.Uniform());
+  auto result = KMeans1d(values, 5, &rng);
+  EXPECT_TRUE(std::is_sorted(result.centroids.begin(),
+                             result.centroids.end()));
+  ASSERT_EQ(result.assignments.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    int assigned = result.assignments[i];
+    double d_assigned = std::fabs(values[i] - result.centroids[assigned]);
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      EXPECT_LE(d_assigned,
+                std::fabs(values[i] - result.centroids[c]) + 1e-12);
+    }
+  }
+}
+
+TEST(KdeTest, DensityIntegratesToApproximatelyOne) {
+  Rng rng(24);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.Normal());
+  GaussianKde kde(sample);
+  // Trapezoid over a wide interval.
+  std::vector<double> xs, ds;
+  kde.EvaluateGrid(-6, 6, 500, &xs, &ds);
+  double integral = 0.0;
+  for (size_t i = 0; i + 1 < xs.size(); ++i) {
+    integral += 0.5 * (ds[i] + ds[i + 1]) * (xs[i + 1] - xs[i]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(KdeTest, DensityPeaksNearTheData) {
+  GaussianKde kde({1.0, 1.1, 0.9, 1.0}, 0.2);
+  EXPECT_GT(kde.Density(1.0), kde.Density(3.0));
+  EXPECT_GT(kde.Density(1.0), kde.Density(-1.0));
+}
+
+TEST(KdeTest, DegenerateSampleGetsPositiveBandwidth) {
+  GaussianKde kde({2.0, 2.0, 2.0});
+  EXPECT_GT(kde.bandwidth(), 0.0);
+  EXPECT_GT(kde.Density(2.0), 0.0);
+}
+
+TEST(WelchTest, IdenticalSamplesGiveHighPValue) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  auto result = WelchTTest(a, a);
+  EXPECT_NEAR(result.t_statistic, 0.0, 1e-12);
+  EXPECT_GT(result.p_value, 0.99);
+}
+
+TEST(WelchTest, SeparatedSamplesGiveLowPValue) {
+  Rng rng(25);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(rng.Normal(0.0, 1.0));
+    b.push_back(rng.Normal(3.0, 1.0));
+  }
+  auto result = WelchTTest(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_LT(result.t_statistic, 0.0);  // mean(a) < mean(b)
+}
+
+TEST(WelchTest, SameMeanDifferentVarianceNotSignificant) {
+  Rng rng(26);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Normal(0.0, 0.5));
+    b.push_back(rng.Normal(0.0, 3.0));
+  }
+  auto result = WelchTTest(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(WelchTest, DegreesOfFreedomWithinBounds) {
+  Rng rng(27);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) a.push_back(rng.Normal());
+  for (int i = 0; i < 40; ++i) b.push_back(rng.Normal());
+  auto result = WelchTTest(a, b);
+  EXPECT_GE(result.degrees_of_freedom, 29.0 - 1e9);  // > min(n)-1 region
+  EXPECT_LE(result.degrees_of_freedom, 68.0 + 1e-9);  // <= na+nb-2
+}
+
+TEST(StudentTCdfTest, SymmetryAndLimits) {
+  EXPECT_NEAR(StudentTCdf(0.0, 10.0), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(100.0, 10.0), 1.0, 1e-6);
+  EXPECT_NEAR(StudentTCdf(-100.0, 10.0), 0.0, 1e-6);
+  EXPECT_NEAR(StudentTCdf(1.5, 8.0) + StudentTCdf(-1.5, 8.0), 1.0, 1e-10);
+}
+
+TEST(StudentTCdfTest, MatchesKnownValue) {
+  // t = 2.228, df = 10 is the 97.5% quantile of t_10.
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+}
+
+TEST(IncompleteBetaTest, Endpoints) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(MetricsTest, RmseOfExactPredictionsIsZero) {
+  EXPECT_DOUBLE_EQ(Rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(MetricsTest, RmseKnownValue) {
+  EXPECT_NEAR(Rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(MetricsTest, MaeKnownValue) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({0, 0}, {3, -4}), 3.5);
+}
+
+TEST(MetricsTest, RSquaredPerfectAndMean) {
+  std::vector<double> targets = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RSquared(targets, targets), 1.0);
+  std::vector<double> mean_only = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(RSquared(mean_only, targets), 0.0);
+}
+
+TEST(MetricsTest, RSquaredCanBeNegative) {
+  EXPECT_LT(RSquared({10, 10, 10}, {1, 2, 3}), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecisionPerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true, false, false}), 1.0);
+}
+
+TEST(MetricsTest, AveragePrecisionWorstRanking) {
+  // 2 relevant out of 4, ranked last: AP = (1/3 + 2/4) / 2.
+  EXPECT_NEAR(AveragePrecision({false, false, true, true}),
+              (1.0 / 3.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, AveragePrecisionNoRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({false, false}), 0.0);
+}
+
+TEST(MetricsTest, AccuracyThresholdsAtHalf) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.9, 0.2, 0.6, 0.4}, {1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy({0.9, 0.2}, {1, 0}), 1.0);
+}
+
+TEST(MetricsTest, LogLossPerfectAndClamped) {
+  EXPECT_NEAR(LogLoss({1.0, 0.0}, {1, 0}), 0.0, 1e-9);
+  // Confidently wrong prediction is heavily penalized but finite.
+  double loss = LogLoss({0.0}, {1});
+  EXPECT_GT(loss, 10.0);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,130 @@
+// Tests for the forest summary (model card) and the ROC-AUC metric.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/summary.h"
+#include "stats/metrics.h"
+
+namespace gef {
+namespace {
+
+Forest TwoTreeForest() {
+  Tree t1 = Tree::Stump(0.0, 100);
+  auto [l, r] = t1.SplitLeaf(0, 0, 0.5, 4.0, -1.0, 0.0, 50, 50);
+  t1.SplitLeaf(r, 1, 0.3, 2.0, 2.0, 3.0, 25, 25);
+  (void)l;
+  Tree t2 = Tree::Stump(0.5, 100);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(t1));
+  trees.push_back(std::move(t2));
+  return Forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 3, {"a", "b", "c"});
+}
+
+TEST(ForestSummaryTest, CountsAndDepths) {
+  ForestSummary summary = SummarizeForest(TwoTreeForest());
+  EXPECT_EQ(summary.num_trees, 2u);
+  EXPECT_EQ(summary.num_features, 3u);
+  EXPECT_EQ(summary.total_internal_nodes, 2u);
+  EXPECT_EQ(summary.total_leaves, 4u);  // 3 in t1 + 1 in t2
+  EXPECT_EQ(summary.min_depth, 1);
+  EXPECT_EQ(summary.max_depth, 3);
+  EXPECT_DOUBLE_EQ(summary.mean_depth, 2.0);
+  EXPECT_DOUBLE_EQ(summary.mean_leaves_per_tree, 2.0);
+}
+
+TEST(ForestSummaryTest, LeafValueRangeAndFeatureUsage) {
+  ForestSummary summary = SummarizeForest(TwoTreeForest());
+  EXPECT_DOUBLE_EQ(summary.min_leaf_value, -1.0);
+  EXPECT_DOUBLE_EQ(summary.max_leaf_value, 3.0);
+  EXPECT_EQ(summary.num_used_features, 2u);  // c unused
+  EXPECT_EQ(summary.distinct_thresholds[0], 1u);
+  EXPECT_EQ(summary.distinct_thresholds[1], 1u);
+  EXPECT_EQ(summary.distinct_thresholds[2], 0u);
+  EXPECT_DOUBLE_EQ(summary.gain[0], 4.0);
+  EXPECT_DOUBLE_EQ(summary.gain[2], 0.0);
+}
+
+TEST(ForestSummaryTest, FormatIsReadable) {
+  Forest forest = TwoTreeForest();
+  std::string card = FormatForestSummary(SummarizeForest(forest),
+                                         forest.feature_names());
+  EXPECT_NE(card.find("2 trees"), std::string::npos);
+  EXPECT_NE(card.find("2 of 3 used"), std::string::npos);
+  EXPECT_NE(card.find("a"), std::string::npos);
+  // Unused zero-gain features do not clutter the table.
+  EXPECT_EQ(card.find("\n  c "), std::string::npos);
+}
+
+TEST(ForestSummaryTest, TrainedForestSummaryIsConsistent) {
+  Rng rng(301);
+  Dataset data = MakeGPrimeDataset(1500, &rng);
+  GbdtConfig fc;
+  fc.num_trees = 25;
+  fc.num_leaves = 8;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+  ForestSummary summary = SummarizeForest(forest);
+  EXPECT_EQ(summary.num_trees, 25u);
+  EXPECT_EQ(summary.total_internal_nodes,
+            forest.num_internal_nodes());
+  // Each tree's leaves = internal + 1 for binary trees.
+  EXPECT_EQ(summary.total_leaves,
+            summary.total_internal_nodes + summary.num_trees);
+  EXPECT_EQ(summary.num_used_features, 5u);
+}
+
+TEST(RocAucTest, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(RocAucTest, InvertedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  Rng rng(302);
+  std::vector<double> scores, labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(rng.Uniform());
+    labels.push_back(rng.Uniform() < 0.3 ? 1.0 : 0.0);
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocAucTest, TiesGetHalfCredit) {
+  // One positive and one negative share the same score: AUC = 0.5.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5}, {1, 0}), 0.5);
+  // Known mixed case: scores {0.1, 0.5, 0.5, 0.9}, labels {0, 0, 1, 1}:
+  // pairs: (0.5+ vs 0.1-)=1, (0.5+ vs 0.5-)=0.5, (0.9+ vs both-)=2
+  // => AUC = 3.5 / 4.
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.5, 0.5, 0.9}, {0, 0, 1, 1}), 0.875);
+}
+
+TEST(RocAucTest, DegenerateSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(RocAucTest, ClassifierForestScoresAboveChance) {
+  Rng rng(303);
+  Dataset data(std::vector<std::string>{"x"});
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.Uniform();
+    double p = x;  // P(y=1|x) = x
+    data.AppendRow({x}, rng.Uniform() < p ? 1.0 : 0.0);
+  }
+  GbdtConfig fc;
+  fc.objective = Objective::kBinaryClassification;
+  fc.num_trees = 30;
+  fc.num_leaves = 4;
+  Forest forest = TrainGbdt(data, nullptr, fc).forest;
+  double auc = RocAuc(forest.PredictBatch(data), data.targets());
+  // Bayes-optimal AUC for this generator is 2/3 + noise headroom.
+  EXPECT_GT(auc, 0.6);
+  EXPECT_LT(auc, 0.85);
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,215 @@
+// Tests for the synthetic generators: the paper's g', h, g''_Π functions
+// and the simulated Superconductivity / Census substitutes.
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/census.h"
+#include "data/superconductivity.h"
+#include "data/synthetic.h"
+#include "stats/descriptive.h"
+
+namespace gef {
+namespace {
+
+TEST(SyntheticTest, ComponentFormulasMatchPaper) {
+  // Component 0: identity.
+  EXPECT_DOUBLE_EQ(SyntheticComponent(0, 0.3), 0.3);
+  // Component 1: sin(20x).
+  EXPECT_NEAR(SyntheticComponent(1, 0.1), std::sin(2.0), 1e-12);
+  // Component 2: sigmoid jump at 0.5.
+  EXPECT_NEAR(SyntheticComponent(2, 0.5), 0.5, 1e-12);
+  EXPECT_GT(SyntheticComponent(2, 0.9), 0.999);
+  EXPECT_LT(SyntheticComponent(2, 0.1), 0.001);
+  // Component 3: (atan(10x) - sin(10x)) / 2.
+  EXPECT_NEAR(SyntheticComponent(3, 0.2),
+              (std::atan(2.0) - std::sin(2.0)) / 2.0, 1e-12);
+  // Component 4: 2 / (x + 1).
+  EXPECT_DOUBLE_EQ(SyntheticComponent(4, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(SyntheticComponent(4, 0.0), 2.0);
+}
+
+TEST(SyntheticTest, GPrimeSumsComponents) {
+  std::vector<double> x = {0.1, 0.2, 0.3, 0.4, 0.5};
+  double expected = 0.0;
+  for (int j = 0; j < 5; ++j) expected += SyntheticComponent(j, x[j]);
+  EXPECT_NEAR(GPrime(x), expected, 1e-12);
+}
+
+TEST(SyntheticTest, InteractionBumpPeaksAtCenter) {
+  double center = InteractionBump(0.5, 0.5);
+  EXPECT_NEAR(center, 2.0, 1e-12);
+  EXPECT_LT(InteractionBump(0.0, 0.0), center);
+  EXPECT_LT(InteractionBump(1.0, 0.3), center);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(InteractionBump(0.2, 0.8), InteractionBump(0.8, 0.2));
+}
+
+TEST(SyntheticTest, GDoublePrimeAddsBumps) {
+  std::vector<double> x = {0.5, 0.5, 0.5, 0.5, 0.5};
+  std::vector<std::pair<int, int>> pairs = {{0, 1}, {2, 3}};
+  EXPECT_NEAR(GDoublePrime(x, pairs), GPrime(x) + 2.0 * 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GDoublePrime(x, {}), GPrime(x));
+}
+
+TEST(SyntheticTest, DatasetShapeAndDomain) {
+  Rng rng(41);
+  Dataset d = MakeGPrimeDataset(500, &rng);
+  EXPECT_EQ(d.num_rows(), 500u);
+  EXPECT_EQ(d.num_features(), 5u);
+  EXPECT_EQ(d.feature_name(0), "x1");
+  EXPECT_EQ(d.feature_name(4), "x5");
+  for (size_t f = 0; f < 5; ++f) {
+    for (double v : d.Column(f)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, NoiselessLabelsMatchGPrime) {
+  Rng rng(42);
+  Dataset d = MakeGPrimeDataset(100, &rng, /*noise_sigma=*/0.0);
+  for (size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_NEAR(d.target(i), GPrime(d.GetRow(i)), 1e-12);
+  }
+}
+
+TEST(SyntheticTest, NoiseHasExpectedMagnitude) {
+  Rng rng(43);
+  Dataset noisy = MakeGPrimeDataset(5000, &rng, 0.1);
+  std::vector<double> residuals;
+  for (size_t i = 0; i < noisy.num_rows(); ++i) {
+    residuals.push_back(noisy.target(i) - GPrime(noisy.GetRow(i)));
+  }
+  EXPECT_NEAR(Mean(residuals), 0.0, 0.02);
+  // 5 independent noise draws of sigma 0.1 => total sd ~ sqrt(5)*0.1.
+  EXPECT_NEAR(StdDev(residuals), std::sqrt(5.0) * 0.1, 0.02);
+}
+
+TEST(SyntheticTest, AllFeaturePairsCount) {
+  auto pairs = AllFeaturePairs5();
+  EXPECT_EQ(pairs.size(), 10u);
+  std::set<std::pair<int, int>> unique(pairs.begin(), pairs.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const auto& [a, b] : pairs) EXPECT_LT(a, b);
+}
+
+TEST(SyntheticTest, AllInteractionTriplesCount) {
+  auto triples = AllInteractionTriples();
+  EXPECT_EQ(triples.size(), 120u);  // C(10, 3)
+  for (const auto& triple : triples) EXPECT_EQ(triple.size(), 3u);
+}
+
+TEST(SyntheticTest, SigmoidTargetShape) {
+  EXPECT_NEAR(SigmoidTarget(0.5), 0.5, 1e-12);
+  EXPECT_GT(SigmoidTarget(0.7), 0.99);
+  EXPECT_LT(SigmoidTarget(0.3), 0.01);
+}
+
+TEST(SyntheticTest, SigmoidDatasetSingleFeature) {
+  Rng rng(44);
+  Dataset d = MakeSigmoidDataset(200, &rng);
+  EXPECT_EQ(d.num_features(), 1u);
+  EXPECT_EQ(d.num_rows(), 200u);
+}
+
+TEST(SuperconductivityTest, SchemaMatchesRealDataset) {
+  Rng rng(45);
+  Dataset d = MakeSuperconductivityDataset(100, &rng);
+  EXPECT_EQ(d.num_features(),
+            static_cast<size_t>(kSuperconductivityFeatures));
+  EXPECT_EQ(d.feature_name(0), "number_of_elements");
+  EXPECT_EQ(d.feature_name(kWeamFeatureIndex),
+            "wtd_entropy_atomic_mass");
+  EXPECT_EQ(d.feature_name(kRarFeatureIndex), "range_atomic_radius");
+}
+
+TEST(SuperconductivityTest, TargetNonNegativeKelvinScale) {
+  Rng rng(46);
+  Dataset d = MakeSuperconductivityDataset(2000, &rng);
+  for (double t : d.targets()) EXPECT_GE(t, 0.0);
+  double mean = Mean(d.targets());
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 120.0);
+}
+
+TEST(SuperconductivityTest, WeamJumpIsPresent) {
+  // The noise-free target jumps up as WEAM crosses 1.1 (Fig 9 structure).
+  Rng rng(47);
+  Dataset d = MakeSuperconductivityDataset(1, &rng);
+  std::vector<double> row = d.GetRow(0);
+  row[kWeamFeatureIndex] = 0.9;
+  double below = SuperconductivityTarget(row);
+  row[kWeamFeatureIndex] = 1.3;
+  double above = SuperconductivityTarget(row);
+  EXPECT_GT(above - below, 20.0);
+}
+
+TEST(SuperconductivityTest, SiblingStatisticsAreCorrelated) {
+  Rng rng(48);
+  Dataset d = MakeSuperconductivityDataset(3000, &rng);
+  // mean_atomic_mass (index 1) vs wtd_mean_atomic_mass (index 2) share a
+  // latent property factor.
+  double corr = PearsonCorrelation(d.Column(1), d.Column(2));
+  EXPECT_GT(corr, 0.5);
+  // Features of unrelated properties are weakly correlated.
+  double cross = PearsonCorrelation(d.Column(1), d.Column(75));
+  EXPECT_LT(std::fabs(cross), 0.4);
+}
+
+TEST(CensusTest, RawSchemaAndLevels) {
+  Rng rng(49);
+  Dataset raw = MakeCensusDatasetRaw(1000, &rng);
+  EXPECT_EQ(raw.num_features(), 12u);
+  EXPECT_GE(raw.FeatureIndex("education_num"), 0);
+  EXPECT_GE(raw.FeatureIndex("sex"), 0);
+  for (size_t col : CensusCategoricalColumns()) {
+    for (double v : raw.Column(col)) {
+      EXPECT_EQ(v, std::floor(v));
+      EXPECT_GE(v, 0.0);
+    }
+  }
+  for (double t : raw.targets()) {
+    EXPECT_TRUE(t == 0.0 || t == 1.0);
+  }
+}
+
+TEST(CensusTest, TargetProbabilityIncreasesWithEducation) {
+  Rng rng(50);
+  Dataset raw = MakeCensusDatasetRaw(1, &rng);
+  std::vector<double> row = raw.GetRow(0);
+  int edu = raw.FeatureIndex("education_num");
+  row[edu] = 4.0;
+  double low = CensusTargetProbability(row);
+  row[edu] = 15.0;
+  double high = CensusTargetProbability(row);
+  EXPECT_GT(high, low);
+}
+
+TEST(CensusTest, EncodedDatasetIsBinaryForCategoricals) {
+  Rng rng(51);
+  Dataset encoded = MakeCensusDatasetEncoded(500, &rng);
+  EXPECT_GT(encoded.num_features(), 12u);
+  int sex_male = encoded.FeatureIndex("sex=1");
+  ASSERT_GE(sex_male, 0);
+  for (double v : encoded.Column(sex_male)) {
+    EXPECT_TRUE(v == 0.0 || v == 1.0);
+  }
+}
+
+TEST(CensusTest, PositiveRateIsRealistic) {
+  Rng rng(52);
+  Dataset raw = MakeCensusDatasetRaw(5000, &rng);
+  double rate = Mean(raw.targets());
+  // The real Adult dataset has ~24% positives; the simulation should be
+  // in a plausible band, not degenerate.
+  EXPECT_GT(rate, 0.08);
+  EXPECT_LT(rate, 0.5);
+}
+
+}  // namespace
+}  // namespace gef

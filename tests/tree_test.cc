@@ -1,0 +1,196 @@
+// Tests for the Tree structure and the Forest container.
+
+#include <gtest/gtest.h>
+
+#include "forest/forest.h"
+#include "forest/threshold_index.h"
+#include "forest/tree.h"
+
+namespace gef {
+namespace {
+
+// Builds the depth-2 tree:
+//          [x0 <= 0.5]           gain 4
+//          /        \
+//   [x1 <= 0.3]     leaf(3.0)    gain 2
+//    /      \
+// leaf(1.0) leaf(2.0)
+Tree SmallTree() {
+  Tree tree = Tree::Stump(0.0, 100);
+  auto [left, right] =
+      tree.SplitLeaf(0, /*feature=*/0, /*threshold=*/0.5, /*gain=*/4.0,
+                     /*left_value=*/0.0, /*right_value=*/3.0, 60, 40);
+  tree.SplitLeaf(left, /*feature=*/1, /*threshold=*/0.3, /*gain=*/2.0,
+                 /*left_value=*/1.0, /*right_value=*/2.0, 25, 35);
+  return tree;
+}
+
+TEST(TreeTest, StumpPredictsConstant) {
+  Tree stump = Tree::Stump(7.5);
+  EXPECT_DOUBLE_EQ(stump.Predict({0.0}), 7.5);
+  EXPECT_DOUBLE_EQ(stump.Predict({123.0}), 7.5);
+  EXPECT_EQ(stump.num_leaves(), 1u);
+  EXPECT_EQ(stump.depth(), 1);
+}
+
+TEST(TreeTest, RoutingFollowsThresholds) {
+  Tree tree = SmallTree();
+  EXPECT_DOUBLE_EQ(tree.Predict({0.2, 0.1}), 1.0);  // left-left
+  EXPECT_DOUBLE_EQ(tree.Predict({0.2, 0.9}), 2.0);  // left-right
+  EXPECT_DOUBLE_EQ(tree.Predict({0.9, 0.1}), 3.0);  // right
+}
+
+TEST(TreeTest, BoundaryGoesLeft) {
+  Tree tree = SmallTree();
+  // x <= threshold routes left.
+  EXPECT_DOUBLE_EQ(tree.Predict({0.5, 0.3}), 1.0);
+}
+
+TEST(TreeTest, CountsAndShape) {
+  Tree tree = SmallTree();
+  EXPECT_EQ(tree.num_nodes(), 5u);
+  EXPECT_EQ(tree.num_leaves(), 3u);
+  EXPECT_EQ(tree.depth(), 3);
+  EXPECT_TRUE(tree.IsWellFormed());
+}
+
+TEST(TreeTest, ScaleLeavesOnlyTouchesLeaves) {
+  Tree tree = SmallTree();
+  tree.ScaleLeaves(0.5);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.2, 0.1}), 0.5);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.9, 0.0}), 1.5);
+  // Split parameters untouched.
+  EXPECT_DOUBLE_EQ(tree.node(0).threshold, 0.5);
+  EXPECT_DOUBLE_EQ(tree.node(0).gain, 4.0);
+}
+
+TEST(TreeTest, LeafIndexMatchesPredict) {
+  Tree tree = SmallTree();
+  int leaf = tree.LeafIndex({0.2, 0.9});
+  EXPECT_TRUE(tree.node(leaf).is_leaf());
+  EXPECT_DOUBLE_EQ(tree.node(leaf).value, 2.0);
+}
+
+TEST(TreeTest, MalformedTreeDetected) {
+  Tree tree;
+  TreeNode bad;
+  bad.feature = 0;
+  bad.left = 5;  // out of range
+  bad.right = 1;
+  tree.AddNode(bad);
+  TreeNode leaf;
+  tree.AddNode(leaf);
+  EXPECT_FALSE(tree.IsWellFormed());
+}
+
+TEST(TreeDeathTest, SplittingInternalNodeAborts) {
+  Tree tree = SmallTree();
+  EXPECT_DEATH(tree.SplitLeaf(0, 0, 0.1, 1.0, 0.0, 0.0, 1, 1),
+               "non-leaf");
+}
+
+TEST(ForestTest, SumAggregationAddsInitScore) {
+  std::vector<Tree> trees;
+  trees.push_back(Tree::Stump(1.0));
+  trees.push_back(Tree::Stump(2.0));
+  Forest forest(std::move(trees), /*init_score=*/10.0,
+                Objective::kRegression, Aggregation::kSum, 2, {});
+  EXPECT_DOUBLE_EQ(forest.PredictRaw({0.0, 0.0}), 13.0);
+}
+
+TEST(ForestTest, AverageAggregation) {
+  std::vector<Tree> trees;
+  trees.push_back(Tree::Stump(1.0));
+  trees.push_back(Tree::Stump(3.0));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kAverage, 1, {});
+  EXPECT_DOUBLE_EQ(forest.PredictRaw({0.0}), 2.0);
+}
+
+TEST(ForestTest, ClassificationAppliesSigmoid) {
+  std::vector<Tree> trees;
+  trees.push_back(Tree::Stump(0.0));
+  Forest forest(std::move(trees), 0.0,
+                Objective::kBinaryClassification, Aggregation::kSum, 1,
+                {});
+  EXPECT_DOUBLE_EQ(forest.Predict({0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(forest.PredictRaw({0.0}), 0.0);
+}
+
+TEST(ForestTest, StagedPredictionUsesPrefix) {
+  std::vector<Tree> trees;
+  trees.push_back(Tree::Stump(1.0));
+  trees.push_back(Tree::Stump(2.0));
+  trees.push_back(Tree::Stump(4.0));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 1, {});
+  EXPECT_DOUBLE_EQ(forest.PredictRawStaged({0.0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(forest.PredictRawStaged({0.0}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(forest.PredictRawStaged({0.0}, 3), 7.0);
+}
+
+TEST(ForestTest, GainImportanceAccumulatesOverNodesAndTrees) {
+  std::vector<Tree> trees;
+  trees.push_back(SmallTree());
+  trees.push_back(SmallTree());
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+  auto importance = forest.GainImportance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_DOUBLE_EQ(importance[0], 8.0);  // gain 4 in each of 2 trees
+  EXPECT_DOUBLE_EQ(importance[1], 4.0);
+  auto counts = forest.SplitCountImportance();
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(forest.num_internal_nodes(), 4u);
+}
+
+TEST(ForestTest, DefaultFeatureNamesGenerated) {
+  std::vector<Tree> trees;
+  trees.push_back(Tree::Stump(0.0));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 3, {});
+  EXPECT_EQ(forest.feature_names()[2], "f2");
+}
+
+TEST(ThresholdIndexTest, CollectsSortedDistinctThresholds) {
+  std::vector<Tree> trees;
+  trees.push_back(SmallTree());
+  trees.push_back(SmallTree());
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+  ThresholdIndex index(forest);
+  EXPECT_EQ(index.NumDistinctThresholds(0), 1u);
+  EXPECT_DOUBLE_EQ(index.Thresholds(0)[0], 0.5);
+  // With multiplicity: one 0.5 per tree.
+  EXPECT_EQ(index.ThresholdsWithMultiplicity(0).size(), 2u);
+}
+
+TEST(ThresholdIndexTest, UnusedFeatureHasNoThresholds) {
+  std::vector<Tree> trees;
+  trees.push_back(Tree::Stump(0.0));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 4, {});
+  ThresholdIndex index(forest);
+  for (int f = 0; f < 4; ++f) {
+    EXPECT_TRUE(index.Thresholds(f).empty());
+  }
+}
+
+TEST(ThresholdIndexTest, ForEachInternalNodeVisitsAllSplits) {
+  std::vector<Tree> trees;
+  trees.push_back(SmallTree());
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+  int visits = 0;
+  double gain_sum = 0.0;
+  ForEachInternalNode(forest, [&](const Tree&, const TreeNode& node) {
+    ++visits;
+    gain_sum += node.gain;
+  });
+  EXPECT_EQ(visits, 2);
+  EXPECT_DOUBLE_EQ(gain_sum, 6.0);
+}
+
+}  // namespace
+}  // namespace gef

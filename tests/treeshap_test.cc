@@ -1,0 +1,265 @@
+// Tests for exact TreeSHAP: hand-computed values on tiny trees,
+// local accuracy (property-swept over random forests and instances),
+// symmetry/null-feature axioms and global aggregation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "explain/treeshap.h"
+#include "forest/gbdt_trainer.h"
+#include "stats/rng.h"
+
+namespace gef {
+namespace {
+
+// Single split on feature 0 at 0.5: left leaf 0 (cover 50), right leaf 10
+// (cover 50). For a balanced split, SHAP of feature 0 at x0 > 0.5 is
+// f(x) − E[f] = 10 − 5 = 5, all attributed to feature 0.
+Forest SingleSplitForest() {
+  Tree tree = Tree::Stump(0.0, 100);
+  tree.SplitLeaf(0, 0, 0.5, 1.0, 0.0, 10.0, 50, 50);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(tree));
+  return Forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+}
+
+TEST(TreeShapTest, SingleSplitHandComputed) {
+  Forest forest = SingleSplitForest();
+  TreeShapExplainer explainer(forest);
+  EXPECT_DOUBLE_EQ(explainer.base_value(), 5.0);
+
+  ShapExplanation high = explainer.Explain({0.9, 0.0});
+  EXPECT_NEAR(high.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(high.values[1], 0.0, 1e-12);
+
+  ShapExplanation low = explainer.Explain({0.1, 0.0});
+  EXPECT_NEAR(low.values[0], -5.0, 1e-12);
+}
+
+TEST(TreeShapTest, UnbalancedCoverShiftsBaseValue) {
+  Tree tree = Tree::Stump(0.0, 100);
+  tree.SplitLeaf(0, 0, 0.5, 1.0, 0.0, 10.0, 80, 20);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(tree));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 1, {});
+  TreeShapExplainer explainer(forest);
+  EXPECT_DOUBLE_EQ(explainer.base_value(), 2.0);  // 0.8*0 + 0.2*10
+  ShapExplanation e = explainer.Explain({0.9});
+  EXPECT_NEAR(e.base_value + e.values[0], 10.0, 1e-12);
+}
+
+TEST(TreeShapTest, TwoFeatureXorSplitsCreditEqually) {
+  // Tree: x0 <= 0.5 ? (x1 <= 0.5 ? 0 : 1) : (x1 <= 0.5 ? 1 : 0)
+  // with uniform covers — an XOR; by symmetry both features get equal
+  // credit at any corner.
+  Tree tree = Tree::Stump(0.0, 400);
+  auto [l, r] = tree.SplitLeaf(0, 0, 0.5, 1.0, 0.0, 0.0, 200, 200);
+  tree.SplitLeaf(l, 1, 0.5, 1.0, 0.0, 1.0, 100, 100);
+  tree.SplitLeaf(r, 1, 0.5, 1.0, 1.0, 0.0, 100, 100);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(tree));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 2, {});
+  TreeShapExplainer explainer(forest);
+  ShapExplanation e = explainer.Explain({0.9, 0.9});
+  EXPECT_NEAR(e.values[0], e.values[1], 1e-12);
+  EXPECT_NEAR(e.base_value + e.values[0] + e.values[1], 0.0, 1e-12);
+}
+
+TEST(TreeShapTest, InitScoreEntersBaseValueOnly) {
+  Tree tree = Tree::Stump(0.0, 100);
+  tree.SplitLeaf(0, 0, 0.5, 1.0, -1.0, 1.0, 50, 50);
+  std::vector<Tree> trees;
+  trees.push_back(std::move(tree));
+  Forest forest(std::move(trees), 7.0, Objective::kRegression,
+                Aggregation::kSum, 1, {});
+  TreeShapExplainer explainer(forest);
+  EXPECT_DOUBLE_EQ(explainer.base_value(), 7.0);
+  ShapExplanation e = explainer.Explain({0.9});
+  EXPECT_NEAR(e.base_value + e.values[0], 8.0, 1e-12);
+}
+
+// Brute-force reference: the tree-conditional expectation E[f(x) | x_S]
+// computed by the standard recursive walk (follow x on features in S,
+// split by cover proportion otherwise), then exact Shapley values by
+// enumerating all subsets. TreeSHAP must reproduce these numbers.
+double ExpectationGivenSubset(const Tree& tree, int node_index,
+                              const std::vector<double>& x,
+                              uint32_t subset) {
+  const TreeNode& node = tree.node(node_index);
+  if (node.is_leaf()) return node.value;
+  if (subset & (1u << node.feature)) {
+    int next = x[node.feature] <= node.threshold ? node.left : node.right;
+    return ExpectationGivenSubset(tree, next, x, subset);
+  }
+  double left_cover = tree.node(node.left).count;
+  double right_cover = tree.node(node.right).count;
+  double total = left_cover + right_cover;
+  if (total <= 0.0) {
+    return 0.5 * (ExpectationGivenSubset(tree, node.left, x, subset) +
+                  ExpectationGivenSubset(tree, node.right, x, subset));
+  }
+  return (left_cover *
+              ExpectationGivenSubset(tree, node.left, x, subset) +
+          right_cover *
+              ExpectationGivenSubset(tree, node.right, x, subset)) /
+         total;
+}
+
+std::vector<double> BruteForceShapley(const Tree& tree,
+                                      const std::vector<double>& x,
+                                      int num_features) {
+  auto value = [&](uint32_t subset) {
+    return ExpectationGivenSubset(tree, 0, x, subset);
+  };
+  std::vector<double> factorial(num_features + 1, 1.0);
+  for (int i = 1; i <= num_features; ++i) {
+    factorial[i] = factorial[i - 1] * i;
+  }
+  std::vector<double> phi(num_features, 0.0);
+  const uint32_t full = (1u << num_features) - 1;
+  for (int f = 0; f < num_features; ++f) {
+    for (uint32_t subset = 0; subset <= full; ++subset) {
+      if (subset & (1u << f)) continue;
+      int size = __builtin_popcount(subset);
+      double weight = factorial[size] *
+                      factorial[num_features - size - 1] /
+                      factorial[num_features];
+      phi[f] += weight *
+                (value(subset | (1u << f)) - value(subset));
+    }
+  }
+  return phi;
+}
+
+TEST(TreeShapTest, MatchesBruteForceShapleyOnRandomTrees) {
+  Rng rng(220);
+  // Random trained trees over 4 features, compared at random instances.
+  Dataset data(4);
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.Uniform();
+    data.AppendRow(x, x[0] * x[1] + std::sin(5.0 * x[2]) + x[3]);
+  }
+  GbdtConfig config;
+  config.num_trees = 6;
+  config.num_leaves = 8;
+  config.min_samples_leaf = 5;
+  Forest forest = TrainGbdt(data, nullptr, config).forest;
+  TreeShapExplainer explainer(forest);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.Uniform();
+    ShapExplanation fast = explainer.Explain(x);
+    std::vector<double> reference(4, 0.0);
+    for (const Tree& tree : forest.trees()) {
+      std::vector<double> phi = BruteForceShapley(tree, x, 4);
+      for (int f = 0; f < 4; ++f) reference[f] += phi[f];
+    }
+    for (int f = 0; f < 4; ++f) {
+      EXPECT_NEAR(fast.values[f], reference[f], 1e-9)
+          << "feature " << f << ", trial " << trial;
+    }
+  }
+}
+
+class TreeShapPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeShapPropertyTest, LocalAccuracyOnTrainedForest) {
+  Rng rng(GetParam());
+  Dataset data = MakeGPrimeDataset(600, &rng);
+  GbdtConfig config;
+  config.num_trees = 20;
+  config.num_leaves = 8;
+  config.min_samples_leaf = 5;
+  config.seed = static_cast<uint64_t>(GetParam());
+  Forest forest = TrainGbdt(data, nullptr, config).forest;
+  TreeShapExplainer explainer(forest);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(5);
+    for (double& v : x) v = rng.Uniform();
+    ShapExplanation e = explainer.Explain(x);
+    double total = e.base_value;
+    for (double phi : e.values) total += phi;
+    // Local accuracy: Σφ + base = raw prediction, to numerical precision.
+    EXPECT_NEAR(total, forest.PredictRaw(x), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeShapPropertyTest,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+TEST(TreeShapTest, NullFeatureGetsZeroAttribution) {
+  Rng rng(210);
+  // Feature 1 is pure noise, never predictive.
+  Dataset data(std::vector<std::string>{"x", "noise"});
+  for (int i = 0; i < 800; ++i) {
+    double x = rng.Uniform();
+    data.AppendRow({x, rng.Uniform()}, 4.0 * x);
+  }
+  GbdtConfig config;
+  config.num_trees = 10;
+  config.num_leaves = 4;
+  Forest forest = TrainGbdt(data, nullptr, config).forest;
+  TreeShapExplainer explainer(forest);
+  // If the forest never splits on noise, its SHAP must be exactly 0.
+  bool noise_used = forest.SplitCountImportance()[1] > 0;
+  if (!noise_used) {
+    ShapExplanation e = explainer.Explain({0.7, 0.2});
+    EXPECT_DOUBLE_EQ(e.values[1], 0.0);
+  }
+}
+
+TEST(TreeShapTest, AverageAggregationScalesValues) {
+  Tree t1 = Tree::Stump(0.0, 100);
+  t1.SplitLeaf(0, 0, 0.5, 1.0, 0.0, 10.0, 50, 50);
+  Tree t2 = t1;
+  std::vector<Tree> trees;
+  trees.push_back(std::move(t1));
+  trees.push_back(std::move(t2));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kAverage, 1, {});
+  TreeShapExplainer explainer(forest);
+  EXPECT_DOUBLE_EQ(explainer.base_value(), 5.0);
+  ShapExplanation e = explainer.Explain({0.9});
+  EXPECT_NEAR(e.base_value + e.values[0], forest.PredictRaw({0.9}),
+              1e-12);
+}
+
+TEST(GlobalShapTest, AggregatesOverDataset) {
+  Rng rng(211);
+  Dataset data = MakeGPrimeDataset(300, &rng);
+  GbdtConfig config;
+  config.num_trees = 15;
+  config.num_leaves = 8;
+  Forest forest = TrainGbdt(data, nullptr, config).forest;
+  GlobalShapSummary summary = ComputeGlobalShap(forest, data);
+  ASSERT_EQ(summary.mean_abs_shap.size(), 5u);
+  for (double v : summary.mean_abs_shap) EXPECT_GE(v, 0.0);
+  // Dependence series recorded for every instance.
+  EXPECT_EQ(summary.feature_values[0].size(), 300u);
+  EXPECT_EQ(summary.shap_values[0].size(), 300u);
+}
+
+TEST(GlobalShapTest, InformativeFeatureOutranksNoise) {
+  Rng rng(212);
+  Dataset data(std::vector<std::string>{"x", "noise"});
+  for (int i = 0; i < 600; ++i) {
+    double x = rng.Uniform();
+    data.AppendRow({x, rng.Uniform()}, 3.0 * x);
+  }
+  GbdtConfig config;
+  config.num_trees = 10;
+  config.num_leaves = 4;
+  Forest forest = TrainGbdt(data, nullptr, config).forest;
+  GlobalShapSummary summary = ComputeGlobalShap(forest, data);
+  EXPECT_GT(summary.mean_abs_shap[0], 5.0 * summary.mean_abs_shap[1]);
+}
+
+}  // namespace
+}  // namespace gef

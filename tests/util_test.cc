@@ -1,0 +1,179 @@
+// Tests for util: Status/StatusOr, string helpers, timer.
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace gef {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::IoError("cannot open foo");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "cannot open foo");
+  EXPECT_EQ(status.ToString(), "IO_ERROR: cannot open foo");
+}
+
+TEST(StatusTest, AllFactoryFunctionsProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(SplitTest, BasicSplit) {
+  auto fields = Split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto fields = Split("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsSingleField) {
+  auto fields = Split("alone", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "alone");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nvalue\r "), "value");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.25), "1.25");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.001), "0.001");
+}
+
+TEST(FormatDoubleTest, RespectsSignificantDigits) {
+  EXPECT_EQ(FormatDouble(3.14159265, 3), "3.14");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("forest model", "forest"));
+  EXPECT_FALSE(StartsWith("forest", "forest model"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+  EXPECT_TRUE(ParseDouble("  7 ", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsMalformedInput) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(ParseIntTest, ParsesValidIntegers) {
+  int v = 0;
+  EXPECT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt("-7", &v));
+  EXPECT_EQ(v, -7);
+}
+
+TEST(ParseIntTest, RejectsMalformedInput) {
+  int v = 0;
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("1.5", &v));
+  EXPECT_FALSE(ParseInt("x", &v));
+}
+
+TEST(TimerTest, MeasuresNonNegativeElapsedTime) {
+  Timer timer;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sink, 0.0);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer timer;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(sink, 0.0);
+  double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(GEF_CHECK(1 == 2), "GEF_CHECK failed");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgIncludesMessage) {
+  EXPECT_DEATH(GEF_CHECK_MSG(false, "context " << 42), "context 42");
+}
+
+TEST(CheckDeathTest, ComparisonMacros) {
+  EXPECT_DEATH(GEF_CHECK_EQ(1, 2), "expected equality");
+  EXPECT_DEATH(GEF_CHECK_LT(2, 1), "expected a < b");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  GEF_CHECK(true);
+  GEF_CHECK_EQ(3, 3);
+  GEF_CHECK_LE(1, 1);
+  GEF_CHECK_GT(2, 1);
+}
+
+}  // namespace
+}  // namespace gef
