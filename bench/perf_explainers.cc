@@ -5,19 +5,31 @@
 //   * GEF's training cost depends on the forest's thresholds, not on the
 //     number of instances explained, while SHAP pays per instance.
 
+#include <thread>
+
 #include <benchmark/benchmark.h>
 
 #include "data/synthetic.h"
 #include "explain/hstat.h"
+#include "explain/kernelshap.h"
 #include "explain/treeshap.h"
 #include "forest/gbdt_trainer.h"
 #include "forest/threshold_index.h"
 #include "gef/explainer.h"
 #include "gef/interaction.h"
 #include "gef/sampling.h"
+#include "util/parallel.h"
 
 namespace gef {
 namespace {
+
+// Thread-count sweep for the parallel explainer paths: 1 / 2 / 4 plus
+// the machine's hardware concurrency when it exceeds 4.
+void ThreadCounts(benchmark::internal::Benchmark* b) {
+  for (int t : {1, 2, 4}) b->Arg(t);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) b->Arg(hw);
+}
 
 struct SharedState {
   Forest forest;
@@ -155,6 +167,52 @@ void BM_DstarGeneration(benchmark::State& bench_state) {
   }
 }
 BENCHMARK(BM_DstarGeneration)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DstarGenerationThreads(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  ThresholdIndex index(s.forest);
+  Rng rng(9);
+  auto domains = BuildAllDomains(s.forest, index,
+                                 SamplingStrategy::kEquiSize, 32, 0.05,
+                                 &rng);
+  SetNumThreads(static_cast<int>(bench_state.range(0)));
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(
+        GenerateSyntheticDataset(s.forest, domains, 4000, &rng));
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_DstarGenerationThreads)->Apply(ThreadCounts)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KernelShapThreads(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  KernelShapConfig config;
+  config.background_rows = 100;
+  std::vector<double> x = {0.3, 0.6, 0.2, 0.8, 0.5};
+  SetNumThreads(static_cast<int>(bench_state.range(0)));
+  KernelShapExplainer explainer(s.forest, s.data, config);
+  for (auto _ : bench_state) {
+    benchmark::DoNotOptimize(explainer.Explain(x));
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_KernelShapThreads)->Apply(ThreadCounts)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InteractionHStatThreads(benchmark::State& bench_state) {
+  const SharedState& s = State();
+  SetNumThreads(static_cast<int>(bench_state.range(0)));
+  for (auto _ : bench_state) {
+    auto ranked = RankInteractions(s.forest, {0, 1, 2, 3, 4},
+                                   InteractionStrategy::kHStat,
+                                   &s.dstar_sample);
+    benchmark::DoNotOptimize(ranked);
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_InteractionHStatThreads)->Apply(ThreadCounts)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

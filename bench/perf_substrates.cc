@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include <benchmark/benchmark.h>
 
@@ -16,9 +17,18 @@
 #include "linalg/cholesky.h"
 #include "stats/quantile_sketch.h"
 #include "stats/rng.h"
+#include "util/parallel.h"
 
 namespace gef {
 namespace {
+
+// Thread-count sweep for the parallel substrates: 1 / 2 / 4 plus the
+// machine's hardware concurrency when it exceeds 4.
+void ThreadCounts(benchmark::internal::Benchmark* b) {
+  for (int t : {1, 2, 4}) b->Arg(t);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) b->Arg(hw);
+}
 
 void BM_GbdtTrain(benchmark::State& state) {
   Rng rng(42);
@@ -157,6 +167,40 @@ void BM_GramWeighted(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GramWeighted)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GramWeightedThreads(benchmark::State& state) {
+  const size_t n = 5000, p = 100;
+  Rng rng(48);
+  Matrix x(n, p);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < p; ++j) x(i, j) = rng.Normal();
+  }
+  SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramWeighted(x, {}));
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_GramWeightedThreads)->Apply(ThreadCounts)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictBatchThreads(benchmark::State& state) {
+  Rng rng(51);
+  Dataset train = MakeGPrimeDataset(2000, &rng);
+  GbdtConfig config;
+  config.num_trees = 80;
+  config.num_leaves = 16;
+  Forest forest = TrainGbdt(train, nullptr, config).forest;
+  Dataset batch = MakeGPrimeDataset(20000, &rng);
+  SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictRawBatch(batch));
+  }
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * batch.num_rows());
+}
+BENCHMARK(BM_ForestPredictBatchThreads)->Apply(ThreadCounts)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

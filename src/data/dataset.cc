@@ -48,16 +48,23 @@ std::vector<double> Dataset::GetRow(size_t row) const {
 }
 
 Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  for (size_t idx : indices) GEF_CHECK(idx < num_rows_);
+  // Copy column slices directly instead of round-tripping every row
+  // through GetRow/AppendRow (which allocates a vector per row).
   Dataset out(names_);
-  out.Reserve(indices.size());
-  for (size_t idx : indices) {
-    GEF_CHECK(idx < num_rows_);
-    if (has_targets()) {
-      out.AppendRow(GetRow(idx), targets_[idx]);
-    } else {
-      out.AppendRow(GetRow(idx));
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    const std::vector<double>& src = columns_[j];
+    std::vector<double>& dst = out.columns_[j];
+    dst.resize(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) dst[i] = src[indices[i]];
+  }
+  if (has_targets()) {
+    out.targets_.resize(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      out.targets_[i] = targets_[indices[i]];
     }
   }
+  out.num_rows_ = indices.size();
   return out;
 }
 

@@ -70,6 +70,16 @@ class Dataset {
   /// Materializes row `row` as a dense feature vector.
   std::vector<double> GetRow(size_t row) const;
 
+  /// Copies row `row` into `*buf`, resizing it to num_features(). Hot
+  /// loops call this with a reused per-thread buffer instead of paying a
+  /// heap allocation per row via GetRow.
+  void GetRowInto(size_t row, std::vector<double>* buf) const {
+    GEF_DCHECK(row < num_rows_);
+    buf->resize(columns_.size());
+    double* out = buf->data();
+    for (size_t j = 0; j < columns_.size(); ++j) out[j] = columns_[j][row];
+  }
+
   /// Returns the subset of rows given by `indices` (targets carried over
   /// when present).
   Dataset Subset(const std::vector<size_t>& indices) const;

@@ -4,6 +4,7 @@
 
 #include "linalg/solve.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace gef {
 namespace {
@@ -44,9 +45,13 @@ KernelShapExplainer::KernelShapExplainer(ModelFn model,
     background_ = background;
   }
 
+  // Serial left-fold over the (at most background_rows) subsample keeps
+  // base_value_ bit-identical at every thread count.
   double sum = 0.0;
+  std::vector<double> row;
   for (size_t i = 0; i < background_.num_rows(); ++i) {
-    sum += model_(background_.GetRow(i));
+    background_.GetRowInto(i, &row);
+    sum += model_(row);
   }
   base_value_ = sum / static_cast<double>(background_.num_rows());
 }
@@ -63,10 +68,12 @@ KernelShapExplainer::KernelShapExplainer(const Forest& forest,
 double KernelShapExplainer::CoalitionValue(
     const std::vector<double>& x,
     const std::vector<uint8_t>& coalition) const {
+  // One reused row buffer per call; calls are independent, so Explain can
+  // evaluate coalitions concurrently.
   double sum = 0.0;
-  std::vector<double> row;
+  std::vector<double> row(num_features_);
   for (size_t i = 0; i < background_.num_rows(); ++i) {
-    row = background_.GetRow(i);
+    background_.GetRowInto(i, &row);
     for (size_t f = 0; f < num_features_; ++f) {
       if (coalition[f]) row[f] = x[f];
     }
@@ -143,14 +150,20 @@ ShapExplanation KernelShapExplainer::Explain(
   // WLS with the efficiency constraint Σφ = Δ eliminated through the
   // last feature: φ_{m-1} = Δ − Σ_{f<m-1} φ_f, giving the regression
   //   v(z) − base − z_{m-1} Δ = Σ_{f<m-1} (z_f − z_{m-1}) φ_f.
+  // Coalition values dominate the cost (each is |background| model
+  // evaluations); they are independent, so evaluate them in parallel.
+  std::vector<double> values(coalitions.size());
+  ParallelFor(0, coalitions.size(), 2, [&](size_t c) {
+    values[c] = CoalitionValue(x, coalitions[c]);
+  });
+
   const int p = m - 1;
   Matrix design(coalitions.size(), p);
   Vector targets(coalitions.size());
   for (size_t c = 0; c < coalitions.size(); ++c) {
     const std::vector<uint8_t>& z = coalitions[c];
-    double value = CoalitionValue(x, z);
     double z_last = z[m - 1] ? 1.0 : 0.0;
-    targets[c] = value - base_value_ - z_last * delta;
+    targets[c] = values[c] - base_value_ - z_last * delta;
     for (int f = 0; f < p; ++f) {
       design(c, f) = (z[f] ? 1.0 : 0.0) - z_last;
     }

@@ -38,7 +38,9 @@ class KernelShapExplainer {
   using ModelFn = std::function<double(const std::vector<double>&)>;
 
   /// `model` maps a feature row to a score; `background` supplies the
-  /// imputation distribution for absent features.
+  /// imputation distribution for absent features. `model` must be safe to
+  /// call concurrently from multiple threads — Explain evaluates
+  /// coalitions in parallel (a const Forest qualifies).
   KernelShapExplainer(ModelFn model, const Dataset& background,
                       const KernelShapConfig& config);
 

@@ -2,6 +2,7 @@
 
 #include "stats/metrics.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace gef {
 namespace {
@@ -38,12 +39,18 @@ std::vector<double> PermutationImportance(
     double total = 0.0;
     for (int repeat = 0; repeat < config.num_repeats; ++repeat) {
       std::vector<size_t> perm = rng.Permutation(data.num_rows());
-      for (size_t i = 0; i < data.num_rows(); ++i) {
-        std::vector<double> row = data.GetRow(i);
-        row[f] = data.Get(perm[i], f);
-        predictions[i] = classification ? forest.Predict(row)
-                                        : forest.PredictRaw(row);
-      }
+      ParallelForChunked(
+          0, data.num_rows(), 128,
+          [&](size_t chunk_begin, size_t chunk_end) {
+            std::vector<double> row;
+            for (size_t i = chunk_begin; i < chunk_end; ++i) {
+              data.GetRowInto(i, &row);
+              row[f] = data.Get(perm[i], f);
+              predictions[i] = classification
+                                   ? forest.Predict(row.data())
+                                   : forest.PredictRaw(row.data());
+            }
+          });
       total += BaseError(forest, data, predictions) - baseline;
     }
     importance[f] = total / config.num_repeats;

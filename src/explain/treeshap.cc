@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace gef {
 namespace {
@@ -192,24 +193,29 @@ GlobalShapSummary ComputeGlobalShap(const Forest& forest,
   TreeShapExplainer explainer(forest);
   GlobalShapSummary summary;
   const size_t m = forest.num_features();
-  summary.mean_abs_shap.assign(m, 0.0);
-  summary.feature_values.resize(m);
-  summary.shap_values.resize(m);
-  for (size_t f = 0; f < m; ++f) {
-    summary.feature_values[f].reserve(data.num_rows());
-    summary.shap_values[f].reserve(data.num_rows());
-  }
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    std::vector<double> row = data.GetRow(i);
-    ShapExplanation explanation = explainer.Explain(row);
-    for (size_t f = 0; f < m; ++f) {
-      summary.mean_abs_shap[f] += std::fabs(explanation.values[f]);
-      summary.feature_values[f].push_back(row[f]);
-      summary.shap_values[f].push_back(explanation.values[f]);
+  const size_t n = data.num_rows();
+  summary.feature_values.assign(m, std::vector<double>(n, 0.0));
+  summary.shap_values.assign(m, std::vector<double>(n, 0.0));
+  // Each instance's exact TreeSHAP walk is independent; write results
+  // by row index so the output is thread-count invariant.
+  ParallelForChunked(0, n, 8, [&](size_t chunk_begin, size_t chunk_end) {
+    std::vector<double> row;
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      data.GetRowInto(i, &row);
+      ShapExplanation explanation = explainer.Explain(row);
+      for (size_t f = 0; f < m; ++f) {
+        summary.feature_values[f][i] = row[f];
+        summary.shap_values[f][i] = explanation.values[f];
+      }
     }
-  }
+  });
+  // Accumulated serially in row order: bit-identical to the pre-pool code.
+  summary.mean_abs_shap.assign(m, 0.0);
   for (size_t f = 0; f < m; ++f) {
-    summary.mean_abs_shap[f] /= static_cast<double>(data.num_rows());
+    for (size_t i = 0; i < n; ++i) {
+      summary.mean_abs_shap[f] += std::fabs(summary.shap_values[f][i]);
+    }
+    summary.mean_abs_shap[f] /= static_cast<double>(n);
   }
   return summary;
 }

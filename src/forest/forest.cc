@@ -2,7 +2,17 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace gef {
+namespace {
+
+// Rows per parallel task in the batch-prediction loops: coarse enough
+// that task dispatch is negligible next to hundreds of tree traversals,
+// fine enough to load-balance small batches.
+constexpr size_t kBatchGrain = 128;
+
+}  // namespace
 
 Forest::Forest(std::vector<Tree> trees, double init_score,
                Objective objective, Aggregation aggregation,
@@ -26,9 +36,20 @@ double Forest::PredictRaw(const std::vector<double>& x) const {
   return PredictRawStaged(x, trees_.size());
 }
 
+double Forest::PredictRaw(const double* x) const {
+  return PredictRawStaged(x, trees_.size());
+}
+
 double Forest::PredictRawStaged(const std::vector<double>& x,
                                 size_t num_trees) const {
-  GEF_DCHECK(x.size() >= num_features_);
+  // Release-mode-safe contract check: a short row would read out of
+  // bounds inside every tree traversal, so reject it in all builds
+  // (the pointer overload below is the unchecked hot path).
+  GEF_CHECK_GE(x.size(), num_features_);
+  return PredictRawStaged(x.data(), num_trees);
+}
+
+double Forest::PredictRawStaged(const double* x, size_t num_trees) const {
   GEF_CHECK_LE(num_trees, trees_.size());
   double sum = aggregation_ == Aggregation::kSum ? init_score_ : 0.0;
   for (size_t t = 0; t < num_trees; ++t) sum += trees_[t].Predict(x);
@@ -45,19 +66,43 @@ double Forest::Predict(const std::vector<double>& x) const {
              : raw;
 }
 
+double Forest::Predict(const double* x) const {
+  double raw = PredictRaw(x);
+  return objective_ == Objective::kBinaryClassification
+             ? SigmoidTransform(raw)
+             : raw;
+}
+
 std::vector<double> Forest::PredictRawBatch(const Dataset& dataset) const {
+  GEF_CHECK_GE(dataset.num_features(), num_features_);
   std::vector<double> out(dataset.num_rows());
-  for (size_t i = 0; i < dataset.num_rows(); ++i) {
-    out[i] = PredictRaw(dataset.GetRow(i));
-  }
+  ParallelForChunked(
+      0, dataset.num_rows(), kBatchGrain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<double> row;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          dataset.GetRowInto(i, &row);
+          out[i] = PredictRaw(row.data());
+        }
+      });
   return out;
 }
 
 std::vector<double> Forest::PredictBatch(const Dataset& dataset) const {
-  std::vector<double> out = PredictRawBatch(dataset);
-  if (objective_ == Objective::kBinaryClassification) {
-    for (double& v : out) v = SigmoidTransform(v);
-  }
+  GEF_CHECK_GE(dataset.num_features(), num_features_);
+  const bool classification =
+      objective_ == Objective::kBinaryClassification;
+  std::vector<double> out(dataset.num_rows());
+  ParallelForChunked(
+      0, dataset.num_rows(), kBatchGrain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<double> row;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          dataset.GetRowInto(i, &row);
+          double raw = PredictRaw(row.data());
+          out[i] = classification ? SigmoidTransform(raw) : raw;
+        }
+      });
   return out;
 }
 

@@ -32,22 +32,31 @@ class Forest {
          Aggregation aggregation, size_t num_features,
          std::vector<std::string> feature_names);
 
-  /// Raw ensemble score (the margin for classification).
+  /// Raw ensemble score (the margin for classification). The vector
+  /// overload checks (in release builds too) that the row covers every
+  /// feature; the pointer overload is the unchecked hot path — contract:
+  /// `x` must point at num_features() (or more) valid doubles.
   double PredictRaw(const std::vector<double>& x) const;
+  double PredictRaw(const double* x) const;
 
   /// Raw score using only the first `num_trees` trees (staged prediction,
   /// used by early stopping and learning-curve diagnostics).
   double PredictRawStaged(const std::vector<double>& x,
                           size_t num_trees) const;
+  double PredictRawStaged(const double* x, size_t num_trees) const;
 
   /// Task-space prediction: identity for regression, sigmoid probability
   /// for classification.
   double Predict(const std::vector<double>& x) const;
+  double Predict(const double* x) const;
 
-  /// Batch raw scores over a dataset.
+  /// Batch raw scores over a dataset. Rows are scored in parallel across
+  /// the shared pool (see util/parallel.h); output order and values are
+  /// independent of the thread count.
   std::vector<double> PredictRawBatch(const Dataset& dataset) const;
 
-  /// Batch task-space predictions.
+  /// Batch task-space predictions (single pass: the sigmoid is applied in
+  /// the same loop that scores each row).
   std::vector<double> PredictBatch(const Dataset& dataset) const;
 
   size_t num_trees() const { return trees_.size(); }

@@ -5,8 +5,26 @@
 #include <limits>
 
 #include "forest/loss.h"
+#include "util/parallel.h"
 
 namespace gef {
+namespace {
+
+// Adds `tree`'s output for every row of `data` to `scores`, in parallel.
+// A single-tree traversal is cheap, so chunks are coarse.
+void AddTreePredictions(const Tree& tree, const Dataset& data,
+                        std::vector<double>* scores) {
+  ParallelForChunked(0, data.num_rows(), 512,
+                     [&](size_t chunk_begin, size_t chunk_end) {
+                       std::vector<double> row;
+                       for (size_t i = chunk_begin; i < chunk_end; ++i) {
+                         data.GetRowInto(i, &row);
+                         (*scores)[i] += tree.Predict(row.data());
+                       }
+                     });
+}
+
+}  // namespace
 
 GbdtTrainResult TrainGbdt(const Dataset& train, const Dataset* valid,
                           const GbdtConfig& config) {
@@ -74,16 +92,12 @@ GbdtTrainResult TrainGbdt(const Dataset& train, const Dataset* valid,
     tree.ScaleLeaves(config.learning_rate);
 
     // Update cached scores with the new tree.
-    for (size_t i = 0; i < n; ++i) {
-      scores[i] += tree.Predict(train.GetRow(i));
-    }
+    AddTreePredictions(tree, train, &scores);
     result.train_loss_curve.push_back(
         loss.Evaluate(train.targets(), scores));
 
     if (valid != nullptr) {
-      for (size_t i = 0; i < valid->num_rows(); ++i) {
-        valid_scores[i] += tree.Predict(valid->GetRow(i));
-      }
+      AddTreePredictions(tree, *valid, &valid_scores);
       double valid_loss = loss.Evaluate(valid->targets(), valid_scores);
       result.valid_loss_curve.push_back(valid_loss);
       if (valid_loss < best_valid - 1e-12) {

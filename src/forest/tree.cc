@@ -56,6 +56,16 @@ int Tree::LeafIndex(const std::vector<double>& x) const {
   return index;
 }
 
+int Tree::LeafIndex(const double* x) const {
+  GEF_DCHECK(!nodes_.empty());
+  int index = 0;
+  while (!nodes_[index].is_leaf()) {
+    const TreeNode& node = nodes_[index];
+    index = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return index;
+}
+
 size_t Tree::num_leaves() const {
   size_t count = 0;
   for (const TreeNode& node : nodes_) count += node.is_leaf() ? 1 : 0;

@@ -49,8 +49,18 @@ class Tree {
     return nodes_[LeafIndex(x)].value;
   }
 
+  /// Prediction for a raw feature pointer. Contract: `x` must cover every
+  /// feature index this tree splits on; batch callers validate the row
+  /// width once instead of per traversal.
+  double Predict(const double* x) const {
+    return nodes_[LeafIndex(x)].value;
+  }
+
   /// Index of the leaf that `x` falls into.
   int LeafIndex(const std::vector<double>& x) const;
+
+  /// Pointer flavour of LeafIndex (same contract as Predict(const double*)).
+  int LeafIndex(const double* x) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -1,5 +1,7 @@
 #include "gam/design.h"
 
+#include "util/parallel.h"
+
 namespace gef {
 
 DesignLayout ComputeLayout(const TermList& terms) {
@@ -19,14 +21,19 @@ Matrix BuildRawDesign(const TermList& terms, const Dataset& data,
                       const DesignLayout& layout) {
   GEF_CHECK_GT(data.num_rows(), 0u);
   Matrix design(data.num_rows(), layout.total_cols);
-  std::vector<double> row_features;
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    row_features = data.GetRow(i);
-    double* row = design.Row(i);
-    for (size_t t = 0; t < terms.size(); ++t) {
-      terms[t]->Evaluate(row_features, row + layout.term_offsets[t]);
-    }
-  }
+  // Rows are independent (disjoint design rows), so evaluate the term
+  // blocks in parallel with one reused feature buffer per chunk.
+  ParallelForChunked(
+      0, data.num_rows(), 128, [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<double> row_features;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          data.GetRowInto(i, &row_features);
+          double* row = design.Row(i);
+          for (size_t t = 0; t < terms.size(); ++t) {
+            terms[t]->Evaluate(row_features, row + layout.term_offsets[t]);
+          }
+        }
+      });
   return design;
 }
 

@@ -6,6 +6,7 @@
 
 #include "linalg/cholesky.h"
 #include "stats/descriptive.h"
+#include "util/parallel.h"
 
 namespace gef {
 
@@ -225,12 +226,16 @@ bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
   term_importances_.assign(terms_.size(), 0.0);
   std::vector<std::vector<double>> contributions(
       terms_.size(), std::vector<double>(data.num_rows()));
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    std::vector<double> row = data.GetRow(i);
-    for (size_t t = 0; t < terms_.size(); ++t) {
-      contributions[t][i] = TermContribution(t, row);
-    }
-  }
+  ParallelForChunked(
+      0, data.num_rows(), 128, [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<double> row;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          data.GetRowInto(i, &row);
+          for (size_t t = 0; t < terms_.size(); ++t) {
+            contributions[t][i] = TermContribution(t, row);
+          }
+        }
+      });
   for (size_t t = 0; t < terms_.size(); ++t) {
     term_importances_[t] = StdDev(contributions[t]);
   }
@@ -253,9 +258,14 @@ double Gam::Predict(const std::vector<double>& features) const {
 
 std::vector<double> Gam::PredictBatch(const Dataset& data) const {
   std::vector<double> out(data.num_rows());
-  for (size_t i = 0; i < data.num_rows(); ++i) {
-    out[i] = Predict(data.GetRow(i));
-  }
+  ParallelForChunked(
+      0, data.num_rows(), 128, [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<double> row;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          data.GetRowInto(i, &row);
+          out[i] = Predict(row);
+        }
+      });
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "stats/descriptive.h"
 #include "stats/metrics.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace gef {
 
@@ -21,12 +22,16 @@ FidelityReport EvaluateFidelity(const GefExplanation& explanation,
       forest.objective() == Objective::kBinaryClassification;
   std::vector<double> forest_out(probe.num_rows());
   std::vector<double> gam_out(probe.num_rows());
-  for (size_t i = 0; i < probe.num_rows(); ++i) {
-    std::vector<double> row = probe.GetRow(i);
-    forest_out[i] =
-        classification ? forest.Predict(row) : forest.PredictRaw(row);
-    gam_out[i] = explanation.gam.Predict(row);
-  }
+  ParallelForChunked(
+      0, probe.num_rows(), 128, [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<double> row;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          probe.GetRowInto(i, &row);
+          forest_out[i] = classification ? forest.Predict(row.data())
+                                         : forest.PredictRaw(row.data());
+          gam_out[i] = explanation.gam.Predict(row);
+        }
+      });
 
   FidelityReport report;
   report.num_rows = probe.num_rows();

@@ -5,13 +5,17 @@
 
 #include "explain/hstat.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace gef {
 namespace {
 
 // Upper-triangular pair score accumulator over the forest's features.
+// Default-constructed instances are empty placeholders for ParallelReduce
+// partials; Merge folds one accumulator into another.
 class PairScores {
  public:
+  PairScores() : num_features_(0) {}
   explicit PairScores(size_t num_features)
       : num_features_(num_features),
         scores_(num_features * num_features, 0.0) {}
@@ -27,10 +31,39 @@ class PairScores {
     return scores_[static_cast<size_t>(a) * num_features_ + b];
   }
 
+  void Merge(const PairScores& other) {
+    GEF_CHECK_EQ(num_features_, other.num_features_);
+    for (size_t k = 0; k < scores_.size(); ++k) {
+      scores_[k] += other.scores_[k];
+    }
+  }
+
  private:
   size_t num_features_;
   std::vector<double> scores_;
 };
+
+// Trees per parallel task when accumulating Count-Path / Gain-Path pair
+// scores (per-chunk PairScores partials, merged in fixed chunk order).
+constexpr size_t kTreeGrain = 4;
+
+// Runs `accumulate(tree, &partial)` over every tree in parallel and
+// merges the per-chunk partials deterministically.
+template <typename AccumulateFn>
+PairScores AccumulateOverTrees(const Forest& forest,
+                               AccumulateFn accumulate) {
+  const std::vector<Tree>& trees = forest.trees();
+  return ParallelReduce<PairScores>(
+      0, trees.size(), kTreeGrain, PairScores(forest.num_features()),
+      [&](size_t chunk_begin, size_t chunk_end) {
+        PairScores partial(forest.num_features());
+        for (size_t t = chunk_begin; t < chunk_end; ++t) {
+          accumulate(trees[t], &partial);
+        }
+        return partial;
+      },
+      [](PairScores* acc, PairScores&& partial) { acc->Merge(partial); });
+}
 
 // Count-Path: for every internal node u and every internal node w in the
 // subtree rooted at u with a different feature, add 1 to
@@ -139,24 +172,35 @@ std::vector<ScoredPair> RankInteractions(const Forest& forest,
       break;
     }
     case InteractionStrategy::kCountPath:
-      for (const Tree& tree : forest.trees()) {
-        AccumulateCountPath(tree, &scores);
-      }
+      scores = AccumulateOverTrees(
+          forest, [](const Tree& tree, PairScores* partial) {
+            AccumulateCountPath(tree, partial);
+          });
       break;
     case InteractionStrategy::kGainPath:
-      for (const Tree& tree : forest.trees()) {
-        AccumulateGainPath(tree, &scores);
-      }
+      scores = AccumulateOverTrees(
+          forest, [](const Tree& tree, PairScores* partial) {
+            AccumulateGainPath(tree, partial);
+          });
       break;
     case InteractionStrategy::kHStat: {
       GEF_CHECK_MSG(dstar_sample != nullptr && dstar_sample->num_rows() > 1,
                     "H-Stat needs a D* sample");
+      // Each candidate pair's H-statistic is an independent O(N²) sweep
+      // over the D* sample — score pairs in parallel, one pair per task.
+      std::vector<std::pair<int, int>> pairs;
       for (size_t i = 0; i < candidate_features.size(); ++i) {
         for (size_t j = i + 1; j < candidate_features.size(); ++j) {
-          int a = candidate_features[i];
-          int b = candidate_features[j];
-          scores.Add(a, b, HStatistic(forest, *dstar_sample, a, b));
+          pairs.emplace_back(candidate_features[i], candidate_features[j]);
         }
+      }
+      std::vector<double> values(pairs.size());
+      ParallelFor(0, pairs.size(), 1, [&](size_t p) {
+        values[p] = HStatistic(forest, *dstar_sample, pairs[p].first,
+                               pairs[p].second);
+      });
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        scores.Add(pairs[p].first, pairs[p].second, values[p]);
       }
       break;
     }

@@ -197,20 +197,23 @@ Dataset GenerateSyntheticDataset(const Forest& forest,
                                  size_t n, Rng* rng) {
   GEF_CHECK_EQ(domains.size(), forest.num_features());
   GEF_CHECK_GT(n, 0u);
+  // Draw the feature values serially (the rng stream fixes D* exactly),
+  // then label every row with the forest in parallel — the expensive
+  // step, and embarrassingly parallel per row.
   Dataset dataset(forest.feature_names());
   dataset.Reserve(n);
   std::vector<double> row(forest.num_features());
-  const bool classification =
-      forest.objective() == Objective::kBinaryClassification;
   for (size_t i = 0; i < n; ++i) {
     for (size_t f = 0; f < domains.size(); ++f) {
       const std::vector<double>& domain = domains[f];
       row[f] = domain[rng->UniformInt(domain.size())];
     }
-    double label =
-        classification ? forest.Predict(row) : forest.PredictRaw(row);
-    dataset.AppendRow(row, label);
+    dataset.AppendRow(row);
   }
+  const bool classification =
+      forest.objective() == Objective::kBinaryClassification;
+  dataset.set_targets(classification ? forest.PredictBatch(dataset)
+                                     : forest.PredictRawBatch(dataset));
   return dataset;
 }
 

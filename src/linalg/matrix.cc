@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace gef {
 
 Matrix Matrix::Identity(size_t n) {
@@ -98,19 +100,25 @@ Vector MatTVec(const Matrix& a, const Vector& x) {
 
 Matrix GramWeighted(const Matrix& a, const Vector& w) {
   GEF_CHECK(w.empty() || w.size() == a.rows());
+  // Parallel over output rows j (disjoint upper-triangle slices): every
+  // g(j, k) still accumulates over the input rows in ascending i order,
+  // so the result is bit-identical to the serial loop at every thread
+  // count. Only the upper triangle is computed; mirrored once at the end.
   Matrix g(a.cols(), a.cols());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.Row(i);
-    double wi = w.empty() ? 1.0 : w[i];
-    if (wi == 0.0) continue;
-    for (size_t j = 0; j < a.cols(); ++j) {
-      double v = wi * row[j];
-      if (v == 0.0) continue;
-      double* grow = g.Row(j);
-      // Upper triangle only; mirrored below.
-      for (size_t k = j; k < a.cols(); ++k) grow[k] += v * row[k];
-    }
-  }
+  ParallelForChunked(
+      0, a.cols(), 8, [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t j = chunk_begin; j < chunk_end; ++j) {
+          double* grow = g.Row(j);
+          for (size_t i = 0; i < a.rows(); ++i) {
+            const double* row = a.Row(i);
+            double wi = w.empty() ? 1.0 : w[i];
+            if (wi == 0.0) continue;
+            double v = wi * row[j];
+            if (v == 0.0) continue;
+            for (size_t k = j; k < a.cols(); ++k) grow[k] += v * row[k];
+          }
+        }
+      });
   for (size_t j = 0; j < a.cols(); ++j) {
     for (size_t k = j + 1; k < a.cols(); ++k) g(k, j) = g(j, k);
   }

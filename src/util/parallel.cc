@@ -1,0 +1,198 @@
+#include "util/parallel.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace gef {
+namespace {
+
+// Upper bound on the pool size; guards against absurd GEF_NUM_THREADS
+// values spawning thousands of workers.
+constexpr int kMaxThreads = 256;
+
+thread_local bool tls_in_parallel_region = false;
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("GEF_NUM_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) {
+      return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxThreads));
+}
+
+// 0 means "not yet resolved"; resolved lazily so SetNumThreads and the
+// environment are both honoured regardless of initialization order.
+std::atomic<int> g_num_threads{0};
+
+// One fork-join dispatch. `remaining` counts worker participants only;
+// the caller runs participant 0 itself and then waits for the workers.
+struct Job {
+  const std::function<void(size_t)>* run_chunk = nullptr;
+  size_t num_chunks = 0;
+  int num_participants = 0;
+  std::atomic<int> remaining{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void RunParticipant(int participant) {
+    tls_in_parallel_region = true;
+    try {
+      for (size_t c = static_cast<size_t>(participant); c < num_chunks;
+           c += static_cast<size_t>(num_participants)) {
+        (*run_chunk)(c);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+    tls_in_parallel_region = false;
+  }
+};
+
+// Lazily constructed shared pool. Workers park on `cv_` between jobs and
+// are woken by a generation bump; only the first (num_participants - 1)
+// workers join a given job, the rest go straight back to sleep.
+class ThreadPool {
+ public:
+  static ThreadPool& Get() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  void Run(size_t num_chunks, const std::function<void(size_t)>& run_chunk,
+           int num_threads) {
+    // Serialize dispatches: the pool runs one fork-join job at a time.
+    std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+
+    Job job;
+    job.run_chunk = &run_chunk;
+    job.num_chunks = num_chunks;
+    job.num_participants = num_threads;
+    job.remaining.store(num_threads - 1, std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // fork() (gtest death tests, daemonizing callers) duplicates this
+      // object but not the worker threads; joining or detaching the
+      // inherited handles is undefined, so leak them and respawn.
+      if (owner_pid_ != ::getpid()) {
+        new std::vector<std::thread>(std::move(workers_));
+        workers_.clear();
+        owner_pid_ = ::getpid();
+      }
+      while (static_cast<int>(workers_.size()) < num_threads - 1) {
+        int index = static_cast<int>(workers_.size());
+        workers_.emplace_back([this, index] { WorkerLoop(index); });
+      }
+      job_ = &job;
+      ++generation_;
+      cv_.notify_all();
+    }
+
+    job.RunParticipant(0);
+
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] {
+        return job.remaining.load(std::memory_order_acquire) == 0;
+      });
+      job_ = nullptr;
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      cv_.notify_all();
+    }
+    if (owner_pid_ == ::getpid()) {
+      for (std::thread& worker : workers_) worker.join();
+    }
+  }
+
+  void WorkerLoop(int worker_index) {
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      Job* job = job_;
+      const int participant = worker_index + 1;
+      if (job == nullptr || participant >= job->num_participants) continue;
+      lock.unlock();
+      job->RunParticipant(participant);
+      {
+        std::lock_guard<std::mutex> done_lock(mutex_);
+        job->remaining.fetch_sub(1, std::memory_order_release);
+        done_cv_.notify_all();
+      }
+      lock.lock();
+    }
+  }
+
+  std::mutex dispatch_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  pid_t owner_pid_ = ::getpid();
+  Job* job_ = nullptr;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int NumThreads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n <= 0) {
+    n = DefaultNumThreads();
+    g_num_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void SetNumThreads(int n) {
+  g_num_threads.store(n <= 0 ? DefaultNumThreads()
+                             : std::min(n, kMaxThreads),
+                      std::memory_order_relaxed);
+}
+
+namespace internal {
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+void RunChunks(size_t num_chunks,
+               const std::function<void(size_t)>& run_chunk) {
+  const int threads = std::min<int>(
+      NumThreads(), static_cast<int>(
+                        std::min<size_t>(num_chunks, kMaxThreads)));
+  if (threads <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+  ThreadPool::Get().Run(num_chunks, run_chunk, threads);
+}
+
+}  // namespace internal
+}  // namespace gef

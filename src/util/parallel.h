@@ -1,0 +1,124 @@
+#ifndef GEF_UTIL_PARALLEL_H_
+#define GEF_UTIL_PARALLEL_H_
+
+// Shared thread pool and deterministic data-parallel loops.
+//
+// Every hot loop in the codebase (batch forest prediction, boosting-round
+// score updates, KernelSHAP coalition evaluation, PDP/H-stat grids, GAM
+// design construction) fans out through ParallelFor / ParallelReduce.
+// Design goals, in priority order:
+//
+//  1. Determinism. The iteration range is cut into a *fixed* chunk grid
+//     that depends only on (range, grain), never on the thread count, and
+//     ParallelReduce combines per-chunk partials in ascending chunk order.
+//     Reductions are therefore bit-identical at every GEF_NUM_THREADS
+//     value; per-index loops (disjoint writes) are trivially so.
+//  2. Zero overhead when serial. With one thread (or a range that fits a
+//     single chunk) the loop body runs inline on the calling thread — no
+//     pool is created, no task objects are allocated.
+//  3. Safety. Exceptions thrown by loop bodies propagate to the caller
+//     (first one wins, the rest of that worker's chunks are skipped).
+//     Nested parallel calls from inside a worker run serially inline
+//     instead of deadlocking the pool.
+//
+// The pool itself is created lazily on the first parallel call that needs
+// it, keeps its workers parked on a condition variable between calls, and
+// assigns chunks to participants statically (participant p runs chunks
+// p, p + T, p + 2T, …) so the chunk → thread mapping is reproducible.
+//
+// Thread count resolution: SetNumThreads() override if set, else the
+// GEF_NUM_THREADS environment variable, else std::thread::hardware_concurrency.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gef {
+
+/// Number of threads parallel loops fan out to (>= 1).
+int NumThreads();
+
+/// Overrides the thread count at runtime (used by tests and benchmarks).
+/// `n <= 0` restores the GEF_NUM_THREADS / hardware default.
+void SetNumThreads(int n);
+
+namespace internal {
+
+/// True while the current thread is executing chunks of a parallel loop;
+/// nested parallel calls detect this and degrade to serial execution.
+bool InParallelRegion();
+
+/// Runs `run_chunk(c)` for every chunk index in [0, num_chunks) across
+/// the shared pool, blocking until all complete. Rethrows the first
+/// exception raised by any chunk. Must not be called with fewer than two
+/// chunks or a single-thread setting (callers inline those cases).
+void RunChunks(size_t num_chunks, const std::function<void(size_t)>& run_chunk);
+
+}  // namespace internal
+
+/// Runs `fn(chunk_begin, chunk_end)` over consecutive sub-ranges of
+/// [begin, end), each at most `grain` long. Chunk boundaries depend only
+/// on the range and grain. Use this flavour when the body wants per-chunk
+/// scratch (e.g. a reusable row buffer).
+template <typename Fn>
+void ParallelForChunked(size_t begin, size_t end, size_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+  auto run_chunk = [&](size_t c) {
+    const size_t b = begin + c * grain;
+    fn(b, std::min(end, b + grain));
+  };
+  if (num_chunks <= 1 || NumThreads() <= 1 || internal::InParallelRegion()) {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+  internal::RunChunks(num_chunks, run_chunk);
+}
+
+/// Runs `fn(i)` for every i in [begin, end), `grain` indices per task.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t grain, Fn&& fn) {
+  ParallelForChunked(begin, end, grain,
+                     [&fn](size_t chunk_begin, size_t chunk_end) {
+                       for (size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+                     });
+}
+
+/// Deterministic parallel reduction. `chunk_fn(chunk_begin, chunk_end)`
+/// produces a partial of type T per chunk; `combine(&acc, std::move(part))`
+/// folds the partials into `init` in ascending chunk order, so the result
+/// is bit-identical at every thread count (the chunk grid is fixed and
+/// the serial path folds the same partials in the same order).
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T init,
+                 ChunkFn&& chunk_fn, CombineFn&& combine) {
+  if (end <= begin) return init;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+  if (num_chunks == 1) {
+    T partial = chunk_fn(begin, end);
+    combine(&init, std::move(partial));
+    return init;
+  }
+  std::vector<T> partials(num_chunks);
+  auto run_chunk = [&](size_t c) {
+    const size_t b = begin + c * grain;
+    partials[c] = chunk_fn(b, std::min(end, b + grain));
+  };
+  if (NumThreads() <= 1 || internal::InParallelRegion()) {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+  } else {
+    internal::RunChunks(num_chunks, run_chunk);
+  }
+  for (size_t c = 0; c < num_chunks; ++c) {
+    combine(&init, std::move(partials[c]));
+  }
+  return init;
+}
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_PARALLEL_H_
