@@ -61,7 +61,7 @@ Dataset UniformContinuousDstar(const Forest& forest,
 
 // Fits the GEF GAM (splines over F') on a given D* and reports RMSE on a
 // common probe set.
-double FitAndEvaluate(const Forest& forest, const Dataset& dstar,
+double FitAndEvaluate(const Forest& /*forest*/, const Dataset& dstar,
                       const std::vector<int>& selected,
                       const std::vector<std::vector<double>>& domains,
                       const Dataset& probe, int spline_basis) {

@@ -18,7 +18,7 @@ namespace {
 //  5 hours_per_week (num)    11 native_country (6 levels)
 const std::vector<std::string>& RawNames() {
   static const std::vector<std::string>* names =
-      new std::vector<std::string>{
+      new std::vector<std::string>{  // NOLINT(gef-naked-new): leaky singleton
           "age",          "workclass",     "education_num",
           "marital_status", "occupation",  "hours_per_week",
           "relationship", "race",          "sex",

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "util/string_util.h"
+#include "util/validate.h"
 
 namespace gef {
 
@@ -53,6 +54,10 @@ StatusOr<Dataset> LoadCsv(const std::string& path,
     } else {
       dataset.AppendRow(row);
     }
+  }
+  if (Status s = ValidateDataset(dataset); !s.ok()) {
+    return Status::ParseError("invalid data in " + path + ": " +
+                              s.message());
   }
   return dataset;
 }

@@ -1,5 +1,7 @@
 #include "data/dataset.h"
 
+#include "util/string_util.h"
+
 namespace gef {
 
 Dataset::Dataset(std::vector<std::string> feature_names)
@@ -8,7 +10,7 @@ Dataset::Dataset(std::vector<std::string> feature_names)
 Dataset::Dataset(size_t num_features) : columns_(num_features) {
   names_.reserve(num_features);
   for (size_t j = 0; j < num_features; ++j) {
-    names_.push_back("f" + std::to_string(j));
+    names_.push_back(IndexedName("f", static_cast<long long>(j)));
   }
 }
 

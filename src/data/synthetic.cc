@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace gef {
 
@@ -61,7 +62,7 @@ Dataset MakeSynthetic(size_t n, const std::vector<std::pair<int, int>>& pairs,
   std::vector<std::string> names;
   for (int j = 0; j < kNumSyntheticFeatures; ++j) {
     // Paper numbering is 1-based (x1..x5).
-    names.push_back("x" + std::to_string(j + 1));
+    names.push_back(IndexedName("x", j + 1));
   }
   Dataset dataset(names);
   dataset.Reserve(n);

@@ -1,0 +1,57 @@
+#include "util/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/validate_internal.h"
+
+#include "data/dataset.h"
+
+namespace gef {
+
+using validate_internal::FirstNonFinite;
+using validate_internal::Invalid;
+
+Status ValidateDataset(const Dataset& dataset) {
+  const size_t rows = dataset.num_rows();
+  if (dataset.feature_names().size() != dataset.num_features()) {
+    std::ostringstream msg;
+    msg << "feature name count " << dataset.feature_names().size()
+        << " != num_features " << dataset.num_features();
+    return Invalid(msg);
+  }
+  for (size_t j = 0; j < dataset.num_features(); ++j) {
+    const std::vector<double>& column = dataset.Column(j);
+    if (column.size() != rows) {
+      std::ostringstream msg;
+      msg << "column " << j << " has " << column.size()
+          << " entries, expected " << rows;
+      return Invalid(msg);
+    }
+    if (long long i = FirstNonFinite(column); i >= 0) {
+      std::ostringstream msg;
+      msg << "feature " << j << " row " << i
+          << " is not finite: " << column[static_cast<size_t>(i)];
+      return Invalid(msg);
+    }
+  }
+  if (dataset.has_targets()) {
+    if (dataset.targets().size() != rows) {
+      std::ostringstream msg;
+      msg << "target column has " << dataset.targets().size()
+          << " entries, expected " << rows;
+      return Invalid(msg);
+    }
+    if (long long i = FirstNonFinite(dataset.targets()); i >= 0) {
+      std::ostringstream msg;
+      msg << "target row " << i << " is not finite";
+      return Invalid(msg);
+    }
+  }
+  return Status::Ok();
+}
+
+
+}  // namespace gef

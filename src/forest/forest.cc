@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/parallel.h"
+#include "util/string_util.h"
 
 namespace gef {
 namespace {
@@ -26,7 +27,7 @@ Forest::Forest(std::vector<Tree> trees, double init_score,
   GEF_CHECK_GT(num_features_, 0u);
   if (feature_names_.empty()) {
     for (size_t j = 0; j < num_features_; ++j) {
-      feature_names_.push_back("f" + std::to_string(j));
+      feature_names_.push_back(IndexedName("f", static_cast<long long>(j)));
     }
   }
   GEF_CHECK_EQ(feature_names_.size(), num_features_);

@@ -6,6 +6,7 @@
 
 #include "forest/loss.h"
 #include "util/parallel.h"
+#include "util/validate.h"
 
 namespace gef {
 namespace {
@@ -126,6 +127,10 @@ GbdtTrainResult TrainGbdt(const Dataset& train, const Dataset* valid,
   result.forest =
       Forest(std::move(trees), init_score, config.objective,
              Aggregation::kSum, train.num_features(), train.feature_names());
+  if (ValidateAfterTraining()) {
+    Status s = ValidateForest(result.forest);
+    GEF_CHECK_MSG(s.ok(), "trained GBDT failed validation: " << s.message());
+  }
   return result;
 }
 

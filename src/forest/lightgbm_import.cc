@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/validate.h"
 
 namespace gef {
 namespace {
@@ -247,9 +248,13 @@ StatusOr<Forest> ParseLightGbmModel(const std::string& text) {
     return Status::ParseError("model contains no trees");
   }
 
-  return Forest(std::move(trees), /*init_score=*/0.0, mapped,
+  Forest forest(std::move(trees), /*init_score=*/0.0, mapped,
                 Aggregation::kSum, static_cast<size_t>(num_features),
                 std::move(feature_names));
+  if (Status s = ValidateForest(forest); !s.ok()) {
+    return Status::ParseError("invalid LightGBM model: " + s.message());
+  }
+  return forest;
 }
 
 StatusOr<Forest> LoadLightGbmModel(const std::string& path) {

@@ -74,8 +74,10 @@ double LogisticLoss::Evaluate(const std::vector<double>& targets,
 }
 
 const Loss& LossFor(Objective objective) {
-  static const SquaredLoss* squared = new SquaredLoss();
-  static const LogisticLoss* logistic = new LogisticLoss();
+  // Leaky singletons: losses are stateless and must outlive any
+  // thread-pool worker that might still reference them at exit.
+  static const SquaredLoss* squared = new SquaredLoss();      // NOLINT(gef-naked-new)
+  static const LogisticLoss* logistic = new LogisticLoss();   // NOLINT(gef-naked-new)
   return objective == Objective::kBinaryClassification
              ? static_cast<const Loss&>(*logistic)
              : static_cast<const Loss&>(*squared);

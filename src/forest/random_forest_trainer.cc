@@ -2,6 +2,7 @@
 
 #include "forest/grower.h"
 #include "stats/rng.h"
+#include "util/validate.h"
 
 namespace gef {
 
@@ -45,9 +46,15 @@ Forest TrainRandomForest(const Dataset& train,
 
   // Averaged trees predict in target space directly, so classification
   // forests are exposed as kRegression over probabilities (see header).
-  return Forest(std::move(trees), /*init_score=*/0.0,
+  Forest forest(std::move(trees), /*init_score=*/0.0,
                 Objective::kRegression, Aggregation::kAverage,
                 train.num_features(), train.feature_names());
+  if (ValidateAfterTraining()) {
+    Status s = ValidateForest(forest);
+    GEF_CHECK_MSG(s.ok(),
+                  "trained random forest failed validation: " << s.message());
+  }
+  return forest;
 }
 
 }  // namespace gef

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/validate.h"
 
 namespace gef {
 namespace {
@@ -160,14 +161,15 @@ StatusOr<Forest> ForestFromString(const std::string& text) {
       node.count = count;
       tree.AddNode(node);
     }
-    if (!tree.IsWellFormed()) {
-      return Status::ParseError("malformed tree structure in model");
-    }
     trees.push_back(std::move(tree));
   }
 
-  return Forest(std::move(trees), init_score, objective, aggregation,
+  Forest forest(std::move(trees), init_score, objective, aggregation,
                 static_cast<size_t>(num_features), std::move(names));
+  if (Status s = ValidateForest(forest); !s.ok()) {
+    return Status::ParseError("invalid forest model: " + s.message());
+  }
+  return forest;
 }
 
 Status SaveForest(const Forest& forest, const std::string& path) {

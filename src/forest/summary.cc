@@ -83,7 +83,7 @@ std::string FormatForestSummary(const ForestSummary& summary,
     if (shown >= top_features || summary.gain[f] <= 0.0) break;
     std::string name = f < feature_names.size()
                            ? feature_names[f]
-                           : "f" + std::to_string(f);
+                           : IndexedName("f", static_cast<long long>(f));
     char line[128];
     std::snprintf(line, sizeof(line),
                   "  %-30s gain %-12.4g thresholds %zu\n", name.c_str(),

@@ -1,0 +1,120 @@
+#include "util/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/validate_internal.h"
+
+#include "forest/forest.h"
+#include "forest/tree.h"
+
+namespace gef {
+
+using validate_internal::Finite;
+using validate_internal::Invalid;
+
+Status ValidateTree(const Tree& tree, size_t num_features) {
+  const std::vector<TreeNode>& nodes = tree.nodes();
+  if (nodes.empty()) {
+    return Status::InvalidArgument("tree has no nodes");
+  }
+  const int n = static_cast<int>(nodes.size());
+  // indegree[i] = number of parents of node i under the child pointers.
+  std::vector<int> indegree(nodes.size(), 0);
+  for (int i = 0; i < n; ++i) {
+    const TreeNode& node = nodes[static_cast<size_t>(i)];
+    if (node.is_leaf()) {
+      if (node.left != -1 || node.right != -1) {
+        std::ostringstream msg;
+        msg << "node " << i << ": leaf has children (" << node.left << ", "
+            << node.right << ")";
+        return Invalid(msg);
+      }
+      if (!Finite(node.value)) {
+        std::ostringstream msg;
+        msg << "node " << i << ": leaf value is not finite: " << node.value;
+        return Invalid(msg);
+      }
+      continue;
+    }
+    if (static_cast<size_t>(node.feature) >= num_features) {
+      std::ostringstream msg;
+      msg << "node " << i << ": split feature " << node.feature
+          << " out of range [0, " << num_features << ")";
+      return Invalid(msg);
+    }
+    if (!Finite(node.threshold)) {
+      std::ostringstream msg;
+      msg << "node " << i
+          << ": split threshold is not finite: " << node.threshold;
+      return Invalid(msg);
+    }
+    if (!Finite(node.gain)) {
+      std::ostringstream msg;
+      msg << "node " << i << ": split gain is not finite: " << node.gain;
+      return Invalid(msg);
+    }
+    if (node.left < 0 || node.left >= n || node.right < 0 ||
+        node.right >= n || node.left == node.right) {
+      std::ostringstream msg;
+      msg << "node " << i << ": child indices (" << node.left << ", "
+          << node.right << ") out of range [0, " << n << ") or equal";
+      return Invalid(msg);
+    }
+    ++indegree[static_cast<size_t>(node.left)];
+    ++indegree[static_cast<size_t>(node.right)];
+  }
+  // Internal nodes contribute exactly two edges each, so requiring the
+  // root to have no parent and every other node exactly one forces the
+  // child graph to be a tree rooted at node 0 — acyclic with every node
+  // reachable. (A back edge gives some node indegree 2; a detached
+  // subtree gives its root indegree 0.)
+  if (indegree[0] != 0) {
+    std::ostringstream msg;
+    msg << "root node 0 is a child of another node (cycle or stray edge)";
+    return Invalid(msg);
+  }
+  for (int i = 1; i < n; ++i) {
+    if (indegree[static_cast<size_t>(i)] != 1) {
+      std::ostringstream msg;
+      msg << "node " << i << " has " << indegree[static_cast<size_t>(i)]
+          << " parents, expected 1 (cycle or unreachable node)";
+      return Invalid(msg);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateForest(const Forest& forest) {
+  if (forest.num_features() == 0) {
+    return Status::InvalidArgument("forest has zero features");
+  }
+  if (forest.num_trees() == 0) {
+    return Status::InvalidArgument("forest has no trees");
+  }
+  if (!Finite(forest.init_score())) {
+    std::ostringstream msg;
+    msg << "init_score is not finite: " << forest.init_score();
+    return Invalid(msg);
+  }
+  if (forest.feature_names().size() != forest.num_features()) {
+    std::ostringstream msg;
+    msg << "feature name count " << forest.feature_names().size()
+        << " != num_features " << forest.num_features();
+    return Invalid(msg);
+  }
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    Status s = ValidateTree(forest.trees()[t], forest.num_features());
+    if (!s.ok()) {
+      std::ostringstream msg;
+      msg << "tree " << t << ": " << s.message();
+      return Invalid(msg);
+    }
+  }
+  return Status::Ok();
+}
+
+
+}  // namespace gef

@@ -140,6 +140,7 @@ Gam FitGamByBackfitting(TermList terms, const Dataset& data,
   gam.scale_ = rss / denom;
   gam.gcv_score_ = dn * rss / (denom * denom);
   gam.covariance_.Scale(gam.scale_);
+  gam.SetMinRowWidth();
   gam.fitted_ = true;
 
   // Term importances, as in Gam::Fit.

@@ -7,6 +7,7 @@
 #include "linalg/cholesky.h"
 #include "stats/descriptive.h"
 #include "util/parallel.h"
+#include "util/validate.h"
 
 namespace gef {
 
@@ -220,6 +221,7 @@ bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
                : 1.0;
   covariance_ = std::move(best.covariance);
   covariance_.Scale(scale_);
+  SetMinRowWidth();
   fitted_ = true;
 
   // Empirical term importances: SD of each component over the fit data.
@@ -239,11 +241,28 @@ bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
   for (size_t t = 0; t < terms_.size(); ++t) {
     term_importances_[t] = StdDev(contributions[t]);
   }
+  if (ValidateAfterTraining()) {
+    Status s = ValidateGam(*this);
+    GEF_CHECK_MSG(s.ok(), "fitted GAM failed validation: " << s.message());
+  }
   return true;
+}
+
+void Gam::SetMinRowWidth() {
+  min_row_width_ = 0;
+  for (const auto& term : terms_) {
+    for (int f : term->Features()) {
+      min_row_width_ = std::max(min_row_width_,
+                                static_cast<size_t>(f) + 1);
+    }
+  }
 }
 
 double Gam::PredictRaw(const std::vector<double>& features) const {
   GEF_CHECK_MSG(fitted_, "Predict on an unfitted GAM");
+  // Release-mode-safe contract check, matching Forest::PredictRawStaged:
+  // a short row would read out of bounds in every basis evaluation.
+  GEF_CHECK_GE(features.size(), min_row_width_);
   static thread_local std::vector<double> row;
   row.resize(layout_.total_cols);
   BuildDesignRow(terms_, layout_, centers_, features, row.data());
@@ -273,6 +292,7 @@ double Gam::TermContribution(size_t t,
                              const std::vector<double>& features) const {
   GEF_CHECK_MSG(fitted_, "TermContribution on an unfitted GAM");
   GEF_CHECK_LT(t, terms_.size());
+  GEF_CHECK_GE(features.size(), min_row_width_);
   const Term& term = *terms_[t];
   int width = term.num_coeffs();
   int offset = layout_.term_offsets[t];

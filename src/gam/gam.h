@@ -23,6 +23,8 @@ class Gam;
 /// Defined in gam/gam_io.h; declared here for the friendships below.
 StatusOr<Gam> GamFromString(const std::string& text);
 std::string GamToString(const Gam& gam);
+/// Defined in util/validate.h; inspects the fitted internals.
+Status ValidateGam(const Gam& gam);
 /// Defined in gam/backfit.h.
 struct BackfitConfig;
 Gam FitGamByBackfitting(TermList terms, const Dataset& data,
@@ -124,6 +126,8 @@ class Gam {
   // (De)serialization reads/reconstructs the fitted state directly.
   friend StatusOr<Gam> GamFromString(const std::string& text);
   friend std::string GamToString(const Gam& gam);
+  // The model validator checks centers_/covariance_ invariants.
+  friend Status ValidateGam(const Gam& gam);
   // The alternative fitting engine assembles the same fitted state.
   friend Gam FitGamByBackfitting(TermList terms, const Dataset& data,
                                  const BackfitConfig& config);
@@ -145,7 +149,17 @@ class Gam {
                         const Matrix& penalty, const Vector& fixed_ridge,
                         const GamConfig& config) const;
 
+  /// Recomputes min_row_width_ from terms_. Every site that assembles
+  /// fitted state (Fit, GamFromString, FitGamByBackfitting) calls this
+  /// right before flipping fitted_.
+  void SetMinRowWidth();
+
   bool fitted_ = false;
+  /// 1 + max feature index referenced by any term; rows passed to the
+  /// vector Predict*/TermContribution overloads must be at least this
+  /// wide (checked in all builds — a short row would read out of
+  /// bounds inside every basis evaluation).
+  size_t min_row_width_ = 0;
   TermList terms_;
   DesignLayout layout_;
   std::vector<double> centers_;

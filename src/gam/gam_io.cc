@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/validate.h"
 
 namespace gef {
 namespace {
@@ -349,7 +350,11 @@ StatusOr<Gam> GamFromString(const std::string& text) {
   if (!reader.Next(&line) || line != "end") {
     return Status::ParseError("missing 'end' marker");
   }
+  gam.SetMinRowWidth();
   gam.fitted_ = true;
+  if (Status s = ValidateGam(gam); !s.ok()) {
+    return Status::ParseError("invalid GAM model: " + s.message());
+  }
   return gam;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace gef {
 namespace {
@@ -12,7 +13,7 @@ std::string FeatureLabel(const std::vector<std::string>& names, int index) {
   if (index >= 0 && static_cast<size_t>(index) < names.size()) {
     return names[index];
   }
-  return "f" + std::to_string(index);
+  return IndexedName("f", index);
 }
 
 }  // namespace

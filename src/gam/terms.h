@@ -55,7 +55,8 @@ class InterceptTerm : public Term {
  public:
   TermType type() const override { return TermType::kIntercept; }
   int num_coeffs() const override { return 1; }
-  void Evaluate(const std::vector<double>& row, double* out) const override {
+  void Evaluate(const std::vector<double>& /*row*/,
+                double* out) const override {
     *out = 1.0;
   }
   Matrix Penalty() const override { return Matrix(1, 1); }

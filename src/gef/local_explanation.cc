@@ -72,8 +72,13 @@ std::string FormatLocalExplanation(const LocalExplanation& local) {
   out << "term                          contrib     95% CI              "
          "d(-step)   d(+step)\n";
   for (const LocalTermContribution& term : local.terms) {
-    std::string ci = "[" + FormatDouble(term.lower, 4) + ", " +
-                     FormatDouble(term.upper, 4) + "]";
+    // Built via append: `const char* + std::string&&` trips a GCC 12
+    // -Wrestrict false positive (PR105651) at -O2.
+    std::string ci("[");
+    ci += FormatDouble(term.lower, 4);
+    ci += ", ";
+    ci += FormatDouble(term.upper, 4);
+    ci += "]";
     char line[160];
     std::snprintf(line, sizeof(line), "%-28s %+10.4f  %-20s %+9.4f  %+9.4f\n",
                   term.label.c_str(), term.contribution, ci.c_str(),

@@ -48,9 +48,14 @@ int Flags::GetInt(const std::string& name, int fallback) const {
   if (it == values_.end()) return fallback;
   read_[name] = true;
   int value = 0;
-  GEF_CHECK_MSG(ParseInt(it->second, &value),
-                "flag --" << name << " expects an integer, got '"
-                          << it->second << "'");
+  if (!ParseInt(it->second, &value)) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("flag --" + name +
+                                        " expects an integer, got '" +
+                                        it->second + "'");
+    }
+    return fallback;
+  }
   return value;
 }
 
@@ -59,9 +64,14 @@ double Flags::GetDouble(const std::string& name, double fallback) const {
   if (it == values_.end()) return fallback;
   read_[name] = true;
   double value = 0.0;
-  GEF_CHECK_MSG(ParseDouble(it->second, &value),
-                "flag --" << name << " expects a number, got '"
-                          << it->second << "'");
+  if (!ParseDouble(it->second, &value)) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("flag --" + name +
+                                        " expects a number, got '" +
+                                        it->second + "'");
+    }
+    return fallback;
+  }
   return value;
 }
 

@@ -23,13 +23,21 @@ class Flags {
 
   bool Has(const std::string& name) const;
 
-  /// Typed getters; return `fallback` when the flag is absent and abort
-  /// via GEF_CHECK when the value cannot be parsed as the requested type.
+  /// Typed getters; return `fallback` when the flag is absent. A value
+  /// that cannot be parsed as the requested type also returns `fallback`
+  /// and records an InvalidArgument in status() — command-line input is
+  /// external, so a typo must surface as a recoverable error (usage
+  /// message, exit code), never a release-build abort.
   std::string GetString(const std::string& name,
                         const std::string& fallback) const;
   int GetInt(const std::string& name, int fallback) const;
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
+
+  /// First malformed value a typed getter encountered (Ok if none).
+  /// Tools check this once after reading their flags, next to
+  /// UnreadFlags().
+  const Status& status() const { return status_; }
 
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -40,6 +48,7 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> read_;
+  mutable Status status_;
   std::vector<std::string> positional_;
 };
 

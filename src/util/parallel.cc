@@ -88,7 +88,8 @@ class ThreadPool {
       // object but not the worker threads; joining or detaching the
       // inherited handles is undefined, so leak them and respawn.
       if (owner_pid_ != ::getpid()) {
-        new std::vector<std::thread>(std::move(workers_));
+        new std::vector<std::thread>(  // NOLINT(gef-naked-new): see above
+            std::move(workers_));
         workers_.clear();
         owner_pid_ = ::getpid();
       }

@@ -56,6 +56,12 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
          text.substr(0, prefix.size()) == prefix;
 }
 
+std::string IndexedName(std::string_view prefix, long long index) {
+  std::string name(prefix);
+  name += std::to_string(index);
+  return name;
+}
+
 bool ParseDouble(std::string_view text, double* out) {
   text = Trim(text);
   if (text.empty()) return false;

@@ -28,6 +28,11 @@ std::string FormatDouble(double value, int digits = 6);
 /// True if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// Returns `prefix` + decimal rendering of `index` ("f0", "x3", …).
+/// Centralized because the naive `"f" + std::to_string(j)` form trips a
+/// GCC 12 -Wrestrict false positive (PR105651) at -O2.
+std::string IndexedName(std::string_view prefix, long long index);
+
 /// Parses a double; returns false on malformed input (no partial parses).
 bool ParseDouble(std::string_view text, double* out);
 

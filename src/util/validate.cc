@@ -1,0 +1,20 @@
+#include "util/validate.h"
+
+#include <cstdlib>
+
+namespace gef {
+
+bool ValidateAfterTraining() {
+#ifndef NDEBUG
+  return true;
+#else
+  static const bool enabled = [] {
+    const char* env = std::getenv("GEF_VALIDATE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return enabled;
+#endif
+}
+
+
+}  // namespace gef

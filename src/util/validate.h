@@ -1,0 +1,70 @@
+#ifndef GEF_UTIL_VALIDATE_H_
+#define GEF_UTIL_VALIDATE_H_
+
+// Model-artifact invariant checks — the data-plane twin of the code-plane
+// gates (sanitizers, clang-tidy, gef_lint). A forest or GAM that crosses a
+// trust boundary (LightGBM import, gef_forest/gef_gam text IO) is validated
+// structurally before any code traverses it: a cyclic tree, an out-of-range
+// child index or a NaN smuggled into a coefficient block corrupts fidelity
+// numbers — or hangs a traversal loop — without failing any test.
+//
+// Every validator returns Status::Ok() or an InvalidArgument whose message
+// pinpoints the first violated invariant (tree index, node index, term
+// index). Validators never mutate their argument and never abort; callers
+// at deserialization boundaries propagate the Status, callers after
+// training (gated by ValidateAfterTraining()) escalate to a fatal check.
+//
+// Implementations live next to the types they inspect
+// (data/validate_dataset.cc, forest/validate_forest.cc,
+// gam/validate_gam.cc) so RTTI references emitted by UBSan's vptr
+// instrumentation resolve within the owning library; this header is the
+// single public surface.
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace gef {
+
+class Dataset;
+class Forest;
+class Gam;
+class Tree;
+
+/// Structural invariants of a single tree:
+///  * at least one node; node 0 is the root;
+///  * leaves have no children and a finite value;
+///  * internal nodes have both children in [0, num_nodes), a split
+///    feature in [0, num_features) and a finite threshold/gain;
+///  * the child graph is a tree rooted at node 0: every non-root node
+///    has exactly one parent and the root has none (this rules out
+///    cycles and unreachable nodes, which IsWellFormed alone does not).
+Status ValidateTree(const Tree& tree, size_t num_features);
+
+/// ValidateTree over every tree, plus ensemble-level invariants:
+/// num_features > 0, finite init_score, feature-name list consistent.
+Status ValidateForest(const Forest& forest);
+
+/// Invariants of a fitted GAM:
+///  * coefficient / center / lambda / importance vectors are NaN/Inf-free
+///    and their lengths match the term layout;
+///  * per-term smoothing levels are non-negative;
+///  * every term's unit-λ penalty matrix is symmetric PSD;
+///  * spline/tensor knot vectors are finite and non-decreasing;
+///  * the posterior covariance is square, finite, symmetric within
+///    tolerance, with a non-negative diagonal.
+Status ValidateGam(const Gam& gam);
+
+/// Invariants of a dataset: every feature column has num_rows entries,
+/// the target column (when present) too, and all values are finite.
+Status ValidateDataset(const Dataset& dataset);
+
+/// True when freshly trained models should be validated before being
+/// returned (trainers call the matching validator and escalate a failure
+/// to a fatal check). On by default in debug builds; in release builds
+/// set GEF_VALIDATE=1 in the environment to enable.
+bool ValidateAfterTraining();
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_VALIDATE_H_

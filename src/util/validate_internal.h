@@ -1,0 +1,37 @@
+#ifndef GEF_UTIL_VALIDATE_INTERNAL_H_
+#define GEF_UTIL_VALIDATE_INTERNAL_H_
+
+// Shared helpers for the per-layer validator implementations
+// (forest/validate_forest.cc, gam/validate_gam.cc,
+// data/validate_dataset.cc). The public surface is util/validate.h; each
+// implementation file compiles into the library whose types it inspects,
+// so RTTI-touching casts (UBSan's vptr instrumentation references
+// typeinfo) resolve within that library.
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gef {
+namespace validate_internal {
+
+inline bool Finite(double v) { return std::isfinite(v); }
+
+// First non-finite entry of `values`, or -1 when all are finite.
+inline long long FirstNonFinite(const std::vector<double>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!Finite(values[i])) return static_cast<long long>(i);
+  }
+  return -1;
+}
+
+inline Status Invalid(const std::ostringstream& message) {
+  return Status::InvalidArgument(message.str());
+}
+
+}  // namespace validate_internal
+}  // namespace gef
+
+#endif  // GEF_UTIL_VALIDATE_INTERNAL_H_

@@ -95,9 +95,15 @@ TEST_F(EvaluationFixture, MonotonicityDetection) {
     int feature = explanation_->selected_features[i];
     int direction =
         ComponentMonotonicity(*explanation_, i, 41, /*tolerance=*/0.02);
-    if (feature == 0) EXPECT_EQ(direction, 1) << "x1";
-    if (feature == 4) EXPECT_EQ(direction, -1) << "x5";
-    if (feature == 1) EXPECT_EQ(direction, 0) << "x2";
+    if (feature == 0) {
+      EXPECT_EQ(direction, 1) << "x1";
+    }
+    if (feature == 4) {
+      EXPECT_EQ(direction, -1) << "x5";
+    }
+    if (feature == 1) {
+      EXPECT_EQ(direction, 0) << "x2";
+    }
   }
 }
 

@@ -63,9 +63,23 @@ TEST(FlagsTest, DoubleValues) {
   EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 1.0), 0.05);
 }
 
-TEST(FlagsDeathTest, BadIntegerAborts) {
+TEST(FlagsTest, BadIntegerRecordsStatus) {
   Flags flags = ParseArgs({"--k", "abc"});
-  EXPECT_DEATH(flags.GetInt("k", 0), "expects an integer");
+  EXPECT_TRUE(flags.status().ok());
+  EXPECT_EQ(flags.GetInt("k", 7), 7);  // fallback, not abort
+  EXPECT_FALSE(flags.status().ok());
+  EXPECT_NE(flags.status().message().find("expects an integer"),
+            std::string::npos);
+  EXPECT_NE(flags.status().message().find("abc"), std::string::npos);
+}
+
+TEST(FlagsTest, BadDoubleRecordsStatus) {
+  Flags flags = ParseArgs({"--lr", "fast", "--depth", "x"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.5), 0.5);
+  flags.GetInt("depth", 3);
+  // First error wins; later malformed values do not overwrite it.
+  EXPECT_FALSE(flags.status().ok());
+  EXPECT_NE(flags.status().message().find("--lr"), std::string::npos);
 }
 
 TEST(FlagsTest, BareDoubleDashRejected) {

@@ -116,7 +116,9 @@ TEST_F(GrowerFixture, RespectsMinSamplesLeaf) {
   config.min_samples_leaf = 20;
   Tree tree = GrowOn(d, config);
   for (const TreeNode& node : tree.nodes()) {
-    if (node.is_leaf()) EXPECT_GE(node.count, 20);
+    if (node.is_leaf()) {
+      EXPECT_GE(node.count, 20);
+    }
   }
 }
 
@@ -167,7 +169,9 @@ TEST_F(GrowerFixture, GainDecreasesDownTheTree) {
   // moment of expansion, and in particular <= root gain.
   double root_gain = tree.node(0).gain;
   for (const TreeNode& node : tree.nodes()) {
-    if (!node.is_leaf()) EXPECT_LE(node.gain, root_gain + 1e-9);
+    if (!node.is_leaf()) {
+      EXPECT_LE(node.gain, root_gain + 1e-9);
+    }
   }
 }
 
@@ -238,7 +242,9 @@ TEST_F(GrowerFixture, ConstantFeatureNeverSplit) {
   config.min_samples_leaf = 10;
   Tree tree = GrowOn(d, config);
   for (const TreeNode& node : tree.nodes()) {
-    if (!node.is_leaf()) EXPECT_EQ(node.feature, 1);
+    if (!node.is_leaf()) {
+      EXPECT_EQ(node.feature, 1);
+    }
   }
 }
 

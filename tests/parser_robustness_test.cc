@@ -5,6 +5,7 @@
 // paper's third-party scenario, where the model file crosses a trust
 // boundary.)
 
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -143,6 +144,119 @@ TEST(ParserRobustnessTest, LightGbmParserNeverCrashes) {
       result->PredictRaw({0.5, 0.5});
     }
   }
+}
+
+// Targeted corruptions (beyond random mutation): each builds a model
+// that parses field-by-field but violates a structural invariant, and
+// asserts the deserialization-boundary validators reject it with a
+// diagnostic instead of crashing or — worse — returning a model whose
+// traversal would hang or read out of bounds.
+
+TEST_F(ParserRobustnessFixture, OutOfRangeChildIndexRejected) {
+  Tree bad;
+  TreeNode root;
+  root.feature = 0;
+  root.threshold = 0.5;
+  root.left = 1;
+  root.right = 99;  // far past the node array
+  bad.AddNode(root);
+  bad.AddNode(TreeNode{});
+  bad.AddNode(TreeNode{});
+  Forest corrupt({std::move(bad)}, 0.0, Objective::kRegression,
+                 Aggregation::kSum, forest_->num_features(), {});
+
+  auto result = ForestFromString(ForestToString(corrupt));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("invalid forest model"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(ParserRobustnessFixture, CyclicTreeRejected) {
+  // 0 -> (1, 2), 1 -> (0, 2): every field parses, but traversal would
+  // loop forever. Tree::IsWellFormed alone does not catch this.
+  Tree bad;
+  TreeNode root;
+  root.feature = 0;
+  root.threshold = 0.5;
+  root.left = 1;
+  root.right = 2;
+  bad.AddNode(root);
+  TreeNode back;
+  back.feature = 1;
+  back.threshold = 0.25;
+  back.left = 0;
+  back.right = 2;
+  bad.AddNode(back);
+  bad.AddNode(TreeNode{});
+  Forest corrupt({std::move(bad)}, 0.0, Objective::kRegression,
+                 Aggregation::kSum, forest_->num_features(), {});
+
+  auto result = ForestFromString(ForestToString(corrupt));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cycle"), std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(ParserRobustnessFixture, NanThresholdRejected) {
+  Tree bad;
+  TreeNode root;
+  root.feature = 0;
+  root.threshold = std::numeric_limits<double>::quiet_NaN();
+  root.left = 1;
+  root.right = 2;
+  bad.AddNode(root);
+  bad.AddNode(TreeNode{});
+  bad.AddNode(TreeNode{});
+  Forest corrupt({std::move(bad)}, 0.0, Objective::kRegression,
+                 Aggregation::kSum, forest_->num_features(), {});
+
+  auto result = ForestFromString(ForestToString(corrupt));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("threshold is not finite"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(ParserRobustnessFixture, NanGamCoefficientRejected) {
+  // Replace the first coefficient on the "beta" line with nan: the text
+  // still parses (strtod accepts "nan"), so only ValidateGam stands
+  // between the file and a model that predicts NaN everywhere.
+  std::string text = GamToString(explanation_->gam);
+  size_t beta = text.find("\nbeta ");
+  ASSERT_NE(beta, std::string::npos);
+  size_t first = beta + 6;
+  size_t end = text.find(' ', first);
+  ASSERT_NE(end, std::string::npos);
+  text.replace(first, end - first, "nan");
+
+  auto result = GamFromString(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("invalid GAM model"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("coefficient 0 is not finite"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST_F(ParserRobustnessFixture, TruncatedCoefficientBlockRejected) {
+  // Drop the last coefficient from the "beta" line; the declared term
+  // layout no longer matches the vector length.
+  std::string text = GamToString(explanation_->gam);
+  size_t beta = text.find("\nbeta ");
+  ASSERT_NE(beta, std::string::npos);
+  size_t line_end = text.find('\n', beta + 1);
+  ASSERT_NE(line_end, std::string::npos);
+  size_t last_space = text.rfind(' ', line_end);
+  ASSERT_GT(last_space, beta);
+  text.erase(last_space, line_end - last_space);
+
+  auto result = GamFromString(text);
+  ASSERT_FALSE(result.ok());
 }
 
 TEST(ParserRobustnessTest, CompletelyRandomInputRejected) {

@@ -11,9 +11,9 @@ namespace {
 
 // Builds the depth-2 tree:
 //          [x0 <= 0.5]           gain 4
-//          /        \
+//          /        |
 //   [x1 <= 0.3]     leaf(3.0)    gain 2
-//    /      \
+//    /      |
 // leaf(1.0) leaf(2.0)
 Tree SmallTree() {
   Tree tree = Tree::Stump(0.0, 100);

@@ -1,0 +1,206 @@
+// Unit tests for the model-artifact validators (util/validate.h): the
+// structural invariants that guard every deserialization boundary and,
+// under ValidateAfterTraining(), freshly trained models.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+#include "forest/tree.h"
+#include "gam/gam.h"
+#include "gam/terms.h"
+#include "stats/rng.h"
+#include "util/validate.h"
+
+namespace gef {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Root split on feature 0 with two leaves: nodes {0: internal, 1, 2}.
+Tree MakeValidTree() {
+  Tree tree;
+  TreeNode root;
+  root.feature = 0;
+  root.threshold = 0.5;
+  root.gain = 1.0;
+  root.left = 1;
+  root.right = 2;
+  tree.AddNode(root);
+  TreeNode leaf;
+  leaf.value = -1.0;
+  tree.AddNode(leaf);
+  leaf.value = 1.0;
+  tree.AddNode(leaf);
+  return tree;
+}
+
+Forest MakeForest(std::vector<Tree> trees, size_t num_features = 2) {
+  return Forest(std::move(trees), /*init_score=*/0.0,
+                Objective::kRegression, Aggregation::kSum, num_features,
+                /*feature_names=*/{});
+}
+
+void ExpectInvalid(const Status& status, const std::string& fragment) {
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find(fragment), std::string::npos)
+      << "message was: " << status.message();
+}
+
+TEST(ValidateTreeTest, AcceptsWellFormedTreeAndStump) {
+  EXPECT_TRUE(ValidateTree(MakeValidTree(), 2).ok());
+  EXPECT_TRUE(ValidateTree(Tree::Stump(0.25), 2).ok());
+}
+
+TEST(ValidateTreeTest, RejectsChildIndexOutOfRange) {
+  Tree tree = MakeValidTree();
+  tree.mutable_node(0).right = 7;
+  ExpectInvalid(ValidateTree(tree, 2), "out of range");
+}
+
+TEST(ValidateTreeTest, RejectsSplitFeatureOutOfRange) {
+  Tree tree = MakeValidTree();
+  tree.mutable_node(0).feature = 5;
+  ExpectInvalid(ValidateTree(tree, 2), "split feature 5 out of range");
+}
+
+TEST(ValidateTreeTest, RejectsNonFiniteThresholdGainAndLeafValue) {
+  Tree tree = MakeValidTree();
+  tree.mutable_node(0).threshold = kNan;
+  ExpectInvalid(ValidateTree(tree, 2), "threshold is not finite");
+
+  tree = MakeValidTree();
+  tree.mutable_node(0).gain = kInf;
+  ExpectInvalid(ValidateTree(tree, 2), "gain is not finite");
+
+  tree = MakeValidTree();
+  tree.mutable_node(2).value = kNan;
+  ExpectInvalid(ValidateTree(tree, 2), "leaf value is not finite");
+}
+
+TEST(ValidateTreeTest, RejectsLeafWithChildren) {
+  Tree tree = MakeValidTree();
+  tree.mutable_node(1).left = 2;
+  ExpectInvalid(ValidateTree(tree, 2), "leaf has children");
+}
+
+TEST(ValidateTreeTest, RejectsCycleThroughRoot) {
+  // 0 -> (1, 2), 1 -> (0, 2): the root acquires a parent and node 2 two.
+  Tree tree = MakeValidTree();
+  TreeNode& n1 = tree.mutable_node(1);
+  n1.feature = 1;
+  n1.left = 0;
+  n1.right = 2;
+  ExpectInvalid(ValidateTree(tree, 2), "root node 0 is a child");
+}
+
+TEST(ValidateTreeTest, RejectsDoublyReachableNode) {
+  // 0 -> (1, 2), 1 -> (2, 3): node 2 has two parents (a lattice, not a
+  // tree). IsWellFormed() accepts this shape — the validator must not.
+  Tree tree;
+  TreeNode root;
+  root.feature = 0;
+  root.threshold = 0.5;
+  root.left = 1;
+  root.right = 2;
+  tree.AddNode(root);
+  TreeNode inner;
+  inner.feature = 1;
+  inner.threshold = 0.1;
+  inner.left = 2;
+  inner.right = 3;
+  tree.AddNode(inner);
+  tree.AddNode(TreeNode{});  // leaf 2
+  tree.AddNode(TreeNode{});  // leaf 3
+  ExpectInvalid(ValidateTree(tree, 2), "has 2 parents");
+}
+
+TEST(ValidateTreeTest, RejectsUnreachableNode) {
+  Tree tree = MakeValidTree();
+  tree.AddNode(TreeNode{});  // orphan leaf 3
+  ExpectInvalid(ValidateTree(tree, 2), "expected 1");
+}
+
+TEST(ValidateForestTest, AcceptsValidForest) {
+  EXPECT_TRUE(
+      ValidateForest(MakeForest({MakeValidTree(), MakeValidTree()})).ok());
+}
+
+TEST(ValidateForestTest, ReportsOffendingTreeIndex) {
+  Tree bad = MakeValidTree();
+  bad.mutable_node(0).left = -3;
+  Status status = ValidateForest(MakeForest({MakeValidTree(), bad}));
+  ExpectInvalid(status, "tree 1:");
+  ExpectInvalid(status, "out of range");
+}
+
+TEST(ValidateForestTest, RejectsNonFiniteInitScore) {
+  Forest forest(std::vector<Tree>{MakeValidTree()}, /*init_score=*/kNan,
+                Objective::kRegression, Aggregation::kSum, 2, {});
+  ExpectInvalid(ValidateForest(forest), "init_score");
+}
+
+TEST(ValidateDatasetTest, AcceptsFiniteData) {
+  Dataset data(2);
+  data.AppendRow({0.1, 0.2}, 1.0);
+  data.AppendRow({0.3, 0.4}, 0.0);
+  EXPECT_TRUE(ValidateDataset(data).ok());
+}
+
+TEST(ValidateDatasetTest, RejectsNonFiniteFeatureWithLocation) {
+  Dataset data(2);
+  data.AppendRow({0.1, 0.2});
+  data.AppendRow({0.3, kNan});
+  ExpectInvalid(ValidateDataset(data), "feature 1 row 1");
+}
+
+TEST(ValidateDatasetTest, RejectsNonFiniteTarget) {
+  Dataset data(1);
+  data.AppendRow({0.5}, kInf);
+  ExpectInvalid(ValidateDataset(data), "target row 0");
+}
+
+class ValidateGamFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    Dataset data(2);
+    for (int i = 0; i < 300; ++i) {
+      double u = rng.Uniform();
+      double v = rng.Uniform();
+      data.AppendRow({u, v}, std::sin(6.0 * u) + v * v);
+    }
+    TermList terms;
+    terms.push_back(std::make_unique<InterceptTerm>());
+    terms.push_back(std::make_unique<SplineTerm>(0, 0.0, 1.0, 10));
+    terms.push_back(std::make_unique<SplineTerm>(1, 0.0, 1.0, 10));
+    ASSERT_TRUE(gam_.Fit(std::move(terms), data, GamConfig{}));
+  }
+
+  Gam gam_;
+};
+
+TEST_F(ValidateGamFixture, AcceptsFreshlyFittedModel) {
+  EXPECT_TRUE(ValidateGam(gam_).ok());
+}
+
+TEST_F(ValidateGamFixture, RejectsUnfittedModel) {
+  Gam unfitted;
+  ExpectInvalid(ValidateGam(unfitted), "not fitted");
+}
+
+TEST_F(ValidateGamFixture, VectorPredictChecksRowWidth) {
+  // The fitted terms read features 0 and 1; a one-element row must be
+  // rejected in release builds too (GEF_CHECK, not DCHECK).
+  EXPECT_DEATH(gam_.PredictRaw({0.5}), "GEF_CHECK failed");
+  EXPECT_DEATH(gam_.TermContribution(1, {0.5}), "GEF_CHECK failed");
+}
+
+}  // namespace
+}  // namespace gef

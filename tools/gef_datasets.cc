@@ -60,6 +60,10 @@ int Run(int argc, const char* const* argv) {
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 42)));
   std::string pairs_raw = flags.GetString("pairs", "0-1,0-4,1-4");
 
+  if (!flags.status().ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().message().c_str());
+    return 1;
+  }
   std::vector<std::string> unread = flags.UnreadFlags();
   if (!unread.empty()) {
     std::fprintf(stderr, "unknown flag(s): --%s\n",

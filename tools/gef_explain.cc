@@ -122,6 +122,10 @@ int Run(int argc, const char* const* argv) {
   bool summary_only = flags.GetBool("summary", false);
   std::string probe_path = flags.GetString("probe", "");
 
+  if (!flags.status().ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().message().c_str());
+    return 1;
+  }
   std::vector<std::string> unread = flags.UnreadFlags();
   if (!unread.empty()) {
     std::fprintf(stderr, "unknown flag(s): --%s\n",

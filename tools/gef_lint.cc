@@ -1,0 +1,342 @@
+// gef_lint: fast token-level checker for repo-specific rules that
+// compilers and clang-tidy do not enforce. Registered as a ctest so the
+// gate runs in tier-1 (`ctest -R gef_lint`). Exits 0 when the tree is
+// clean, 1 with one `file:line: [rule] message` diagnostic per finding.
+//
+// Rules (see DESIGN.md §3.11):
+//   gef-raw-rand        `rand(`, `srand(` or `std::random_device` anywhere
+//                       outside src/stats/rng.* — all randomness must flow
+//                       through the seeded, reproducible Rng.
+//   gef-cout            `std::cout` inside src/ — library code reports via
+//                       Status or writes caller-supplied streams; stdout
+//                       belongs to the tools.
+//   gef-naked-new       `new` expression inside src/ without an owning
+//                       container/smart pointer. Deliberate leaks (fork
+//                       safety, leaky singletons) carry a
+//                       `// NOLINT(gef-naked-new)` comment on the line.
+//   gef-float-narrow    `float x = <double literal>` inside src/ — the
+//                       numeric core is double end to end; a stray float
+//                       literal silently halves precision.
+//   gef-todo-owner      `TODO` comment without an owner: must be written
+//                       `TODO(owner): ...` so stale notes are traceable.
+//
+// The scanner strips comments and string/character literals before
+// applying the code rules (so `"new"` in a string never fires) and keeps
+// the comment text for the TODO rule. A line whose raw text contains
+// `NOLINT` is exempt from all code rules on that line.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FileText {
+  // Per source line: code with comments + string/char literals blanked
+  // to spaces (column positions preserved), the comment text on that
+  // line (if any), and the raw line.
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+  std::vector<std::string> raw;
+};
+
+// Single-pass lexer: tracks block comments and literals across lines.
+FileText Lex(const std::string& text) {
+  FileText out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string code_line, comment_line, raw_line;
+
+  auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    out.raw.push_back(raw_line);
+    code_line.clear();
+    comment_line.clear();
+    raw_line.clear();
+    if (state == State::kLineComment) state = State::kCode;
+  };
+
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = text[i];
+    if (c == '\n') {
+      flush_line();
+      continue;
+    }
+    raw_line += c;
+    char next = i + 1 < n ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          raw_line += next;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          raw_line += next;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw strings are not used in this tree; treat `R"` like a
+          // plain literal opener (good enough for a gate, and the lint
+          // source itself avoids them).
+          state = State::kString;
+          code_line += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          raw_line += next;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          raw_line += next;
+          code_line += "  ";
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+          code_line += ' ';
+        } else {
+          code_line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  if (!raw_line.empty() || !code_line.empty()) flush_line();
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Word-boundary search for `ident` in blanked code text.
+bool HasIdent(const std::string& line, const std::string& ident) {
+  size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + ident.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// `rand(` / `srand(` with the parenthesis (so `operator_rand` or a
+// member named rand_ never fires).
+bool HasRandCall(const std::string& line) {
+  for (const char* name : {"rand", "srand"}) {
+    size_t pos = 0;
+    std::string ident(name);
+    while ((pos = line.find(ident, pos)) != std::string::npos) {
+      bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+      size_t end = pos + ident.size();
+      size_t after = end;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (left_ok && after < line.size() && line[after] == '(') {
+        return true;
+      }
+      pos = end;
+    }
+  }
+  return false;
+}
+
+// `float <ident> = <literal>` / `float <ident>{<literal>}` where the
+// literal is a double (has '.' or exponent, no f/F suffix).
+bool HasFloatNarrowing(const std::string& line) {
+  size_t pos = 0;
+  while ((pos = line.find("float", pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t i = pos + 5;
+    pos = i;
+    if (!left_ok || (i < line.size() && IsIdentChar(line[i]))) continue;
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t ident_start = i;
+    while (i < line.size() && IsIdentChar(line[i])) ++i;
+    if (i == ident_start) continue;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size() || (line[i] != '=' && line[i] != '{')) continue;
+    ++i;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '-') ++i;
+    size_t lit_start = i;
+    bool has_dot = false, has_exp = false, is_hex = false;
+    if (i + 1 < line.size() && line[i] == '0' &&
+        (line[i + 1] == 'x' || line[i + 1] == 'X')) {
+      is_hex = true;
+    }
+    while (i < line.size()) {
+      char c = line[i];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '\'') {
+        ++i;
+      } else if (c == '.') {
+        has_dot = true;
+        ++i;
+      } else if (!is_hex && (c == 'e' || c == 'E')) {
+        has_exp = true;
+        ++i;
+        if (i < line.size() && (line[i] == '+' || line[i] == '-')) ++i;
+      } else {
+        break;
+      }
+    }
+    if (i == lit_start || is_hex || (!has_dot && !has_exp)) continue;
+    bool has_f_suffix =
+        i < line.size() && (line[i] == 'f' || line[i] == 'F');
+    if (!has_f_suffix) return true;
+  }
+  return false;
+}
+
+// `TODO` in a comment must be `TODO(<owner>)`.
+bool HasOwnerlessTodo(const std::string& comment) {
+  size_t pos = 0;
+  while ((pos = comment.find("TODO", pos)) != std::string::npos) {
+    size_t i = pos + 4;
+    pos = i;
+    if (i >= comment.size() || comment[i] != '(') return true;
+    size_t close = comment.find(')', i);
+    if (close == std::string::npos || close == i + 1) return true;
+  }
+  return false;
+}
+
+struct Violation {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool UnderDir(const fs::path& file, const char* dir) {
+  for (const fs::path& part : file) {
+    if (part == dir) return true;
+  }
+  return false;
+}
+
+void LintFile(const fs::path& path, std::vector<Violation>* out) {
+  const std::string fname = path.filename().string();
+  // The RNG wrapper is the one sanctioned home of raw randomness, and
+  // this checker's own source spells the rule names out.
+  const bool rng_home = fname == "rng.h" || fname == "rng.cc";
+  const bool self = fname == "gef_lint.cc";
+  const bool in_src = UnderDir(path, "src");
+
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  FileText text = Lex(buffer.str());
+
+  for (size_t l = 0; l < text.code.size(); ++l) {
+    const std::string& code = text.code[l];
+    const std::string& comment = text.comments[l];
+    const size_t line_no = l + 1;
+    const bool nolint =
+        text.raw[l].find("NOLINT") != std::string::npos;
+
+    if (self) continue;  // this file spells every rule out verbatim
+    if (HasOwnerlessTodo(comment)) {
+      out->push_back({path.string(), line_no, "gef-todo-owner",
+                      "TODO without an owner; write TODO(name): ..."});
+    }
+    if (nolint) continue;
+
+    if (!rng_home &&
+        (HasRandCall(code) || HasIdent(code, "random_device"))) {
+      out->push_back({path.string(), line_no, "gef-raw-rand",
+                      "raw randomness outside src/stats/rng; use Rng"});
+    }
+    if (in_src && code.find("std::cout") != std::string::npos) {
+      out->push_back({path.string(), line_no, "gef-cout",
+                      "std::cout in library code; return Status or take "
+                      "an ostream"});
+    }
+    if (in_src && HasIdent(code, "new")) {
+      out->push_back({path.string(), line_no, "gef-naked-new",
+                      "naked new in library code; use containers or "
+                      "std::make_unique, or annotate a deliberate leak "
+                      "with NOLINT(gef-naked-new)"});
+    }
+    if (in_src && HasFloatNarrowing(code)) {
+      out->push_back({path.string(), line_no, "gef-float-narrow",
+                      "double literal narrowed to float; the numeric "
+                      "core is double end to end"});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <repo-root> [more-roots...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (int a = 1; a < argc; ++a) {
+    const fs::path root(argv[a]);
+    if (!fs::exists(root)) {
+      std::fprintf(stderr, "gef_lint: no such path: %s\n", argv[a]);
+      return 2;
+    }
+    // Scan the source trees only; skip build output and third-party-ish
+    // top-level dirs by construction.
+    for (const char* dir :
+         {"src", "tools", "tests", "bench", "examples"}) {
+      const fs::path sub = root / dir;
+      if (!fs::is_directory(sub)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cc" || ext == ".h") files.push_back(entry.path());
+      }
+    }
+  }
+
+  std::vector<Violation> violations;
+  for (const fs::path& file : files) LintFile(file, &violations);
+
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "gef_lint: %zu violation(s) in %zu files\n",
+                 violations.size(), files.size());
+    return 1;
+  }
+  std::fprintf(stderr, "gef_lint: %zu files clean\n", files.size());
+  return 0;
+}

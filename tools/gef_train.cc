@@ -68,6 +68,10 @@ int Run(int argc, const char* const* argv) {
   int early_stopping = flags.GetInt("early-stopping", 0);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
+  if (!flags.status().ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().message().c_str());
+    return 1;
+  }
   std::vector<std::string> unread = flags.UnreadFlags();
   if (!unread.empty()) {
     std::fprintf(stderr, "unknown flag(s): --%s\n",

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Full analysis driver: builds and runs the test suite under the Release
+# configuration and the sanitizer matrix, plus the gef_lint gate. This is
+# what CI runs (see .github/workflows/ci.yml) and what a developer runs
+# locally before a substantial PR:
+#
+#   tools/run_analysis.sh            # release + asan,ubsan + tsan + lint
+#   tools/run_analysis.sh release    # one job only
+#   tools/run_analysis.sh asan-ubsan
+#   tools/run_analysis.sh tsan
+#   tools/run_analysis.sh lint
+#
+# Each job builds into its own out-of-source directory (build-analysis-*)
+# so the matrix never contaminates the default ./build tree. Exits
+# non-zero on the first failing job.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SUPP="${ROOT}/tools/sanitizers"
+JOBS="${GEF_ANALYSIS_JOBS:-$(nproc)}"
+CTEST_ARGS=(--output-on-failure -j "${JOBS}")
+
+run_job() {  # name, extra cmake args...
+  local name="$1"
+  shift
+  local dir="${ROOT}/build-analysis-${name}"
+  echo "=== [${name}] configure + build ==="
+  cmake -B "${dir}" -S "${ROOT}" -DGEF_WERROR=ON "$@"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${name}] ctest ==="
+  (cd "${dir}" && ctest "${CTEST_ARGS[@]}")
+}
+
+job_release() {
+  run_job release -DCMAKE_BUILD_TYPE=Release -DGEF_SANITIZE=
+}
+
+job_asan_ubsan() {
+  # halt_on_error makes ASan behave like UBSan's
+  # -fno-sanitize-recover=all: first finding fails the test.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  LSAN_OPTIONS="suppressions=${SUPP}/lsan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1:suppressions=${SUPP}/ubsan.supp" \
+    run_job asan-ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DGEF_SANITIZE=address,undefined
+}
+
+job_tsan() {
+  TSAN_OPTIONS="halt_on_error=1:suppressions=${SUPP}/tsan.supp" \
+    run_job tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGEF_SANITIZE=thread
+}
+
+job_lint() {
+  local dir="${ROOT}/build-analysis-lint"
+  echo "=== [lint] gef_lint ==="
+  cmake -B "${dir}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${dir}" -j "${JOBS}" --target gef_lint_cli
+  "${dir}/tools/gef_lint" "${ROOT}"
+}
+
+case "${1:-all}" in
+  release)    job_release ;;
+  asan-ubsan) job_asan_ubsan ;;
+  tsan)       job_tsan ;;
+  lint)       job_lint ;;
+  all)
+    job_lint
+    job_release
+    job_asan_ubsan
+    job_tsan
+    ;;
+  *)
+    echo "usage: $0 [all|release|asan-ubsan|tsan|lint]" >&2
+    exit 2
+    ;;
+esac
+
+echo "analysis: all requested jobs passed"
