@@ -17,7 +17,6 @@
 #include "gef/sampling.h"
 #include "stats/metrics.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 using namespace gef;
 
@@ -65,23 +64,29 @@ int main() {
     std::vector<int> selected = SelectTopFeatures(forest, count);
     if (static_cast<int>(selected.size()) < count) break;
 
-    Timer timer;
+    // A/B comparison rows: warmup run 1 (see TimedStage's policy) so
+    // whichever fitter goes first doesn't absorb the pool spin-up.
     Gam joint;
     GamConfig joint_config;
     joint_config.lambda_grid = {lambda};
-    bool ok = joint.Fit(MakeTerms(selected, domains, 10), split.train,
-                        joint_config);
-    double joint_ms = timer.ElapsedMillis();
+    bool ok = false;
+    double joint_ms =
+        1e3 * bench::TimedStage("bench.gam_joint_fit", 1, [&] {
+          ok = joint.Fit(MakeTerms(selected, domains, 10), split.train,
+                         joint_config);
+        });
     double joint_rmse =
         ok ? Rmse(joint.PredictBatch(split.test), split.test.targets())
            : -1.0;
 
-    timer.Reset();
     BackfitConfig backfit_config;
     backfit_config.lambda = lambda;
-    Gam backfit = FitGamByBackfitting(
-        MakeTerms(selected, domains, 10), split.train, backfit_config);
-    double backfit_ms = timer.ElapsedMillis();
+    Gam backfit;
+    double backfit_ms =
+        1e3 * bench::TimedStage("bench.gam_backfit", 1, [&] {
+          backfit = FitGamByBackfitting(MakeTerms(selected, domains, 10),
+                                        split.train, backfit_config);
+        });
     double backfit_rmse =
         backfit.fitted() ? Rmse(backfit.PredictBatch(split.test),
                                 split.test.targets())

@@ -11,7 +11,6 @@
 #include "forest/gbdt_trainer.h"
 #include "gef/explainer.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 using namespace gef;
 
@@ -34,8 +33,10 @@ int main() {
     config.k = 96;
     config.num_samples = 8000 * static_cast<size_t>(bench::Scale());
     config.per_term_lambda = per_term;
-    Timer timer;
-    auto explanation = ExplainForest(forest, config);
+    std::unique_ptr<GefExplanation> explanation;
+    double fit_s = bench::TimedStage("bench.explain", 0, [&] {
+      explanation = ExplainForest(forest, config);
+    });
     if (explanation == nullptr) {
       std::printf("fit failed\n");
       return 1;
@@ -43,7 +44,7 @@ int main() {
     std::printf("\n%-22s fit %.1fs  fidelity RMSE %.5f  GCV %.6f  "
                 "edof %.1f\n",
                 per_term ? "per-term lambda:" : "shared lambda (paper):",
-                timer.ElapsedSeconds(),
+                fit_s,
                 explanation->fidelity_rmse_test,
                 explanation->gam.gcv_score(), explanation->gam.edof());
     std::printf("  lambdas:");

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.h"
+#include "util/timer.h"
+
 namespace gef {
 namespace bench {
 
@@ -41,6 +44,17 @@ GbdtConfig PaperSyntheticForestConfig() {
   config.learning_rate = 0.1;
   config.min_samples_leaf = 10;
   return config;
+}
+
+double TimedStage(const char* name, int warmup_runs,
+                  const std::function<void()>& stage) {
+  for (int i = 0; i < warmup_runs; ++i) stage();
+  Timer timer;
+  {
+    obs::ScopedSpan span(name);
+    stage();
+  }
+  return timer.ElapsedSeconds();
 }
 
 GbdtConfig PaperRealForestConfig(Objective objective) {

@@ -10,6 +10,7 @@
 // GEF_BENCH_SCALE (default 1) — but each harness prints the same rows /
 // series so the paper's qualitative claims can be checked directly.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,22 @@ GbdtConfig PaperSyntheticForestConfig();
 
 /// Paper Sec. 5.1 forest over the real-data substitutes.
 GbdtConfig PaperRealForestConfig(Objective objective);
+
+/// Runs `stage` under an obs span named `name` and returns its wall time
+/// in seconds — the single timing path for every bench, so a GEF_TRACE
+/// run attributes the printed numbers to the same spans the pipeline's
+/// own instrumentation uses (src/obs, DESIGN.md §3.12).
+///
+/// Warmup policy (`warmup_runs` untimed executions first):
+///  * 0 — one-shot pipeline stages (forest training, a full
+///    ExplainForest): the cold time IS the number the bench reports.
+///  * 1 — A/B ablation rows that compare two fitters on the same data:
+///    takes allocator and thread-pool spin-up out of whichever
+///    alternative happens to run first.
+///
+/// `name` must be a string literal: the obs layer stores the pointer.
+double TimedStage(const char* name, int warmup_runs,
+                  const std::function<void()>& stage);
 
 }  // namespace bench
 }  // namespace gef

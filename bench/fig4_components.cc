@@ -13,7 +13,6 @@
 #include "forest/gbdt_trainer.h"
 #include "gef/explainer.h"
 #include "stats/descriptive.h"
-#include "util/timer.h"
 
 using namespace gef;
 
@@ -24,12 +23,13 @@ int main() {
 
   Rng rng(42);
   Dataset dprime = MakeGPrimeDataset(8000 * bench::Scale(), &rng);
-  Timer timer;
-  Forest forest =
-      TrainGbdt(dprime, nullptr, bench::PaperSyntheticForestConfig())
-          .forest;
-  std::printf("forest trained in %.1fs (%zu trees)\n",
-              timer.ElapsedSeconds(), forest.num_trees());
+  Forest forest;
+  double train_s = bench::TimedStage("bench.forest_train", 0, [&] {
+    forest = TrainGbdt(dprime, nullptr, bench::PaperSyntheticForestConfig())
+                 .forest;
+  });
+  std::printf("forest trained in %.1fs (%zu trees)\n", train_s,
+              forest.num_trees());
 
   GefConfig config;
   config.num_univariate = 5;
@@ -37,14 +37,15 @@ int main() {
   config.sampling = SamplingStrategy::kEquiSize;
   config.k = 96 * bench::Scale();
   config.num_samples = 12000 * static_cast<size_t>(bench::Scale());
-  timer.Reset();
-  auto explanation = ExplainForest(forest, config);
+  std::unique_ptr<GefExplanation> explanation;
+  double explain_s = bench::TimedStage(
+      "bench.explain", 0, [&] { explanation = ExplainForest(forest, config); });
   if (explanation == nullptr) {
     std::printf("GAM fit failed\n");
     return 1;
   }
   std::printf("GEF fitted in %.1fs; fidelity RMSE (test D*) = %.4f\n",
-              timer.ElapsedSeconds(), explanation->fidelity_rmse_test);
+              explain_s, explanation->fidelity_rmse_test);
 
   // Order components by GAM term importance (as the figure sorts them).
   struct Component {

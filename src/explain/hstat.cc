@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -19,6 +20,7 @@ void CenterInPlace(std::vector<double>* values) {
 
 double HStatistic(const Forest& forest, const Dataset& sample,
                   int feature_a, int feature_b) {
+  GEF_OBS_SPAN("explain.hstat");
   GEF_CHECK(static_cast<size_t>(feature_a) < forest.num_features());
   GEF_CHECK(static_cast<size_t>(feature_b) < forest.num_features());
   GEF_CHECK_NE(feature_a, feature_b);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/solve.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -84,6 +85,7 @@ double KernelShapExplainer::CoalitionValue(
 
 ShapExplanation KernelShapExplainer::Explain(
     const std::vector<double>& x) const {
+  GEF_OBS_SPAN("explain.kernelshap");
   GEF_CHECK_GE(x.size(), num_features_);
   const int m = static_cast<int>(num_features_);
   ShapExplanation explanation;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/solve.h"
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 #include "stats/metrics.h"
 #include "util/check.h"
@@ -25,6 +26,7 @@ LimeExplainer::LimeExplainer(const Forest& forest, const Dataset& background,
 }
 
 LimeExplanation LimeExplainer::Explain(const std::vector<double>& x) const {
+  GEF_OBS_SPAN("explain.lime");
   const size_t m = forest_.num_features();
   GEF_CHECK_GE(x.size(), m);
   Rng rng(config_.seed);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -18,6 +19,7 @@ std::vector<double> PartialDependence1d(const Forest& forest,
                                         const Dataset& background,
                                         int feature,
                                         const std::vector<double>& grid) {
+  GEF_OBS_SPAN("explain.pdp_1d");
   GEF_CHECK(static_cast<size_t>(feature) < forest.num_features());
   GEF_CHECK_GT(background.num_rows(), 0u);
   // Parallel over grid points (disjoint pd entries): each pd[g] still
@@ -44,6 +46,7 @@ std::vector<std::vector<double>> PartialDependence2d(
     const Forest& forest, const Dataset& background, int feature_a,
     int feature_b, const std::vector<double>& grid_a,
     const std::vector<double>& grid_b) {
+  GEF_OBS_SPAN("explain.pdp_2d");
   GEF_CHECK(static_cast<size_t>(feature_a) < forest.num_features());
   GEF_CHECK(static_cast<size_t>(feature_b) < forest.num_features());
   GEF_CHECK_NE(feature_a, feature_b);

@@ -1,5 +1,6 @@
 #include "explain/permutation_importance.h"
 
+#include "obs/obs.h"
 #include "stats/metrics.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -20,6 +21,7 @@ double BaseError(const Forest& forest, const Dataset& data,
 std::vector<double> PermutationImportance(
     const Forest& forest, const Dataset& data,
     const PermutationImportanceConfig& config) {
+  GEF_OBS_SPAN("explain.permutation");
   GEF_CHECK(data.has_targets());
   GEF_CHECK_EQ(data.num_features(), forest.num_features());
   GEF_CHECK_GT(data.num_rows(), 1u);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -173,6 +174,7 @@ TreeShapExplainer::TreeShapExplainer(const Forest& forest)
 
 ShapExplanation TreeShapExplainer::Explain(
     const std::vector<double>& x) const {
+  GEF_OBS_SPAN("explain.treeshap");
   GEF_CHECK_GE(x.size(), forest_.num_features());
   ShapExplanation explanation;
   explanation.base_value = base_value_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "forest/loss.h"
+#include "obs/obs.h"
 #include "util/parallel.h"
 #include "util/validate.h"
 
@@ -29,6 +30,7 @@ void AddTreePredictions(const Tree& tree, const Dataset& data,
 
 GbdtTrainResult TrainGbdt(const Dataset& train, const Dataset* valid,
                           const GbdtConfig& config) {
+  GEF_OBS_SPAN("forest.gbdt_train");
   GEF_CHECK(train.has_targets());
   GEF_CHECK_GT(train.num_rows(), 0u);
   GEF_CHECK_GT(config.num_trees, 0);
@@ -89,18 +91,25 @@ GbdtTrainResult TrainGbdt(const Dataset& train, const Dataset* valid,
       rows = all_rows;
     }
 
-    Tree tree = grower.Grow(gradients, hessians, rows, &rng);
+    Tree tree;
+    {
+      GEF_OBS_SPAN("forest.grow_tree");
+      tree = grower.Grow(gradients, hessians, rows, &rng);
+    }
     tree.ScaleLeaves(config.learning_rate);
 
     // Update cached scores with the new tree.
     AddTreePredictions(tree, train, &scores);
     result.train_loss_curve.push_back(
         loss.Evaluate(train.targets(), scores));
+    GEF_OBS_METRIC("gbdt.train_loss", round,
+                   result.train_loss_curve.back());
 
     if (valid != nullptr) {
       AddTreePredictions(tree, *valid, &valid_scores);
       double valid_loss = loss.Evaluate(valid->targets(), valid_scores);
       result.valid_loss_curve.push_back(valid_loss);
+      GEF_OBS_METRIC("gbdt.valid_loss", round, valid_loss);
       if (valid_loss < best_valid - 1e-12) {
         best_valid = valid_loss;
         best_iter = round;

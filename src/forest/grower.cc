@@ -5,6 +5,8 @@
 #include <queue>
 #include <set>
 
+#include "obs/obs.h"
+
 namespace gef {
 
 BinMapper::BinMapper(const Dataset& dataset, int max_bins) {
@@ -197,6 +199,7 @@ Tree TreeGrower::Grow(const std::vector<double>& gradients,
   enqueue(0, rows, root_g, root_h);
 
   int num_leaves = 1;
+  double tree_gain = 0.0;
   while (num_leaves < config_.num_leaves && !heap.empty()) {
     int ci = heap.top();
     heap.pop();
@@ -208,6 +211,7 @@ Tree TreeGrower::Grow(const std::vector<double>& gradients,
         cand.leaf, split.feature, threshold, split.gain, split.left_value,
         split.right_value, split.left_count, split.right_count);
     ++num_leaves;
+    tree_gain += split.gain;
 
     // Partition rows by bin.
     const std::vector<uint16_t>& column = data_.Column(split.feature);
@@ -233,6 +237,8 @@ Tree TreeGrower::Grow(const std::vector<double>& gradients,
     enqueue(right, std::move(right_rows), right_g, right_h);
   }
 
+  GEF_OBS_COUNTER_ADD("grower.splits", num_leaves - 1);
+  GEF_OBS_COUNTER_ADD("grower.split_gain_total", tree_gain);
   return tree;
 }
 

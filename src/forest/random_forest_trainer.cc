@@ -1,6 +1,7 @@
 #include "forest/random_forest_trainer.h"
 
 #include "forest/grower.h"
+#include "obs/obs.h"
 #include "stats/rng.h"
 #include "util/validate.h"
 
@@ -8,6 +9,7 @@ namespace gef {
 
 Forest TrainRandomForest(const Dataset& train,
                          const RandomForestConfig& config) {
+  GEF_OBS_SPAN("forest.rf_train");
   GEF_CHECK(train.has_targets());
   GEF_CHECK_GT(config.num_trees, 0);
   GEF_CHECK(config.bootstrap_fraction > 0.0 &&

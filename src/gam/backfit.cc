@@ -3,12 +3,14 @@
 #include <cmath>
 
 #include "linalg/cholesky.h"
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 
 namespace gef {
 
 Gam FitGamByBackfitting(TermList terms, const Dataset& data,
                         const BackfitConfig& config) {
+  GEF_OBS_SPAN("gam.backfit");
   GEF_CHECK(!terms.empty());
   GEF_CHECK(data.has_targets());
   GEF_CHECK_GT(config.lambda, 0.0);
@@ -99,6 +101,15 @@ Gam FitGamByBackfitting(TermList terms, const Dataset& data,
       }
       state.beta = std::move(beta);
       state.fitted = std::move(fitted);
+    }
+    // Per-cycle convergence trace: residual deviance and the relative
+    // coefficient change the stopping rule tests. The deviance pass is
+    // O(n) and only runs while tracing.
+    if (obs::Enabled()) {
+      double cycle_rss = 0.0;
+      for (double r : residual) cycle_rss += r * r;
+      obs::MetricPoint("backfit.deviance", cycle, cycle_rss);
+      obs::MetricPoint("backfit.rel_change", cycle, max_change / norm);
     }
     if (max_change / norm < config.tol) break;
   }

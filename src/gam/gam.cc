@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "linalg/cholesky.h"
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 #include "util/parallel.h"
 #include "util/validate.h"
@@ -121,6 +122,7 @@ Gam::FitCandidate Gam::FitLogit(const Matrix& design, const Vector& y,
 }
 
 bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
+  GEF_OBS_SPAN("gam.fit");
   GEF_CHECK(!terms.empty());
   GEF_CHECK(data.has_targets());
   GEF_CHECK_GT(data.num_rows(), 0u);
@@ -179,6 +181,9 @@ bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
     GEF_CHECK_GT(lambda, 0.0);
     std::vector<double> lambdas(terms_.size(), lambda);
     FitCandidate candidate = fit_with(lambdas);
+    if (candidate.ok) {
+      GEF_OBS_METRIC("gam.gcv_trace", lambda, candidate.gcv);
+    }
     if (candidate.ok && candidate.gcv < best_gcv) {
       best_gcv = candidate.gcv;
       best_lambda = lambda;

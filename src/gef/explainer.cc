@@ -5,6 +5,7 @@
 #include "data/split.h"
 #include "forest/threshold_index.h"
 #include "gef/feature_selection.h"
+#include "obs/obs.h"
 #include "stats/metrics.h"
 #include "util/check.h"
 
@@ -54,14 +55,18 @@ std::unique_ptr<GefExplanation> FitExplanation(
   ThresholdIndex index(forest);
 
   // --- Univariate component selection (F'). ---
-  std::vector<int> selected =
-      SelectTopFeatures(forest, config.num_univariate);
+  std::vector<int> selected;
+  {
+    GEF_OBS_SPAN("gef.feature_selection");
+    selected = SelectTopFeatures(forest, config.num_univariate);
+  }
   GEF_CHECK_MSG(!selected.empty(),
                 "the forest has no splits — nothing to explain");
 
   // --- Bi-variate component selection (F''). ---
   std::vector<std::pair<int, int>> pairs;
   if (config.num_bivariate > 0 && selected.size() >= 2) {
+    GEF_OBS_SPAN("gef.interaction_selection");
     const Dataset* hstat_sample_ptr = nullptr;
     Dataset hstat_sample;
     if (config.interaction == InteractionStrategy::kHStat) {
@@ -129,6 +134,7 @@ std::unique_ptr<GefExplanation> FitExplanation(
         a, marginal_basis(a), b, marginal_basis(b)));
   }
 
+  GEF_OBS_SPAN("gef.gam_stage");
   TrainTestSplit split =
       SplitTrainTest(artifacts.dstar, config.test_fraction, &rng);
 
@@ -146,6 +152,10 @@ std::unique_ptr<GefExplanation> FitExplanation(
       FidelityRmse(explanation->gam, split.train);
   explanation->fidelity_rmse_test =
       FidelityRmse(explanation->gam, split.test);
+  GEF_OBS_GAUGE_SET("gef.fidelity_rmse_train",
+                    explanation->fidelity_rmse_train);
+  GEF_OBS_GAUGE_SET("gef.fidelity_rmse_test",
+                    explanation->fidelity_rmse_test);
   explanation->dstar_test = std::move(split.test);
   return explanation;
 }

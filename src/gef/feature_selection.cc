@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace gef {
 
 std::vector<RankedFeature> RankFeaturesByGain(const Forest& forest) {
+  GEF_OBS_SPAN("gef.gain_ranking");
   std::vector<double> gains = forest.GainImportance();
   std::vector<RankedFeature> ranked(gains.size());
   for (size_t f = 0; f < gains.size(); ++f) {

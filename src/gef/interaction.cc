@@ -4,6 +4,7 @@
 #include <map>
 
 #include "explain/hstat.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -158,6 +159,8 @@ std::vector<ScoredPair> RankInteractions(const Forest& forest,
     GEF_CHECK(f >= 0 && static_cast<size_t>(f) < forest.num_features());
   }
 
+  // Per-heuristic span (InteractionStrategyName returns a literal).
+  GEF_OBS_SPAN(InteractionStrategyName(strategy));
   PairScores scores(forest.num_features());
   switch (strategy) {
     case InteractionStrategy::kPairGain: {

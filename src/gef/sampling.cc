@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "stats/kmeans1d.h"
 #include "stats/quantile.h"
 #include "util/check.h"
@@ -123,6 +124,9 @@ std::vector<double> BuildSamplingDomain(const std::vector<double>& thresholds,
   GEF_CHECK(std::is_sorted(thresholds.begin(), thresholds.end()));
   if (strategy != SamplingStrategy::kAllThresholds) GEF_CHECK_GT(k, 0);
 
+  // Per-strategy span: SamplingStrategyName returns a string literal,
+  // satisfying the obs name-lifetime contract.
+  GEF_OBS_SPAN(SamplingStrategyName(strategy));
   std::vector<double> domain;
   switch (strategy) {
     case SamplingStrategy::kAllThresholds:
@@ -176,6 +180,7 @@ std::vector<double> BuildKQuantileDomainFromSketch(
 std::vector<std::vector<double>> BuildAllDomains(
     const Forest& forest, const ThresholdIndex& index,
     SamplingStrategy strategy, int k, double epsilon_fraction, Rng* rng) {
+  GEF_OBS_SPAN("gef.sampling_domains");
   std::vector<std::vector<double>> domains(forest.num_features());
   for (size_t f = 0; f < forest.num_features(); ++f) {
     const std::vector<double>& thresholds =
@@ -201,19 +206,28 @@ Dataset GenerateSyntheticDataset(const Forest& forest,
   // then label every row with the forest in parallel — the expensive
   // step, and embarrassingly parallel per row.
   Dataset dataset(forest.feature_names());
-  dataset.Reserve(n);
-  std::vector<double> row(forest.num_features());
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t f = 0; f < domains.size(); ++f) {
-      const std::vector<double>& domain = domains[f];
-      row[f] = domain[rng->UniformInt(domain.size())];
+  {
+    GEF_OBS_SPAN("gef.dstar_draw");
+    dataset.Reserve(n);
+    std::vector<double> row(forest.num_features());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t f = 0; f < domains.size(); ++f) {
+        const std::vector<double>& domain = domains[f];
+        row[f] = domain[rng->UniformInt(domain.size())];
+      }
+      dataset.AppendRow(row);
     }
-    dataset.AppendRow(row);
   }
-  const bool classification =
-      forest.objective() == Objective::kBinaryClassification;
-  dataset.set_targets(classification ? forest.PredictBatch(dataset)
-                                     : forest.PredictRawBatch(dataset));
+  {
+    // Labeling throughput = gef.dstar_rows_labeled / span(gef.dstar_label).
+    GEF_OBS_SPAN("gef.dstar_label");
+    GEF_OBS_COUNTER_ADD("gef.dstar_rows_labeled",
+                        static_cast<double>(n));
+    const bool classification =
+        forest.objective() == Objective::kBinaryClassification;
+    dataset.set_targets(classification ? forest.PredictBatch(dataset)
+                                       : forest.PredictRawBatch(dataset));
+  }
   return dataset;
 }
 

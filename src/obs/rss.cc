@@ -1,0 +1,43 @@
+#include "obs/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gef {
+namespace obs {
+namespace {
+
+// Scans /proc/self/status for `key` ("VmRSS:" / "VmHWM:") and returns
+// the kB value converted to bytes. /proc values are whitespace-padded
+// "VmRSS:   123456 kB" lines; fscanf handles the padding.
+uint64_t ReadProcStatusKb(const char* key) {
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, std::strlen(key)) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + std::strlen(key), "%llu", &value) == 1) {
+        kb = static_cast<uint64_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(file);
+  return kb * 1024;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:"); }
+
+uint64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM:"); }
+
+}  // namespace obs
+}  // namespace gef

@@ -1,0 +1,23 @@
+#ifndef GEF_OBS_RSS_H_
+#define GEF_OBS_RSS_H_
+
+// Resident-set-size sampler. The bench harness attributes memory to
+// pipeline stages by sampling around stage boundaries and records the
+// process peak in BENCH_*.json; scaling PRs regress against that peak.
+
+#include <cstdint>
+
+namespace gef {
+namespace obs {
+
+/// Current resident set size in bytes (Linux: VmRSS of
+/// /proc/self/status). Returns 0 on platforms without the proc file.
+uint64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (Linux: VmHWM). 0 when unavailable.
+uint64_t PeakRssBytes();
+
+}  // namespace obs
+}  // namespace gef
+
+#endif  // GEF_OBS_RSS_H_

@@ -1,0 +1,547 @@
+// bench_report: runs the standard synthetic + census workloads through
+// the full GEF pipeline under the observability layer (src/obs) and
+// emits a schema-stable BENCH_PR3.json — per-stage wall-times, D*
+// labeling throughput, surrogate fidelity (R² / RMSE) and peak RSS — so
+// every later PR has a perf trajectory to regress against.
+//
+// Usage:
+//   bench_report [--out BENCH_PR3.json] [--smoke] [--workload all]
+//   bench_report --validate BENCH_PR3.json
+//
+// With GEF_TRACE=<path> set, the per-stage JSONL spans land there as a
+// side artifact; without it, tracing runs in-memory only (aggregates
+// still feed the report). `--validate` re-parses an emitted report with
+// a strict JSON parser and checks every schema-required field, which is
+// what the CI bench-report job gates on.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/census.h"
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "gef/evaluation.h"
+#include "gef/explainer.h"
+#include "explain/pdp.h"
+#include "explain/treeshap.h"
+#include "obs/obs.h"
+#include "obs/rss.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+
+namespace gef {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal strict JSON parser for --validate: values become a tagged
+// tree; any syntax error aborts validation with a message.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    pos_ = 0;
+    if (!ParseValue(out, error)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& what) {
+    *error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool Literal(const char* word, std::string* error) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail(error, std::string("expected '") + word + "'");
+      }
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (text_[pos_] != '"') return Fail(error, "expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail(error, "bad escape");
+        out->push_back(text_[pos_++]);
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Fail(error, "unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail(error, "unexpected end");
+    char c = text_[pos_];
+    if (c == 'n') {
+      out->type = JsonValue::Type::kNull;
+      return Literal("null", error);
+    }
+    if (c == 't' || c == 'f') {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = c == 't';
+      return Literal(c == 't' ? "true" : "false", error);
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str, error);
+    }
+    if (c == '[') {
+      out->type = JsonValue::Type::kArray;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue element;
+        if (!ParseValue(&element, error)) return false;
+        out->array.push_back(std::move(element));
+        SkipSpace();
+        if (pos_ >= text_.size()) return Fail(error, "unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return Fail(error, "expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      out->type = JsonValue::Type::kObject;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (pos_ >= text_.size() || !ParseString(&key, error)) {
+          return false;
+        }
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return Fail(error, "expected ':'");
+        }
+        ++pos_;
+        JsonValue value;
+        if (!ParseValue(&value, error)) return false;
+        out->object.emplace(std::move(key), std::move(value));
+        SkipSpace();
+        if (pos_ >= text_.size()) return Fail(error, "unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return Fail(error, "expected ',' or '}'");
+      }
+    }
+    // Number.
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail(error, "unexpected character");
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Report schema. Bump kSchema when a field changes meaning; add-only
+// changes keep the version.
+
+constexpr const char* kSchema = "gef-bench-v1";
+
+// Stage keys every workload must report (seconds). Keep in sync with
+// ValidateReport and DESIGN.md §3.12.
+const std::vector<std::pair<const char*, const char*>> kStageSpans = {
+    {"forest_train", "forest.gbdt_train"},
+    {"feature_selection", "gef.feature_selection"},
+    {"sampling_domains", "gef.sampling_domains"},
+    {"dstar_draw", "gef.dstar_draw"},
+    {"dstar_label", "gef.dstar_label"},
+    {"interaction_selection", "gef.interaction_selection"},
+    {"gam_fit", "gam.fit"},
+    {"baseline_treeshap", "explain.treeshap"},
+    {"baseline_pdp", "explain.pdp_1d"},
+};
+
+struct WorkloadResult {
+  std::string name;
+  size_t train_rows = 0;
+  int num_trees = 0;
+  std::map<std::string, double> stages_s;
+  double dstar_rows_per_s = 0.0;
+  double fidelity_r2 = 0.0;
+  double fidelity_rmse = 0.0;
+  uint64_t peak_rss_bytes = 0;
+};
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+// Runs one workload: train a GBDT, run the GEF pipeline, touch the
+// SHAP/PDP baselines, then attribute everything from the obs flush.
+WorkloadResult RunWorkload(const std::string& name, const Dataset& train,
+                           const GbdtConfig& forest_config,
+                           const GefConfig& gef_config) {
+  WorkloadResult result;
+  result.name = name;
+  result.train_rows = train.num_rows();
+  result.num_trees = forest_config.num_trees;
+
+  obs::Flush();  // start the stage attribution from a clean buffer
+
+  Forest forest = TrainGbdt(train, nullptr, forest_config).forest;
+  std::unique_ptr<GefExplanation> explanation =
+      ExplainForest(forest, gef_config);
+  if (explanation == nullptr) {
+    std::fprintf(stderr, "workload %s: GAM fit failed\n", name.c_str());
+    return result;
+  }
+
+  // Baseline explainers, scaled to a token set so their spans land in
+  // the trace without dominating the report's wall-time.
+  {
+    TreeShapExplainer shap(forest);
+    std::vector<double> row;
+    for (size_t i = 0; i < std::min<size_t>(10, train.num_rows()); ++i) {
+      train.GetRowInto(i, &row);
+      shap.Explain(row);
+    }
+    int feature = explanation->selected_features.front();
+    PartialDependence1d(forest, train, feature,
+                        FeatureGrid(train, feature, 15));
+  }
+
+  FidelityReport fidelity =
+      EvaluateFidelity(*explanation, forest, explanation->dstar_test);
+  result.fidelity_r2 = fidelity.r2;
+  result.fidelity_rmse = fidelity.rmse;
+
+  obs::Aggregates aggregates = obs::Flush();
+  for (const auto& [key, span] : kStageSpans) {
+    result.stages_s[key] = aggregates.SpanSeconds(span);
+  }
+  double label_s = aggregates.SpanSeconds("gef.dstar_label");
+  double rows = aggregates.Counter("gef.dstar_rows_labeled");
+  result.dstar_rows_per_s = label_s > 0.0 ? rows / label_s : 0.0;
+  result.peak_rss_bytes = aggregates.peak_rss_bytes != 0
+                              ? aggregates.peak_rss_bytes
+                              : obs::PeakRssBytes();
+  return result;
+}
+
+void WriteReport(const std::string& path,
+                 const std::vector<WorkloadResult>& workloads, bool smoke) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"schema\": \"" << kSchema << "\",\n";
+  out << "  \"pr\": \"PR3\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"num_threads\": " << NumThreads() << ",\n";
+  out << "  \"workloads\": [\n";
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const WorkloadResult& r = workloads[w];
+    out << "    {\n";
+    out << "      \"name\": \"" << r.name << "\",\n";
+    out << "      \"train_rows\": " << r.train_rows << ",\n";
+    out << "      \"num_trees\": " << r.num_trees << ",\n";
+    out << "      \"stages_s\": {";
+    bool first = true;
+    for (const auto& [key, seconds] : r.stages_s) {
+      out << (first ? "" : ", ") << "\"" << key
+          << "\": " << FormatDouble(seconds);
+      first = false;
+    }
+    out << "},\n";
+    out << "      \"dstar_rows_per_s\": "
+        << FormatDouble(r.dstar_rows_per_s) << ",\n";
+    out << "      \"fidelity\": {\"r2\": " << FormatDouble(r.fidelity_r2)
+        << ", \"rmse\": " << FormatDouble(r.fidelity_rmse) << "},\n";
+    out << "      \"peak_rss_bytes\": " << r.peak_rss_bytes << "\n";
+    out << "    }" << (w + 1 < workloads.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+// Schema check for --validate. Returns a list of problems (empty = ok).
+std::vector<std::string> ValidateReport(const JsonValue& root) {
+  std::vector<std::string> problems;
+  auto require = [&problems](bool ok, const std::string& what) {
+    if (!ok) problems.push_back(what);
+    return ok;
+  };
+  if (!require(root.type == JsonValue::Type::kObject,
+               "root must be an object")) {
+    return problems;
+  }
+  auto field = [&root](const std::string& key) -> const JsonValue* {
+    auto it = root.object.find(key);
+    return it == root.object.end() ? nullptr : &it->second;
+  };
+  const JsonValue* schema = field("schema");
+  require(schema != nullptr && schema->type == JsonValue::Type::kString &&
+              schema->str == kSchema,
+          std::string("schema must be \"") + kSchema + "\"");
+  require(field("pr") != nullptr &&
+              field("pr")->type == JsonValue::Type::kString,
+          "pr must be a string");
+  require(field("num_threads") != nullptr &&
+              field("num_threads")->type == JsonValue::Type::kNumber,
+          "num_threads must be a number");
+  const JsonValue* workloads = field("workloads");
+  if (!require(workloads != nullptr &&
+                   workloads->type == JsonValue::Type::kArray &&
+                   !workloads->array.empty(),
+               "workloads must be a non-empty array")) {
+    return problems;
+  }
+  for (const JsonValue& w : workloads->array) {
+    if (!require(w.type == JsonValue::Type::kObject,
+                 "workload must be an object")) {
+      continue;
+    }
+    auto wfield = [&w](const std::string& key) -> const JsonValue* {
+      auto it = w.object.find(key);
+      return it == w.object.end() ? nullptr : &it->second;
+    };
+    const JsonValue* wname = wfield("name");
+    std::string label =
+        wname != nullptr && wname->type == JsonValue::Type::kString
+            ? wname->str
+            : "<unnamed>";
+    require(wname != nullptr, "workload missing name");
+    for (const char* key : {"train_rows", "num_trees", "dstar_rows_per_s",
+                            "peak_rss_bytes"}) {
+      const JsonValue* v = wfield(key);
+      require(v != nullptr && v->type == JsonValue::Type::kNumber,
+              label + ": " + key + " must be a number");
+    }
+    const JsonValue* stages = wfield("stages_s");
+    if (require(stages != nullptr &&
+                    stages->type == JsonValue::Type::kObject,
+                label + ": stages_s must be an object")) {
+      for (const auto& [key, span] : kStageSpans) {
+        (void)span;
+        auto it = stages->object.find(key);
+        require(it != stages->object.end() &&
+                    it->second.type == JsonValue::Type::kNumber &&
+                    it->second.number >= 0.0,
+                label + ": stages_s." + key +
+                    " must be a non-negative number");
+      }
+    }
+    const JsonValue* fidelity = wfield("fidelity");
+    if (require(fidelity != nullptr &&
+                    fidelity->type == JsonValue::Type::kObject,
+                label + ": fidelity must be an object")) {
+      for (const char* key : {"r2", "rmse"}) {
+        auto it = fidelity->object.find(key);
+        require(it != fidelity->object.end() &&
+                    it->second.type == JsonValue::Type::kNumber &&
+                    std::isfinite(it->second.number),
+                label + ": fidelity." + key + " must be a finite number");
+      }
+    }
+  }
+  return problems;
+}
+
+int Validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::vector<std::string> problems = ValidateReport(root);
+  for (const std::string& problem : problems) {
+    std::fprintf(stderr, "%s: schema violation: %s\n", path.c_str(),
+                 problem.c_str());
+  }
+  if (!problems.empty()) return 1;
+  std::printf("%s: valid %s report\n", path.c_str(), kSchema);
+  return 0;
+}
+
+int Run(const Flags& flags) {
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string out_path = flags.GetString("out", "BENCH_PR3.json");
+  const std::string workload = flags.GetString("workload", "all");
+
+  // Stage attribution needs the obs layer on; honour GEF_TRACE when the
+  // environment set it, otherwise collect in memory only.
+  if (!obs::Enabled()) obs::Enable("");
+
+  std::vector<WorkloadResult> results;
+
+  if (workload == "all" || workload == "synthetic") {
+    Rng rng(42);
+    Dataset train = MakeGDoublePrimeDataset(smoke ? 800 : 3000,
+                                            {{0, 1}, {2, 3}}, &rng);
+    GbdtConfig forest_config;
+    forest_config.num_trees = smoke ? 30 : 120;
+    forest_config.num_leaves = 16;
+    forest_config.learning_rate = 0.1;
+    forest_config.min_samples_leaf = 10;
+    GefConfig gef_config;
+    gef_config.num_univariate = 5;
+    gef_config.num_bivariate = 2;
+    gef_config.num_samples = smoke ? 3000 : 20000;
+    gef_config.k = smoke ? 24 : 64;
+    gef_config.spline_basis = smoke ? 10 : 16;
+    results.push_back(
+        RunWorkload("synthetic", train, forest_config, gef_config));
+  }
+
+  if (workload == "all" || workload == "census") {
+    Rng rng(43);
+    Dataset train = MakeCensusDatasetEncoded(smoke ? 1000 : 4000, &rng);
+    GbdtConfig forest_config;
+    forest_config.objective = Objective::kBinaryClassification;
+    forest_config.num_trees = smoke ? 25 : 100;
+    forest_config.num_leaves = smoke ? 16 : 32;
+    forest_config.learning_rate = 0.1;
+    forest_config.min_samples_leaf = 20;
+    GefConfig gef_config;
+    gef_config.num_univariate = 5;
+    gef_config.num_bivariate = 1;
+    gef_config.num_samples = smoke ? 3000 : 20000;
+    gef_config.k = smoke ? 24 : 64;
+    gef_config.spline_basis = smoke ? 10 : 16;
+    results.push_back(
+        RunWorkload("census", train, forest_config, gef_config));
+  }
+
+  if (results.empty()) {
+    std::fprintf(stderr,
+                 "unknown --workload '%s' (all, synthetic, census)\n",
+                 workload.c_str());
+    return 1;
+  }
+
+  WriteReport(out_path, results, smoke);
+  std::printf("wrote %s (%zu workload%s)\n", out_path.c_str(),
+              results.size(), results.size() == 1 ? "" : "s");
+  const std::string trace = obs::TracePath();
+  if (!trace.empty()) {
+    std::printf("trace JSONL appended to %s\n", trace.c_str());
+  }
+  for (const WorkloadResult& r : results) {
+    std::printf("  %-10s train %.3fs  dstar %.3fs (%.0f rows/s)  "
+                "gam %.3fs  R2 %.4f  peak RSS %.1f MB\n",
+                r.name.c_str(), r.stages_s.at("forest_train"),
+                r.stages_s.at("dstar_draw") + r.stages_s.at("dstar_label"),
+                r.dstar_rows_per_s, r.stages_s.at("gam_fit"),
+                r.fidelity_r2,
+                static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0));
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  StatusOr<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().message().c_str());
+    return 1;
+  }
+  const Flags& flags = parsed.value();
+  std::string validate_path = flags.GetString("validate", "");
+  const bool smoke_read = flags.GetBool("smoke", false);
+  (void)smoke_read;
+  int code = 0;
+  if (!validate_path.empty()) {
+    code = Validate(validate_path);
+  } else {
+    code = Run(flags);
+  }
+  if (!flags.status().ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().message().c_str());
+    return 1;
+  }
+  std::vector<std::string> unread = flags.UnreadFlags();
+  if (!unread.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\n", unread.front().c_str());
+    return 1;
+  }
+  return code;
+}
+
+}  // namespace
+}  // namespace gef
+
+int main(int argc, char** argv) { return gef::Main(argc, argv); }

@@ -1,0 +1,50 @@
+# Smoke test for bench_report: emit a scaled-down report with a JSONL
+# trace, then validate the report against the schema and sanity-check
+# the trace. Mirrors the CI bench-report job.
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(REPORT ${WORK_DIR}/BENCH_PR3.json)
+set(TRACE ${WORK_DIR}/trace.jsonl)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env GEF_TRACE=${TRACE}
+          ${BENCH_REPORT_BIN} --smoke --out ${REPORT}
+  RESULT_VARIABLE run_result
+  OUTPUT_VARIABLE run_output
+  ERROR_VARIABLE run_error)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR
+      "bench_report --smoke failed (${run_result}):\n"
+      "${run_output}\n${run_error}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH_REPORT_BIN} --validate ${REPORT}
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_output
+  ERROR_VARIABLE validate_error)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR
+      "bench_report --validate failed (${validate_result}):\n"
+      "${validate_output}\n${validate_error}")
+endif()
+
+# The JSONL trace must exist and contain spans for the core pipeline
+# stages of both workloads.
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR "GEF_TRACE file was not written: ${TRACE}")
+endif()
+file(READ ${TRACE} trace_text)
+foreach(span
+    "forest.gbdt_train" "gef.feature_selection" "gef.sampling_domains"
+    "gef.dstar_draw" "gef.dstar_label" "gef.interaction_selection"
+    "gam.fit" "explain.treeshap" "explain.pdp_1d")
+  string(FIND "${trace_text}" "\"name\":\"${span}\"" span_pos)
+  if(span_pos EQUAL -1)
+    message(FATAL_ERROR "trace is missing span '${span}': ${TRACE}")
+  endif()
+endforeach()
+
+message(STATUS "bench_report smoke ok: ${REPORT}")
