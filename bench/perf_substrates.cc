@@ -13,7 +13,9 @@
 #include "forest/gbdt_trainer.h"
 #include "forest/grower.h"
 #include "gam/bspline.h"
+#include "gam/design.h"
 #include "gam/gam.h"
+#include "linalg/block_sparse.h"
 #include "linalg/cholesky.h"
 #include "stats/quantile_sketch.h"
 #include "stats/rng.h"
@@ -167,6 +169,107 @@ void BM_GramWeighted(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GramWeighted)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Dense vs block-sparse design Gram. Three term mixes spanning the
+// sparsity regimes a GEF surrogate produces: spline-only rows (one
+// degree+1 run per term), tensor-heavy rows ((d+1)² nonzeros per tensor
+// block), and mixed factor widths (wide single-indicator blocks, where
+// sparsity wins the most). Same terms and data feed both kernels, so
+// the pair of benchmarks isolates the storage format.
+
+TermList MakeGramCaseTerms(int gram_case) {
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+  switch (gram_case) {
+    case 0:  // spline-only
+      for (int f = 0; f < 6; ++f) {
+        terms.push_back(std::make_unique<SplineTerm>(f, 0.0, 1.0, 16));
+      }
+      break;
+    case 1:  // tensor-heavy
+      for (int f = 0; f < 2; ++f) {
+        terms.push_back(std::make_unique<SplineTerm>(f, 0.0, 1.0, 12));
+      }
+      terms.push_back(
+          std::make_unique<TensorTerm>(0, 0.0, 1.0, 1, 0.0, 1.0, 8));
+      terms.push_back(
+          std::make_unique<TensorTerm>(2, 0.0, 1.0, 3, 0.0, 1.0, 8));
+      terms.push_back(
+          std::make_unique<TensorTerm>(4, 0.0, 1.0, 5, 0.0, 1.0, 8));
+      break;
+    default: {  // mixed factor widths
+      for (int f = 0; f < 3; ++f) {
+        terms.push_back(std::make_unique<SplineTerm>(f, 0.0, 1.0, 16));
+      }
+      std::vector<double> narrow, wide;
+      for (int l = 0; l < 4; ++l) narrow.push_back(l);
+      for (int l = 0; l < 24; ++l) wide.push_back(l);
+      terms.push_back(std::make_unique<FactorTerm>(4, narrow));
+      terms.push_back(std::make_unique<FactorTerm>(5, wide));
+      terms.push_back(
+          std::make_unique<TensorTerm>(0, 0.0, 1.0, 1, 0.0, 1.0, 6));
+      break;
+    }
+  }
+  return terms;
+}
+
+Dataset MakeGramCaseData(size_t n, int gram_case, Rng* rng) {
+  Dataset data(std::vector<std::string>{"f0", "f1", "f2", "f3", "f4",
+                                        "f5"});
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(6);
+    for (int f = 0; f < 6; ++f) row[f] = rng->Uniform();
+    if (gram_case == 2) {
+      row[4] = std::floor(row[4] * 4.0);
+      row[5] = std::floor(row[5] * 24.0);
+    }
+    data.AppendRow(row, 0.0);
+  }
+  return data;
+}
+
+const char* GramCaseLabel(int gram_case) {
+  switch (gram_case) {
+    case 0: return "spline_only";
+    case 1: return "tensor_heavy";
+    default: return "mixed_factors";
+  }
+}
+
+void BM_GramDenseDesign(benchmark::State& state) {
+  Rng rng(52);
+  const int gram_case = static_cast<int>(state.range(0));
+  Dataset data = MakeGramCaseData(4000, gram_case, &rng);
+  TermList terms = MakeGramCaseTerms(gram_case);
+  DesignLayout layout = ComputeLayout(terms);
+  Matrix design = BuildRawDesign(terms, data, layout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramWeighted(design, {}));
+  }
+  state.SetLabel(GramCaseLabel(gram_case));
+  state.counters["p"] = static_cast<double>(layout.total_cols);
+}
+BENCHMARK(BM_GramDenseDesign)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GramSparseDesign(benchmark::State& state) {
+  Rng rng(52);
+  const int gram_case = static_cast<int>(state.range(0));
+  Dataset data = MakeGramCaseData(4000, gram_case, &rng);
+  TermList terms = MakeGramCaseTerms(gram_case);
+  DesignLayout layout = ComputeLayout(terms);
+  SparseDesign design = BuildSparseDesign(terms, data, layout);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GramWeighted(design.matrix, {}));
+  }
+  state.SetLabel(GramCaseLabel(gram_case));
+  state.counters["nnz"] = static_cast<double>(design.matrix.row_nnz());
+  state.counters["p"] = static_cast<double>(layout.total_cols);
+}
+BENCHMARK(BM_GramSparseDesign)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GramWeightedThreads(benchmark::State& state) {

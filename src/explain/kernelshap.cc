@@ -171,10 +171,10 @@ ShapExplanation KernelShapExplainer::Explain(
     }
   }
 
-  Matrix tiny_ridge = Matrix::Identity(p);
-  tiny_ridge.Scale(1e-10);
-  auto solution =
-      SolvePenalizedLeastSquares(design, targets, weights, tiny_ridge);
+  PenalizedLsOptions tiny_ridge;
+  tiny_ridge.diagonal_ridge = 1e-10;
+  auto solution = SolvePenalizedLeastSquares(design, targets, weights,
+                                             Matrix(), tiny_ridge);
   if (!solution.has_value()) {
     // Degenerate (e.g. constant model): spread Δ evenly.
     for (int f = 0; f < m; ++f) {

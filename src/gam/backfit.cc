@@ -25,23 +25,31 @@ Gam FitGamByBackfitting(TermList terms, const Dataset& data,
       static_cast<size_t>(gam.layout_.total_cols) <= data.num_rows(),
       "more GAM coefficients than training rows");
 
-  Matrix design = BuildRawDesign(gam.terms_, data, gam.layout_);
-  gam.centers_ = ComputeCenters(design, gam.terms_, gam.layout_);
-  CenterDesign(&design, gam.centers_);
+  // One shared block-sparse design; every term works on a slot-range
+  // *view* of it (no per-term design copies). The design stays raw —
+  // the per-term Gram/RHS/fitted values get the exact rank-one centering
+  // correction instead (see gam/fit_workspace.h for the algebra).
+  SparseDesign sparse = BuildSparseDesign(gam.terms_, data, gam.layout_);
+  gam.centers_ = ComputeCenters(sparse, gam.terms_, gam.layout_);
+  const Vector column_sums = ColumnSums(sparse.matrix);
 
   const size_t n = data.num_rows();
+  const double dn = static_cast<double>(n);
   const Vector& y = data.targets();
   const size_t num_terms = gam.terms_.size();
 
-  // Per-term working state: design slice, factorized penalized Gram,
+  // Per-term working state: slot view, factorized penalized Gram,
   // fitted component values.
   struct TermState {
-    Matrix design;                       // n x p_t
     std::optional<Cholesky> factor;      // (X_tᵀX_t + λS_t + ridge)
-    Matrix gram;                         // X_tᵀX_t
-    Vector fitted;                       // X_t β_t
+    Matrix gram;                         // centered X_tᵀX_t
+    Vector fitted;                       // centered X_t β_t
     Vector beta;
+    Vector centers;                      // block slice of gam.centers_
     int offset = 0;
+    int width = 0;
+    int slot_begin = 0;
+    int slot_end = 0;
     bool is_intercept = false;
   };
   std::vector<TermState> states(num_terms);
@@ -52,14 +60,30 @@ Gam FitGamByBackfitting(TermList terms, const Dataset& data,
         gam.terms_[t]->type() == TermType::kIntercept;
     if (state.is_intercept) continue;
     const int width = gam.terms_[t]->num_coeffs();
-    state.design = Matrix(n, width);
-    for (size_t i = 0; i < n; ++i) {
-      const double* row = design.Row(i);
-      for (int j = 0; j < width; ++j) {
-        state.design(i, j) = row[state.offset + j];
+    state.width = width;
+    state.slot_begin = sparse.TermSlotBegin(t);
+    state.slot_end = sparse.TermSlotEnd(t);
+    state.centers.assign(gam.centers_.begin() + state.offset,
+                         gam.centers_.begin() + state.offset + width);
+    state.gram = GramWeightedSlots(sparse.matrix, state.slot_begin,
+                                   state.slot_end, state.offset, width,
+                                   {});
+    // Centering correction −ucᵀ − cuᵀ + n·ccᵀ on the block, applied to
+    // the upper triangle and mirrored (exact symmetry).
+    for (int j = 0; j < width; ++j) {
+      const double uj = column_sums[state.offset + j];
+      const double cj = state.centers[j];
+      for (int k = j; k < width; ++k) {
+        state.gram(j, k) += dn * cj * state.centers[k] -
+                            uj * state.centers[k] -
+                            cj * column_sums[state.offset + k];
       }
     }
-    state.gram = GramWeighted(state.design, {});
+    for (int j = 0; j < width; ++j) {
+      for (int k = j + 1; k < width; ++k) {
+        state.gram(k, j) = state.gram(j, k);
+      }
+    }
     Matrix penalized = state.gram;
     penalized.AddScaled(gam.terms_[t]->Penalty(), config.lambda);
     double ridge = gam.terms_[t]->FixedRidge();
@@ -89,10 +113,24 @@ Gam FitGamByBackfitting(TermList terms, const Dataset& data,
       if (state.is_intercept) continue;
       // Partial residual: add this term's current fit back in.
       for (size_t i = 0; i < n; ++i) residual[i] += state.fitted[i];
-      Vector rhs = MatTVec(state.design, residual);
+      // Centered X_tᵀ r = (raw view)ᵀ r − c_t · Σᵢ rᵢ.
+      Vector rhs = MatTVecSlots(sparse.matrix, state.slot_begin,
+                                state.slot_end, state.offset, state.width,
+                                residual);
+      double residual_sum = 0.0;
+      for (double r : residual) residual_sum += r;
+      for (int j = 0; j < state.width; ++j) {
+        rhs[j] -= state.centers[j] * residual_sum;
+      }
       Vector beta = state.factor->Solve(rhs);
-      Vector fitted = MatVec(state.design, beta);
-      for (size_t i = 0; i < n; ++i) residual[i] -= fitted[i];
+      // Centered X_t β = (raw view) β − (c_tᵀβ)·1.
+      Vector fitted = MatVecSlots(sparse.matrix, state.slot_begin,
+                                  state.slot_end, state.offset, beta);
+      const double shift = Dot(state.centers, beta);
+      for (size_t i = 0; i < n; ++i) {
+        fitted[i] -= shift;
+        residual[i] -= fitted[i];
+      }
 
       for (size_t j = 0; j < beta.size(); ++j) {
         max_change = std::max(max_change,
@@ -130,12 +168,10 @@ Gam FitGamByBackfitting(TermList terms, const Dataset& data,
     for (size_t j = 0; j < state.beta.size(); ++j) {
       gam.beta_[state.offset + j] = state.beta[j];
     }
+    edof += state.factor->TraceOfProductSolve(state.gram);
+    // Block-diagonal covariance (see header note). This is the one place
+    // the inverse is materialized — once per term, after the cycles.
     Matrix inverse = state.factor->Inverse();
-    Matrix influence = MatMul(inverse, state.gram);
-    for (size_t j = 0; j < influence.rows(); ++j) {
-      edof += influence(j, j);
-    }
-    // Block-diagonal covariance (see header note).
     for (size_t a = 0; a < inverse.rows(); ++a) {
       for (size_t b = 0; b < inverse.cols(); ++b) {
         gam.covariance_(state.offset + a, state.offset + b) =
@@ -143,7 +179,6 @@ Gam FitGamByBackfitting(TermList terms, const Dataset& data,
       }
     }
   }
-  const double dn = static_cast<double>(n);
   double denom = std::max(1.0, dn - edof);
   gam.lambda_ = config.lambda;
   gam.lambdas_.assign(num_terms, config.lambda);

@@ -87,9 +87,8 @@ BSplineBasis BSplineBasis::FromKnots(std::vector<double> knots,
   return BSplineBasis(std::move(knots), degree, lo, hi);
 }
 
-void BSplineBasis::Evaluate(double x, double* out) const {
+int BSplineBasis::EvaluateLocal(double x, double* out) const {
   x = std::clamp(x, lo_, hi_);
-  std::fill(out, out + num_basis_, 0.0);
 
   // Knot span: largest j in [degree, num_basis - 1] with
   // knots_[j] <= x (and x < knots_[j + 1] except at x == hi).
@@ -108,28 +107,34 @@ void BSplineBasis::Evaluate(double x, double* out) const {
   }
 
   // Cox–de Boor recursion, local form: computes the degree+1 nonzero
-  // basis values N_{span-degree..span}.
-  std::vector<double> values(degree_ + 1, 0.0);
-  std::vector<double> left(degree_ + 1, 0.0);
-  std::vector<double> right(degree_ + 1, 0.0);
-  values[0] = 1.0;
+  // basis values N_{span-degree..span} directly into `out`. Scratch is
+  // thread-local so the design builders stay allocation-free per row.
+  static thread_local std::vector<double> left, right;
+  left.assign(degree_ + 1, 0.0);
+  right.assign(degree_ + 1, 0.0);
+  out[0] = 1.0;
   for (int j = 1; j <= degree_; ++j) {
     left[j] = x - knots_[span + 1 - j];
     right[j] = knots_[span + j] - x;
     double saved = 0.0;
     for (int r = 0; r < j; ++r) {
       double denom = right[r + 1] + left[j - r];
-      double temp = denom != 0.0 ? values[r] / denom : 0.0;
-      values[r] = saved + right[r + 1] * temp;
+      double temp = denom != 0.0 ? out[r] / denom : 0.0;
+      out[r] = saved + right[r + 1] * temp;
       saved = left[j - r] * temp;
     }
-    values[j] = saved;
+    out[j] = saved;
   }
-  for (int j = 0; j <= degree_; ++j) {
-    int index = span - degree_ + j;
-    GEF_DCHECK(index >= 0 && index < num_basis_);
-    out[index] = values[j];
-  }
+  GEF_DCHECK(span - degree_ >= 0 && span < num_basis_);
+  return span - degree_;
+}
+
+void BSplineBasis::Evaluate(double x, double* out) const {
+  static thread_local std::vector<double> local;
+  local.resize(degree_ + 1);
+  int first = EvaluateLocal(x, local.data());
+  std::fill(out, out + num_basis_, 0.0);
+  for (int j = 0; j <= degree_; ++j) out[first + j] = local[j];
 }
 
 std::vector<double> BSplineBasis::Evaluate(double x) const {

@@ -56,6 +56,12 @@ class BSplineBasis {
   /// Convenience allocating overload.
   std::vector<double> Evaluate(double x) const;
 
+  /// Local (sparse) evaluation: at any x exactly degree+1 consecutive
+  /// basis functions are nonzero. Writes those degree+1 values into
+  /// `out` and returns the index of the first one — the block-sparse
+  /// design builder stores only this run.
+  int EvaluateLocal(double x, double* out) const;
+
   /// Second-order difference penalty S = D₂ᵀ D₂ (num_basis x num_basis):
   /// penalizes squared second differences of adjacent coefficients, the
   /// P-spline approximation of the integrated squared second derivative

@@ -37,22 +37,98 @@ Matrix BuildRawDesign(const TermList& terms, const Dataset& data,
   return design;
 }
 
-std::vector<double> ComputeCenters(const Matrix& raw_design,
-                                   const TermList& terms,
-                                   const DesignLayout& layout) {
+SparseDesign BuildSparseDesign(const TermList& terms, const Dataset& data,
+                               const DesignLayout& layout) {
+  GEF_CHECK_GT(data.num_rows(), 0u);
+  SparseDesign design;
+  std::vector<BlockSparseMatrix::Slot> slots;
+  design.term_first_slot.reserve(terms.size() + 1);
+  int value_offset = 0;
+  for (const auto& term : terms) {
+    design.term_first_slot.push_back(static_cast<int>(slots.size()));
+    for (int length : term->SparseSegmentLengths()) {
+      slots.push_back({value_offset, length});
+      value_offset += length;
+    }
+  }
+  design.term_first_slot.push_back(static_cast<int>(slots.size()));
+  design.matrix = BlockSparseMatrix(data.num_rows(), layout.total_cols,
+                                    std::move(slots));
+
+  BlockSparseMatrix& m = design.matrix;
+  const std::vector<int>& first_slot = design.term_first_slot;
+  ParallelForChunked(
+      0, data.num_rows(), 128, [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<double> row_features;
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          data.GetRowInto(i, &row_features);
+          double* values = m.RowValues(i);
+          int* starts = m.RowStarts(i);
+          for (size_t t = 0; t < terms.size(); ++t) {
+            const int s0 = first_slot[t];
+            terms[t]->EvaluateSparse(row_features,
+                                     values + m.slot(s0).value_offset,
+                                     starts + s0);
+            // EvaluateSparse reports block-relative segment starts;
+            // rebase them onto absolute design columns.
+            for (int s = s0; s < first_slot[t + 1]; ++s) {
+              starts[s] += layout.term_offsets[t];
+            }
+          }
+        }
+      });
+  return design;
+}
+
+namespace {
+
+// Shared tail of both ComputeCenters overloads: column sums → centers,
+// intercept columns pinned at zero.
+std::vector<double> CentersFromColumnSums(const Vector& sums, double n,
+                                          const TermList& terms,
+                                          const DesignLayout& layout) {
   std::vector<double> centers(layout.total_cols, 0.0);
-  const double n = static_cast<double>(raw_design.rows());
   for (size_t t = 0; t < terms.size(); ++t) {
     if (terms[t]->type() == TermType::kIntercept) continue;
     int begin = layout.term_offsets[t];
     int end = begin + terms[t]->num_coeffs();
-    for (int j = begin; j < end; ++j) {
-      double sum = 0.0;
-      for (size_t i = 0; i < raw_design.rows(); ++i) sum += raw_design(i, j);
-      centers[j] = sum / n;
-    }
+    for (int j = begin; j < end; ++j) centers[j] = sums[j] / n;
   }
   return centers;
+}
+
+}  // namespace
+
+std::vector<double> ComputeCenters(const Matrix& raw_design,
+                                   const TermList& terms,
+                                   const DesignLayout& layout) {
+  // One row-major sweep (sequential reads) instead of a column-strided
+  // pass per coefficient; per-chunk partial column sums combine in fixed
+  // chunk order, so the centers are bit-identical at any thread count.
+  const size_t p = raw_design.cols();
+  Vector sums = ParallelReduce<Vector>(
+      0, raw_design.rows(), 1024, Vector(p, 0.0),
+      [&](size_t chunk_begin, size_t chunk_end) {
+        Vector partial(p, 0.0);
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          const double* row = raw_design.Row(i);
+          for (size_t j = 0; j < p; ++j) partial[j] += row[j];
+        }
+        return partial;
+      },
+      [](Vector* acc, Vector part) {
+        for (size_t j = 0; j < acc->size(); ++j) (*acc)[j] += part[j];
+      });
+  return CentersFromColumnSums(sums, static_cast<double>(raw_design.rows()),
+                               terms, layout);
+}
+
+std::vector<double> ComputeCenters(const SparseDesign& design,
+                                   const TermList& terms,
+                                   const DesignLayout& layout) {
+  return CentersFromColumnSums(ColumnSums(design.matrix),
+                               static_cast<double>(design.matrix.rows()),
+                               terms, layout);
 }
 
 void CenterDesign(Matrix* design, const std::vector<double>& centers) {

@@ -10,6 +10,7 @@
 
 #include "data/dataset.h"
 #include "gam/terms.h"
+#include "linalg/block_sparse.h"
 #include "linalg/matrix.h"
 
 namespace gef {
@@ -32,10 +33,34 @@ DesignLayout ComputeLayout(const TermList& terms);
 Matrix BuildRawDesign(const TermList& terms, const Dataset& data,
                       const DesignLayout& layout);
 
+/// The same rows as BuildRawDesign in block-sparse form: each term
+/// contributes its SparseSegmentLengths() slots, so a row stores only
+/// Σ nnz values instead of total_cols. The design stays *uncentered* —
+/// centering would densify every block; the fit path applies the exact
+/// rank-one centering correction to Gram/RHS/fitted instead
+/// (gam/fit_workspace.h).
+struct SparseDesign {
+  BlockSparseMatrix matrix;
+  /// First slot of each term's block, plus a trailing sentinel:
+  /// term t owns slots [term_first_slot[t], term_first_slot[t + 1]).
+  std::vector<int> term_first_slot;
+
+  int TermSlotBegin(size_t t) const { return term_first_slot[t]; }
+  int TermSlotEnd(size_t t) const { return term_first_slot[t + 1]; }
+};
+
+SparseDesign BuildSparseDesign(const TermList& terms, const Dataset& data,
+                               const DesignLayout& layout);
+
 /// Column means of non-intercept blocks (0 for intercept columns).
 /// Subtracting them makes every fitted component mean-zero on the
 /// training data, with the level shift absorbed by the intercept.
 std::vector<double> ComputeCenters(const Matrix& raw_design,
+                                   const TermList& terms,
+                                   const DesignLayout& layout);
+
+/// Centers from a block-sparse design (one O(n·nnz) column-sum pass).
+std::vector<double> ComputeCenters(const SparseDesign& design,
                                    const TermList& terms,
                                    const DesignLayout& layout);
 

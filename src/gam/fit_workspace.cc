@@ -1,0 +1,105 @@
+#include "gam/fit_workspace.h"
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace gef {
+
+FitWorkspace BuildFitWorkspace(const TermList& terms, const Dataset& data,
+                               const DesignLayout& layout) {
+  FitWorkspace ws;
+  ws.design = BuildSparseDesign(terms, data, layout);
+  ws.centers = ComputeCenters(ws.design, terms, layout);
+  ws.column_sums = ColumnSums(ws.design.matrix);
+  ws.penalty_blocks.resize(terms.size());
+  for (size_t t = 0; t < terms.size(); ++t) {
+    if (terms[t]->type() != TermType::kIntercept) {
+      ws.penalty_blocks[t] = terms[t]->Penalty();
+    }
+  }
+  ws.fixed_ridge = BuildFixedRidge(terms, layout);
+  ws.penalized = Matrix(layout.total_cols, layout.total_cols);
+  return ws;
+}
+
+Matrix CenteredGramWeighted(const FitWorkspace& ws, const Vector& w) {
+  GEF_OBS_COUNTER_ADD("gam.gram_builds", 1);
+  Matrix gram = GramWeighted(ws.design.matrix, w);
+
+  // Exact centering correction: −ucᵀ − cuᵀ + s_w ccᵀ with u = XᵀW·1.
+  const std::vector<double>& c = ws.centers;
+  Vector u;
+  double sw;
+  if (w.empty()) {
+    u = ws.column_sums;
+    sw = static_cast<double>(ws.design.matrix.rows());
+  } else {
+    u = MatTVec(ws.design.matrix, w);
+    sw = 0.0;
+    for (double wi : w) sw += wi;
+  }
+  const size_t p = gram.cols();
+  for (size_t j = 0; j < p; ++j) {
+    if (c[j] == 0.0 && u[j] == 0.0) continue;
+    double* row = gram.Row(j);
+    for (size_t k = j; k < p; ++k) {
+      row[k] += sw * c[j] * c[k] - u[j] * c[k] - c[j] * u[k];
+    }
+  }
+  // The intercept row (c == 0, u != 0) only contributes through the
+  // −c[j]·u[k] cross terms handled above; mirroring restores exact
+  // symmetry regardless of which triangle a correction landed in.
+  for (size_t j = 0; j < p; ++j) {
+    for (size_t k = j + 1; k < p; ++k) gram(k, j) = gram(j, k);
+  }
+  return gram;
+}
+
+Vector CenteredGramWeightedRhs(const FitWorkspace& ws, const Vector& w,
+                               const Vector& y) {
+  Vector rhs = GramWeightedRhs(ws.design.matrix, w, y);
+  // −c·(wᵀy); the serial dot keeps the correction thread-count free.
+  double wy = 0.0;
+  if (w.empty()) {
+    for (double yi : y) wy += yi;
+  } else {
+    for (size_t i = 0; i < y.size(); ++i) wy += w[i] * y[i];
+  }
+  for (size_t j = 0; j < rhs.size(); ++j) rhs[j] -= ws.centers[j] * wy;
+  return rhs;
+}
+
+Vector CenteredMatVec(const FitWorkspace& ws, const Vector& beta) {
+  Vector fitted = MatVec(ws.design.matrix, beta);
+  const double shift = Dot(ws.centers, beta);
+  for (double& f : fitted) f -= shift;
+  return fitted;
+}
+
+const Matrix& AssemblePenalized(FitWorkspace* ws, const Matrix& gram,
+                                const TermList& terms,
+                                const DesignLayout& layout,
+                                const std::vector<double>& lambdas) {
+  Matrix& penalized = ws->penalized;
+  GEF_CHECK_EQ(penalized.rows(), gram.rows());
+  penalized = gram;
+  for (size_t t = 0; t < terms.size(); ++t) {
+    const Matrix& block = ws->penalty_blocks[t];
+    if (block.empty()) continue;
+    const int offset = layout.term_offsets[t];
+    const double lambda = lambdas[t];
+    for (size_t i = 0; i < block.rows(); ++i) {
+      double* row = penalized.Row(offset + i);
+      const double* brow = block.Row(i);
+      for (size_t j = 0; j < block.cols(); ++j) {
+        row[offset + j] += lambda * brow[j];
+      }
+    }
+  }
+  for (size_t j = 0; j < ws->fixed_ridge.size(); ++j) {
+    penalized(j, j) += ws->fixed_ridge[j];
+  }
+  return penalized;
+}
+
+}  // namespace gef

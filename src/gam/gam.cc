@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "gam/fit_workspace.h"
 #include "linalg/cholesky.h"
 #include "obs/obs.h"
 #include "stats/descriptive.h"
@@ -12,32 +13,26 @@
 
 namespace gef {
 
-Gam::FitCandidate Gam::FitIdentity(const Matrix& design, const Vector& y,
-                                   const Matrix& penalty,
-                                   const Vector& fixed_ridge) const {
+Gam::FitCandidate Gam::FitIdentity(FitWorkspace* ws, const Matrix& gram,
+                                   const Vector& rhs, const Vector& y,
+                                   const std::vector<double>& lambdas) const {
   FitCandidate fit;
 
-  // Gram and RHS are penalty-independent; the caller could hoist them,
-  // but the clarity of a self-contained candidate fit wins at these
-  // sizes.
-  Matrix gram = GramWeighted(design, {});
-  Vector rhs = GramWeightedRhs(design, {}, y);
+  // Gram and RHS were hoisted by the caller — they are λ-independent, so
+  // the whole GCV grid and the coordinate descent after it reuse one
+  // build. Only the penalty assembly and the factorization remain per
+  // candidate.
+  const Matrix& penalized =
+      AssemblePenalized(ws, gram, terms_, layout_, lambdas);
+  fit.factor = Cholesky::Factorize(penalized);
+  if (!fit.factor.has_value()) return fit;
 
-  Matrix penalized = gram;
-  penalized.Add(penalty);
-  for (size_t j = 0; j < fixed_ridge.size(); ++j) {
-    penalized(j, j) += fixed_ridge[j];
-  }
-  auto chol = Cholesky::Factorize(penalized);
-  if (!chol.has_value()) return fit;
+  fit.beta = fit.factor->Solve(rhs);
+  // EDoF via triangular solves against the factor; the O(p³) inverse is
+  // deferred to the single winning candidate.
+  fit.edof = fit.factor->TraceOfProductSolve(gram);
 
-  fit.beta = chol->Solve(rhs);
-  fit.covariance = chol->Inverse();
-
-  Matrix influence = MatMul(fit.covariance, gram);
-  for (size_t i = 0; i < influence.rows(); ++i) fit.edof += influence(i, i);
-
-  Vector fitted = MatVec(design, fit.beta);
+  Vector fitted = CenteredMatVec(*ws, fit.beta);
   for (size_t i = 0; i < y.size(); ++i) {
     double r = y[i] - fitted[i];
     fit.rss += r * r;
@@ -51,14 +46,15 @@ Gam::FitCandidate Gam::FitIdentity(const Matrix& design, const Vector& y,
   return fit;
 }
 
-Gam::FitCandidate Gam::FitLogit(const Matrix& design, const Vector& y,
-                                const Matrix& penalty,
-                                const Vector& fixed_ridge,
+Gam::FitCandidate Gam::FitLogit(FitWorkspace* ws, const Vector& y,
+                                const std::vector<double>& lambdas,
                                 const GamConfig& config) const {
   FitCandidate fit;
   const size_t n = y.size();
 
-  // PIRLS: iterate weighted penalized LS on the working response.
+  // PIRLS: iterate weighted penalized LS on the working response. The
+  // weights change every iteration, so the Gram cannot be hoisted here —
+  // but each build is the O(n·nnz²) sparse kernel, not O(n·p²).
   Vector eta(n);
   for (size_t i = 0; i < n; ++i) {
     double mu0 = std::clamp((y[i] + 0.5) / 2.0, 0.01, 0.99);
@@ -75,18 +71,15 @@ Gam::FitCandidate Gam::FitLogit(const Matrix& design, const Vector& y,
       weights[i] = std::max(w, 1e-10);
       working[i] = eta[i] + (y[i] - mu) / weights[i];
     }
-    gram = GramWeighted(design, weights);
-    Vector rhs = GramWeightedRhs(design, weights, working);
-    Matrix penalized = gram;
-    penalized.Add(penalty);
-    for (size_t j = 0; j < fixed_ridge.size(); ++j) {
-      penalized(j, j) += fixed_ridge[j];
-    }
+    gram = CenteredGramWeighted(*ws, weights);
+    Vector rhs = CenteredGramWeightedRhs(*ws, weights, working);
+    const Matrix& penalized =
+        AssemblePenalized(ws, gram, terms_, layout_, lambdas);
     auto chol = Cholesky::Factorize(penalized);
     if (!chol.has_value()) return fit;
 
     Vector beta = chol->Solve(rhs);
-    eta = MatVec(design, beta);
+    eta = CenteredMatVec(*ws, beta);
 
     double delta = 0.0;
     if (!beta_prev.empty()) {
@@ -98,13 +91,11 @@ Gam::FitCandidate Gam::FitLogit(const Matrix& design, const Vector& y,
     }
     beta_prev = beta;
     fit.beta = std::move(beta);
-    fit.covariance = chol->Inverse();
+    fit.factor = std::move(chol);
     if (delta < config.pirls_tol) break;
   }
 
-  Matrix influence = MatMul(fit.covariance, gram);
-  fit.edof = 0.0;
-  for (size_t i = 0; i < influence.rows(); ++i) fit.edof += influence(i, i);
+  fit.edof = fit.factor->TraceOfProductSolve(gram);
 
   // Deviance-based GCV for the binomial family.
   double deviance = 0.0;
@@ -137,40 +128,25 @@ bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
                                           << data.num_rows() << ")");
   feature_names_ = data.feature_names();
 
-  Matrix design = BuildRawDesign(terms_, data, layout_);
-  centers_ = ComputeCenters(design, terms_, layout_);
-  CenterDesign(&design, centers_);
-  Vector fixed_ridge = BuildFixedRidge(terms_, layout_);
-
-  // Per-term unit penalty blocks, assembled into a full matrix for any
-  // per-term λ vector.
-  std::vector<Matrix> penalty_blocks(terms_.size());
-  for (size_t t = 0; t < terms_.size(); ++t) {
-    if (terms_[t]->type() != TermType::kIntercept) {
-      penalty_blocks[t] = terms_[t]->Penalty();
-    }
-  }
-  auto assemble_penalty = [&](const std::vector<double>& lambdas) {
-    Matrix penalty(layout_.total_cols, layout_.total_cols);
-    for (size_t t = 0; t < terms_.size(); ++t) {
-      const Matrix& block = penalty_blocks[t];
-      if (block.empty()) continue;
-      int offset = layout_.term_offsets[t];
-      for (size_t i = 0; i < block.rows(); ++i) {
-        for (size_t j = 0; j < block.cols(); ++j) {
-          penalty(offset + i, offset + j) = lambdas[t] * block(i, j);
-        }
-      }
-    }
-    return penalty;
-  };
+  // Everything λ-independent — block-sparse design, centers, penalty
+  // blocks, fixed ridge, scratch — is built once and shared by every
+  // candidate fit on the grid and in the coordinate descent.
+  FitWorkspace ws = BuildFitWorkspace(terms_, data, layout_);
+  centers_ = ws.centers;
 
   const Vector& y = data.targets();
+  Matrix gram;
+  Vector rhs;
+  if (link_ == LinkType::kIdentity) {
+    // With unit weights the Gram and RHS are also λ-independent: one
+    // build covers the whole search (gam.gram_builds == 1).
+    gram = CenteredGramWeighted(ws, {});
+    rhs = CenteredGramWeightedRhs(ws, {}, y);
+  }
   auto fit_with = [&](const std::vector<double>& lambdas) {
-    Matrix penalty = assemble_penalty(lambdas);
     return link_ == LinkType::kIdentity
-               ? FitIdentity(design, y, penalty, fixed_ridge)
-               : FitLogit(design, y, penalty, fixed_ridge, config);
+               ? FitIdentity(&ws, gram, rhs, y, lambdas)
+               : FitLogit(&ws, y, lambdas, config);
   };
 
   // Stage 1: the paper's shared-λ GCV grid search.
@@ -224,27 +200,32 @@ bool Gam::Fit(TermList terms, const Dataset& data, const GamConfig& config) {
   scale_ = link_ == LinkType::kIdentity
                ? best.rss / std::max(1.0, n - best.edof)
                : 1.0;
-  covariance_ = std::move(best.covariance);
+  // The covariance (posterior shape) is the one place the inverse is
+  // still needed — materialized once for the winner, never per candidate.
+  covariance_ = best.factor->Inverse();
   covariance_.Scale(scale_);
   SetMinRowWidth();
   fitted_ = true;
 
-  // Empirical term importances: SD of each component over the fit data.
+  // Empirical term importances: SD of each component over the fit data,
+  // read off the already-built sparse design instead of re-evaluating
+  // every term on every row.
   term_importances_.assign(terms_.size(), 0.0);
-  std::vector<std::vector<double>> contributions(
-      terms_.size(), std::vector<double>(data.num_rows()));
-  ParallelForChunked(
-      0, data.num_rows(), 128, [&](size_t chunk_begin, size_t chunk_end) {
-        std::vector<double> row;
-        for (size_t i = chunk_begin; i < chunk_end; ++i) {
-          data.GetRowInto(i, &row);
-          for (size_t t = 0; t < terms_.size(); ++t) {
-            contributions[t][i] = TermContribution(t, row);
-          }
-        }
-      });
   for (size_t t = 0; t < terms_.size(); ++t) {
-    term_importances_[t] = StdDev(contributions[t]);
+    if (terms_[t]->type() == TermType::kIntercept) continue;
+    const int offset = layout_.term_offsets[t];
+    const int width = terms_[t]->num_coeffs();
+    Vector beta_block(beta_.begin() + offset,
+                      beta_.begin() + offset + width);
+    Vector contribution =
+        MatVecSlots(ws.design.matrix, ws.design.TermSlotBegin(t),
+                    ws.design.TermSlotEnd(t), offset, beta_block);
+    double shift = 0.0;
+    for (int j = 0; j < width; ++j) {
+      shift += centers_[offset + j] * beta_block[j];
+    }
+    for (double& v : contribution) v -= shift;
+    term_importances_[t] = StdDev(contribution);
   }
   if (ValidateAfterTraining()) {
     Status s = ValidateGam(*this);

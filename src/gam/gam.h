@@ -7,6 +7,7 @@
 // λ_1 = … = λ_{p+q}) is selected by Generalized Cross Validation.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,12 +15,14 @@
 #include "gam/design.h"
 #include "gam/link.h"
 #include "gam/terms.h"
+#include "linalg/cholesky.h"
 #include "linalg/matrix.h"
 #include "util/status.h"
 
 namespace gef {
 
 class Gam;
+struct FitWorkspace;
 /// Defined in gam/gam_io.h; declared here for the friendships below.
 StatusOr<Gam> GamFromString(const std::string& text);
 std::string GamToString(const Gam& gam);
@@ -134,19 +137,24 @@ class Gam {
 
   struct FitCandidate {
     Vector beta;
-    Matrix covariance;  // unscaled (XᵀWX + S)⁻¹
+    /// Cholesky factor of the winning penalized system. The covariance
+    /// (its inverse) is materialized once for the final winner only —
+    /// never on the GCV grid, where EDoF comes from triangular solves.
+    std::optional<Cholesky> factor;
     double gcv = 0.0;
     double edof = 0.0;
     double rss = 0.0;
     bool ok = false;
   };
 
-  // `penalty` is the fully assembled (already λ-scaled) penalty matrix.
-  FitCandidate FitIdentity(const Matrix& design, const Vector& y,
-                           const Matrix& penalty,
-                           const Vector& fixed_ridge) const;
-  FitCandidate FitLogit(const Matrix& design, const Vector& y,
-                        const Matrix& penalty, const Vector& fixed_ridge,
+  // Candidate fits share the λ-independent workspace (sparse design,
+  // hoisted Gram/RHS for the identity link, penalty blocks, scratch);
+  // only the per-term λ vector varies between calls.
+  FitCandidate FitIdentity(FitWorkspace* ws, const Matrix& gram,
+                           const Vector& rhs, const Vector& y,
+                           const std::vector<double>& lambdas) const;
+  FitCandidate FitLogit(FitWorkspace* ws, const Vector& y,
+                        const std::vector<double>& lambdas,
                         const GamConfig& config) const;
 
   /// Recomputes min_row_width_ from terms_. Every site that assembles

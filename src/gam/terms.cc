@@ -40,6 +40,13 @@ void SplineTerm::Evaluate(const std::vector<double>& row,
   basis_.Evaluate(row[feature_], out);
 }
 
+void SplineTerm::EvaluateSparse(const std::vector<double>& row,
+                                double* values,
+                                int* segment_starts) const {
+  GEF_DCHECK(static_cast<size_t>(feature_) < row.size());
+  segment_starts[0] = basis_.EvaluateLocal(row[feature_], values);
+}
+
 Matrix SplineTerm::Penalty() const {
   return basis_.DifferencePenalty(penalty_order_);
 }
@@ -60,9 +67,18 @@ FactorTerm::FactorTerm(int feature, std::vector<double> levels)
 
 void FactorTerm::Evaluate(const std::vector<double>& row,
                           double* out) const {
+  std::fill(out, out + levels_.size(), 0.0);
+  double value;
+  int level;
+  EvaluateSparse(row, &value, &level);
+  out[level] = value;
+}
+
+void FactorTerm::EvaluateSparse(const std::vector<double>& row,
+                                double* values,
+                                int* segment_starts) const {
   GEF_DCHECK(static_cast<size_t>(feature_) < row.size());
   double x = row[feature_];
-  std::fill(out, out + levels_.size(), 0.0);
   // Nearest level wins; exact match in the common case.
   size_t best = 0;
   double best_d = std::fabs(x - levels_[0]);
@@ -73,7 +89,8 @@ void FactorTerm::Evaluate(const std::vector<double>& row,
       best = i;
     }
   }
-  out[best] = 1.0;
+  values[0] = 1.0;
+  segment_starts[0] = static_cast<int>(best);
 }
 
 Matrix FactorTerm::Penalty() const {
@@ -116,18 +133,40 @@ TensorTerm::TensorTerm(int feature_a, BSplineBasis basis_a,
 
 void TensorTerm::Evaluate(const std::vector<double>& row,
                           double* out) const {
+  const int da = basis_a_.degree();
+  const int db = basis_b_.degree();
+  static thread_local std::vector<double> values;
+  static thread_local std::vector<int> starts;
+  values.resize((da + 1) * (db + 1));
+  starts.resize(da + 1);
+  EvaluateSparse(row, values.data(), starts.data());
+  std::fill(out, out + num_coeffs(), 0.0);
+  for (int i = 0; i <= da; ++i) {
+    for (int j = 0; j <= db; ++j) {
+      out[starts[i] + j] = values[i * (db + 1) + j];
+    }
+  }
+}
+
+void TensorTerm::EvaluateSparse(const std::vector<double>& row,
+                                double* values,
+                                int* segment_starts) const {
   GEF_DCHECK(static_cast<size_t>(feature_a_) < row.size());
   GEF_DCHECK(static_cast<size_t>(feature_b_) < row.size());
-  const int na = basis_a_.num_basis();
+  const int da = basis_a_.degree();
+  const int db = basis_b_.degree();
   const int nb = basis_b_.num_basis();
   static thread_local std::vector<double> va, vb;
-  va.resize(na);
-  vb.resize(nb);
-  basis_a_.Evaluate(row[feature_a_], va.data());
-  basis_b_.Evaluate(row[feature_b_], vb.data());
-  for (int i = 0; i < na; ++i) {
-    for (int j = 0; j < nb; ++j) {
-      out[i * nb + j] = va[i] * vb[j];
+  va.resize(da + 1);
+  vb.resize(db + 1);
+  const int first_a = basis_a_.EvaluateLocal(row[feature_a_], va.data());
+  const int first_b = basis_b_.EvaluateLocal(row[feature_b_], vb.data());
+  // The flattened block index is i·n_b + j, so the nonzeros form da+1
+  // contiguous runs of db+1, one per marginal-a basis function.
+  for (int i = 0; i <= da; ++i) {
+    segment_starts[i] = (first_a + i) * nb + first_b;
+    for (int j = 0; j <= db; ++j) {
+      values[i * (db + 1) + j] = va[i] * vb[j];
     }
   }
 }

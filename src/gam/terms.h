@@ -33,6 +33,26 @@ class Term {
   virtual void Evaluate(const std::vector<double>& row, double* out)
       const = 0;
 
+  /// Fixed sparsity pattern of the term's design block: every row
+  /// carries the same dense segments (col-contiguous nonzero runs), only
+  /// their start columns vary per row. A spline block has one run of
+  /// degree+1 values, a factor block a single indicator, a tensor block
+  /// (d_a+1) runs of (d_b+1). The base implementation is the dense
+  /// fallback: one segment covering the whole block.
+  virtual std::vector<int> SparseSegmentLengths() const {
+    return {num_coeffs()};
+  }
+
+  /// Sparse evaluation matching SparseSegmentLengths(): writes the
+  /// packed segment values (Σ lengths doubles, segment after segment)
+  /// into `values` and each segment's start column *within the block*
+  /// into `segment_starts`.
+  virtual void EvaluateSparse(const std::vector<double>& row,
+                              double* values, int* segment_starts) const {
+    Evaluate(row, values);
+    segment_starts[0] = 0;
+  }
+
   /// Unit-λ penalty matrix for the block (num_coeffs x num_coeffs).
   virtual Matrix Penalty() const = 0;
 
@@ -80,6 +100,11 @@ class SplineTerm : public Term {
   TermType type() const override { return TermType::kSpline; }
   int num_coeffs() const override { return basis_.num_basis(); }
   void Evaluate(const std::vector<double>& row, double* out) const override;
+  std::vector<int> SparseSegmentLengths() const override {
+    return {basis_.degree() + 1};
+  }
+  void EvaluateSparse(const std::vector<double>& row, double* values,
+                      int* segment_starts) const override;
   Matrix Penalty() const override;
   std::vector<int> Features() const override { return {feature_}; }
   std::string Label(
@@ -106,6 +131,9 @@ class FactorTerm : public Term {
     return static_cast<int>(levels_.size());
   }
   void Evaluate(const std::vector<double>& row, double* out) const override;
+  std::vector<int> SparseSegmentLengths() const override { return {1}; }
+  void EvaluateSparse(const std::vector<double>& row, double* values,
+                      int* segment_starts) const override;
   Matrix Penalty() const override;
   std::vector<int> Features() const override { return {feature_}; }
   std::string Label(
@@ -141,6 +169,12 @@ class TensorTerm : public Term {
     return basis_a_.num_basis() * basis_b_.num_basis();
   }
   void Evaluate(const std::vector<double>& row, double* out) const override;
+  std::vector<int> SparseSegmentLengths() const override {
+    return std::vector<int>(basis_a_.degree() + 1,
+                            basis_b_.degree() + 1);
+  }
+  void EvaluateSparse(const std::vector<double>& row, double* values,
+                      int* segment_starts) const override;
   Matrix Penalty() const override;
   double FixedRidge() const override { return kIdentifiabilityRidge; }
   std::vector<int> Features() const override {

@@ -88,7 +88,44 @@ Matrix Cholesky::SolveMatrix(const Matrix& b) const {
 }
 
 Matrix Cholesky::Inverse() const {
-  return SolveMatrix(Matrix::Identity(l_.rows()));
+  Matrix inv = SolveMatrix(Matrix::Identity(l_.rows()));
+  // The inverse of an SPD matrix is symmetric; the independent per-column
+  // solves leave rounding-level asymmetry (visible on ill-conditioned
+  // systems), so restore exact symmetry by averaging.
+  for (size_t i = 0; i < inv.rows(); ++i) {
+    for (size_t j = i + 1; j < inv.cols(); ++j) {
+      double avg = 0.5 * (inv(i, j) + inv(j, i));
+      inv(i, j) = avg;
+      inv(j, i) = avg;
+    }
+  }
+  return inv;
+}
+
+double Cholesky::TraceOfProductSolve(const Matrix& b) const {
+  const size_t n = l_.rows();
+  GEF_CHECK(b.rows() == n && b.cols() == n);
+  Vector y(n);
+  Vector x(n);
+  double trace = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    // Forward substitution L y = b·e_j (column j of b).
+    for (size_t i = 0; i < n; ++i) {
+      double sum = b(i, j);
+      const double* row = l_.Row(i);
+      for (size_t k = 0; k < i; ++k) sum -= row[k] * y[k];
+      y[i] = sum / row[i];
+    }
+    // Backward substitution Lᵀ x = y, stopping once x[j] — the only
+    // entry the trace reads — is available.
+    for (size_t ii = n; ii-- > j;) {
+      double sum = y[ii];
+      for (size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+      x[ii] = sum / l_(ii, ii);
+    }
+    trace += x[j];
+  }
+  return trace;
 }
 
 double Cholesky::LogDet() const {

@@ -6,13 +6,19 @@ namespace gef {
 
 std::optional<PenalizedLsSolution> SolvePenalizedLeastSquares(
     const Matrix& x, const Vector& y, const Vector& weights,
-    const Matrix& penalty) {
+    const Matrix& penalty, const PenalizedLsOptions& options) {
   GEF_CHECK_EQ(x.rows(), y.size());
+  GEF_CHECK_GE(options.diagonal_ridge, 0.0);
   Matrix gram = GramWeighted(x, weights);
   Matrix penalized = gram;
   if (!penalty.empty()) {
     GEF_CHECK(penalty.rows() == x.cols() && penalty.cols() == x.cols());
     penalized.Add(penalty);
+  }
+  if (options.diagonal_ridge > 0.0) {
+    for (size_t j = 0; j < penalized.rows(); ++j) {
+      penalized(j, j) += options.diagonal_ridge;
+    }
   }
   auto chol = Cholesky::Factorize(penalized);
   if (!chol.has_value()) return std::nullopt;
@@ -20,14 +26,12 @@ std::optional<PenalizedLsSolution> SolvePenalizedLeastSquares(
   PenalizedLsSolution sol;
   Vector rhs = GramWeightedRhs(x, weights, y);
   sol.beta = chol->Solve(rhs);
-  sol.covariance = chol->Inverse();
 
   // edof = tr((XᵀWX + S)⁻¹ XᵀWX): the trace of the influence matrix,
-  // which GCV uses as the model-complexity measure.
-  Matrix inv_gram = MatMul(sol.covariance, gram);
-  double edof = 0.0;
-  for (size_t i = 0; i < inv_gram.rows(); ++i) edof += inv_gram(i, i);
-  sol.edof = edof;
+  // which GCV uses as the model-complexity measure — read via triangular
+  // solves against the factor, no inverse required.
+  sol.edof = chol->TraceOfProductSolve(gram);
+  if (options.compute_covariance) sol.covariance = chol->Inverse();
 
   Vector fitted = MatVec(x, sol.beta);
   double rss = 0.0;
@@ -43,9 +47,9 @@ std::optional<PenalizedLsSolution> SolvePenalizedLeastSquares(
 std::optional<Vector> SolveRidge(const Matrix& x, const Vector& y,
                                  const Vector& weights, double lambda) {
   GEF_CHECK_GE(lambda, 0.0);
-  Matrix penalty = Matrix::Identity(x.cols());
-  penalty.Scale(lambda);
-  auto sol = SolvePenalizedLeastSquares(x, y, weights, penalty);
+  PenalizedLsOptions options;
+  options.diagonal_ridge = lambda;
+  auto sol = SolvePenalizedLeastSquares(x, y, weights, Matrix(), options);
   if (!sol.has_value()) return std::nullopt;
   return std::move(sol->beta);
 }

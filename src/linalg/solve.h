@@ -14,9 +14,21 @@ namespace gef {
 /// Solution of a penalized weighted least-squares problem.
 struct PenalizedLsSolution {
   Vector beta;           // coefficient vector
-  Matrix covariance;     // (XᵀWX + S)⁻¹, the Bayesian posterior shape
+  /// (XᵀWX + S)⁻¹, the Bayesian posterior shape. Empty unless
+  /// PenalizedLsOptions::compute_covariance was set: only callers that
+  /// draw credible intervals need the O(p³) inverse — β and the EDoF
+  /// come from triangular solves against the factor.
+  Matrix covariance;
   double edof = 0.0;     // effective degrees of freedom: tr((XᵀWX+S)⁻¹ XᵀWX)
   double rss = 0.0;      // weighted residual sum of squares
+};
+
+struct PenalizedLsOptions {
+  /// Fill PenalizedLsSolution::covariance with (XᵀWX + S)⁻¹.
+  bool compute_covariance = false;
+  /// Adds `diagonal_ridge · I` to the normal equations without ever
+  /// materializing a p×p identity penalty — the SolveRidge fast path.
+  double diagonal_ridge = 0.0;
 };
 
 /// Minimizes ||W^{1/2}(y - Xβ)||² + βᵀSβ. `weights` may be empty (unit
@@ -24,9 +36,10 @@ struct PenalizedLsSolution {
 /// if the normal equations are irreparably singular.
 std::optional<PenalizedLsSolution> SolvePenalizedLeastSquares(
     const Matrix& x, const Vector& y, const Vector& weights,
-    const Matrix& penalty);
+    const Matrix& penalty, const PenalizedLsOptions& options = {});
 
 /// Ridge regression: β = (XᵀWX + λI)⁻¹ XᵀWy. Used by the LIME baseline.
+/// λ lands directly on the Gram diagonal (no dense identity penalty).
 std::optional<Vector> SolveRidge(const Matrix& x, const Vector& y,
                                  const Vector& weights, double lambda);
 

@@ -29,6 +29,13 @@
 // otherwise outlive the next Flush): buffers store the pointer, not a
 // copy, to keep the hot-path record a few stores.
 //
+// Some counters double as *performance contracts*: `gam.gram_builds`
+// counts centered Gram constructions (gam/fit_workspace.h), and an
+// identity-link Gam::Fit must record exactly one across its entire GCV
+// grid and per-term coordinate descent — the hoisting regression test
+// (tests/gam_fastpath_test.cc) fails if a code change reintroduces a
+// per-candidate rebuild.
+//
 // Flush() must be called from outside any parallel region: it drains the
 // per-thread buffers of the (then parked) pool workers. The fork-join
 // barrier of every ParallelFor makes those writes visible to the

@@ -1,18 +1,22 @@
 // bench_report: runs the standard synthetic + census workloads through
 // the full GEF pipeline under the observability layer (src/obs) and
-// emits a schema-stable BENCH_PR3.json — per-stage wall-times, D*
+// emits a schema-stable BENCH_PR4.json — per-stage wall-times, D*
 // labeling throughput, surrogate fidelity (R² / RMSE) and peak RSS — so
 // every later PR has a perf trajectory to regress against.
 //
 // Usage:
-//   bench_report [--out BENCH_PR3.json] [--smoke] [--workload all]
-//   bench_report --validate BENCH_PR3.json
+//   bench_report [--out BENCH_PR4.json] [--smoke] [--workload all]
+//   bench_report --validate BENCH_PR4.json [--baseline BENCH_PR3.json]
 //
 // With GEF_TRACE=<path> set, the per-stage JSONL spans land there as a
 // side artifact; without it, tracing runs in-memory only (aggregates
 // still feed the report). `--validate` re-parses an emitted report with
 // a strict JSON parser and checks every schema-required field, which is
-// what the CI bench-report job gates on.
+// what the CI bench-report job gates on. Adding `--baseline` diffs the
+// validated report against a prior one: per-stage wall-time deltas are
+// printed as a markdown table (CI appends it to the job summary) and any
+// fidelity drift beyond kFidelityDriftTol FAILS the run — a perf PR must
+// not buy speed with accuracy.
 
 #include <cctype>
 #include <cmath>
@@ -300,7 +304,7 @@ void WriteReport(const std::string& path,
   std::ofstream out(path);
   out << "{\n";
   out << "  \"schema\": \"" << kSchema << "\",\n";
-  out << "  \"pr\": \"PR3\",\n";
+  out << "  \"pr\": \"PR4\",\n";
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   out << "  \"num_threads\": " << NumThreads() << ",\n";
   out << "  \"workloads\": [\n";
@@ -412,22 +416,26 @@ std::vector<std::string> ValidateReport(const JsonValue& root) {
   return problems;
 }
 
-int Validate(const std::string& path) {
+bool LoadJsonFile(const std::string& path, JsonValue* root) {
   std::ifstream in(path);
   if (!in.is_open()) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
+    return false;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  std::string text = buffer.str();
-  JsonValue root;
   std::string error;
-  if (!JsonParser(text).Parse(&root, &error)) {
+  if (!JsonParser(buffer.str()).Parse(root, &error)) {
     std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
                  error.c_str());
-    return 1;
+    return false;
   }
+  return true;
+}
+
+int Validate(const std::string& path) {
+  JsonValue root;
+  if (!LoadJsonFile(path, &root)) return 1;
   std::vector<std::string> problems = ValidateReport(root);
   for (const std::string& problem : problems) {
     std::fprintf(stderr, "%s: schema violation: %s\n", path.c_str(),
@@ -438,9 +446,103 @@ int Validate(const std::string& path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// Baseline diff (--validate X --baseline Y). Wall-time deltas are
+// informational (machines differ); fidelity is a hard gate.
+
+/// Maximum |Δ| either fidelity statistic (R², RMSE) may move between a
+/// baseline and a current report before the diff fails. Wide enough to
+/// absorb libm / summation-order differences across machines, far too
+/// tight for a real modeling regression to hide in.
+constexpr double kFidelityDriftTol = 0.02;
+
+const JsonValue* FindWorkload(const JsonValue& root,
+                              const std::string& name) {
+  auto it = root.object.find("workloads");
+  if (it == root.object.end()) return nullptr;
+  for (const JsonValue& w : it->second.array) {
+    auto n = w.object.find("name");
+    if (n != w.object.end() && n->second.str == name) return &w;
+  }
+  return nullptr;
+}
+
+double NumberAt(const JsonValue& obj, const std::string& key,
+                double fallback = 0.0) {
+  auto it = obj.object.find(key);
+  return it == obj.object.end() ? fallback : it->second.number;
+}
+
+int DiffAgainstBaseline(const std::string& current_path,
+                        const std::string& baseline_path) {
+  JsonValue current, baseline;
+  if (!LoadJsonFile(current_path, &current) ||
+      !LoadJsonFile(baseline_path, &baseline)) {
+    return 1;
+  }
+  // The baseline only needs to parse — older reports may predate schema
+  // additions — but the current report was already schema-validated.
+  int failures = 0;
+  std::printf("\n## Bench diff: %s vs %s\n\n", current_path.c_str(),
+              baseline_path.c_str());
+  std::printf("| workload | stage | baseline (s) | current (s) | delta |\n");
+  std::printf("|---|---|---:|---:|---:|\n");
+  auto wit = current.object.find("workloads");
+  for (const JsonValue& w : wit->second.array) {
+    const std::string name = w.object.at("name").str;
+    const JsonValue* base = FindWorkload(baseline, name);
+    if (base == nullptr) {
+      std::printf("| %s | _(not in baseline)_ | | | |\n", name.c_str());
+      continue;
+    }
+    const JsonValue& cur_stages = w.object.at("stages_s");
+    auto bstages = base->object.find("stages_s");
+    for (const auto& [key, span] : kStageSpans) {
+      (void)span;
+      double cur_s = NumberAt(cur_stages, key);
+      double base_s = bstages == base->object.end()
+                          ? 0.0
+                          : NumberAt(bstages->second, key);
+      double ratio = base_s > 0.0 ? cur_s / base_s : 0.0;
+      std::printf("| %s | %s | %.4f | %.4f | %+.1f%% (%.2fx) |\n",
+                  name.c_str(), key, base_s, cur_s,
+                  base_s > 0.0 ? 100.0 * (cur_s - base_s) / base_s : 0.0,
+                  ratio);
+    }
+  }
+  std::printf("\n### Fidelity gate (tolerance %.3g)\n\n", kFidelityDriftTol);
+  for (const JsonValue& w : wit->second.array) {
+    const std::string name = w.object.at("name").str;
+    const JsonValue* base = FindWorkload(baseline, name);
+    if (base == nullptr) continue;
+    auto cfid = w.object.find("fidelity");
+    auto bfid = base->object.find("fidelity");
+    if (cfid == w.object.end() || bfid == base->object.end()) continue;
+    for (const char* key : {"r2", "rmse"}) {
+      double cur_v = NumberAt(cfid->second, key);
+      double base_v = NumberAt(bfid->second, key);
+      double drift = std::fabs(cur_v - base_v);
+      bool ok = drift <= kFidelityDriftTol;
+      if (!ok) ++failures;
+      std::printf("- %s %s: baseline %.6g, current %.6g, drift %.3g — %s\n",
+                  name.c_str(), key, base_v, cur_v, drift,
+                  ok ? "OK" : "FAIL");
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "\n%d fidelity drift(s) exceed tolerance %.3g: the perf "
+                 "change altered the fitted models\n",
+                 failures, kFidelityDriftTol);
+    return 1;
+  }
+  std::printf("\nfidelity unchanged within tolerance\n");
+  return 0;
+}
+
 int Run(const Flags& flags) {
   const bool smoke = flags.GetBool("smoke", false);
-  const std::string out_path = flags.GetString("out", "BENCH_PR3.json");
+  const std::string out_path = flags.GetString("out", "BENCH_PR4.json");
   const std::string workload = flags.GetString("workload", "all");
 
   // Stage attribution needs the obs layer on; honour GEF_TRACE when the
@@ -521,11 +623,15 @@ int Main(int argc, char** argv) {
   }
   const Flags& flags = parsed.value();
   std::string validate_path = flags.GetString("validate", "");
+  std::string baseline_path = flags.GetString("baseline", "");
   const bool smoke_read = flags.GetBool("smoke", false);
   (void)smoke_read;
   int code = 0;
   if (!validate_path.empty()) {
     code = Validate(validate_path);
+    if (code == 0 && !baseline_path.empty()) {
+      code = DiffAgainstBaseline(validate_path, baseline_path);
+    }
   } else {
     code = Run(flags);
   }
