@@ -83,6 +83,12 @@ class Forest {
   /// Per-feature importance by split count (secondary diagnostic).
   std::vector<int> SplitCountImportance() const;
 
+  /// FNV-1a 64 over the canonical serialized bytes (ForestToString).
+  /// Byte-identical models — and only those — share a hash; the serving
+  /// ModelRegistry and SurrogateCache key on it. Defined in
+  /// forest/serialization.cc next to the format it hashes.
+  uint64_t ContentHash() const;
+
  private:
   std::vector<Tree> trees_;
   double init_score_ = 0.0;

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/hash.h"
 #include "util/string_util.h"
 #include "util/validate.h"
 
@@ -186,6 +187,12 @@ StatusOr<Forest> LoadForest(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return ForestFromString(buffer.str());
+}
+
+// Defined here rather than forest.cc: the hash is an identity over this
+// file's canonical text format, so it lives (and changes) with it.
+uint64_t Forest::ContentHash() const {
+  return HashFnv1a64(ForestToString(*this));
 }
 
 }  // namespace gef

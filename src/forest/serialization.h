@@ -23,6 +23,11 @@ StatusOr<Forest> ForestFromString(const std::string& text);
 Status SaveForest(const Forest& forest, const std::string& path);
 StatusOr<Forest> LoadForest(const std::string& path);
 
+// Forest::ContentHash() — FNV-1a 64 (util/hash.h) over ForestToString
+// bytes — is defined in serialization.cc so the identity stays welded
+// to the canonical format. A loaded model re-serializes to the same
+// bytes, so hashes are stable across save/load round-trips.
+
 }  // namespace gef
 
 #endif  // GEF_FOREST_SERIALIZATION_H_

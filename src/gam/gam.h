@@ -120,6 +120,11 @@ class Gam {
   /// Label of term `t` using the fitted feature names.
   std::string TermLabel(size_t t) const;
 
+  /// FNV-1a 64 over the canonical serialized bytes (GamToString); the
+  /// shippable-surrogate identity used by the serving layer. Defined in
+  /// gam/gam_io.cc next to the format it hashes.
+  uint64_t ContentHash() const;
+
   /// Names of the features the model was fitted on (for labels).
   void set_feature_names(std::vector<std::string> names) {
     feature_names_ = std::move(names);

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/hash.h"
 #include "util/string_util.h"
 #include "util/validate.h"
 
@@ -372,6 +373,12 @@ StatusOr<Gam> LoadGam(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return GamFromString(buffer.str());
+}
+
+// Defined here rather than gam.cc: the hash is an identity over this
+// file's canonical text format, so it lives (and changes) with it.
+uint64_t Gam::ContentHash() const {
+  return HashFnv1a64(GamToString(*this));
 }
 
 }  // namespace gef

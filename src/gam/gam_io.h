@@ -27,6 +27,10 @@ StatusOr<Gam> GamFromString(const std::string& text);
 Status SaveGam(const Gam& gam, const std::string& path);
 StatusOr<Gam> LoadGam(const std::string& path);
 
+// Gam::ContentHash() — FNV-1a 64 (util/hash.h) over GamToString bytes —
+// is defined in gam_io.cc so the identity stays welded to the canonical
+// format; save/load round-trips preserve it.
+
 }  // namespace gef
 
 #endif  // GEF_GAM_GAM_IO_H_

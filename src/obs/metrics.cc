@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gef {
+namespace obs {
+namespace metrics {
+
+namespace {
+
+// Geometric bucket layout: bucket b holds values in
+// (kFirstBound * 2^(b-1), kFirstBound * 2^b], bucket 0 holds
+// (0, kFirstBound] (and any non-positive input), the last bucket is
+// unbounded above.
+constexpr double kFirstBound = 1e-6;
+
+size_t BucketIndex(double value) {
+  if (!(value > kFirstBound)) return 0;  // also catches NaN
+  // value / kFirstBound > 1, so log2 > 0.
+  double log2v = std::log2(value / kFirstBound);
+  double idx = std::ceil(log2v);
+  if (idx >= static_cast<double>(Histogram::kNumBuckets - 1)) {
+    return Histogram::kNumBuckets - 1;
+  }
+  return static_cast<size_t>(idx);
+}
+
+double BucketUpperBound(size_t bucket) {
+  return kFirstBound * std::ldexp(1.0, static_cast<int>(bucket));
+}
+
+double BucketLowerBound(size_t bucket) {
+  return bucket == 0 ? 0.0 : BucketUpperBound(bucket - 1);
+}
+
+// Leaked singleton; handles returned by Get* must outlive every thread.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // NOLINT(gef-naked-new)
+  return *registry;
+}
+
+void AtomicMin(std::atomic<double>* cell, double value) {
+  double current = cell->load(std::memory_order_relaxed);
+  while (value < current &&
+         !cell->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* cell, double value) {
+  double current = cell->load(std::memory_order_relaxed);
+  while (value > current &&
+         !cell->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First observation seeds min/max; racing observers still converge
+    // through the CAS loops below.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  out.count = total;
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.min = min_.load(std::memory_order_relaxed);
+  out.max = max_.load(std::memory_order_relaxed);
+  if (total == 0) return out;
+
+  auto quantile = [&](double q) {
+    double target = q * static_cast<double>(total);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      if (counts[b] == 0) continue;
+      double before = static_cast<double>(cumulative);
+      cumulative += counts[b];
+      if (static_cast<double>(cumulative) >= target) {
+        double lo = BucketLowerBound(b);
+        double hi = BucketUpperBound(b);
+        if (b == kNumBuckets - 1) hi = out.max;
+        if (hi > out.max) hi = out.max;
+        if (lo < out.min) lo = out.min;
+        if (hi < lo) hi = lo;
+        double fraction =
+            (target - before) / static_cast<double>(counts[b]);
+        if (fraction < 0.0) fraction = 0.0;
+        if (fraction > 1.0) fraction = 1.0;
+        return lo + fraction * (hi - lo);
+      }
+    }
+    return out.max;
+  };
+  out.p50 = quantile(0.50);
+  out.p90 = quantile(0.90);
+  out.p99 = quantile(0.99);
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto& slot = registry.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& GetGauge(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto& slot = registry.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& GetHistogram(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto& slot = registry.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Collect() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : registry.counters) {
+    out.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : registry.gauges) {
+    out.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : registry.histograms) {
+    out.histograms[name] = histogram->Snapshot();
+  }
+  return out;
+}
+
+std::string RenderText() {
+  MetricsSnapshot snapshot = Collect();
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += name;
+    out += ' ';
+    out += FormatValue(value);
+    out += '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += name + ".count " + std::to_string(h.count) + "\n";
+    out += name + ".sum " + FormatValue(h.sum) + "\n";
+    out += name + ".min " + FormatValue(h.min) + "\n";
+    out += name + ".max " + FormatValue(h.max) + "\n";
+    out += name + ".p50 " + FormatValue(h.p50) + "\n";
+    out += name + ".p90 " + FormatValue(h.p90) + "\n";
+    out += name + ".p99 " + FormatValue(h.p99) + "\n";
+  }
+  return out;
+}
+
+void ResetAllForTest() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& entry : registry.counters) entry.second->Reset();
+  for (auto& entry : registry.gauges) entry.second->Reset();
+  for (auto& entry : registry.histograms) entry.second->Reset();
+}
+
+}  // namespace metrics
+}  // namespace obs
+}  // namespace gef

@@ -1,0 +1,124 @@
+#ifndef GEF_OBS_METRICS_H_
+#define GEF_OBS_METRICS_H_
+
+// Always-on, concurrency-safe serving metrics: named counters, gauges
+// and latency histograms backed by atomics.
+//
+// This is the second half of the observability layer. The trace side
+// (obs/obs.h) buffers events per thread and drains them with Flush(),
+// which must run outside parallel regions — perfect for batch pipelines,
+// unusable for a server where a /metrics scrape races request threads
+// recording latencies. The metrics side trades the trace's zero-cost-off
+// property for lock-free recording that is safe to *read at any time*:
+//
+//   * Counter::Add / Gauge::Set / Histogram::Observe are a handful of
+//     relaxed atomic operations; no locks, no allocation after the first
+//     lookup of a name.
+//   * Snapshots (Collect / RenderText) read the same atomics without
+//     stopping writers; a scrape concurrent with writes sees some
+//     consistent recent value of each cell.
+//   * Registration is by name through a leaked singleton registry, so a
+//     metric handle obtained once (typically via a function-local
+//     static) stays valid for the process lifetime — the same leaky
+//     pattern the trace registry and the thread pool use.
+//
+// Histograms use geometric buckets (factor-2, first upper bound 1e-6)
+// so one layout covers microsecond latencies and multi-second fits;
+// quantiles are bucket-interpolated, which is exact enough for p50/p99
+// serving gates (relative error bounded by the bucket width).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gef {
+namespace obs {
+namespace metrics {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Summary of a histogram at one point in time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Fixed-layout geometric histogram; Observe is lock-free.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Observe(double value);
+
+  /// Bucket-interpolated quantile estimate over the current contents.
+  HistogramSnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Looks up (creating on first use) the named metric. References stay
+/// valid forever; cache them in function-local statics on hot paths.
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name);
+
+/// Everything registered so far, by name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+MetricsSnapshot Collect();
+
+/// Flat `name value` text exposition (one line per counter/gauge, a
+/// count/sum/min/max/p50/p90/p99 block per histogram) — the payload of
+/// the server's GET /metrics endpoint.
+std::string RenderText();
+
+/// Zeroes every registered metric (tests share one process registry).
+void ResetAllForTest();
+
+}  // namespace metrics
+}  // namespace obs
+}  // namespace gef
+
+#endif  // GEF_OBS_METRICS_H_

@@ -1,0 +1,154 @@
+#include "serve/batcher.h"
+
+#include <future>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/parallel.h"
+
+namespace gef {
+namespace serve {
+
+struct RequestBatcher::Pending {
+  std::shared_ptr<const ServedModel> model;
+  std::shared_ptr<const GefExplanation> surrogate;  // null = predict
+  std::vector<double> row;
+  double step_fraction = 0.05;
+  std::promise<Result> promise;
+};
+
+RequestBatcher::RequestBatcher(Options options)
+    : options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.enabled) {
+    dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  }
+}
+
+RequestBatcher::~RequestBatcher() { Stop(); }
+
+void RequestBatcher::Stop() {
+  if (!options_.enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+RequestBatcher::Result RequestBatcher::Predict(
+    std::shared_ptr<const ServedModel> model, std::vector<double> row) {
+  Pending item;
+  item.model = std::move(model);
+  item.row = std::move(row);
+  return Submit(std::move(item));
+}
+
+RequestBatcher::Result RequestBatcher::Explain(
+    std::shared_ptr<const ServedModel> model,
+    std::shared_ptr<const GefExplanation> surrogate,
+    std::vector<double> row, double step_fraction) {
+  Pending item;
+  item.model = std::move(model);
+  item.surrogate = std::move(surrogate);
+  item.row = std::move(row);
+  item.step_fraction = step_fraction;
+  return Submit(std::move(item));
+}
+
+RequestBatcher::Result RequestBatcher::Submit(Pending item) {
+  if (!options_.enabled) {
+    std::vector<Pending> batch;
+    std::future<Result> future = item.promise.get_future();
+    batch.push_back(std::move(item));
+    ExecuteBatch(&batch);
+    return future.get();
+  }
+  std::future<Result> future = item.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Late submits after Stop() still get answered, inline.
+      std::vector<Pending> batch;
+      batch.push_back(std::move(item));
+      ExecuteBatch(&batch);
+      return future.get();
+    }
+    if (queue_.empty()) {
+      oldest_enqueue_ = std::chrono::steady_clock::now();
+    }
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return future.get();
+}
+
+void RequestBatcher::DispatcherLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Adaptive dispatch: an already-formed batch (>= 2 rows) goes out
+      // immediately — batches grow naturally while the previous one
+      // executes. Only a lone request lingers, up to max_wait_us since
+      // it was enqueued, for a companion to arrive; that bounds the
+      // latency cost of batching at low QPS while keeping the dispatch
+      // path stall-free under load.
+      const auto deadline =
+          oldest_enqueue_ + std::chrono::microseconds(options_.max_wait_us);
+      while (!stopping_ && queue_.size() == 1 &&
+             options_.max_batch > 1 &&
+             std::chrono::steady_clock::now() < deadline) {
+        cv_.wait_until(lock, deadline);
+      }
+      if (queue_.size() <= options_.max_batch) {
+        batch.swap(queue_);
+      } else {
+        const auto split =
+            queue_.begin() +
+            static_cast<std::ptrdiff_t>(options_.max_batch);
+        batch.assign(std::make_move_iterator(queue_.begin()),
+                     std::make_move_iterator(split));
+        queue_.erase(queue_.begin(), split);
+        oldest_enqueue_ = std::chrono::steady_clock::now();
+      }
+    }
+    ExecuteBatch(&batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_ && queue_.empty()) return;
+    }
+  }
+}
+
+void RequestBatcher::ExecuteBatch(std::vector<Pending>* batch) {
+  if (batch->empty()) return;
+  GEF_OBS_SPAN("serve.batch_execute");
+  obs::metrics::GetHistogram("serve.batch.size")
+      .Observe(static_cast<double>(batch->size()));
+  obs::metrics::GetCounter("serve.batch.dispatches").Add();
+  obs::metrics::GetCounter("serve.batch.rows").Add(batch->size());
+
+  ParallelFor(0, batch->size(), 1, [batch](size_t i) {
+    Pending& item = (*batch)[i];
+    Result result;
+    // The pointer overload is the unchecked hot path; handlers validated
+    // the row width before enqueueing.
+    result.prediction = item.model->forest.Predict(item.row.data());
+    if (item.surrogate != nullptr) {
+      result.local = ExplainInstance(*item.surrogate, item.model->forest,
+                                     item.row, item.step_fraction);
+    }
+    item.promise.set_value(std::move(result));
+  });
+}
+
+}  // namespace serve
+}  // namespace gef

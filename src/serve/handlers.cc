@@ -1,0 +1,387 @@
+#include "serve/handlers.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gef/local_explanation.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "serve/json.h"
+#include "util/hash.h"
+
+namespace gef {
+namespace serve {
+namespace {
+
+/// Records request count + latency for one endpoint label.
+class ScopedEndpointMetrics {
+ public:
+  explicit ScopedEndpointMetrics(const std::string& endpoint)
+      : latency_(obs::metrics::GetHistogram("serve.latency_s." +
+                                            endpoint)),
+        start_(std::chrono::steady_clock::now()) {
+    obs::metrics::GetCounter("serve.requests." + endpoint).Add();
+  }
+  ~ScopedEndpointMetrics() {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    latency_.Observe(elapsed.count());
+  }
+  ScopedEndpointMetrics(const ScopedEndpointMetrics&) = delete;
+  ScopedEndpointMetrics& operator=(const ScopedEndpointMetrics&) =
+      delete;
+
+ private:
+  obs::metrics::Histogram& latency_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+HttpResponse CountedError(int status, const std::string& message) {
+  obs::metrics::GetCounter("serve.errors").Add();
+  return MakeErrorResponse(status, message);
+}
+
+/// Resolves the target model: explicit "model" member, else the single
+/// registered model. Fills `error` (already a full response) on failure.
+std::shared_ptr<const ServedModel> ResolveModel(
+    const ServeContext& context, const Json& body, HttpResponse* error) {
+  const Json* name = body.Find("model");
+  if (name != nullptr) {
+    if (!name->is_string()) {
+      *error = CountedError(400, "\"model\" must be a string");
+      return nullptr;
+    }
+    auto model = context.registry->Get(name->str);
+    if (model == nullptr) {
+      *error = CountedError(404, "unknown model '" + name->str + "'");
+    }
+    return model;
+  }
+  auto model = context.registry->GetOnly();
+  if (model == nullptr) {
+    *error = CountedError(
+        400, context.registry->size() == 0
+                 ? "no models registered"
+                 : "several models registered; request must name one");
+  }
+  return model;
+}
+
+/// Parses a JSON array of numbers into a row of exactly `width` values.
+Status ParseRow(const Json& value, size_t width,
+                std::vector<double>* row) {
+  if (!value.is_array()) {
+    return Status::InvalidArgument("row must be a JSON array of numbers");
+  }
+  if (value.array.size() != width) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(value.array.size()) +
+        " values, model expects " + std::to_string(width));
+  }
+  row->clear();
+  row->reserve(width);
+  for (const Json& cell : value.array) {
+    if (!cell.is_number()) {
+      return Status::InvalidArgument(
+          "row must be a JSON array of numbers");
+    }
+    row->push_back(cell.number);
+  }
+  return Status::Ok();
+}
+
+HttpResponse HandlePredict(const ServeContext& context,
+                           const HttpRequest& request) {
+  ScopedEndpointMetrics metrics("predict");
+  GEF_OBS_SPAN("serve.predict");
+
+  StatusOr<Json> body = ParseJson(request.body);
+  if (!body.ok()) {
+    return CountedError(400, body.status().message());
+  }
+  if (!body.value().is_object()) {
+    return CountedError(400, "request body must be a JSON object");
+  }
+  HttpResponse error;
+  auto model = ResolveModel(context, body.value(), &error);
+  if (model == nullptr) return error;
+  const size_t width = model->forest.num_features();
+
+  const Json* row_json = body.value().Find("row");
+  const Json* rows_json = body.value().Find("rows");
+  if ((row_json == nullptr) == (rows_json == nullptr)) {
+    return CountedError(
+        400, "request must carry exactly one of \"row\" or \"rows\"");
+  }
+
+  std::string out = "{\"model\":\"" + JsonEscapeString(model->name) +
+                    "\",\"hash\":\"" + HashToHex(model->hash) + "\",";
+  if (row_json != nullptr) {
+    std::vector<double> row;
+    Status parsed = ParseRow(*row_json, width, &row);
+    if (!parsed.ok()) return CountedError(400, parsed.message());
+    RequestBatcher::Result result =
+        context.batcher->Predict(model, std::move(row));
+    out += "\"prediction\":" + JsonNumberText(result.prediction) + "}";
+  } else {
+    if (!rows_json->is_array()) {
+      return CountedError(400, "\"rows\" must be an array of rows");
+    }
+    // A client-provided batch is already coalesced work; score it here
+    // rather than re-queueing row-by-row through the micro-batcher.
+    std::vector<double> predictions;
+    predictions.reserve(rows_json->array.size());
+    std::vector<double> row;
+    for (const Json& cell : rows_json->array) {
+      Status parsed = ParseRow(cell, width, &row);
+      if (!parsed.ok()) return CountedError(400, parsed.message());
+      predictions.push_back(model->forest.Predict(row.data()));
+    }
+    out += "\"predictions\":" + JsonNumberArray(predictions) + "}";
+  }
+
+  HttpResponse response;
+  response.body = std::move(out);
+  return response;
+}
+
+std::string RenderLocalExplanation(const LocalExplanation& local) {
+  std::string out = "{\"gam_prediction\":";
+  out += JsonNumberText(local.gam_prediction);
+  out += ",\"forest_prediction\":";
+  out += JsonNumberText(local.forest_prediction);
+  out += ",\"intercept\":";
+  out += JsonNumberText(local.intercept);
+  out += ",\"terms\":[";
+  for (size_t i = 0; i < local.terms.size(); ++i) {
+    const LocalTermContribution& term = local.terms[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"" + JsonEscapeString(term.label) + "\"";
+    out += ",\"features\":[";
+    for (size_t j = 0; j < term.features.size(); ++j) {
+      if (j > 0) out += ",";
+      out += std::to_string(term.features[j]);
+    }
+    out += "],\"contribution\":" + JsonNumberText(term.contribution);
+    out += ",\"lower\":" + JsonNumberText(term.lower);
+    out += ",\"upper\":" + JsonNumberText(term.upper);
+    out += ",\"delta_minus\":" + JsonNumberText(term.delta_minus);
+    out += ",\"delta_plus\":" + JsonNumberText(term.delta_plus);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+/// Applies the optional "config" overrides onto the server defaults.
+/// Sets `overridden` when any field differs from the defaults, which
+/// decides whether a preloaded explanation is still valid.
+Status ApplyConfigOverrides(const Json& body, GefConfig* config,
+                            bool* overridden) {
+  *overridden = false;
+  const Json* overrides = body.Find("config");
+  if (overrides == nullptr) return Status::Ok();
+  if (!overrides->is_object()) {
+    return Status::InvalidArgument("\"config\" must be a JSON object");
+  }
+  struct IntField {
+    const char* key;
+    int* target;
+  };
+  struct SizeField {
+    const char* key;
+    size_t* target;
+  };
+  const IntField int_fields[] = {
+      {"num_univariate", &config->num_univariate},
+      {"num_bivariate", &config->num_bivariate},
+      {"k", &config->k},
+      {"spline_basis", &config->spline_basis},
+      {"tensor_basis", &config->tensor_basis},
+  };
+  const SizeField size_fields[] = {
+      {"num_samples", &config->num_samples},
+  };
+  for (const auto& [key, member] : overrides->object) {
+    bool known = false;
+    for (const IntField& field : int_fields) {
+      if (key != field.key) continue;
+      known = true;
+      if (!member.is_number() || member.number < 0) {
+        return Status::InvalidArgument("config." + key +
+                                       " must be a non-negative number");
+      }
+      *field.target = static_cast<int>(member.number);
+      *overridden = true;
+    }
+    for (const SizeField& field : size_fields) {
+      if (key != field.key) continue;
+      known = true;
+      if (!member.is_number() || member.number < 0) {
+        return Status::InvalidArgument("config." + key +
+                                       " must be a non-negative number");
+      }
+      *field.target = static_cast<size_t>(member.number);
+      *overridden = true;
+    }
+    if (key == "seed") {
+      known = true;
+      if (!member.is_number() || member.number < 0) {
+        return Status::InvalidArgument(
+            "config.seed must be a non-negative number");
+      }
+      config->seed = static_cast<uint64_t>(member.number);
+      *overridden = true;
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown config field \"" + key +
+                                     "\"");
+    }
+  }
+  return Status::Ok();
+}
+
+HttpResponse HandleExplain(const ServeContext& context,
+                           const HttpRequest& request) {
+  ScopedEndpointMetrics metrics("explain");
+  GEF_OBS_SPAN("serve.explain");
+
+  StatusOr<Json> body = ParseJson(request.body);
+  if (!body.ok()) {
+    return CountedError(400, body.status().message());
+  }
+  if (!body.value().is_object()) {
+    return CountedError(400, "request body must be a JSON object");
+  }
+  HttpResponse error;
+  auto model = ResolveModel(context, body.value(), &error);
+  if (model == nullptr) return error;
+
+  const Json* row_json = body.value().Find("row");
+  if (row_json == nullptr) {
+    return CountedError(400, "request must carry \"row\"");
+  }
+  std::vector<double> row;
+  Status parsed =
+      ParseRow(*row_json, model->forest.num_features(), &row);
+  if (!parsed.ok()) return CountedError(400, parsed.message());
+
+  double step_fraction = 0.05;
+  if (const Json* step = body.value().Find("step_fraction");
+      step != nullptr) {
+    if (!step->is_number() || step->number <= 0 || step->number > 1) {
+      return CountedError(400, "\"step_fraction\" must be in (0, 1]");
+    }
+    step_fraction = step->number;
+  }
+
+  GefConfig config = context.default_config;
+  bool overridden = false;
+  Status applied =
+      ApplyConfigOverrides(body.value(), &config, &overridden);
+  if (!applied.ok()) return CountedError(400, applied.message());
+
+  std::shared_ptr<const GefExplanation> surrogate;
+  if (!overridden && model->preloaded_explanation != nullptr) {
+    surrogate = model->preloaded_explanation;
+  } else {
+    const Forest& forest = model->forest;
+    surrogate = context.cache->GetOrFit(
+        model->hash, config,
+        [&forest, &config] { return ExplainForest(forest, config); });
+  }
+  if (surrogate == nullptr) {
+    return CountedError(
+        500, "surrogate fit failed (singular GAM for every lambda)");
+  }
+
+  RequestBatcher::Result result = context.batcher->Explain(
+      model, surrogate, std::move(row), step_fraction);
+  if (!result.local.has_value()) {
+    return CountedError(500, "explanation unavailable");
+  }
+
+  HttpResponse response;
+  response.body = "{\"model\":\"" + JsonEscapeString(model->name) +
+                  "\",\"hash\":\"" + HashToHex(model->hash) + "\"," +
+                  RenderLocalExplanation(*result.local).substr(1) + "}";
+  return response;
+}
+
+HttpResponse HandleModels(const ServeContext& context) {
+  ScopedEndpointMetrics metrics("models");
+  std::string out = "{\"models\":[";
+  bool first = true;
+  for (const auto& model : context.registry->List()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscapeString(model->name) + "\"";
+    out += ",\"hash\":\"" + HashToHex(model->hash) + "\"";
+    out += ",\"trees\":" + std::to_string(model->forest.num_trees());
+    out += ",\"features\":" +
+           std::to_string(model->forest.num_features());
+    out += ",\"preloaded_explanation\":";
+    out += model->preloaded_explanation != nullptr ? "true" : "false";
+    if (!model->source_path.empty()) {
+      out += ",\"source\":\"" + JsonEscapeString(model->source_path) +
+             "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  HttpResponse response;
+  response.body = std::move(out);
+  return response;
+}
+
+HttpResponse HandleHealthz() {
+  ScopedEndpointMetrics metrics("healthz");
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\"}";
+  return response;
+}
+
+HttpResponse HandleMetrics() {
+  ScopedEndpointMetrics metrics("metrics");
+  HttpResponse response;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = obs::metrics::RenderText();
+  return response;
+}
+
+}  // namespace
+
+HttpResponse HandleRequest(const ServeContext& context,
+                           const HttpRequest& request) {
+  const std::string& target = request.target;
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+
+  if (target == "/v1/predict") {
+    if (!is_post) return CountedError(405, "use POST");
+    return HandlePredict(context, request);
+  }
+  if (target == "/v1/explain") {
+    if (!is_post) return CountedError(405, "use POST");
+    return HandleExplain(context, request);
+  }
+  if (target == "/v1/models") {
+    if (!is_get) return CountedError(405, "use GET");
+    return HandleModels(context);
+  }
+  if (target == "/healthz") {
+    if (!is_get) return CountedError(405, "use GET");
+    return HandleHealthz();
+  }
+  if (target == "/metrics") {
+    if (!is_get) return CountedError(405, "use GET");
+    return HandleMetrics();
+  }
+  return CountedError(404, "no route for " + request.method + " " +
+                               target);
+}
+
+}  // namespace serve
+}  // namespace gef

@@ -1,0 +1,51 @@
+#ifndef GEF_SERVE_HANDLERS_H_
+#define GEF_SERVE_HANDLERS_H_
+
+// Endpoint logic for the serving API, decoupled from sockets: a pure
+// HttpRequest -> HttpResponse function over the shared serving state.
+// tests/serve_test.cc drives it directly with in-memory requests; the
+// HttpServer drives it from connection threads. Everything here must
+// therefore be thread-safe, and is: the registry/cache/batcher manage
+// their own synchronization and handlers only work on shared_ptr
+// snapshots.
+//
+// Routes:
+//   POST /v1/predict   {"row":[...]} or {"rows":[[...],...]}
+//   POST /v1/explain   {"row":[...], "step_fraction"?, "config"?:{...}}
+//   GET  /v1/models    registered models with content hashes
+//   GET  /healthz      liveness
+//   GET  /metrics      obs/metrics text exposition
+//
+// "model" is optional in request bodies whenever exactly one model is
+// registered. Malformed input is answered with 4xx JSON errors — a
+// request body can never crash or wedge the server.
+
+#include <memory>
+
+#include "gef/explainer.h"
+#include "serve/batcher.h"
+#include "serve/http.h"
+#include "serve/model_registry.h"
+#include "serve/surrogate_cache.h"
+
+namespace gef {
+namespace serve {
+
+/// Shared serving state, owned by main() / the test; handlers borrow.
+struct ServeContext {
+  ModelRegistry* registry = nullptr;
+  SurrogateCache* cache = nullptr;
+  RequestBatcher* batcher = nullptr;
+  /// Pipeline defaults for explain requests that don't override them.
+  GefConfig default_config;
+};
+
+/// Routes one parsed request. Never throws; every failure path returns
+/// a JSON error response with the right status code.
+HttpResponse HandleRequest(const ServeContext& context,
+                           const HttpRequest& request);
+
+}  // namespace serve
+}  // namespace gef
+
+#endif  // GEF_SERVE_HANDLERS_H_

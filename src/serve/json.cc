@@ -1,0 +1,318 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gef {
+namespace serve {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Status Parse(Json* out) {
+    Status status = ParseValue(out, 0);
+    if (!status.ok()) return status;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status ParseLiteral(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("expected '") + word + "'");
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("bad escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are rare
+          // in numeric payloads; lone surrogates encode as-is).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return Status::Ok();
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    const size_t int_start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    // RFC 8259: the integer part is "0" or starts with 1-9; "01" is
+    // malformed and must be rejected like any other bad byte.
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return Error("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      bool fraction = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        fraction = true;
+      }
+      if (!fraction) return Error("bad number");
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      bool exponent = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        exponent = true;
+      }
+      if (!exponent) return Error("bad number");
+    }
+    if (!digits) return Error("bad number");
+    out->type = Json::Type::kNumber;
+    out->number =
+        std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    if (!std::isfinite(out->number)) return Error("number overflow");
+    return Status::Ok();
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == 'n') {
+      out->type = Json::Type::kNull;
+      return ParseLiteral("null");
+    }
+    if (c == 't' || c == 'f') {
+      out->type = Json::Type::kBool;
+      out->boolean = c == 't';
+      return ParseLiteral(c == 't' ? "true" : "false");
+    }
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == '[') {
+      out->type = Json::Type::kArray;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      while (true) {
+        Json element;
+        Status status = ParseValue(&element, depth + 1);
+        if (!status.ok()) return status;
+        out->array.push_back(std::move(element));
+        SkipSpace();
+        if (pos_ >= text_.size()) return Error("unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return Status::Ok();
+        }
+        return Error("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      out->type = Json::Type::kObject;
+      ++pos_;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        Status status = ParseString(&key);
+        if (!status.ok()) return status;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return Error("expected ':'");
+        }
+        ++pos_;
+        Json value;
+        status = ParseValue(&value, depth + 1);
+        if (!status.ok()) return status;
+        out->object[std::move(key)] = std::move(value);
+        SkipSpace();
+        if (pos_ >= text_.size()) return Error("unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return Status::Ok();
+        }
+        return Error("expected ',' or '}'");
+      }
+    }
+    return ParseNumber(out);
+  }
+
+  const std::string& text_;
+  const int max_depth_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Json* Json::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+StatusOr<Json> ParseJson(const std::string& text, int max_depth) {
+  Json out;
+  Status status = Parser(text, max_depth).Parse(&out);
+  if (!status.ok()) return status;
+  return out;
+}
+
+std::string JsonEscapeString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumberText(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Shorten when a lower precision round-trips exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      return std::string(shorter);
+    }
+  }
+  return std::string(buf);
+}
+
+std::string JsonNumberArray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += JsonNumberText(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace serve
+}  // namespace gef

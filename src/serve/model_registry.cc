@@ -1,0 +1,103 @@
+#include "serve/model_registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "forest/lightgbm_import.h"
+#include "forest/serialization.h"
+#include "obs/metrics.h"
+#include "util/validate.h"
+
+namespace gef {
+namespace serve {
+
+Status ModelRegistry::LoadModel(const std::string& name,
+                                const std::string& path,
+                                const std::string& format) {
+  StatusOr<Forest> forest = format == "lightgbm"
+                                ? LoadLightGbmModel(path)
+                                : LoadForest(path);
+  if (!format.empty() && format != "gef" && format != "lightgbm") {
+    return Status::InvalidArgument("unknown model format '" + format +
+                                   "'");
+  }
+  if (!forest.ok()) return forest.status();
+  return AddModel(name, std::move(forest).value(), path);
+}
+
+Status ModelRegistry::AddModel(
+    const std::string& name, Forest forest, std::string source_path,
+    std::shared_ptr<const GefExplanation> preloaded_explanation) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  Status valid = ValidateForest(forest);
+  if (!valid.ok()) return valid;
+
+  auto model = std::make_shared<ServedModel>();
+  model->name = name;
+  model->source_path = std::move(source_path);
+  model->forest = std::move(forest);
+  model->hash = model->forest.ContentHash();
+  model->preloaded_explanation = std::move(preloaded_explanation);
+
+  bool replaced = false;
+  size_t count = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, inserted] = models_.insert_or_assign(name, std::move(model));
+    (void)it;
+    replaced = !inserted;
+    count = models_.size();
+  }
+  obs::metrics::GetCounter(replaced ? "serve.model_swaps"
+                                    : "serve.model_loads")
+      .Add();
+  obs::metrics::GetGauge("serve.models").Set(static_cast<double>(count));
+  return Status::Ok();
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::Get(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::GetOnly() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (models_.size() != 1) return nullptr;
+  return models_.begin()->second;
+}
+
+std::vector<std::shared_ptr<const ServedModel>> ModelRegistry::List()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const ServedModel>> out;
+  out.reserve(models_.size());
+  for (const auto& entry : models_) out.push_back(entry.second);
+  return out;
+}
+
+bool ModelRegistry::Remove(const std::string& name) {
+  size_t count = 0;
+  bool erased = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    erased = models_.erase(name) != 0;
+    count = models_.size();
+  }
+  if (erased) {
+    obs::metrics::GetGauge("serve.models")
+        .Set(static_cast<double>(count));
+  }
+  return erased;
+}
+
+size_t ModelRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace serve
+}  // namespace gef

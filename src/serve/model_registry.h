@@ -1,0 +1,79 @@
+#ifndef GEF_SERVE_MODEL_REGISTRY_H_
+#define GEF_SERVE_MODEL_REGISTRY_H_
+
+// Resident model store for the serving layer. Holds immutable forests
+// (and optionally a pre-fitted GEF explanation shipped next to them)
+// keyed by name, each stamped with its content hash (util/hash.h) so
+// downstream caches key on *what* the model is, not where it came from.
+//
+// Ownership & hot-swap: entries are shared_ptr<const ServedModel>. A
+// request thread snapshots the pointer once and works on that snapshot;
+// Load/Add with an existing name atomically replaces the map entry, so
+// in-flight requests finish on the model they started with and new
+// requests see the new one. Nothing is ever mutated in place.
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <map>
+#include <vector>
+
+#include "forest/forest.h"
+#include "gef/explainer.h"
+#include "util/status.h"
+
+namespace gef {
+namespace serve {
+
+/// One resident model: the forest, its identity, and (optionally) a
+/// pre-fitted explanation loaded from disk at registration time.
+struct ServedModel {
+  std::string name;
+  std::string source_path;  // "" for in-memory registrations
+  uint64_t hash = 0;        // Forest::ContentHash()
+  Forest forest;
+  /// Pre-fitted surrogate served for explain requests that don't
+  /// override the pipeline config; may be null.
+  std::shared_ptr<const GefExplanation> preloaded_explanation;
+};
+
+class ModelRegistry {
+ public:
+  /// Loads a forest file ("gef" or "lightgbm" format), validates it
+  /// (the deserializers run ValidateForest at the trust boundary),
+  /// hashes it and registers/replaces `name`.
+  Status LoadModel(const std::string& name, const std::string& path,
+                   const std::string& format = "gef");
+
+  /// Registers/replaces `name` with an in-memory forest. Runs
+  /// ValidateForest before accepting (in-memory models skipped the
+  /// deserialization boundary).
+  Status AddModel(const std::string& name, Forest forest,
+                  std::string source_path = "",
+                  std::shared_ptr<const GefExplanation>
+                      preloaded_explanation = nullptr);
+
+  /// Snapshot of the named model; nullptr when absent.
+  std::shared_ptr<const ServedModel> Get(const std::string& name) const;
+
+  /// The single registered model when exactly one exists (lets clients
+  /// omit "model" in the common one-model deployment), else nullptr.
+  std::shared_ptr<const ServedModel> GetOnly() const;
+
+  /// All models, name order.
+  std::vector<std::shared_ptr<const ServedModel>> List() const;
+
+  bool Remove(const std::string& name);
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+};
+
+}  // namespace serve
+}  // namespace gef
+
+#endif  // GEF_SERVE_MODEL_REGISTRY_H_

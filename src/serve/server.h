@@ -1,0 +1,87 @@
+#ifndef GEF_SERVE_SERVER_H_
+#define GEF_SERVE_SERVER_H_
+
+// POSIX-socket HTTP/1.1 server wrapping the pure request handlers.
+//
+// Threading model: one accept loop (its own thread) plus a blocking
+// thread per connection — the simple model is the right one here
+// because request *work* is already parallelized by the batcher across
+// the shared pool; connection threads mostly sleep in poll(). Every
+// socket wait is bounded by a timeout, and the accept loop polls the
+// shutdown self-pipe (serve/shutdown.h) alongside the listen socket, so
+// SIGINT/SIGTERM wakes it instantly.
+//
+// Drain sequence on shutdown: stop accepting, close the listen socket,
+// let in-flight requests finish (keep-alive connections close at the
+// next idle poll tick), join every connection thread, return from
+// Wait(). The gef_serve tool then exits 0.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/handlers.h"
+#include "serve/http.h"
+#include "util/status.h"
+
+namespace gef {
+namespace serve {
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string address = "127.0.0.1";
+    /// 0 = kernel-assigned ephemeral port; read it via bound_port().
+    int port = 0;
+    /// Max idle time waiting for (more of) a request before the
+    /// connection is closed.
+    int read_timeout_ms = 5000;
+    /// Max time for the client to accept response bytes.
+    int write_timeout_ms = 5000;
+    HttpLimits limits;
+  };
+
+  /// `context` must outlive the server and its connections.
+  HttpServer(const ServeContext& context, Options options);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and spawns the accept loop. Requires
+  /// InstallShutdownHandler() + EnableDrainMode() to have run (the
+  /// accept loop polls the shutdown wake fd).
+  Status Start();
+
+  /// Blocks until shutdown has been requested and every connection has
+  /// drained. Safe to call from main() right after Start().
+  void Wait();
+
+  /// Programmatic shutdown (tests): equivalent to receiving SIGTERM.
+  void Stop();
+
+  /// The actual listening port (resolves port 0). Valid after Start().
+  int bound_port() const { return bound_port_; }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  void ReapFinishedConnections(bool join_all);
+
+  const ServeContext& context_;
+  Options options_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace serve
+}  // namespace gef
+
+#endif  // GEF_SERVE_SERVER_H_

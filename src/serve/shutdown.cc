@@ -1,0 +1,148 @@
+#include "serve/shutdown.h"
+
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace gef {
+namespace serve {
+
+namespace {
+
+constexpr int kMaxGuards = 16;
+constexpr size_t kMaxPathBytes = 4096;
+
+// Fixed-capacity guard table. Slots are claimed under g_guard_mutex by
+// normal code; the signal handler only reads `active` (acquire) and the
+// path bytes published before the release store, then unlink()s.
+struct GuardSlot {
+  std::atomic<bool> active{false};
+  char path[kMaxPathBytes];
+};
+
+GuardSlot g_guards[kMaxGuards];
+std::mutex g_guard_mutex;
+
+std::atomic<int> g_shutdown_signal{0};
+std::atomic<bool> g_drain_mode{false};
+std::atomic<bool> g_installed{false};
+int g_wake_pipe[2] = {-1, -1};
+
+void ShutdownSignalHandler(int sig) {
+  // Everything here is async-signal-safe: atomics, unlink, write,
+  // _exit. No locks, no allocation, no stdio.
+  for (GuardSlot& slot : g_guards) {
+    if (slot.active.load(std::memory_order_acquire)) {
+      ::unlink(slot.path);
+    }
+  }
+  g_shutdown_signal.store(sig, std::memory_order_release);
+  if (g_wake_pipe[1] != -1) {
+    char byte = 1;
+    // A full pipe just means pollers are already woken.
+    [[maybe_unused]] ssize_t n = ::write(g_wake_pipe[1], &byte, 1);
+  }
+  if (!g_drain_mode.load(std::memory_order_relaxed)) {
+    ::_exit(128 + sig);
+  }
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+
+  if (::pipe(g_wake_pipe) == 0) {
+    for (int fd : g_wake_pipe) {
+      int flags = ::fcntl(fd, F_GETFL, 0);
+      if (flags != -1) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      int fdflags = ::fcntl(fd, F_GETFD, 0);
+      if (fdflags != -1) ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+    }
+  } else {
+    g_wake_pipe[0] = g_wake_pipe[1] = -1;
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = ShutdownSignalHandler;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // interrupt blocking syscalls so loops re-check
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_signal.load(std::memory_order_acquire) != 0;
+}
+
+int ShutdownSignal() {
+  return g_shutdown_signal.load(std::memory_order_acquire);
+}
+
+int ShutdownWakeFd() { return g_wake_pipe[0]; }
+
+void EnableDrainMode() {
+  g_drain_mode.store(true, std::memory_order_relaxed);
+}
+
+void RequestShutdown() {
+  g_shutdown_signal.store(SIGTERM, std::memory_order_release);
+  if (g_wake_pipe[1] != -1) {
+    char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_wake_pipe[1], &byte, 1);
+  }
+}
+
+ScopedFileGuard::ScopedFileGuard(const std::string& path) {
+  if (path.size() + 1 > kMaxPathBytes) return;
+  std::lock_guard<std::mutex> lock(g_guard_mutex);
+  for (int i = 0; i < kMaxGuards; ++i) {
+    if (!g_guards[i].active.load(std::memory_order_relaxed)) {
+      std::memcpy(g_guards[i].path, path.c_str(), path.size() + 1);
+      g_guards[i].active.store(true, std::memory_order_release);
+      slot_ = i;
+      return;
+    }
+  }
+  // Table full: the save proceeds unguarded (best effort by design).
+}
+
+ScopedFileGuard::~ScopedFileGuard() { Commit(); }
+
+void ScopedFileGuard::Commit() {
+  if (slot_ < 0) return;
+  g_guards[slot_].active.store(false, std::memory_order_release);
+  slot_ = -1;
+}
+
+namespace internal {
+
+void UnlinkGuardedFilesForTest() {
+  std::lock_guard<std::mutex> lock(g_guard_mutex);
+  for (GuardSlot& slot : g_guards) {
+    if (slot.active.load(std::memory_order_acquire)) {
+      ::unlink(slot.path);
+    }
+  }
+}
+
+void ResetShutdownStateForTest() {
+  g_shutdown_signal.store(0, std::memory_order_release);
+  if (g_wake_pipe[0] != -1) {
+    char sink[64];
+    while (::read(g_wake_pipe[0], sink, sizeof(sink)) > 0) {
+    }
+  }
+}
+
+}  // namespace internal
+
+}  // namespace serve
+}  // namespace gef

@@ -1,0 +1,94 @@
+#include "serve/surrogate_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace gef {
+namespace serve {
+
+uint64_t GefConfigFingerprint(const GefConfig& config) {
+  uint64_t h = 0;
+  h = HashCombine(h, static_cast<uint64_t>(config.num_univariate));
+  h = HashCombine(h, static_cast<uint64_t>(config.num_bivariate));
+  h = HashCombine(h, static_cast<uint64_t>(config.sampling));
+  h = HashCombine(h, static_cast<uint64_t>(config.k));
+  h = HashCombineDouble(h, config.epsilon_fraction);
+  h = HashCombine(h, static_cast<uint64_t>(config.num_samples));
+  h = HashCombineDouble(h, config.test_fraction);
+  h = HashCombine(h, static_cast<uint64_t>(config.interaction));
+  h = HashCombine(h, static_cast<uint64_t>(config.hstat_sample_rows));
+  h = HashCombine(h,
+                  static_cast<uint64_t>(config.categorical_threshold));
+  h = HashCombine(h, static_cast<uint64_t>(config.spline_basis));
+  h = HashCombine(h, static_cast<uint64_t>(config.tensor_basis));
+  h = HashCombine(h, static_cast<uint64_t>(config.lambda_grid.size()));
+  for (double lambda : config.lambda_grid) {
+    h = HashCombineDouble(h, lambda);
+  }
+  h = HashCombine(h, config.per_term_lambda ? 1u : 0u);
+  h = HashCombine(h, config.seed);
+  return h;
+}
+
+SurrogateCache::SurrogateCache(size_t capacity)
+    : capacity_(capacity) {
+  GEF_CHECK_MSG(capacity >= 1, "SurrogateCache capacity must be >= 1");
+}
+
+std::shared_ptr<const GefExplanation> SurrogateCache::GetOrFit(
+    uint64_t forest_hash, const GefConfig& config, const FitFn& fit) {
+  const Key key{forest_hash, GefConfigFingerprint(config)};
+
+  std::promise<std::shared_ptr<const GefExplanation>> promise;
+  std::shared_future<std::shared_ptr<const GefExplanation>> future;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      obs::metrics::GetCounter("serve.surrogate_cache.hits").Add();
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      future = it->second.future;
+    } else {
+      obs::metrics::GetCounter("serve.surrogate_cache.misses").Add();
+      owner = true;
+      future = promise.get_future().share();
+      lru_.push_front(key);
+      entries_[key] = Entry{future, lru_.begin()};
+      while (entries_.size() > capacity_) {
+        const Key victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        obs::metrics::GetCounter("serve.surrogate_cache.evictions")
+            .Add();
+      }
+    }
+  }
+
+  if (owner) {
+    GEF_OBS_SPAN("serve.gef_fit");
+    obs::metrics::GetCounter("serve.gef_fits").Add();
+    GEF_OBS_COUNTER_ADD("serve.gef_fits", 1.0);
+    std::shared_ptr<const GefExplanation> fitted(fit());
+    promise.set_value(std::move(fitted));
+  }
+  return future.get();
+}
+
+void SurrogateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t SurrogateCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace serve
+}  // namespace gef

@@ -1,0 +1,87 @@
+#ifndef GEF_SERVE_SURROGATE_CACHE_H_
+#define GEF_SERVE_SURROGATE_CACHE_H_
+
+// LRU-bounded, single-flight cache of fitted GEF surrogates.
+//
+// The economics of GEF are amortization: one (forest, GefConfig) fit
+// answers unbounded explain queries. The cache enforces that contract
+// under concurrency — the first request for a key runs the fit, every
+// concurrent request for the same key *waits on that same fit* (a
+// shared_future) instead of starting a duplicate, and later requests
+// hit the completed entry. Keys combine the forest content hash with a
+// fingerprint of every GefConfig field that affects the fitted model,
+// so a hot-swapped forest or a changed pipeline setting can never serve
+// a stale surrogate.
+//
+// Capacity is entry-count LRU: evicting a key only drops the cache's
+// reference; requests still waiting on that fit keep their
+// shared_future alive, so eviction never blocks or invalidates anyone.
+//
+// Metrics (obs/metrics.h): serve.surrogate_cache.hits / .misses /
+// .evictions counters and serve.gef_fits (exactly one per distinct key
+// actually fitted).
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "gef/explainer.h"
+
+namespace gef {
+namespace serve {
+
+/// Order-sensitive FNV fingerprint over every GefConfig field that
+/// changes the fitted surrogate.
+uint64_t GefConfigFingerprint(const GefConfig& config);
+
+class SurrogateCache {
+ public:
+  using FitFn = std::function<std::unique_ptr<GefExplanation>()>;
+
+  /// `capacity` >= 1 entries retained.
+  explicit SurrogateCache(size_t capacity);
+
+  /// Returns the surrogate for (forest_hash, config), running `fit` at
+  /// most once per key across all threads. Returns nullptr when the fit
+  /// failed (singular GAM for every lambda); the failure is cached too
+  /// (the pipeline is deterministic, retrying cannot succeed).
+  std::shared_ptr<const GefExplanation> GetOrFit(
+      uint64_t forest_hash, const GefConfig& config, const FitFn& fit);
+
+  /// Drops every cached entry (hot-swap tools call this when a model is
+  /// replaced and memory matters; correctness never requires it because
+  /// keys include the forest hash).
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  struct Key {
+    uint64_t forest_hash;
+    uint64_t config_fingerprint;
+    bool operator<(const Key& other) const {
+      if (forest_hash != other.forest_hash) {
+        return forest_hash < other.forest_hash;
+      }
+      return config_fingerprint < other.config_fingerprint;
+    }
+  };
+  struct Entry {
+    std::shared_future<std::shared_ptr<const GefExplanation>> future;
+    std::list<Key>::iterator lru_it;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = most recent
+};
+
+}  // namespace serve
+}  // namespace gef
+
+#endif  // GEF_SERVE_SURROGATE_CACHE_H_

@@ -1,0 +1,74 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace gef {
+
+namespace {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvAppend(uint64_t state, const unsigned char* bytes,
+                   size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    state ^= static_cast<uint64_t>(bytes[i]);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace
+
+uint64_t HashFnv1a64(const void* data, size_t size) {
+  return FnvAppend(kFnvOffsetBasis,
+                   static_cast<const unsigned char*>(data), size);
+}
+
+uint64_t HashFnv1a64(std::string_view text) {
+  return HashFnv1a64(text.data(), text.size());
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  unsigned char bytes[sizeof(value)];
+  std::memcpy(bytes, &value, sizeof(value));
+  return FnvAppend(seed == 0 ? kFnvOffsetBasis : seed, bytes,
+                   sizeof(bytes));
+}
+
+uint64_t HashCombineDouble(uint64_t seed, double value) {
+  if (value == 0.0) value = 0.0;  // collapse -0.0
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return HashCombine(seed, bits);
+}
+
+std::string HashToHex(uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+bool HashFromHex(std::string_view text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace gef

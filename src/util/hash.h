@@ -1,0 +1,44 @@
+#ifndef GEF_UTIL_HASH_H_
+#define GEF_UTIL_HASH_H_
+
+// Content hashing for on-disk model artifacts. The serving layer keys
+// forests and fitted GAMs by the FNV-1a 64-bit hash of their canonical
+// serialized bytes (forest/serialization, gam/gam_io): two artifacts
+// with the same hash are byte-identical models, so a registry hot-swap
+// or a surrogate-cache lookup never has to compare structures. FNV-1a
+// is deliberately simple — this is an identity/cache key inside a
+// trusted deployment, not a cryptographic commitment.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gef {
+
+/// FNV-1a 64-bit over a byte range.
+uint64_t HashFnv1a64(const void* data, size_t size);
+
+/// FNV-1a 64-bit over the bytes of `text`.
+uint64_t HashFnv1a64(std::string_view text);
+
+/// Folds `value` into `seed` (order-sensitive): hashes the 8 value
+/// bytes continuing from `seed` as the FNV state. Used to fingerprint
+/// config structs field by field.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Folds a double into `seed` via its bit pattern (0.0 and -0.0 are
+/// normalized to the same key so configs that print identically hash
+/// identically).
+uint64_t HashCombineDouble(uint64_t seed, double value);
+
+/// Lower-case 16-digit hex rendering ("0f3a..."), the form printed by
+/// the CLI tools and the /v1/models endpoint.
+std::string HashToHex(uint64_t hash);
+
+/// Parses the HashToHex form back; returns false on malformed input.
+bool HashFromHex(std::string_view text, uint64_t* out);
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_HASH_H_

@@ -1,0 +1,960 @@
+// Tests for the serving subsystem (DESIGN.md §3.14): content hashing,
+// the always-on metrics registry, the JSON + HTTP wire formats, the
+// shutdown/file-guard plumbing, the model registry, the single-flight
+// surrogate cache, the request batcher and the endpoint handlers.
+//
+// Everything here runs on in-memory buffers — no sockets, no child
+// processes — so the whole suite is TSan/ASan-friendly and fast. The
+// socket layer itself is exercised end-to-end by tools/serve_smoke.sh.
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/serialization.h"
+#include "gef/local_explanation.h"
+#include "obs/metrics.h"
+#include "serve/batcher.h"
+#include "serve/handlers.h"
+#include "serve/http.h"
+#include "serve/json.h"
+#include "serve/model_registry.h"
+#include "serve/shutdown.h"
+#include "serve/surrogate_cache.h"
+#include "stats/rng.h"
+#include "util/hash.h"
+
+namespace gef {
+namespace {
+
+using serve::HttpLimits;
+using serve::HttpRequest;
+using serve::HttpRequestParser;
+using serve::HttpResponse;
+using serve::Json;
+using serve::ModelRegistry;
+using serve::ParseJson;
+using serve::RequestBatcher;
+using serve::ServeContext;
+using serve::ServedModel;
+using serve::SurrogateCache;
+
+Forest TrainSmallForest(uint64_t seed = 111) {
+  Rng rng(seed);
+  Dataset data = MakeGPrimeDataset(400, &rng);
+  GbdtConfig config;
+  config.num_trees = 8;
+  config.num_leaves = 6;
+  config.min_samples_leaf = 5;
+  return TrainGbdt(data, nullptr, config).forest;
+}
+
+/// A deliberately tiny pipeline config so explain paths stay fast.
+GefConfig TinyGefConfig() {
+  GefConfig config;
+  config.num_univariate = 2;
+  config.num_bivariate = 0;
+  config.k = 8;
+  config.num_samples = 600;
+  config.spline_basis = 8;
+  config.seed = 5;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// util/hash
+// ---------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Published FNV-1a 64-bit vectors.
+  EXPECT_EQ(HashFnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(HashFnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(HashFnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, PointerAndStringViewAgree) {
+  const std::string text = "serving layer";
+  EXPECT_EQ(HashFnv1a64(text.data(), text.size()),
+            HashFnv1a64(std::string_view(text)));
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  uint64_t a = HashCombine(HashCombine(1, 2), 3);
+  uint64_t b = HashCombine(HashCombine(1, 3), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashTest, CombineDoubleNormalizesSignedZero) {
+  EXPECT_EQ(HashCombineDouble(7, 0.0), HashCombineDouble(7, -0.0));
+  EXPECT_NE(HashCombineDouble(7, 0.0), HashCombineDouble(7, 1.0));
+}
+
+TEST(HashTest, HexRoundTrip) {
+  const uint64_t value = 0x0123456789abcdefULL;
+  std::string hex = HashToHex(value);
+  EXPECT_EQ(hex, "0123456789abcdef");
+  uint64_t parsed = 0;
+  ASSERT_TRUE(HashFromHex(hex, &parsed));
+  EXPECT_EQ(parsed, value);
+}
+
+TEST(HashTest, HexRejectsMalformed) {
+  uint64_t out = 0;
+  EXPECT_FALSE(HashFromHex("", &out));
+  EXPECT_FALSE(HashFromHex("123", &out));                  // too short
+  EXPECT_FALSE(HashFromHex("0123456789abcdeg", &out));     // bad digit
+  EXPECT_FALSE(HashFromHex("0123456789abcdef0", &out));    // too long
+}
+
+TEST(HashTest, ForestContentHashIsSerializationStable) {
+  Forest forest = TrainSmallForest();
+  uint64_t original = forest.ContentHash();
+  auto restored = ForestFromString(ForestToString(forest));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->ContentHash(), original);
+  // A different forest must (with overwhelming probability) differ.
+  EXPECT_NE(TrainSmallForest(222).ContentHash(), original);
+}
+
+// ---------------------------------------------------------------------
+// obs/metrics
+// ---------------------------------------------------------------------
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  obs::metrics::ResetAllForTest();
+  auto& counter = obs::metrics::GetCounter("test.requests");
+  counter.Add();
+  counter.Add(4);
+  EXPECT_EQ(counter.Value(), 5u);
+  // Same name resolves to the same cell.
+  EXPECT_EQ(&obs::metrics::GetCounter("test.requests"), &counter);
+
+  obs::metrics::GetGauge("test.resident").Set(3.5);
+  EXPECT_DOUBLE_EQ(obs::metrics::GetGauge("test.resident").Value(), 3.5);
+
+  auto& histogram = obs::metrics::GetHistogram("test.latency");
+  for (int i = 1; i <= 100; ++i) histogram.Observe(i * 0.001);
+  auto snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 100u);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.001);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.1);
+  // Geometric buckets: quantiles are approximate; demand sane ordering.
+  EXPECT_LE(snapshot.p50, snapshot.p90);
+  EXPECT_LE(snapshot.p90, snapshot.p99);
+  EXPECT_GT(snapshot.p50, 0.0);
+  EXPECT_LE(snapshot.p99, snapshot.max * 2.0);
+}
+
+TEST(MetricsTest, RenderTextListsEveryMetric) {
+  obs::metrics::ResetAllForTest();
+  obs::metrics::GetCounter("render.count").Add(2);
+  obs::metrics::GetGauge("render.gauge").Set(1.0);
+  obs::metrics::GetHistogram("render.hist").Observe(0.5);
+  std::string text = obs::metrics::RenderText();
+  EXPECT_NE(text.find("render.count 2"), std::string::npos);
+  EXPECT_NE(text.find("render.gauge"), std::string::npos);
+  EXPECT_NE(text.find("render.hist.count 1"), std::string::npos);
+  EXPECT_NE(text.find("render.hist.p99"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentObserveIsConsistent) {
+  obs::metrics::ResetAllForTest();
+  auto& counter = obs::metrics::GetCounter("stress.count");
+  auto& histogram = obs::metrics::GetHistogram("stress.hist");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        histogram.Observe(1e-4 * (t + 1));
+        if (i % 64 == 0) {
+          // Concurrent scrape while writers are active — the contract
+          // /metrics depends on.
+          (void)obs::metrics::RenderText();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(histogram.Snapshot().count,
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// ---------------------------------------------------------------------
+// serve/json
+// ---------------------------------------------------------------------
+
+TEST(JsonTest, ParsesNestedDocument) {
+  auto parsed = ParseJson(
+      R"({"row": [1, -2.5, 3e2], "model": "census", "opts": {"deep": true},
+          "null_member": null, "flag": false})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& json = *parsed;
+  ASSERT_TRUE(json.is_object());
+  const Json* row = json.Find("row");
+  ASSERT_NE(row, nullptr);
+  ASSERT_TRUE(row->is_array());
+  ASSERT_EQ(row->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(row->array[1].number, -2.5);
+  EXPECT_DOUBLE_EQ(row->array[2].number, 300.0);
+  EXPECT_EQ(json.Find("model")->str, "census");
+  EXPECT_TRUE(json.Find("opts")->Find("deep")->boolean);
+  EXPECT_EQ(json.Find("null_member")->type, Json::Type::kNull);
+  EXPECT_EQ(json.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  auto parsed = ParseJson(R"({"s": "a\"b\\c\n\tA"})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->str, "a\"b\\c\n\tA");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{not json").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1,}").ok());
+  EXPECT_FALSE(ParseJson("[1, 2] trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{\"a\"}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("01").ok());
+}
+
+TEST(JsonTest, DepthLimitBoundsRecursion) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep, 64).ok());
+  EXPECT_TRUE(ParseJson("[[[[1]]]]", 8).ok());
+}
+
+TEST(JsonTest, NumberAndEscapeRendering) {
+  EXPECT_EQ(serve::JsonNumberText(1.5), "1.5");
+  EXPECT_EQ(serve::JsonNumberText(std::nan("")), "null");
+  EXPECT_EQ(serve::JsonEscapeString("a\"b\\\n"), "a\\\"b\\\\\\n");
+  EXPECT_EQ(serve::JsonNumberArray({1.0, 2.5}), "[1,2.5]");
+}
+
+TEST(JsonTest, FuzzedInputsNeverCrash) {
+  Rng rng(991);
+  const std::string seed_doc =
+      R"({"row": [1.0, 2.0], "model": "m", "config": {"k": 16}})";
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string doc = seed_doc;
+    int num_edits = 1 + static_cast<int>(rng.Uniform() * 4);
+    for (int e = 0; e < num_edits; ++e) {
+      size_t pos = static_cast<size_t>(rng.Uniform() * doc.size());
+      doc[pos] = static_cast<char>(rng.Uniform() * 256);
+    }
+    auto parsed = ParseJson(doc);  // must return, never crash
+    (void)parsed;
+  }
+}
+
+// ---------------------------------------------------------------------
+// serve/http
+// ---------------------------------------------------------------------
+
+TEST(HttpTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  auto state = parser.Consume("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_EQ(state, HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_EQ(parser.request().headers.at("host"), "x");
+  EXPECT_FALSE(parser.request().WantsClose());
+}
+
+TEST(HttpTest, ParsesPostBodyAndLowercasesHeaders) {
+  HttpRequestParser parser;
+  auto state = parser.Consume(
+      "POST /v1/predict HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 13\r\n\r\n"
+      "{\"row\": [1]}x");
+  ASSERT_EQ(state, HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().body, "{\"row\": [1]}x");
+  EXPECT_EQ(parser.request().headers.at("content-type"),
+            "application/json");
+}
+
+TEST(HttpTest, ByteAtATimeFeeding) {
+  const std::string wire =
+      "POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  HttpRequestParser parser;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(parser.Consume(wire.substr(i, 1)),
+              HttpRequestParser::State::kNeedMore)
+        << "at byte " << i;
+  }
+  ASSERT_EQ(parser.Consume(wire.substr(wire.size() - 1)),
+            HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpTest, PipelinedRequestsSurviveReset) {
+  HttpRequestParser parser;
+  auto state = parser.Consume(
+      "GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(state, HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().target, "/healthz");
+  // Reset must re-parse the buffered second request immediately.
+  ASSERT_EQ(parser.Reset(), HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().target, "/metrics");
+  EXPECT_EQ(parser.Reset(), HttpRequestParser::State::kNeedMore);
+}
+
+TEST(HttpTest, TruncatedRequestStaysIncomplete) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Consume("POST /v1/predict HTTP/1.1\r\nContent-Le"),
+            HttpRequestParser::State::kNeedMore);
+  EXPECT_EQ(parser.Consume("ngth: 10\r\n\r\nabc"),
+            HttpRequestParser::State::kNeedMore);
+}
+
+TEST(HttpTest, OversizedHeadersAre431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 128;
+  HttpRequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\nX-Pad: ";
+  wire += std::string(256, 'a');
+  ASSERT_EQ(parser.Consume(wire), HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpTest, OversizedBodyIs413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 64;
+  HttpRequestParser parser(limits);
+  auto state = parser.Consume(
+      "POST /v1/predict HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
+  ASSERT_EQ(state, HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpTest, TransferEncodingIs501) {
+  HttpRequestParser parser;
+  auto state = parser.Consume(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_EQ(state, HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpTest, UnsupportedVersionIs505) {
+  HttpRequestParser parser;
+  auto state = parser.Consume("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_EQ(state, HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpTest, MalformedRequestLineIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume("garbage\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+
+  HttpRequestParser parser2;
+  ASSERT_EQ(parser2.Consume("POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser2.error_status(), 400);
+}
+
+TEST(HttpTest, ConnectionCloseSemantics) {
+  HttpRequestParser parser;
+  ASSERT_EQ(parser.Consume(
+                "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            HttpRequestParser::State::kDone);
+  EXPECT_TRUE(parser.request().WantsClose());
+
+  HttpRequestParser parser10;
+  ASSERT_EQ(parser10.Consume("GET / HTTP/1.0\r\n\r\n"),
+            HttpRequestParser::State::kDone);
+  EXPECT_TRUE(parser10.request().WantsClose());
+}
+
+TEST(HttpTest, SerializeResponseCarriesContentLength) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "{\"ok\":true}";
+  std::string wire = serve::SerializeHttpResponse(response);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+
+  HttpResponse error = serve::MakeErrorResponse(404, "nope");
+  EXPECT_EQ(error.status, 404);
+  EXPECT_NE(error.body.find("nope"), std::string::npos);
+}
+
+TEST(HttpTest, FuzzedWireBytesNeverCrash) {
+  Rng rng(4242);
+  const std::string seed_wire =
+      "POST /v1/predict HTTP/1.1\r\nContent-Length: 12\r\n\r\n"
+      "{\"row\":[1]}x";
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string wire = seed_wire;
+    int num_edits = 1 + static_cast<int>(rng.Uniform() * 6);
+    for (int e = 0; e < num_edits; ++e) {
+      size_t pos = static_cast<size_t>(rng.Uniform() * wire.size());
+      wire[pos] = static_cast<char>(rng.Uniform() * 256);
+    }
+    HttpRequestParser parser;
+    // Feed in two random-sized chunks to cover the incremental path.
+    size_t split = static_cast<size_t>(rng.Uniform() * wire.size());
+    parser.Consume(wire.substr(0, split));
+    auto state = parser.Consume(wire.substr(split));
+    if (state == HttpRequestParser::State::kError) {
+      EXPECT_GE(parser.error_status(), 400);
+      EXPECT_LT(parser.error_status(), 600);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// serve/shutdown
+// ---------------------------------------------------------------------
+
+TEST(ShutdownTest, GuardedFileIsUnlinkedOnSignalPath) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "gef_serve_test";
+  fs::create_directories(dir);
+  fs::path partial = dir / "partial_model.txt";
+  {
+    serve::ScopedFileGuard guard(partial.string());
+    std::FILE* f = std::fopen(partial.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("half-written", f);
+    std::fclose(f);
+    ASSERT_TRUE(fs::exists(partial));
+    serve::internal::UnlinkGuardedFilesForTest();
+    EXPECT_FALSE(fs::exists(partial));
+  }
+}
+
+TEST(ShutdownTest, CommittedFileSurvives) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "gef_serve_test";
+  fs::create_directories(dir);
+  fs::path done = dir / "committed_model.txt";
+  {
+    serve::ScopedFileGuard guard(done.string());
+    std::FILE* f = std::fopen(done.string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("complete", f);
+    std::fclose(f);
+    guard.Commit();
+    serve::internal::UnlinkGuardedFilesForTest();
+  }
+  EXPECT_TRUE(fs::exists(done));
+  fs::remove(done);
+}
+
+TEST(ShutdownTest, RequestShutdownSetsFlagAndWakesPipe) {
+  serve::InstallShutdownHandler();
+  serve::internal::ResetShutdownStateForTest();
+  EXPECT_FALSE(serve::ShutdownRequested());
+  serve::EnableDrainMode();
+  serve::RequestShutdown();
+  EXPECT_TRUE(serve::ShutdownRequested());
+  EXPECT_GE(serve::ShutdownWakeFd(), 0);
+  serve::internal::ResetShutdownStateForTest();
+  EXPECT_FALSE(serve::ShutdownRequested());
+}
+
+// ---------------------------------------------------------------------
+// serve/model_registry
+// ---------------------------------------------------------------------
+
+TEST(ModelRegistryTest, AddGetListRemove) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.AddModel("a", TrainSmallForest(1)).ok());
+  ASSERT_TRUE(registry.AddModel("b", TrainSmallForest(2)).ok());
+  EXPECT_EQ(registry.size(), 2u);
+
+  auto a = registry.Get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name, "a");
+  EXPECT_EQ(a->hash, a->forest.ContentHash());
+  EXPECT_EQ(registry.Get("missing"), nullptr);
+
+  // Two models: GetOnly is ambiguous.
+  EXPECT_EQ(registry.GetOnly(), nullptr);
+  auto list = registry.List();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0]->name, "a");
+  EXPECT_EQ(list[1]->name, "b");
+
+  EXPECT_TRUE(registry.Remove("b"));
+  EXPECT_FALSE(registry.Remove("b"));
+  ASSERT_NE(registry.GetOnly(), nullptr);
+  EXPECT_EQ(registry.GetOnly()->name, "a");
+}
+
+TEST(ModelRegistryTest, HotSwapPreservesInFlightSnapshot) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.AddModel("m", TrainSmallForest(1)).ok());
+  auto before = registry.Get("m");
+  ASSERT_TRUE(registry.AddModel("m", TrainSmallForest(2)).ok());
+  auto after = registry.Get("m");
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_NE(before->hash, after->hash);
+  // The old snapshot still answers predictions (hot-swap contract).
+  std::vector<double> row(before->forest.num_features(), 0.5);
+  (void)before->forest.Predict(row);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ModelRegistryTest, LoadModelHashMatchesInMemoryHash) {
+  namespace fs = std::filesystem;
+  Forest forest = TrainSmallForest(3);
+  fs::path path =
+      fs::temp_directory_path() / "gef_serve_test" / "registry_model.txt";
+  fs::create_directories(path.parent_path());
+  ASSERT_TRUE(SaveForest(forest, path.string()).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadModel("disk", path.string()).ok());
+  auto model = registry.Get("disk");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->hash, forest.ContentHash());
+  EXPECT_EQ(model->source_path, path.string());
+
+  EXPECT_FALSE(registry.LoadModel("bad", "/nonexistent/model.txt").ok());
+  EXPECT_EQ(registry.Get("bad"), nullptr);
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------
+// serve/surrogate_cache
+// ---------------------------------------------------------------------
+
+TEST(SurrogateCacheTest, ConfigFingerprintSeparatesConfigs) {
+  GefConfig base = TinyGefConfig();
+  GefConfig changed = base;
+  changed.num_univariate += 1;
+  EXPECT_NE(serve::GefConfigFingerprint(base),
+            serve::GefConfigFingerprint(changed));
+  GefConfig lambda_changed = base;
+  lambda_changed.lambda_grid.push_back(1e3);
+  EXPECT_NE(serve::GefConfigFingerprint(base),
+            serve::GefConfigFingerprint(lambda_changed));
+  EXPECT_EQ(serve::GefConfigFingerprint(base),
+            serve::GefConfigFingerprint(TinyGefConfig()));
+}
+
+TEST(SurrogateCacheTest, SingleFlightFitsOncePerKey) {
+  obs::metrics::ResetAllForTest();
+  Forest forest = TrainSmallForest();
+  GefConfig config = TinyGefConfig();
+  SurrogateCache cache(4);
+  std::atomic<int> fit_calls{0};
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const GefExplanation>> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = cache.GetOrFit(forest.ContentHash(), config, [&] {
+        fit_calls.fetch_add(1);
+        return ExplainForest(forest, config);
+      });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(fit_calls.load(), 1);
+  for (int t = 1; t < kThreads; ++t) {
+    ASSERT_NE(results[t], nullptr);
+    EXPECT_EQ(results[t].get(), results[0].get());
+  }
+  EXPECT_EQ(obs::metrics::GetCounter("serve.gef_fits").Value(), 1u);
+  EXPECT_GE(obs::metrics::GetCounter("serve.surrogate_cache.hits").Value()
+                + obs::metrics::GetCounter("serve.surrogate_cache.misses")
+                      .Value(),
+            static_cast<uint64_t>(kThreads));
+}
+
+TEST(SurrogateCacheTest, DistinctKeysFitSeparately) {
+  SurrogateCache cache(4);
+  std::atomic<int> fit_calls{0};
+  auto fake_fit = [&] {
+    fit_calls.fetch_add(1);
+    return std::make_unique<GefExplanation>();
+  };
+  GefConfig config = TinyGefConfig();
+  (void)cache.GetOrFit(1, config, fake_fit);
+  (void)cache.GetOrFit(2, config, fake_fit);
+  GefConfig other = config;
+  other.k *= 2;
+  (void)cache.GetOrFit(1, other, fake_fit);
+  (void)cache.GetOrFit(1, config, fake_fit);  // hit
+  EXPECT_EQ(fit_calls.load(), 3);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(SurrogateCacheTest, LruEvictionRefitsColdKey) {
+  SurrogateCache cache(2);
+  std::atomic<int> fit_calls{0};
+  auto fake_fit = [&] {
+    fit_calls.fetch_add(1);
+    return std::make_unique<GefExplanation>();
+  };
+  GefConfig config = TinyGefConfig();
+  (void)cache.GetOrFit(1, config, fake_fit);
+  (void)cache.GetOrFit(2, config, fake_fit);
+  (void)cache.GetOrFit(1, config, fake_fit);  // refresh key 1
+  (void)cache.GetOrFit(3, config, fake_fit);  // evicts key 2 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  (void)cache.GetOrFit(1, config, fake_fit);  // still resident
+  EXPECT_EQ(fit_calls.load(), 3);
+  (void)cache.GetOrFit(2, config, fake_fit);  // evicted -> refit
+  EXPECT_EQ(fit_calls.load(), 4);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SurrogateCacheTest, FailedFitIsCachedAsNull) {
+  SurrogateCache cache(2);
+  std::atomic<int> fit_calls{0};
+  GefConfig config = TinyGefConfig();
+  auto failing_fit = [&]() -> std::unique_ptr<GefExplanation> {
+    fit_calls.fetch_add(1);
+    return nullptr;
+  };
+  EXPECT_EQ(cache.GetOrFit(9, config, failing_fit), nullptr);
+  EXPECT_EQ(cache.GetOrFit(9, config, failing_fit), nullptr);
+  EXPECT_EQ(fit_calls.load(), 1);  // deterministic failure: no retry
+}
+
+// ---------------------------------------------------------------------
+// serve/batcher
+// ---------------------------------------------------------------------
+
+TEST(BatcherTest, PredictMatchesDirectForestCall) {
+  auto model = std::make_shared<ServedModel>();
+  model->name = "m";
+  model->forest = TrainSmallForest();
+  model->hash = model->forest.ContentHash();
+
+  RequestBatcher::Options options;
+  RequestBatcher batcher(options);
+  Rng rng(77);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> row(model->forest.num_features());
+    for (auto& v : row) v = rng.Uniform() * 5.0;
+    auto result = batcher.Predict(model, row);
+    EXPECT_DOUBLE_EQ(result.prediction, model->forest.Predict(row));
+    EXPECT_FALSE(result.local.has_value());
+  }
+  batcher.Stop();
+}
+
+TEST(BatcherTest, DisabledModeExecutesInline) {
+  auto model = std::make_shared<ServedModel>();
+  model->forest = TrainSmallForest();
+  RequestBatcher::Options options;
+  options.enabled = false;
+  RequestBatcher batcher(options);
+  std::vector<double> row(model->forest.num_features(), 1.0);
+  EXPECT_DOUBLE_EQ(batcher.Predict(model, row).prediction,
+                   model->forest.Predict(row));
+}
+
+TEST(BatcherTest, ConcurrentPredictionsAllAnswered) {
+  auto model = std::make_shared<ServedModel>();
+  model->forest = TrainSmallForest();
+  RequestBatcher::Options options;
+  options.max_batch = 8;
+  RequestBatcher batcher(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        std::vector<double> row(model->forest.num_features());
+        for (auto& v : row) v = rng.Uniform() * 5.0;
+        auto result = batcher.Predict(model, row);
+        if (result.prediction != model->forest.Predict(row)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  batcher.Stop();  // idempotent with the destructor
+}
+
+TEST(BatcherTest, ExplainMatchesExplainInstance) {
+  auto model = std::make_shared<ServedModel>();
+  model->forest = TrainSmallForest();
+  model->hash = model->forest.ContentHash();
+  GefConfig config = TinyGefConfig();
+  std::shared_ptr<const GefExplanation> surrogate(
+      ExplainForest(model->forest, config).release());
+  ASSERT_NE(surrogate, nullptr);
+
+  RequestBatcher batcher(RequestBatcher::Options{});
+  std::vector<double> row(model->forest.num_features(), 0.5);
+  auto result = batcher.Explain(model, surrogate, row, 0.05);
+  ASSERT_TRUE(result.local.has_value());
+
+  LocalExplanation direct =
+      ExplainInstance(*surrogate, model->forest, row, 0.05);
+  EXPECT_DOUBLE_EQ(result.local->gam_prediction, direct.gam_prediction);
+  EXPECT_DOUBLE_EQ(result.local->forest_prediction,
+                   direct.forest_prediction);
+  ASSERT_EQ(result.local->terms.size(), direct.terms.size());
+  for (size_t i = 0; i < direct.terms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.local->terms[i].contribution,
+                     direct.terms[i].contribution);
+  }
+}
+
+// ---------------------------------------------------------------------
+// serve/handlers — endpoint logic over in-memory requests
+// ---------------------------------------------------------------------
+
+class HandlersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::metrics::ResetAllForTest();
+    ASSERT_TRUE(registry_.AddModel("census", TrainSmallForest()).ok());
+    context_.registry = &registry_;
+    context_.cache = &cache_;
+    context_.batcher = &batcher_;
+    context_.default_config = TinyGefConfig();
+    num_features_ = registry_.Get("census")->forest.num_features();
+  }
+
+  HttpResponse Call(const std::string& method, const std::string& target,
+                    const std::string& body = "") {
+    HttpRequest request;
+    request.method = method;
+    request.target = target;
+    request.version = "HTTP/1.1";
+    request.body = body;
+    return HandleRequest(context_, request);
+  }
+
+  std::string RowLiteral() const {
+    std::vector<double> row(num_features_, 0.5);
+    return serve::JsonNumberArray(row);
+  }
+
+  ModelRegistry registry_;
+  SurrogateCache cache_{4};
+  RequestBatcher batcher_{RequestBatcher::Options{}};
+  ServeContext context_;
+  size_t num_features_ = 0;
+};
+
+TEST_F(HandlersTest, HealthzAndModelsAndMetrics) {
+  auto health = Call("GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("ok"), std::string::npos);
+
+  auto models = Call("GET", "/v1/models");
+  EXPECT_EQ(models.status, 200);
+  auto parsed = ParseJson(models.body);
+  ASSERT_TRUE(parsed.ok());
+  const Json* list = parsed->Find("models");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 1u);
+  EXPECT_EQ(list->array[0].Find("name")->str, "census");
+  EXPECT_EQ(list->array[0].Find("hash")->str,
+            HashToHex(registry_.Get("census")->hash));
+
+  auto metrics = Call("GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; charset=utf-8");
+  EXPECT_NE(metrics.body.find("serve.requests.healthz"),
+            std::string::npos);
+}
+
+TEST_F(HandlersTest, PredictSingleRowAndBatchRows) {
+  auto single =
+      Call("POST", "/v1/predict", "{\"row\": " + RowLiteral() + "}");
+  ASSERT_EQ(single.status, 200) << single.body;
+  auto parsed = ParseJson(single.body);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<double> row(num_features_, 0.5);
+  EXPECT_NEAR(parsed->Find("prediction")->number,
+              registry_.Get("census")->forest.Predict(row), 1e-9);
+  EXPECT_EQ(parsed->Find("model")->str, "census");
+
+  auto batch = Call("POST", "/v1/predict",
+                    "{\"rows\": [" + RowLiteral() + ", " + RowLiteral() +
+                        "]}");
+  ASSERT_EQ(batch.status, 200) << batch.body;
+  auto batch_parsed = ParseJson(batch.body);
+  ASSERT_TRUE(batch_parsed.ok());
+  ASSERT_EQ(batch_parsed->Find("predictions")->array.size(), 2u);
+}
+
+TEST_F(HandlersTest, PredictRejectsBadInput) {
+  EXPECT_EQ(Call("POST", "/v1/predict", "{not json").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/predict", "{}").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/predict", "{\"row\": [1, 2]}").status, 400)
+      << "wrong row width must be 400";
+  EXPECT_EQ(Call("POST", "/v1/predict",
+                 "{\"row\": " + RowLiteral() +
+                     ", \"model\": \"missing\"}")
+                .status,
+            404);
+  EXPECT_EQ(Call("POST", "/v1/predict", "{\"row\": [\"a\"]}").status, 400);
+}
+
+TEST_F(HandlersTest, RoutingErrors) {
+  EXPECT_EQ(Call("GET", "/v1/unknown").status, 404);
+  EXPECT_EQ(Call("GET", "/v1/predict").status, 405);
+  EXPECT_EQ(Call("POST", "/healthz").status, 405);
+  // Error bodies are JSON with an "error" member.
+  auto missing = Call("GET", "/nope");
+  auto parsed = ParseJson(missing.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed->Find("error"), nullptr);
+}
+
+TEST_F(HandlersTest, ExplainFitsOnceThenHitsCache) {
+  const std::string body = "{\"row\": " + RowLiteral() + "}";
+  auto first = Call("POST", "/v1/explain", body);
+  ASSERT_EQ(first.status, 200) << first.body;
+  auto parsed = ParseJson(first.body);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("terms"), nullptr);
+  EXPECT_GT(parsed->Find("terms")->array.size(), 0u);
+  EXPECT_NE(parsed->Find("gam_prediction"), nullptr);
+  EXPECT_NE(parsed->Find("forest_prediction"), nullptr);
+
+  auto second = Call("POST", "/v1/explain", body);
+  ASSERT_EQ(second.status, 200);
+  // The amortization contract: one fit, repeat queries hit the cache.
+  EXPECT_EQ(obs::metrics::GetCounter("serve.gef_fits").Value(), 1u);
+  EXPECT_GE(obs::metrics::GetCounter("serve.surrogate_cache.hits").Value(),
+            1u);
+}
+
+TEST_F(HandlersTest, ExplainRejectsBadStepFractionAndConfig) {
+  const std::string row = RowLiteral();
+  EXPECT_EQ(Call("POST", "/v1/explain",
+                 "{\"row\": " + row + ", \"step_fraction\": 0}")
+                .status,
+            400);
+  EXPECT_EQ(Call("POST", "/v1/explain",
+                 "{\"row\": " + row + ", \"step_fraction\": 1.5}")
+                .status,
+            400);
+  EXPECT_EQ(Call("POST", "/v1/explain",
+                 "{\"row\": " + row +
+                     ", \"config\": {\"unknown_knob\": 1}}")
+                .status,
+            400);
+}
+
+TEST_F(HandlersTest, PreloadedExplanationSkipsCache) {
+  Forest forest = TrainSmallForest();
+  GefConfig config = TinyGefConfig();
+  std::shared_ptr<const GefExplanation> preloaded(
+      ExplainForest(forest, config).release());
+  ASSERT_NE(preloaded, nullptr);
+  ASSERT_TRUE(registry_
+                  .AddModel("prefit", std::move(forest), "", preloaded)
+                  .ok());
+
+  auto response = Call("POST", "/v1/explain",
+                       "{\"row\": " + RowLiteral() +
+                           ", \"model\": \"prefit\"}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  // Served from the preloaded surrogate: no pipeline fit ran.
+  EXPECT_EQ(obs::metrics::GetCounter("serve.gef_fits").Value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency stress: registry hot-swap + cache + batcher under TSan
+// (satellite (c): run with GEF_SANITIZE=thread in the CI matrix).
+// ---------------------------------------------------------------------
+
+TEST(ServeConcurrencyTest, RegistryCacheBatcherStress) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.AddModel("hot", TrainSmallForest(1)).ok());
+  Forest replacement_a = TrainSmallForest(2);
+  Forest replacement_b = TrainSmallForest(3);
+  SurrogateCache cache(2);
+  RequestBatcher::Options options;
+  options.max_batch = 8;
+  RequestBatcher batcher(options);
+  GefConfig config = TinyGefConfig();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+
+  // Swapper: replaces "hot" in a tight loop (copying a trained forest
+  // each round) — readers must never observe a torn model.
+  std::thread swapper([&] {
+    int round = 0;
+    while (!stop.load()) {
+      Forest copy = (round++ % 2 == 0) ? replacement_a : replacement_b;
+      if (!registry.AddModel("hot", std::move(copy)).ok()) {
+        errors.fetch_add(1);
+      }
+    }
+  });
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(500 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 60; ++i) {
+        auto model = registry.Get("hot");
+        if (model == nullptr) {
+          errors.fetch_add(1);
+          continue;
+        }
+        std::vector<double> row(model->forest.num_features());
+        for (auto& v : row) v = rng.Uniform() * 5.0;
+        auto result = batcher.Predict(model, row);
+        if (result.prediction != model->forest.Predict(row)) {
+          errors.fetch_add(1);
+        }
+        // Cheap synthetic fits keyed by the live model hash exercise
+        // single-flight + LRU under contention.
+        auto surrogate = cache.GetOrFit(model->hash, config, [] {
+          return std::make_unique<GefExplanation>();
+        });
+        if (surrogate == nullptr) errors.fetch_add(1);
+        if (i % 16 == 0) (void)registry.List();
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  stop.store(true);
+  swapper.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace gef

@@ -5,8 +5,17 @@
 // every later PR has a perf trajectory to regress against.
 //
 // Usage:
-//   bench_report [--out BENCH_PR4.json] [--smoke] [--workload all]
-//   bench_report --validate BENCH_PR4.json [--baseline BENCH_PR3.json]
+//   bench_report [--out BENCH_PR5.json] [--smoke] [--workload all]
+//                [--serving loadgen-on.json,loadgen-off.json]
+//   bench_report --validate BENCH_PR5.json [--baseline BENCH_PR4.json]
+//
+// `--serving` (comma-separated list of files) merges the serving
+// workloads emitted by gef_loadgen --out
+// into the report, so one BENCH_PRn.json carries both the pipeline and
+// the serving trajectory. A workload with a "serving" object is
+// validated against the serving keys (qps, latency quantiles, errors)
+// instead of the pipeline stage keys, and the baseline diff prints
+// qps/p99 deltas for it.
 //
 // With GEF_TRACE=<path> set, the per-stage JSONL spans land there as a
 // side artifact; without it, tracing runs in-memory only (aggregates
@@ -215,6 +224,15 @@ class JsonParser {
 // changes keep the version.
 
 constexpr const char* kSchema = "gef-bench-v1";
+constexpr const char* kPrLabel = "PR5";
+
+// Numeric keys a serving workload's "serving" object must carry (see
+// tools/gef_loadgen.cc, which emits them).
+const std::vector<const char*> kServingNumberKeys = {
+    "connections",     "duration_s",      "requests",
+    "errors",          "qps",             "latency_p50_ms",
+    "latency_p90_ms",  "latency_p99_ms",
+};
 
 // Stage keys every workload must report (seconds). Keep in sync with
 // ValidateReport and DESIGN.md §3.12.
@@ -245,6 +263,46 @@ std::string FormatDouble(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   return std::string(buf);
+}
+
+// Re-serializes a parsed JsonValue (used to carry gef_loadgen's serving
+// workloads into the merged report verbatim).
+void SerializeJson(const JsonValue& value, int indent, std::string* out) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  switch (value.type) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out += value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber:
+      *out += FormatDouble(value.number);
+      break;
+    case JsonValue::Type::kString:
+      *out += "\"" + value.str + "\"";
+      break;
+    case JsonValue::Type::kArray: {
+      *out += "[";
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) *out += ", ";
+        SerializeJson(value.array[i], indent, out);
+      }
+      *out += "]";
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      *out += "{\n";
+      size_t i = 0;
+      for (const auto& [key, member] : value.object) {
+        *out += pad + "  \"" + key + "\": ";
+        SerializeJson(member, indent + 2, out);
+        *out += ++i < value.object.size() ? ",\n" : "\n";
+      }
+      *out += pad + "}";
+      break;
+    }
+  }
 }
 
 // Runs one workload: train a GBDT, run the GEF pipeline, touch the
@@ -300,14 +358,16 @@ WorkloadResult RunWorkload(const std::string& name, const Dataset& train,
 }
 
 void WriteReport(const std::string& path,
-                 const std::vector<WorkloadResult>& workloads, bool smoke) {
+                 const std::vector<WorkloadResult>& workloads, bool smoke,
+                 const std::vector<JsonValue>& serving_workloads) {
   std::ofstream out(path);
   out << "{\n";
   out << "  \"schema\": \"" << kSchema << "\",\n";
-  out << "  \"pr\": \"PR4\",\n";
+  out << "  \"pr\": \"" << kPrLabel << "\",\n";
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   out << "  \"num_threads\": " << NumThreads() << ",\n";
   out << "  \"workloads\": [\n";
+  const size_t total = workloads.size() + serving_workloads.size();
   for (size_t w = 0; w < workloads.size(); ++w) {
     const WorkloadResult& r = workloads[w];
     out << "    {\n";
@@ -327,7 +387,13 @@ void WriteReport(const std::string& path,
     out << "      \"fidelity\": {\"r2\": " << FormatDouble(r.fidelity_r2)
         << ", \"rmse\": " << FormatDouble(r.fidelity_rmse) << "},\n";
     out << "      \"peak_rss_bytes\": " << r.peak_rss_bytes << "\n";
-    out << "    }" << (w + 1 < workloads.size() ? "," : "") << "\n";
+    out << "    }" << (w + 1 < total ? "," : "") << "\n";
+  }
+  for (size_t w = 0; w < serving_workloads.size(); ++w) {
+    std::string rendered;
+    SerializeJson(serving_workloads[w], 4, &rendered);
+    out << "    " << rendered
+        << (workloads.size() + w + 1 < total ? "," : "") << "\n";
   }
   out << "  ]\n";
   out << "}\n";
@@ -380,6 +446,31 @@ std::vector<std::string> ValidateReport(const JsonValue& root) {
             ? wname->str
             : "<unnamed>";
     require(wname != nullptr, "workload missing name");
+    const JsonValue* serving = wfield("serving");
+    if (serving != nullptr) {
+      // Serving workload (gef_loadgen): the serving section replaces
+      // the pipeline stage/fidelity requirements.
+      if (!require(serving->type == JsonValue::Type::kObject,
+                   label + ": serving must be an object")) {
+        continue;
+      }
+      auto sfield = [serving](const std::string& key) -> const JsonValue* {
+        auto it = serving->object.find(key);
+        return it == serving->object.end() ? nullptr : &it->second;
+      };
+      const JsonValue* endpoint = sfield("endpoint");
+      require(endpoint != nullptr &&
+                  endpoint->type == JsonValue::Type::kString,
+              label + ": serving.endpoint must be a string");
+      for (const char* key : kServingNumberKeys) {
+        const JsonValue* v = sfield(key);
+        require(v != nullptr && v->type == JsonValue::Type::kNumber &&
+                    std::isfinite(v->number) && v->number >= 0.0,
+                label + ": serving." + key +
+                    " must be a non-negative number");
+      }
+      continue;
+    }
     for (const char* key : {"train_rows", "num_trees", "dstar_rows_per_s",
                             "peak_rss_bytes"}) {
       const JsonValue* v = wfield(key);
@@ -495,6 +586,28 @@ int DiffAgainstBaseline(const std::string& current_path,
       std::printf("| %s | _(not in baseline)_ | | | |\n", name.c_str());
       continue;
     }
+    auto cur_serving = w.object.find("serving");
+    if (cur_serving != w.object.end()) {
+      // Serving workload: wall-clock stages don't exist; report the
+      // throughput/tail trajectory instead (informational, like the
+      // stage table — machines differ).
+      auto base_serving = base->object.find("serving");
+      if (base_serving == base->object.end()) {
+        std::printf("| %s | _(no serving baseline)_ | | | |\n",
+                    name.c_str());
+        continue;
+      }
+      for (const char* key : {"qps", "latency_p50_ms", "latency_p99_ms"}) {
+        double cur_v = NumberAt(cur_serving->second, key);
+        double base_v = NumberAt(base_serving->second, key);
+        double ratio = base_v > 0.0 ? cur_v / base_v : 0.0;
+        std::printf(
+            "| %s | %s | %.4f | %.4f | %+.1f%% (%.2fx) |\n", name.c_str(),
+            key, base_v, cur_v,
+            base_v > 0.0 ? 100.0 * (cur_v - base_v) / base_v : 0.0, ratio);
+      }
+      continue;
+    }
     const JsonValue& cur_stages = w.object.at("stages_s");
     auto bstages = base->object.find("stages_s");
     for (const auto& [key, span] : kStageSpans) {
@@ -542,8 +655,42 @@ int DiffAgainstBaseline(const std::string& current_path,
 
 int Run(const Flags& flags) {
   const bool smoke = flags.GetBool("smoke", false);
-  const std::string out_path = flags.GetString("out", "BENCH_PR4.json");
+  const std::string out_path = flags.GetString("out", "BENCH_PR5.json");
   const std::string workload = flags.GetString("workload", "all");
+  const std::string serving_paths = flags.GetString("serving", "");
+
+  // Serving workloads come pre-measured from gef_loadgen --out; merge
+  // them in verbatim (schema-checked) rather than re-running the load.
+  // `--serving` takes a comma-separated list so one report can carry
+  // several runs (batching on vs off, predict vs explain).
+  std::vector<JsonValue> serving_workloads;
+  size_t path_begin = 0;
+  while (path_begin <= serving_paths.size() && !serving_paths.empty()) {
+    size_t comma = serving_paths.find(',', path_begin);
+    if (comma == std::string::npos) comma = serving_paths.size();
+    const std::string serving_path =
+        serving_paths.substr(path_begin, comma - path_begin);
+    path_begin = comma + 1;
+    if (serving_path.empty()) continue;
+    JsonValue serving_root;
+    if (!LoadJsonFile(serving_path, &serving_root)) return 1;
+    std::vector<std::string> problems = ValidateReport(serving_root);
+    for (const std::string& problem : problems) {
+      std::fprintf(stderr, "%s: schema violation: %s\n",
+                   serving_path.c_str(), problem.c_str());
+    }
+    if (!problems.empty()) return 1;
+    for (JsonValue& w : serving_root.object.at("workloads").array) {
+      if (w.object.find("serving") == w.object.end()) {
+        std::fprintf(stderr,
+                     "%s: workload without a serving section; merge "
+                     "only loadgen reports\n",
+                     serving_path.c_str());
+        return 1;
+      }
+      serving_workloads.push_back(std::move(w));
+    }
+  }
 
   // Stage attribution needs the obs layer on; honour GEF_TRACE when the
   // environment set it, otherwise collect in memory only.
@@ -596,9 +743,10 @@ int Run(const Flags& flags) {
     return 1;
   }
 
-  WriteReport(out_path, results, smoke);
-  std::printf("wrote %s (%zu workload%s)\n", out_path.c_str(),
-              results.size(), results.size() == 1 ? "" : "s");
+  WriteReport(out_path, results, smoke, serving_workloads);
+  const size_t total = results.size() + serving_workloads.size();
+  std::printf("wrote %s (%zu workload%s)\n", out_path.c_str(), total,
+              total == 1 ? "" : "s");
   const std::string trace = obs::TracePath();
   if (!trace.empty()) {
     std::printf("trace JSONL appended to %s\n", trace.c_str());

@@ -37,7 +37,9 @@
 #include "gef/explanation_io.h"
 #include "gef/local_explanation.h"
 #include "gef/report.h"
+#include "serve/shutdown.h"
 #include "util/flags.h"
+#include "util/hash.h"
 #include "util/string_util.h"
 
 namespace gef {
@@ -68,6 +70,9 @@ bool ParseInteraction(const std::string& name, InteractionStrategy* out) {
 }
 
 int Run(int argc, const char* const* argv) {
+  // SIGINT mid-save must not leave a half-written explanation behind.
+  serve::InstallShutdownHandler();
+
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -93,6 +98,8 @@ int Run(int argc, const char* const* argv) {
                  forest.status().ToString().c_str());
     return 2;
   }
+  std::printf("model hash: %s\n",
+              HashToHex(forest->ContentHash()).c_str());
 
   GefConfig config;
   config.num_univariate = flags.GetInt("univariate", 5);
@@ -162,13 +169,17 @@ int Run(int argc, const char* const* argv) {
   }
 
   if (!save_path.empty()) {
+    serve::ScopedFileGuard guard(save_path);
     Status status = SaveExplanation(*explanation, save_path);
     if (!status.ok()) {
       std::fprintf(stderr, "cannot save explanation: %s\n",
                    status.ToString().c_str());
       return 2;
     }
-    std::printf("saved explanation to %s\n", save_path.c_str());
+    guard.Commit();
+    std::printf("saved explanation to %s (gam hash %s)\n",
+                save_path.c_str(),
+                HashToHex(explanation->gam.ContentHash()).c_str());
   }
 
   std::printf("%s", DescribeExplanation(*explanation, *forest).c_str());

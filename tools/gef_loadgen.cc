@@ -1,0 +1,471 @@
+// gef_loadgen — closed-loop load generator for gef_serve.
+//
+// Opens N persistent keep-alive connections, hammers one endpoint with
+// single-row requests for a fixed duration, and reports throughput and
+// client-side latency quantiles. Rows are drawn deterministically from
+// stats/rng (seeded per connection) over the feature count discovered
+// via GET /v1/models, so runs are reproducible.
+//
+// Usage:
+//   gef_loadgen --port <port> [--host 127.0.0.1]
+//               [--endpoint predict|explain|mixed] [--connections 4]
+//               [--duration-s 5] [--model <name>] [--seed 1]
+//               [--out report.json]   (gef-bench-v1 serving workload,
+//                                      mergeable via bench_report --serving)
+//               [--workload-name serving_predict]
+//               [--batching-label on|off]  (recorded in the report)
+//   gef_loadgen --port <port> --check
+//               (smoke mode: one request per endpoint, exit 0 iff all
+//                succeed — the serve-smoke ctest uses this instead of curl)
+//
+// Exit codes: 0 success, 1 bad usage, 2 connection/protocol failure.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.h"
+#include "stats/rng.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace gef {
+namespace {
+
+/// Minimal blocking HTTP/1.1 client connection (keep-alive).
+class ClientConnection {
+ public:
+  ~ClientConnection() { Close(); }
+
+  bool Connect(const std::string& host, int port) {
+    Close();
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    const int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  void Close() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+    buffer_.clear();
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for the full response. Returns false
+  /// on any transport or protocol failure (connection left closed).
+  bool RoundTrip(const std::string& method, const std::string& target,
+                 const std::string& body, int* status_out,
+                 std::string* body_out) {
+    std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                          "Host: loadgen\r\n";
+    if (!body.empty() || method == "POST") {
+      request +=
+          "Content-Type: application/json\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n";
+    }
+    request += "\r\n" + body;
+    if (!SendAll(request)) {
+      Close();
+      return false;
+    }
+    if (!ReadResponse(status_out, body_out)) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool SendAll(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = send(fd_, bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool FillBuffer() {
+    char chunk[8192];
+    const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  bool ReadResponse(int* status_out, std::string* body_out) {
+    size_t header_end = std::string::npos;
+    while ((header_end = buffer_.find("\r\n\r\n")) ==
+           std::string::npos) {
+      if (buffer_.size() > 64 * 1024) return false;
+      if (!FillBuffer()) return false;
+    }
+    const std::string headers = buffer_.substr(0, header_end);
+    // Status line: HTTP/1.1 NNN Reason
+    if (headers.size() < 12 || headers.compare(0, 5, "HTTP/") != 0) {
+      return false;
+    }
+    *status_out = std::atoi(headers.c_str() + 9);
+
+    size_t content_length = 0;
+    for (const std::string& line : Split(headers, '\n')) {
+      std::string lowered = line;
+      for (char& c : lowered) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      const std::string prefix = "content-length:";
+      if (lowered.compare(0, prefix.size(), prefix) == 0) {
+        content_length = static_cast<size_t>(
+            std::atol(line.c_str() + prefix.size()));
+      }
+    }
+    const size_t body_start = header_end + 4;
+    while (buffer_.size() < body_start + content_length) {
+      if (!FillBuffer()) return false;
+    }
+    *body_out = buffer_.substr(body_start, content_length);
+    buffer_.erase(0, body_start + content_length);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the previous response
+};
+
+std::string PredictBody(const std::string& model,
+                        const std::vector<double>& row) {
+  std::string body = "{";
+  if (!model.empty()) {
+    body += "\"model\":\"" + serve::JsonEscapeString(model) + "\",";
+  }
+  body += "\"row\":" + serve::JsonNumberArray(row) + "}";
+  return body;
+}
+
+/// Discovers the feature count of the target model via GET /v1/models.
+bool DiscoverFeatures(const std::string& host, int port,
+                      const std::string& model, size_t* features) {
+  ClientConnection connection;
+  if (!connection.Connect(host, port)) return false;
+  int status = 0;
+  std::string body;
+  if (!connection.RoundTrip("GET", "/v1/models", "", &status, &body) ||
+      status != 200) {
+    return false;
+  }
+  StatusOr<serve::Json> parsed = serve::ParseJson(body);
+  if (!parsed.ok()) return false;
+  const serve::Json* models = parsed.value().Find("models");
+  if (models == nullptr || !models->is_array()) return false;
+  for (const serve::Json& entry : models->array) {
+    const serve::Json* name = entry.Find("name");
+    const serve::Json* width = entry.Find("features");
+    if (width == nullptr || !width->is_number()) continue;
+    if (model.empty() || (name != nullptr && name->str == model)) {
+      *features = static_cast<size_t>(width->number);
+      return true;
+    }
+  }
+  return false;
+}
+
+struct WorkerResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies_s;
+};
+
+double Percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  const double index = q * static_cast<double>(sorted->size() - 1);
+  const size_t lo = static_cast<size_t>(index);
+  const size_t hi = lo + 1 < sorted->size() ? lo + 1 : lo;
+  const double frac = index - static_cast<double>(lo);
+  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+}
+
+int RunCheck(const std::string& host, int port,
+             const std::string& model, size_t features) {
+  ClientConnection connection;
+  if (!connection.Connect(host, port)) {
+    std::fprintf(stderr, "cannot connect to %s:%d\n", host.c_str(),
+                 port);
+    return 2;
+  }
+  int status = 0;
+  std::string body;
+
+  if (!connection.RoundTrip("GET", "/healthz", "", &status, &body) ||
+      status != 200) {
+    std::fprintf(stderr, "healthz failed (status %d)\n", status);
+    return 2;
+  }
+  if (!connection.RoundTrip("GET", "/v1/models", "", &status, &body) ||
+      status != 200) {
+    std::fprintf(stderr, "models failed (status %d)\n", status);
+    return 2;
+  }
+  Rng rng(1);
+  std::vector<double> row(features);
+  for (double& v : row) v = rng.Uniform();
+  if (!connection.RoundTrip("POST", "/v1/predict",
+                            PredictBody(model, row), &status, &body) ||
+      status != 200) {
+    std::fprintf(stderr, "predict failed (status %d): %s\n", status,
+                 body.c_str());
+    return 2;
+  }
+  if (!connection.RoundTrip("POST", "/v1/explain",
+                            PredictBody(model, row), &status, &body) ||
+      status != 200) {
+    std::fprintf(stderr, "explain failed (status %d): %s\n", status,
+                 body.c_str());
+    return 2;
+  }
+  // Malformed input must answer 400, not kill the connection.
+  if (!connection.RoundTrip("POST", "/v1/predict", "{not json",
+                            &status, &body) ||
+      status != 400) {
+    std::fprintf(stderr, "bad JSON answered %d, want 400\n", status);
+    return 2;
+  }
+  if (!connection.RoundTrip("GET", "/metrics", "", &status, &body) ||
+      status != 200 ||
+      body.find("serve.requests.predict") == std::string::npos) {
+    std::fprintf(stderr, "metrics failed (status %d)\n", status);
+    return 2;
+  }
+  std::printf("check passed (model width %zu)\n", features);
+  return 0;
+}
+
+int Run(int argc, const char* const* argv) {
+  auto flags_or = Flags::Parse(argc, argv);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = *flags_or;
+
+  std::string host = flags.GetString("host", "127.0.0.1");
+  int port = flags.GetInt("port", 0);
+  std::string endpoint = flags.GetString("endpoint", "predict");
+  int connections = flags.GetInt("connections", 4);
+  double duration_s = flags.GetDouble("duration-s", 5.0);
+  std::string model = flags.GetString("model", "");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  std::string out_path = flags.GetString("out", "");
+  std::string workload_name =
+      flags.GetString("workload-name", "serving_" + endpoint);
+  std::string batching_label = flags.GetString("batching-label", "on");
+  bool check = flags.GetBool("check", false);
+
+  if (!flags.status().ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().message().c_str());
+    return 1;
+  }
+  std::vector<std::string> unread = flags.UnreadFlags();
+  if (!unread.empty()) {
+    std::fprintf(stderr, "unknown flag(s): --%s\n",
+                 Join(unread, ", --").c_str());
+    return 1;
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "usage: gef_loadgen --port <port> [options]\n");
+    return 1;
+  }
+  if (endpoint != "predict" && endpoint != "explain" &&
+      endpoint != "mixed") {
+    std::fprintf(stderr, "unknown --endpoint '%s'\n", endpoint.c_str());
+    return 1;
+  }
+  if (connections < 1) {
+    std::fprintf(stderr, "--connections must be >= 1\n");
+    return 1;
+  }
+
+  size_t features = 0;
+  if (!DiscoverFeatures(host, port, model, &features)) {
+    std::fprintf(stderr,
+                 "cannot discover model features from %s:%d\n",
+                 host.c_str(), port);
+    return 2;
+  }
+  if (check) return RunCheck(host, port, model, features);
+
+  // Pre-build the request bodies: JSON number formatting costs more
+  // than a loopback round-trip, and paying it inside the timing loop
+  // would measure the client, not the server.
+  constexpr size_t kBodyPool = 1024;
+  std::vector<std::string> bodies;
+  bodies.reserve(kBodyPool);
+  {
+    Rng rng(seed);
+    std::vector<double> row(features);
+    for (size_t i = 0; i < kBodyPool; ++i) {
+      for (double& v : row) v = rng.Uniform();
+      bodies.push_back(PredictBody(model, row));
+    }
+  }
+
+  std::vector<WorkerResult> results(
+      static_cast<size_t>(connections));
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(duration_s));
+
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      WorkerResult& result = results[static_cast<size_t>(c)];
+      ClientConnection connection;
+      if (!connection.Connect(host, port)) {
+        failed.store(true);
+        return;
+      }
+      uint64_t i = static_cast<uint64_t>(c) * 131;
+      while (std::chrono::steady_clock::now() < deadline) {
+        const bool explain =
+            endpoint == "explain" ||
+            (endpoint == "mixed" && (i % 8) == 0);
+        const std::string target =
+            explain ? "/v1/explain" : "/v1/predict";
+        int status = 0;
+        std::string body;
+        const auto start = std::chrono::steady_clock::now();
+        const bool ok =
+            connection.connected() &&
+            connection.RoundTrip("POST", target,
+                                 bodies[i % kBodyPool], &status,
+                                 &body);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        ++i;
+        if (!ok) {
+          // Reconnect once; a dropped keep-alive counts as an error.
+          ++result.errors;
+          if (!connection.Connect(host, port)) {
+            failed.store(true);
+            return;
+          }
+          continue;
+        }
+        ++result.requests;
+        if (status != 200) ++result.errors;
+        result.latencies_s.push_back(elapsed.count());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (failed.load()) {
+    std::fprintf(stderr, "a connection could not be (re)established\n");
+    return 2;
+  }
+
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies;
+  for (WorkerResult& result : results) {
+    requests += result.requests;
+    errors += result.errors;
+    latencies.insert(latencies.end(), result.latencies_s.begin(),
+                     result.latencies_s.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps =
+      duration_s > 0 ? static_cast<double>(requests) / duration_s : 0.0;
+  const double p50_ms = Percentile(&latencies, 0.50) * 1e3;
+  const double p90_ms = Percentile(&latencies, 0.90) * 1e3;
+  const double p99_ms = Percentile(&latencies, 0.99) * 1e3;
+
+  std::printf(
+      "endpoint=%s connections=%d duration=%.1fs requests=%llu "
+      "errors=%llu\nqps=%.0f p50=%.3fms p90=%.3fms p99=%.3fms\n",
+      endpoint.c_str(), connections, duration_s,
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(errors), qps, p50_ms, p90_ms,
+      p99_ms);
+
+  if (errors > requests / 100) {
+    std::fprintf(stderr, "error rate above 1%%\n");
+    return 2;
+  }
+
+  if (!out_path.empty()) {
+    // One gef-bench-v1 workload carrying a "serving" section;
+    // bench_report --serving merges it into the PR report.
+    std::string json = "{\n  \"schema\": \"gef-bench-v1\",\n";
+    json += "  \"pr\": \"PR5\",\n  \"smoke\": false,\n";
+    json += "  \"num_threads\": " + std::to_string(connections) + ",\n";
+    json += "  \"workloads\": [\n    {\n";
+    json += "      \"name\": \"" +
+            serve::JsonEscapeString(workload_name) + "\",\n";
+    json += "      \"serving\": {\n";
+    json += "        \"endpoint\": \"" +
+            serve::JsonEscapeString(endpoint) + "\",\n";
+    json += "        \"batching\": \"" +
+            serve::JsonEscapeString(batching_label) + "\",\n";
+    json += "        \"connections\": " + std::to_string(connections) +
+            ",\n";
+    json += "        \"duration_s\": " +
+            serve::JsonNumberText(duration_s) + ",\n";
+    json += "        \"requests\": " + std::to_string(requests) + ",\n";
+    json += "        \"errors\": " + std::to_string(errors) + ",\n";
+    json += "        \"qps\": " + serve::JsonNumberText(qps) + ",\n";
+    json += "        \"latency_p50_ms\": " +
+            serve::JsonNumberText(p50_ms) + ",\n";
+    json += "        \"latency_p90_ms\": " +
+            serve::JsonNumberText(p90_ms) + ",\n";
+    json += "        \"latency_p99_ms\": " +
+            serve::JsonNumberText(p99_ms) + "\n";
+    json += "      }\n    }\n  ]\n}\n";
+    FILE* file = std::fopen(out_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::fputs(json.c_str(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gef
+
+int main(int argc, char** argv) { return gef::Run(argc, argv); }

@@ -24,14 +24,20 @@
 #include "forest/gbdt_trainer.h"
 #include "forest/random_forest_trainer.h"
 #include "forest/serialization.h"
+#include "serve/shutdown.h"
 #include "stats/metrics.h"
 #include "util/flags.h"
+#include "util/hash.h"
 #include "util/string_util.h"
 
 namespace gef {
 namespace {
 
 int Run(int argc, const char* const* argv) {
+  // SIGINT mid-save must not leave a half-written model behind (the
+  // guard around SaveForest below unlinks it from the handler).
+  serve::InstallShutdownHandler();
+
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -137,14 +143,17 @@ int Run(int argc, const char* const* argv) {
                 Rmse(forest.PredictRawBatch(*data), data->targets()));
   }
 
+  serve::ScopedFileGuard guard(out_path);
   Status status = SaveForest(forest, out_path);
   if (!status.ok()) {
     std::fprintf(stderr, "cannot save model: %s\n",
                  status.ToString().c_str());
     return 2;
   }
-  std::printf("wrote %zu-tree forest to %s\n", forest.num_trees(),
-              out_path.c_str());
+  guard.Commit();
+  std::printf("wrote %zu-tree forest to %s (hash %s)\n",
+              forest.num_trees(), out_path.c_str(),
+              HashToHex(forest.ContentHash()).c_str());
   return 0;
 }
 

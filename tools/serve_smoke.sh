@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the serving stack. Trains a small
+# census model, starts gef_serve on an ephemeral loopback port, probes
+# every endpoint through gef_loadgen --check (healthz, models, predict,
+# explain, malformed-input 400, metrics), verifies the surrogate cache
+# answered the repeated explain without a second fit, and finally
+# SIGTERMs the server expecting a clean drain (exit 0).
+set -euo pipefail
+
+DATASETS_BIN=$1
+TRAIN_BIN=$2
+SERVE_BIN=$3
+LOADGEN_BIN=$4
+WORK_DIR=$5
+
+mkdir -p "$WORK_DIR"
+rm -f "$WORK_DIR/serve.log"
+
+"$DATASETS_BIN" --name census --out "$WORK_DIR/census.csv" \
+  --rows 800 --seed 3 > /dev/null
+"$TRAIN_BIN" --data "$WORK_DIR/census.csv" --out "$WORK_DIR/model.txt" \
+  --objective binary --trees 20 --leaves 8 > /dev/null
+
+"$SERVE_BIN" --model "$WORK_DIR/model.txt" --name census --port 0 \
+  --univariate 3 --samples 1500 --k 16 \
+  > "$WORK_DIR/serve.log" 2>&1 &
+SERVER_PID=$!
+trap 'kill -9 $SERVER_PID 2>/dev/null || true' EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+    "$WORK_DIR/serve.log" | head -1)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "server never reported its port:"
+  cat "$WORK_DIR/serve.log"
+  exit 1
+fi
+
+# Two passes: the second repeats /v1/explain with the identical config,
+# which must be a cache hit (exactly one GEF fit overall).
+"$LOADGEN_BIN" --port "$PORT" --check
+"$LOADGEN_BIN" --port "$PORT" --check
+"$LOADGEN_BIN" --port "$PORT" --endpoint predict --connections 2 \
+  --duration-s 1 > "$WORK_DIR/loadgen.log"
+cat "$WORK_DIR/loadgen.log"
+
+METRICS_SNAPSHOT="$WORK_DIR/metrics.txt"
+"$LOADGEN_BIN" --port "$PORT" --check > /dev/null  # refresh counters
+kill -0 $SERVER_PID  # still alive
+
+# Scrape /metrics via a plain TCP request from bash (no curl in image).
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+cat <&3 > "$METRICS_SNAPSHOT"
+exec 3<&- 3>&-
+
+FITS=$(sed -n 's/^serve.gef_fits \([0-9]*\)$/\1/p' "$METRICS_SNAPSHOT")
+HITS=$(sed -n 's/^serve.surrogate_cache.hits \([0-9]*\)$/\1/p' \
+  "$METRICS_SNAPSHOT")
+if [ "$FITS" != "1" ]; then
+  echo "expected exactly one GEF fit, saw '$FITS'"
+  exit 1
+fi
+if [ -z "$HITS" ] || [ "$HITS" -lt 1 ]; then
+  echo "expected surrogate cache hits > 0, saw '$HITS'"
+  exit 1
+fi
+
+kill -TERM $SERVER_PID
+WAIT_STATUS=0
+wait $SERVER_PID || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ]; then
+  echo "server did not drain cleanly (exit $WAIT_STATUS):"
+  cat "$WORK_DIR/serve.log"
+  exit 1
+fi
+grep -q "drained, exiting" "$WORK_DIR/serve.log"
+
+echo "serve smoke passed (port $PORT, fits=$FITS, cache hits=$HITS)"
