@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "data/synthetic.h"
+#include "forest/compiled_kernels.h"
 #include "forest/gbdt_trainer.h"
 #include "forest/grower.h"
 #include "gam/bspline.h"
@@ -304,6 +305,53 @@ void BM_ForestPredictBatchThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch.num_rows());
 }
 BENCHMARK(BM_ForestPredictBatchThreads)->Apply(ThreadCounts)
+    ->Unit(benchmark::kMillisecond);
+
+// Compiled-kernel traversal vs the original per-row pointer walk, same
+// forest and rows. Arg(0)=pointer walk, Arg(1)=scalar kernel,
+// Arg(2)=AVX2 kernel; the ratio is the headline compiled-inference win.
+void BM_ForestTraversalKernels(benchmark::State& state) {
+  Rng rng(52);
+  Dataset train = MakeGPrimeDataset(2000, &rng);
+  GbdtConfig config;
+  config.num_trees = 80;
+  config.num_leaves = 16;
+  Forest forest = TrainGbdt(train, nullptr, config).forest;
+  Dataset batch = MakeGPrimeDataset(20000, &rng);
+  SetNumThreads(1);
+  const int mode = static_cast<int>(state.range(0));
+  if (mode == 1) {
+    compiled::SetKernelForTest(compiled::Kernel::kScalar);
+  } else if (mode == 2) {
+    if (!compiled::Avx2Supported()) {
+      state.SkipWithError("no AVX2 on this host");
+      SetNumThreads(0);
+      return;
+    }
+    compiled::SetKernelForTest(compiled::Kernel::kAvx2);
+  }
+  if (mode == 0) {
+    std::vector<double> row(forest.num_features());
+    std::vector<double> out(batch.num_rows());
+    for (auto _ : state) {
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        for (size_t j = 0; j < batch.num_features(); ++j) {
+          row[j] = batch.Column(j)[i];
+        }
+        out[i] = forest.PredictRaw(row.data());
+      }
+      benchmark::DoNotOptimize(out.data());
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(forest.PredictRawBatch(batch));
+    }
+  }
+  compiled::ClearKernelForTest();
+  SetNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * batch.num_rows());
+}
+BENCHMARK(BM_ForestTraversalKernels)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

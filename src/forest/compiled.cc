@@ -1,0 +1,216 @@
+#include "forest/compiled.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/parallel.h"
+
+namespace gef {
+namespace {
+
+// Rows per parallel task, matching the grain of the former per-row
+// batch loops so the chunk grid (and thus determinism guarantees) is
+// unchanged. Must be a multiple of the kernel's 8-row block so full
+// blocks never straddle a chunk boundary.
+constexpr size_t kBatchGrain = 128;
+
+// Rows packed per transpose buffer inside a chunk: small enough to stay
+// in L1 alongside the hot node arrays.
+constexpr size_t kPackRows = 32;
+
+void RecordKernelDispatch(compiled::Kernel kernel) {
+  // Cached references: GetCounter takes a registry lock on lookup.
+  static obs::metrics::Counter& avx2 =
+      obs::metrics::GetCounter("predict.kernel.avx2");
+  static obs::metrics::Counter& scalar =
+      obs::metrics::GetCounter("predict.kernel.scalar");
+  (kernel == compiled::Kernel::kAvx2 ? avx2 : scalar).Add();
+}
+
+}  // namespace
+
+CompiledForest CompiledForest::Compile(const Forest& forest) {
+  GEF_OBS_SPAN("forest.compile");
+  const auto start = std::chrono::steady_clock::now();
+
+  CompiledForest compiled;
+  compiled.num_features_ = forest.num_features();
+  compiled.objective_ = forest.objective();
+  compiled.average_ = forest.aggregation() == Aggregation::kAverage;
+  compiled.base_score_ =
+      forest.aggregation() == Aggregation::kSum ? forest.init_score() : 0.0;
+
+  size_t total_nodes = 0;
+  for (const Tree& tree : forest.trees()) total_nodes += tree.num_nodes();
+  compiled.feature_.resize(total_nodes);
+  compiled.threshold_.resize(total_nodes);
+  compiled.left_.resize(total_nodes);
+  compiled.packed_.resize(2 * total_nodes);
+  compiled.value_.resize(total_nodes);
+  compiled.root_.reserve(forest.num_trees());
+  compiled.steps_.reserve(forest.num_trees());
+
+  constexpr double kLeafSentinel =
+      std::numeric_limits<double>::quiet_NaN();
+  std::vector<int32_t> order;   // old node id at each new position
+  std::vector<int32_t> new_id;  // old node id -> new position
+  int32_t base = 0;
+  for (const Tree& tree : forest.trees()) {
+    GEF_CHECK_GT(tree.num_nodes(), 0u);
+    compiled.root_.push_back(base);
+    compiled.steps_.push_back(tree.depth() - 1);
+    const std::vector<TreeNode>& nodes = tree.nodes();
+    // BFS renumbering: a split's children land adjacently (right ==
+    // left + 1), so the kernels derive the right child from one left
+    // gather; level order also keeps each traversal front contiguous.
+    order.assign(1, 0);
+    new_id.assign(nodes.size(), 0);
+    for (size_t qi = 0; qi < order.size(); ++qi) {
+      const TreeNode& node = nodes[order[qi]];
+      if (!node.is_leaf()) {
+        new_id[node.left] = static_cast<int32_t>(order.size());
+        order.push_back(node.left);
+        new_id[node.right] = static_cast<int32_t>(order.size());
+        order.push_back(node.right);
+      }
+    }
+    GEF_CHECK_EQ(order.size(), nodes.size());
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      const TreeNode& node = nodes[order[pos]];
+      const int32_t id = base + static_cast<int32_t>(pos);
+      if (node.is_leaf()) {
+        // Self-loop leaf: the NaN threshold makes the unordered
+        // predicate take the +1 arm for every row, so `left = id - 1`
+        // re-selects `id`, parking the lane until the block's deepest
+        // row lands. The -1 feature keeps the scalar walk's natural
+        // exit; the packed copy clamps it to 0 so the SIMD row gather
+        // stays in bounds.
+        compiled.feature_[id] = -1;
+        compiled.threshold_[id] = kLeafSentinel;
+        compiled.left_[id] = id - 1;
+        compiled.value_[id] = node.value;
+      } else {
+        GEF_DCHECK(std::isfinite(node.threshold));
+        compiled.feature_[id] = node.feature;
+        compiled.threshold_[id] = node.threshold;
+        compiled.left_[id] = base + new_id[node.left];
+        GEF_DCHECK(new_id[node.right] == new_id[node.left] + 1);
+        compiled.value_[id] = 0.0;
+      }
+      const uint64_t packed_feature =
+          static_cast<uint64_t>(std::max(compiled.feature_[id], 0));
+      compiled.packed_[2 * id] =
+          (packed_feature << 32) |
+          (static_cast<uint64_t>(compiled.left_[id]) & 0xffffffffULL);
+      uint64_t threshold_bits;
+      static_assert(sizeof(threshold_bits) == sizeof(double));
+      std::memcpy(&threshold_bits, &compiled.threshold_[id],
+                  sizeof(threshold_bits));
+      compiled.packed_[2 * id + 1] = threshold_bits;
+    }
+    base += static_cast<int32_t>(nodes.size());
+  }
+
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  obs::metrics::GetCounter("forest.compiles").Add();
+  obs::metrics::GetGauge("forest.compile_ms").Set(elapsed.count());
+  obs::metrics::GetGauge("forest.compiled_bytes")
+      .Set(static_cast<double>(compiled.compiled_bytes()));
+  return compiled;
+}
+
+size_t CompiledForest::compiled_bytes() const {
+  // feature/left + interleaved pair + threshold/value per node,
+  // root/steps per tree.
+  return feature_.size() * 2 * sizeof(int32_t) +
+         packed_.size() * sizeof(uint64_t) +
+         threshold_.size() * 2 * sizeof(double) +
+         root_.size() * 2 * sizeof(int32_t);
+}
+
+compiled::ForestView CompiledForest::View() const {
+  compiled::ForestView view;
+  view.feature = feature_.data();
+  view.threshold = threshold_.data();
+  view.left = left_.data();
+  view.packed = packed_.data();
+  view.value = value_.data();
+  view.root = root_.data();
+  view.steps = steps_.data();
+  view.num_trees = static_cast<int32_t>(root_.size());
+  view.base_score = base_score_;
+  view.average = average_;
+  return view;
+}
+
+void CompiledForest::PredictRawRows(const double* rows, size_t n,
+                                    size_t stride, double* out) const {
+  GEF_CHECK_GE(stride, num_features_);
+  const compiled::ForestView view = View();
+  RecordKernelDispatch(compiled::ActiveKernel());
+  ParallelForChunked(0, n, kBatchGrain,
+                     [&](size_t chunk_begin, size_t chunk_end) {
+                       compiled::PredictRows(
+                           view, rows + chunk_begin * stride,
+                           chunk_end - chunk_begin, stride,
+                           out + chunk_begin);
+                     });
+}
+
+void CompiledForest::ScoreChunk(const Dataset& dataset, size_t begin,
+                                size_t end, bool task_space,
+                                double* out) const {
+  const compiled::ForestView view = View();
+  const size_t width = num_features_;
+  std::vector<double> block(kPackRows * (width == 0 ? 1 : width));
+  for (size_t b = begin; b < end; b += kPackRows) {
+    const size_t rows = std::min(kPackRows, end - b);
+    // Transpose the column-major slice into a row-major block. Only the
+    // first num_features() columns matter: the kernels never gather
+    // past the forest's feature space even when the dataset is wider.
+    for (size_t j = 0; j < width; ++j) {
+      const double* column = dataset.Column(j).data() + b;
+      for (size_t r = 0; r < rows; ++r) block[r * width + j] = column[r];
+    }
+    compiled::PredictRows(view, block.data(), rows, width, out + b);
+    if (task_space && objective_ == Objective::kBinaryClassification) {
+      for (size_t r = 0; r < rows; ++r) {
+        out[b + r] = SigmoidTransform(out[b + r]);
+      }
+    }
+  }
+}
+
+std::vector<double> CompiledForest::PredictRawBatch(
+    const Dataset& dataset) const {
+  GEF_CHECK_GE(dataset.num_features(), num_features_);
+  std::vector<double> out(dataset.num_rows());
+  RecordKernelDispatch(compiled::ActiveKernel());
+  ParallelForChunked(0, dataset.num_rows(), kBatchGrain,
+                     [&](size_t chunk_begin, size_t chunk_end) {
+                       ScoreChunk(dataset, chunk_begin, chunk_end,
+                                  /*task_space=*/false, out.data());
+                     });
+  return out;
+}
+
+std::vector<double> CompiledForest::PredictBatch(
+    const Dataset& dataset) const {
+  GEF_CHECK_GE(dataset.num_features(), num_features_);
+  std::vector<double> out(dataset.num_rows());
+  RecordKernelDispatch(compiled::ActiveKernel());
+  ParallelForChunked(0, dataset.num_rows(), kBatchGrain,
+                     [&](size_t chunk_begin, size_t chunk_end) {
+                       ScoreChunk(dataset, chunk_begin, chunk_end,
+                                  /*task_space=*/true, out.data());
+                     });
+  return out;
+}
+
+}  // namespace gef

@@ -1,0 +1,98 @@
+#ifndef GEF_FOREST_COMPILED_H_
+#define GEF_FOREST_COMPILED_H_
+
+// Compiled forest inference (DESIGN.md §3.15): each Tree is flattened
+// into contiguous SoA node arrays (feature / threshold / left child /
+// leaf value), BFS-renumbered so a split's children are adjacent
+// (right == left + 1), and the whole ensemble becomes one
+// cache-friendly blob with per-tree roots and depth bounds. Leaves are
+// encoded as *self-loops* (threshold == NaN so the unordered predicate
+// takes the +1 arm, left == self - 1, feature == -1) so the batch
+// kernels of forest/compiled_kernels.h can advance a block of rows
+// level-synchronously with predicated index updates — no per-node
+// branch, no pointer chasing — while staying bit-identical to the
+// pointer-walking Tree::Predict.
+//
+// Every batch consumer routes through this form: Forest::PredictBatch /
+// PredictRawBatch (and through them D* labeling in gef/sampling.cc),
+// and the serving layer, which compiles at registry insert so the
+// RequestBatcher fan-out hits the kernel directly. Single-row
+// Forest::Predict keeps the original walk — it *is* the reference
+// implementation the parity tests compare against.
+//
+// Compilation cost is O(total nodes) array fills; the obs metrics
+// `forest.compiles`, `forest.compile_ms` and `forest.compiled_bytes`
+// record it, and the `forest.compile` span attributes it in traces.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/compiled_kernels.h"
+#include "forest/forest.h"
+
+namespace gef {
+
+/// Immutable flattened form of a Forest. Thread-safe to share: all
+/// state is written once during Compile.
+class CompiledForest {
+ public:
+  /// Flattens `forest`. Requires well-formed trees with finite
+  /// thresholds and leaf values (the ValidateForest contract enforced
+  /// at every deserialization boundary) — NaN is the leaf sentinel.
+  static CompiledForest Compile(const Forest& forest);
+
+  /// Raw ensemble scores for `n` rows laid out row-major with `stride`
+  /// doubles per row; `stride` must cover every feature the forest
+  /// splits on. Fans row blocks across the shared pool; output is
+  /// independent of the thread count.
+  void PredictRawRows(const double* rows, size_t n, size_t stride,
+                      double* out) const;
+
+  /// Batch raw scores over a dataset (column-major rows are packed into
+  /// row-major blocks per chunk, then run through the kernel).
+  std::vector<double> PredictRawBatch(const Dataset& dataset) const;
+
+  /// Batch task-space predictions (sigmoid applied in the same chunk
+  /// pass for binary objectives).
+  std::vector<double> PredictBatch(const Dataset& dataset) const;
+
+  size_t num_trees() const { return root_.size(); }
+  size_t num_features() const { return num_features_; }
+  size_t num_nodes() const { return feature_.size(); }
+
+  /// Total bytes of the node arrays + per-tree metadata.
+  size_t compiled_bytes() const;
+
+ private:
+  CompiledForest() = default;
+
+  compiled::ForestView View() const;
+
+  /// Shared chunk body: scores [begin, end) of `dataset` into
+  /// out[begin..end), optionally applying the sigmoid.
+  void ScoreChunk(const Dataset& dataset, size_t begin, size_t end,
+                  bool task_space, double* out) const;
+
+  // SoA node arrays, all indexed by absolute (BFS-renumbered) node id.
+  // feature_/threshold_/left_ drive the scalar walk; packed_ holds the
+  // interleaved {feature<<32|left, threshold-bits} pairs the SIMD path
+  // gathers (see compiled::ForestView::packed).
+  std::vector<int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<uint64_t> packed_;
+  std::vector<double> value_;
+  // Per-tree metadata.
+  std::vector<int32_t> root_;
+  std::vector<int32_t> steps_;
+
+  size_t num_features_ = 0;
+  double base_score_ = 0.0;
+  bool average_ = false;
+  Objective objective_ = Objective::kRegression;
+};
+
+}  // namespace gef
+
+#endif  // GEF_FOREST_COMPILED_H_

@@ -1,0 +1,185 @@
+#include "forest/compiled_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if GEF_COMPILED_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace gef {
+namespace compiled {
+namespace {
+
+// Test override: -1 = none, else a Kernel enumerator.
+std::atomic<int> g_kernel_override{-1};
+
+bool ForceScalarFromEnv() {
+  const char* force = std::getenv("GEF_FORCE_SCALAR");
+  return force != nullptr && force[0] == '1' && force[1] == '\0';
+}
+
+}  // namespace
+
+const char* KernelName(Kernel kernel) {
+  return kernel == Kernel::kAvx2 ? "avx2" : "scalar";
+}
+
+bool Avx2Supported() {
+#if GEF_COMPILED_HAVE_AVX2
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Kernel ActiveKernel() {
+  int override_value = g_kernel_override.load(std::memory_order_relaxed);
+  if (override_value >= 0) return static_cast<Kernel>(override_value);
+  if (ForceScalarFromEnv()) return Kernel::kScalar;
+  return Avx2Supported() ? Kernel::kAvx2 : Kernel::kScalar;
+}
+
+void SetKernelForTest(Kernel kernel) {
+  g_kernel_override.store(static_cast<int>(kernel),
+                          std::memory_order_relaxed);
+}
+
+void ClearKernelForTest() {
+  g_kernel_override.store(-1, std::memory_order_relaxed);
+}
+
+void PredictRowsScalar(const ForestView& forest, const double* rows,
+                       size_t n, size_t stride, double* out) {
+  const int32_t* feature = forest.feature;
+  const double* threshold = forest.threshold;
+  const int32_t* left = forest.left;
+  const double* value = forest.value;
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = rows + i * stride;
+    double sum = forest.base_score;
+    for (int32_t t = 0; t < forest.num_trees; ++t) {
+      int32_t idx = forest.root[t];
+      int32_t f = feature[idx];
+      while (f >= 0) {
+        idx = left[idx] + (x[f] <= threshold[idx] ? 0 : 1);
+        f = feature[idx];
+      }
+      sum += value[idx];
+    }
+    if (forest.average && forest.num_trees > 0) {
+      sum /= static_cast<double>(forest.num_trees);
+    }
+    out[i] = sum;
+  }
+}
+
+#if GEF_COMPILED_HAVE_AVX2
+
+namespace {
+
+// One 4-lane traversal step for a vector of 64-bit node indices: three
+// gathers — packed (feature << 32 | left), its neighbouring threshold
+// (same 16-byte slot, so usually the same cache line), and the row
+// value — then advance to `left + (go_right ? 1 : 0)` (the compiler
+// renumbered children adjacently, so the right child is derived, not
+// gathered). Leaf nodes carry a clamped packed feature (in-bounds row
+// gather), threshold NaN (unordered => the +1 arm) and left = self - 1,
+// so parked lanes re-select themselves.
+__attribute__((target("avx2"), always_inline)) inline __m256i TraversalStep(
+    const ForestView& forest, const double* rows, __m256i row_offset,
+    __m256i idx) {
+  const __m256i idx2 = _mm256_slli_epi64(idx, 1);
+  const __m256i meta = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(forest.packed), idx2, 8);
+  __m256i f64 = _mm256_srli_epi64(meta, 32);
+  __m256d tv = _mm256_i64gather_pd(
+      reinterpret_cast<const double*>(forest.packed) + 1, idx2, 8);
+  __m256d xv =
+      _mm256_i64gather_pd(rows, _mm256_add_epi64(row_offset, f64), 8);
+  // !(x <= t): false -> left (ties go left), true -> right; unordered
+  // (NaN x, or a leaf's NaN threshold) -> true -> right, exactly the
+  // scalar ternary's behaviour.
+  __m256d go_right = _mm256_cmp_pd(xv, tv, _CMP_NLE_UQ);
+  __m256i l64 =
+      _mm256_and_si256(meta, _mm256_set1_epi64x(0xffffffffLL));
+  // The mask is 0 or -1 per lane: left - (-1) == left + 1 == right.
+  return _mm256_sub_epi64(l64, _mm256_castpd_si256(go_right));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void PredictRowsAvx2(
+    const ForestView& forest, const double* rows, size_t n, size_t stride,
+    double* out) {
+  constexpr size_t kLanes = 4;           // doubles per ymm register
+  constexpr size_t kChains = 4;          // independent gather chains
+  constexpr size_t kBlock = kChains * kLanes;  // rows per block
+  const long long s = static_cast<long long>(stride);
+  size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    __m256i off[kChains];
+    __m256d acc[kChains];
+    for (size_t c = 0; c < kChains; ++c) {
+      const long long r0 =
+          static_cast<long long>(i + c * kLanes) * s;
+      off[c] = _mm256_set_epi64x(r0 + 3 * s, r0 + 2 * s, r0 + s, r0);
+      acc[c] = _mm256_set1_pd(forest.base_score);
+    }
+    for (int32_t t = 0; t < forest.num_trees; ++t) {
+      __m256i idx[kChains];
+      for (size_t c = 0; c < kChains; ++c) {
+        idx[c] = _mm256_set1_epi64x(forest.root[t]);
+      }
+      const int32_t steps = forest.steps[t];
+      for (int32_t step = 0; step < steps; ++step) {
+        __m256i next[kChains];
+        for (size_t c = 0; c < kChains; ++c) {
+          next[c] = TraversalStep(forest, rows, off[c], idx[c]);
+        }
+        // All sixteen lanes stable (self-loop) => every row is at its
+        // leaf; stop early instead of walking out the max depth.
+        __m256i same = _mm256_cmpeq_epi64(next[0], idx[0]);
+        for (size_t c = 1; c < kChains; ++c) {
+          same = _mm256_and_si256(same,
+                                  _mm256_cmpeq_epi64(next[c], idx[c]));
+        }
+        for (size_t c = 0; c < kChains; ++c) idx[c] = next[c];
+        if (_mm256_movemask_pd(_mm256_castsi256_pd(same)) == 0xF) break;
+      }
+      for (size_t c = 0; c < kChains; ++c) {
+        acc[c] = _mm256_add_pd(
+            acc[c], _mm256_i64gather_pd(forest.value, idx[c], 8));
+      }
+    }
+    if (forest.average && forest.num_trees > 0) {
+      const __m256d divisor =
+          _mm256_set1_pd(static_cast<double>(forest.num_trees));
+      for (size_t c = 0; c < kChains; ++c) {
+        acc[c] = _mm256_div_pd(acc[c], divisor);
+      }
+    }
+    for (size_t c = 0; c < kChains; ++c) {
+      _mm256_storeu_pd(out + i + c * kLanes, acc[c]);
+    }
+  }
+  if (i < n) {
+    PredictRowsScalar(forest, rows + i * stride, n - i, stride, out + i);
+  }
+}
+
+#endif  // GEF_COMPILED_HAVE_AVX2
+
+void PredictRows(const ForestView& forest, const double* rows, size_t n,
+                 size_t stride, double* out) {
+#if GEF_COMPILED_HAVE_AVX2
+  if (ActiveKernel() == Kernel::kAvx2) {
+    PredictRowsAvx2(forest, rows, n, stride, out);
+    return;
+  }
+#endif
+  PredictRowsScalar(forest, rows, n, stride, out);
+}
+
+}  // namespace compiled
+}  // namespace gef

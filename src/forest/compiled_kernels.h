@@ -1,0 +1,103 @@
+#ifndef GEF_FOREST_COMPILED_KERNELS_H_
+#define GEF_FOREST_COMPILED_KERNELS_H_
+
+// Batch traversal kernels over the flattened SoA forest of
+// forest/compiled.h (DESIGN.md §3.15). The compiler renumbers every
+// tree in BFS order so an internal node's children are adjacent
+// (right == left + 1): one child gather yields both targets, and the
+// step `idx = left + (x[f] <= t ? 0 : 1)` is branchless and total.
+// Leaves carry threshold = NaN (the unordered predicate always takes
+// the +1 arm) and left = self - 1, so a row that reaches its leaf
+// self-loops there. Two implementations share one node-array view:
+//
+//   * scalar  — portable reference walk over the flattened arrays; bit-
+//               identical to the pointer-chasing Tree::Predict because it
+//               evaluates the same `x[feature] <= threshold` predicate
+//               and folds leaf values in the same tree order.
+//   * avx2    — 4-lane gather/cmp traversal, four vectors = 16 rows per
+//               block for gather-latency overlap, level-synchronous per
+//               tree with an all-lanes-stable early exit. The predicate
+//               `!(x <= t)` (`_CMP_NLE_UQ`, unordered ⇒ right) routes
+//               NaN feature values exactly like the scalar ternary, and
+//               per-lane accumulation preserves the scalar summation
+//               order, so results are bit-identical.
+//
+// Dispatch is per call: `ActiveKernel()` picks AVX2 when the CPU
+// supports it, unless the `GEF_FORCE_SCALAR=1` environment variable (or
+// `SetKernelForTest`) pins the scalar path. The environment is re-read
+// on every resolution — cheap next to a batch, and it lets the ctest
+// scalar leg flip kernels without rebuilding.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gef {
+namespace compiled {
+
+/// Borrowed view of one compiled forest's node arrays. All node indices
+/// (`left`, `right`, `root`) are absolute positions in the forest-wide
+/// arrays; per-tree metadata is indexed by tree.
+struct ForestView {
+  const int32_t* feature = nullptr;    // split feature; -1 at leaves
+  const double* threshold = nullptr;   // split value; NaN at leaves
+  const int32_t* left = nullptr;       // x <= threshold child, right child
+                                       // is left + 1; self - 1 at leaves
+  // Interleaved per-node pair for the SIMD path: element 2*id is
+  // feature and left packed into one word — (clamped feature << 32) |
+  // uint32(left) — and element 2*id + 1 is the threshold's bit
+  // pattern, so one step's two node gathers land on one 16-byte slot
+  // (usually one cache line). The packed feature is clamped to 0 at
+  // leaves (the NaN threshold alone routes parked lanes), and left is
+  // read zero-extended, which is exact for every node a kernel can
+  // visit: only a single-node tree has left == -1, and its step count
+  // is 0.
+  const uint64_t* packed = nullptr;
+  const double* value = nullptr;       // leaf output; 0 at internal nodes
+  const int32_t* root = nullptr;       // per-tree root node index
+  const int32_t* steps = nullptr;      // per-tree max edges root -> leaf
+  int32_t num_trees = 0;
+  double base_score = 0.0;  // init_score for sum aggregation, else 0
+  bool average = false;     // divide the fold by num_trees at the end
+};
+
+enum class Kernel { kScalar, kAvx2 };
+
+/// Human-readable kernel name ("scalar" / "avx2") for metrics and logs.
+const char* KernelName(Kernel kernel);
+
+/// True when this build carries the AVX2 kernel and the CPU executes it.
+bool Avx2Supported();
+
+/// Kernel the next Predict* call will run: the test override if set,
+/// else scalar when GEF_FORCE_SCALAR=1, else AVX2 when supported.
+Kernel ActiveKernel();
+
+/// Pins the dispatch for tests (parity across kernels); pass
+/// `ClearKernelForTest` to restore environment-driven dispatch.
+void SetKernelForTest(Kernel kernel);
+void ClearKernelForTest();
+
+/// Scores `n` rows laid out row-major with `stride` doubles per row
+/// (stride >= every feature index the forest splits on). Writes raw
+/// ensemble scores to `out[0..n)`. Serial: callers chunk across the
+/// thread pool.
+void PredictRowsScalar(const ForestView& forest, const double* rows,
+                       size_t n, size_t stride, double* out);
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GEF_COMPILED_HAVE_AVX2 1
+/// AVX2 flavour of PredictRowsScalar; only call when Avx2Supported().
+void PredictRowsAvx2(const ForestView& forest, const double* rows,
+                     size_t n, size_t stride, double* out);
+#else
+#define GEF_COMPILED_HAVE_AVX2 0
+#endif
+
+/// Dispatches to the ActiveKernel() implementation.
+void PredictRows(const ForestView& forest, const double* rows, size_t n,
+                 size_t stride, double* out);
+
+}  // namespace compiled
+}  // namespace gef
+
+#endif  // GEF_FOREST_COMPILED_KERNELS_H_

@@ -2,18 +2,10 @@
 
 #include <cmath>
 
-#include "util/parallel.h"
+#include "forest/compiled.h"
 #include "util/string_util.h"
 
 namespace gef {
-namespace {
-
-// Rows per parallel task in the batch-prediction loops: coarse enough
-// that task dispatch is negligible next to hundreds of tree traversals,
-// fine enough to load-balance small batches.
-constexpr size_t kBatchGrain = 128;
-
-}  // namespace
 
 Forest::Forest(std::vector<Tree> trees, double init_score,
                Objective objective, Aggregation aggregation,
@@ -76,35 +68,21 @@ double Forest::Predict(const double* x) const {
 
 std::vector<double> Forest::PredictRawBatch(const Dataset& dataset) const {
   GEF_CHECK_GE(dataset.num_features(), num_features_);
-  std::vector<double> out(dataset.num_rows());
-  ParallelForChunked(
-      0, dataset.num_rows(), kBatchGrain,
-      [&](size_t chunk_begin, size_t chunk_end) {
-        std::vector<double> row;
-        for (size_t i = chunk_begin; i < chunk_end; ++i) {
-          dataset.GetRowInto(i, &row);
-          out[i] = PredictRaw(row.data());
-        }
-      });
-  return out;
+  return Compiled().PredictRawBatch(dataset);
 }
 
 std::vector<double> Forest::PredictBatch(const Dataset& dataset) const {
   GEF_CHECK_GE(dataset.num_features(), num_features_);
-  const bool classification =
-      objective_ == Objective::kBinaryClassification;
-  std::vector<double> out(dataset.num_rows());
-  ParallelForChunked(
-      0, dataset.num_rows(), kBatchGrain,
-      [&](size_t chunk_begin, size_t chunk_end) {
-        std::vector<double> row;
-        for (size_t i = chunk_begin; i < chunk_end; ++i) {
-          dataset.GetRowInto(i, &row);
-          double raw = PredictRaw(row.data());
-          out[i] = classification ? SigmoidTransform(raw) : raw;
-        }
-      });
-  return out;
+  return Compiled().PredictBatch(dataset);
+}
+
+const CompiledForest& Forest::Compiled() const {
+  internal::CompiledForestCache& cache = *compiled_cache_;
+  std::call_once(cache.once, [&] {
+    cache.compiled = std::make_shared<const CompiledForest>(
+        CompiledForest::Compile(*this));
+  });
+  return *cache.compiled;
 }
 
 size_t Forest::num_internal_nodes() const {

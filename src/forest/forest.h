@@ -6,6 +6,8 @@
 // Random Forests (average aggregation), since the paper makes no stricter
 // assumption than "binary trees with x_i <= v predicates".
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,20 @@
 #include "forest/tree.h"
 
 namespace gef {
+
+class CompiledForest;
+
+namespace internal {
+
+/// Lazily-built flattened form, shared across copies of a Forest (the
+/// trees are immutable, so copies may share one compilation). Defined
+/// here so Forest stays copyable; filled in forest.cc.
+struct CompiledForestCache {
+  std::once_flag once;
+  std::shared_ptr<const CompiledForest> compiled;
+};
+
+}  // namespace internal
 
 enum class Objective {
   kRegression,             // identity output
@@ -50,14 +66,22 @@ class Forest {
   double Predict(const std::vector<double>& x) const;
   double Predict(const double* x) const;
 
-  /// Batch raw scores over a dataset. Rows are scored in parallel across
-  /// the shared pool (see util/parallel.h); output order and values are
-  /// independent of the thread count.
+  /// Batch raw scores over a dataset. Routed through the compiled form
+  /// (forest/compiled.h): rows are packed into blocks and scored in
+  /// parallel across the shared pool by the branchless batch kernels.
+  /// Output order and values are independent of the thread count and
+  /// bit-identical to per-row PredictRaw.
   std::vector<double> PredictRawBatch(const Dataset& dataset) const;
 
   /// Batch task-space predictions (single pass: the sigmoid is applied in
-  /// the same loop that scores each row).
+  /// the same chunk that scores each row). Compiled like PredictRawBatch.
   std::vector<double> PredictBatch(const Dataset& dataset) const;
+
+  /// The flattened SoA form every batch path runs on. Compiled lazily on
+  /// first use (thread-safe), cached for the Forest's lifetime and
+  /// shared across copies; the serving registry calls this eagerly at
+  /// insert so no request pays the compile.
+  const CompiledForest& Compiled() const;
 
   size_t num_trees() const { return trees_.size(); }
   size_t num_features() const { return num_features_; }
@@ -96,6 +120,8 @@ class Forest {
   Aggregation aggregation_ = Aggregation::kSum;
   size_t num_features_ = 0;
   std::vector<std::string> feature_names_;
+  std::shared_ptr<internal::CompiledForestCache> compiled_cache_ =
+      std::make_shared<internal::CompiledForestCache>();
 };
 
 /// Applies the logistic function to a raw score.

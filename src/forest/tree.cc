@@ -46,14 +46,16 @@ std::pair<int, int> Tree::SplitLeaf(int index, int feature, double threshold,
 }
 
 int Tree::LeafIndex(const std::vector<double>& x) const {
-  GEF_DCHECK(!nodes_.empty());
-  int index = 0;
-  while (!nodes_[index].is_leaf()) {
-    const TreeNode& node = nodes_[index];
-    GEF_DCHECK(static_cast<size_t>(node.feature) < x.size());
-    index = x[node.feature] <= node.threshold ? node.left : node.right;
+#if !defined(NDEBUG)
+  // The pointer flavour below is the single traversal implementation;
+  // debug builds keep the old per-node bound check by validating the row
+  // against every split feature up front.
+  for (const TreeNode& node : nodes_) {
+    GEF_DCHECK(node.is_leaf() ||
+               static_cast<size_t>(node.feature) < x.size());
   }
-  return index;
+#endif
+  return LeafIndex(x.data());
 }
 
 int Tree::LeafIndex(const double* x) const {

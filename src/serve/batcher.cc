@@ -1,8 +1,11 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
 #include <future>
+#include <unordered_map>
 #include <utility>
 
+#include "forest/compiled.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "util/parallel.h"
@@ -136,16 +139,50 @@ void RequestBatcher::ExecuteBatch(std::vector<Pending>* batch) {
   obs::metrics::GetCounter("serve.batch.dispatches").Add();
   obs::metrics::GetCounter("serve.batch.rows").Add(batch->size());
 
-  ParallelFor(0, batch->size(), 1, [batch](size_t i) {
+  // Predict-only requests fan into one compiled-kernel call per model:
+  // the rows pack into a contiguous row-major block so the batch kernels
+  // traverse all of them together. Explain requests keep the per-item
+  // path (ExplainInstance dominates their cost, not the predict).
+  std::vector<size_t> explain_items;
+  std::unordered_map<const ServedModel*, std::vector<size_t>> predict_groups;
+  for (size_t i = 0; i < batch->size(); ++i) {
     Pending& item = (*batch)[i];
-    Result result;
-    // The pointer overload is the unchecked hot path; handlers validated
-    // the row width before enqueueing.
-    result.prediction = item.model->forest.Predict(item.row.data());
     if (item.surrogate != nullptr) {
-      result.local = ExplainInstance(*item.surrogate, item.model->forest,
-                                     item.row, item.step_fraction);
+      explain_items.push_back(i);
+    } else {
+      predict_groups[item.model.get()].push_back(i);
     }
+  }
+
+  for (auto& [model, items] : predict_groups) {
+    const Forest& forest = model->forest;
+    const size_t width = forest.num_features();
+    std::vector<double> rows(items.size() * width);
+    for (size_t r = 0; r < items.size(); ++r) {
+      // Handlers validated the row width before enqueueing; copy exactly
+      // the forest's feature space (requests may carry wider rows).
+      const std::vector<double>& row = (*batch)[items[r]].row;
+      std::copy(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(width),
+                rows.begin() + static_cast<std::ptrdiff_t>(r * width));
+    }
+    std::vector<double> raw(items.size());
+    forest.Compiled().PredictRawRows(rows.data(), items.size(), width,
+                                     raw.data());
+    const bool sigmoid =
+        forest.objective() == Objective::kBinaryClassification;
+    for (size_t r = 0; r < items.size(); ++r) {
+      Result result;
+      result.prediction = sigmoid ? SigmoidTransform(raw[r]) : raw[r];
+      (*batch)[items[r]].promise.set_value(std::move(result));
+    }
+  }
+
+  ParallelFor(0, explain_items.size(), 1, [batch, &explain_items](size_t i) {
+    Pending& item = (*batch)[explain_items[i]];
+    Result result;
+    result.prediction = item.model->forest.Predict(item.row.data());
+    result.local = ExplainInstance(*item.surrogate, item.model->forest,
+                                   item.row, item.step_fraction);
     item.promise.set_value(std::move(result));
   });
 }

@@ -39,6 +39,9 @@ Status ModelRegistry::AddModel(
   model->source_path = std::move(source_path);
   model->forest = std::move(forest);
   model->hash = model->forest.ContentHash();
+  // Flatten eagerly: requests hitting this model via the batcher go
+  // straight to the compiled kernels without paying the compile.
+  model->forest.Compiled();
   model->preloaded_explanation = std::move(preloaded_explanation);
 
   bool replaced = false;

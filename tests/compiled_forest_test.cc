@@ -1,0 +1,344 @@
+// Tests for compiled forest inference (DESIGN.md §3.15): SoA flattening,
+// the scalar / AVX2 batch kernels, and the bit-identity contract — the
+// compiled batch paths must reproduce the pointer-walking per-row
+// Predict exactly, for every kernel, thread count and forest shape
+// (trained GBDT/RF, LightGBM imports, stumps, deep chains, NaN rows).
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "forest/compiled.h"
+#include "forest/compiled_kernels.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/lightgbm_import.h"
+#include "forest/random_forest_trainer.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
+
+namespace gef {
+namespace {
+
+// Restores environment-driven kernel dispatch and the thread-count
+// default when a test exits, so overrides never leak across tests.
+struct DispatchGuard {
+  ~DispatchGuard() {
+    compiled::ClearKernelForTest();
+    SetNumThreads(0);
+  }
+};
+
+// True when the two doubles carry identical bit patterns (stricter than
+// ==, which treats -0.0 == 0.0 and NaN != NaN).
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectBitIdentical(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_PRED2(BitEqual, a[i], b[i]) << "row " << i;
+  }
+}
+
+// Per-row reference predictions through the original pointer walk.
+std::vector<double> ReferenceRaw(const Forest& forest,
+                                 const Dataset& dataset) {
+  std::vector<double> out(dataset.num_rows());
+  std::vector<double> row(dataset.num_features());
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    for (size_t j = 0; j < dataset.num_features(); ++j) {
+      row[j] = dataset.Column(j)[i];
+    }
+    out[i] = forest.PredictRaw(row.data());
+  }
+  return out;
+}
+
+Forest TrainRegressionGbdt(Dataset* test_out) {
+  Rng rng(901);
+  Dataset data = MakeGPrimeDataset(1200, &rng);
+  auto split = SplitTrainTest(data, 0.25, &rng);
+  GbdtConfig config;
+  config.num_trees = 40;
+  config.num_leaves = 16;
+  config.learning_rate = 0.15;
+  *test_out = std::move(split.test);
+  return TrainGbdt(split.train, nullptr, config).forest;
+}
+
+TEST(CompiledForestTest, FlattensTrainedForest) {
+  Dataset test;
+  Forest forest = TrainRegressionGbdt(&test);
+  const CompiledForest& compiled = forest.Compiled();
+  EXPECT_EQ(compiled.num_trees(), forest.num_trees());
+  EXPECT_EQ(compiled.num_features(), forest.num_features());
+  size_t total_nodes = 0;
+  for (const Tree& tree : forest.trees()) total_nodes += tree.num_nodes();
+  EXPECT_EQ(compiled.num_nodes(), total_nodes);
+  EXPECT_GT(compiled.compiled_bytes(), 0u);
+  // Same object on every call (compiled once, cached).
+  EXPECT_EQ(&compiled, &forest.Compiled());
+}
+
+TEST(CompiledForestTest, BatchMatchesPerRowBitwise) {
+  Dataset test;
+  Forest forest = TrainRegressionGbdt(&test);
+  ExpectBitIdentical(forest.PredictRawBatch(test), ReferenceRaw(forest, test));
+}
+
+TEST(CompiledForestTest, ScalarAndAvx2KernelsBitIdentical) {
+  if (!compiled::Avx2Supported()) GTEST_SKIP() << "no AVX2 on this host";
+  DispatchGuard guard;
+  Dataset test;
+  Forest forest = TrainRegressionGbdt(&test);
+  compiled::SetKernelForTest(compiled::Kernel::kScalar);
+  std::vector<double> scalar = forest.PredictRawBatch(test);
+  compiled::SetKernelForTest(compiled::Kernel::kAvx2);
+  std::vector<double> avx2 = forest.PredictRawBatch(test);
+  ExpectBitIdentical(scalar, avx2);
+  ExpectBitIdentical(avx2, ReferenceRaw(forest, test));
+}
+
+TEST(CompiledForestTest, ThreadCountDoesNotChangeBits) {
+  DispatchGuard guard;
+  Dataset test;
+  Forest forest = TrainRegressionGbdt(&test);
+  SetNumThreads(1);
+  std::vector<double> one = forest.PredictRawBatch(test);
+  for (int threads : {2, 4}) {
+    SetNumThreads(threads);
+    ExpectBitIdentical(one, forest.PredictRawBatch(test));
+  }
+}
+
+TEST(CompiledForestTest, RandomForestAverageParity) {
+  Rng rng(902);
+  Dataset data = MakeGPrimeDataset(800, &rng);
+  auto split = SplitTrainTest(data, 0.25, &rng);
+  RandomForestConfig config;
+  config.num_trees = 30;
+  config.num_leaves = 32;
+  Forest forest = TrainRandomForest(split.train, config);
+  ASSERT_EQ(forest.aggregation(), Aggregation::kAverage);
+  ExpectBitIdentical(forest.PredictRawBatch(split.test),
+                     ReferenceRaw(forest, split.test));
+}
+
+TEST(CompiledForestTest, BinaryClassificationTaskSpaceParity) {
+  Rng rng(903);
+  Dataset data(std::vector<std::string>{"x1", "x2"});
+  for (int i = 0; i < 900; ++i) {
+    double x1 = rng.Uniform();
+    double x2 = rng.Uniform();
+    data.AppendRow({x1, x2}, (x1 + x2 > 1.0) ? 1.0 : 0.0);
+  }
+  auto split = SplitTrainTest(data, 0.25, &rng);
+  GbdtConfig config;
+  config.objective = Objective::kBinaryClassification;
+  config.num_trees = 30;
+  config.num_leaves = 8;
+  config.learning_rate = 0.2;
+  Forest forest = TrainGbdt(split.train, nullptr, config).forest;
+  std::vector<double> batch = forest.PredictBatch(split.test);
+  std::vector<double> raw = ReferenceRaw(forest, split.test);
+  ASSERT_EQ(batch.size(), raw.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_PRED2(BitEqual, batch[i], SigmoidTransform(raw[i])) << i;
+  }
+}
+
+// The miniature LightGBM v3 model of lightgbm_import_test.cc: one split
+// tree plus a single-leaf tree (exactly the degenerate shape leaf-wise
+// growth produces when the root never splits).
+constexpr char kLightGbmModel[] = R"(tree
+version=v3
+num_class=1
+num_tree_per_iteration=1
+label_index=0
+max_feature_idx=2
+objective=regression
+feature_names=age income extra
+feature_infos=[0:1] [0:1] [0:1]
+
+Tree=0
+num_leaves=3
+num_cat=0
+split_feature=0 1
+split_gain=10 4
+threshold=0.5 0.3
+decision_type=2 2
+left_child=-1 -2
+right_child=1 -3
+leaf_value=1 2 3
+leaf_weight=1 1 1
+leaf_count=50 20 30
+internal_value=0 0
+internal_weight=0 0
+internal_count=100 50
+is_linear=0
+shrinkage=1
+
+Tree=1
+num_leaves=1
+num_cat=0
+leaf_value=0.25
+leaf_count=100
+is_linear=0
+shrinkage=1
+
+end of trees
+
+feature_importances:
+age=1
+income=1
+)";
+
+TEST(CompiledForestTest, LightGbmImportParity) {
+  auto forest = ParseLightGbmModel(kLightGbmModel);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  Dataset data(forest->feature_names());
+  Rng rng(904);
+  for (int i = 0; i < 300; ++i) {
+    data.AppendRow({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  // Boundary rows: LightGBM's `<=` sends ties left.
+  data.AppendRow({0.5, 0.3, 0.0});
+  data.AppendRow({0.5, 0.9, 0.0});
+  ExpectBitIdentical(forest->PredictRawBatch(data),
+                     ReferenceRaw(*forest, data));
+  EXPECT_DOUBLE_EQ(forest->PredictRawBatch(data).back(), 1.25);
+}
+
+TEST(CompiledForestTest, StumpOnlyForestParity) {
+  std::vector<Tree> trees;
+  trees.push_back(Tree::Stump(0.5, 10));
+  trees.push_back(Tree::Stump(-1.25, 10));
+  Forest forest(std::move(trees), 2.0, Objective::kRegression,
+                Aggregation::kSum, 3, {});
+  Dataset data(forest.feature_names());
+  for (int i = 0; i < 20; ++i) data.AppendRow({0.1 * i, 1.0, -1.0});
+  std::vector<double> out = forest.PredictRawBatch(data);
+  for (double v : out) EXPECT_PRED2(BitEqual, v, 2.0 + 0.5 - 1.25);
+  ExpectBitIdentical(out, ReferenceRaw(forest, data));
+}
+
+TEST(CompiledForestTest, ZeroTreeForestReturnsBaseScore) {
+  Forest sum(std::vector<Tree>{}, 0.75, Objective::kRegression,
+             Aggregation::kSum, 2, {});
+  Forest average(std::vector<Tree>{}, 0.0, Objective::kRegression,
+                 Aggregation::kAverage, 2, {});
+  Dataset data(sum.feature_names());
+  for (int i = 0; i < 10; ++i) data.AppendRow({1.0, 2.0});
+  for (double v : sum.PredictRawBatch(data)) EXPECT_EQ(v, 0.75);
+  for (double v : average.PredictRawBatch(data)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CompiledForestTest, NaNRowsRouteRightInBothKernels) {
+  DispatchGuard guard;
+  Dataset test;
+  Forest forest = TrainRegressionGbdt(&test);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Dataset data(forest.feature_names());
+  Rng rng(905);
+  for (int i = 0; i < 64; ++i) {
+    std::vector<double> row;
+    for (size_t j = 0; j < forest.num_features(); ++j) {
+      // Sprinkle NaNs across features and rows.
+      row.push_back((i + static_cast<int>(j)) % 3 == 0 ? nan
+                                                       : rng.Uniform());
+    }
+    data.AppendRow(row);
+  }
+  std::vector<double> reference = ReferenceRaw(forest, data);
+  compiled::SetKernelForTest(compiled::Kernel::kScalar);
+  ExpectBitIdentical(forest.PredictRawBatch(data), reference);
+  if (compiled::Avx2Supported()) {
+    compiled::SetKernelForTest(compiled::Kernel::kAvx2);
+    ExpectBitIdentical(forest.PredictRawBatch(data), reference);
+  }
+}
+
+TEST(CompiledForestTest, DeepChainTreeParity) {
+  // A pathological leaf-wise chain: 24 splits on feature 0, each right
+  // child splitting again. Exercises the early-exit path hard — most
+  // lanes park at shallow leaves while one lane walks the full chain.
+  Tree tree = Tree::Stump(0.0, 1);
+  int leaf = 0;
+  for (int d = 0; d < 24; ++d) {
+    auto [left, right] =
+        tree.SplitLeaf(leaf, 0, static_cast<double>(d), 1.0,
+                       /*left_value=*/static_cast<double>(d),
+                       /*right_value=*/100.0 + d, 1, 1);
+    (void)left;
+    leaf = right;
+  }
+  std::vector<Tree> trees;
+  trees.push_back(std::move(tree));
+  Forest forest(std::move(trees), 0.0, Objective::kRegression,
+                Aggregation::kSum, 1, {});
+  Dataset data(forest.feature_names());
+  for (int i = -2; i < 30; ++i) data.AppendRow({static_cast<double>(i)});
+  ExpectBitIdentical(forest.PredictRawBatch(data),
+                     ReferenceRaw(forest, data));
+}
+
+TEST(CompiledForestTest, PredictRawRowsHandlesWideStride) {
+  Dataset test;
+  Forest forest = TrainRegressionGbdt(&test);
+  const size_t width = forest.num_features();
+  const size_t stride = width + 3;  // trailing garbage must be ignored
+  const size_t n = test.num_rows();
+  std::vector<double> rows(n * stride, -1e300);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < width; ++j) {
+      rows[i * stride + j] = test.Column(j)[i];
+    }
+  }
+  std::vector<double> out(n);
+  forest.Compiled().PredictRawRows(rows.data(), n, stride, out.data());
+  ExpectBitIdentical(out, ReferenceRaw(forest, test));
+}
+
+TEST(CompiledForestTest, CompileRecordsMetrics) {
+  const uint64_t before =
+      obs::metrics::GetCounter("forest.compiles").Value();
+  Dataset test;
+  Forest forest = TrainRegressionGbdt(&test);
+  const CompiledForest& compiled = forest.Compiled();
+  EXPECT_EQ(obs::metrics::GetCounter("forest.compiles").Value(),
+            before + 1);
+  EXPECT_EQ(obs::metrics::GetGauge("forest.compiled_bytes").Value(),
+            static_cast<double>(compiled.compiled_bytes()));
+  EXPECT_GE(obs::metrics::GetGauge("forest.compile_ms").Value(), 0.0);
+}
+
+TEST(CompiledKernelsTest, ForceScalarEnvPinsDispatch) {
+  DispatchGuard guard;
+  ASSERT_EQ(setenv("GEF_FORCE_SCALAR", "1", 1), 0);
+  EXPECT_EQ(compiled::ActiveKernel(), compiled::Kernel::kScalar);
+  ASSERT_EQ(unsetenv("GEF_FORCE_SCALAR"), 0);
+  if (compiled::Avx2Supported()) {
+    EXPECT_EQ(compiled::ActiveKernel(), compiled::Kernel::kAvx2);
+  }
+  // The test override beats the environment.
+  ASSERT_EQ(setenv("GEF_FORCE_SCALAR", "1", 1), 0);
+  compiled::SetKernelForTest(compiled::Kernel::kAvx2);
+  EXPECT_EQ(compiled::ActiveKernel(), compiled::Kernel::kAvx2);
+  ASSERT_EQ(unsetenv("GEF_FORCE_SCALAR"), 0);
+}
+
+TEST(CompiledKernelsTest, KernelNames) {
+  EXPECT_STREQ(compiled::KernelName(compiled::Kernel::kScalar), "scalar");
+  EXPECT_STREQ(compiled::KernelName(compiled::Kernel::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace gef

@@ -5,9 +5,9 @@
 // every later PR has a perf trajectory to regress against.
 //
 // Usage:
-//   bench_report [--out BENCH_PR5.json] [--smoke] [--workload all]
+//   bench_report [--out BENCH_PR6.json] [--smoke] [--workload all]
 //                [--serving loadgen-on.json,loadgen-off.json]
-//   bench_report --validate BENCH_PR5.json [--baseline BENCH_PR4.json]
+//   bench_report --validate BENCH_PR6.json [--baseline BENCH_PR5.json]
 //
 // `--serving` (comma-separated list of files) merges the serving
 // workloads emitted by gef_loadgen --out
@@ -224,7 +224,7 @@ class JsonParser {
 // changes keep the version.
 
 constexpr const char* kSchema = "gef-bench-v1";
-constexpr const char* kPrLabel = "PR5";
+constexpr const char* kPrLabel = "PR6";
 
 // Numeric keys a serving workload's "serving" object must carry (see
 // tools/gef_loadgen.cc, which emits them).
@@ -622,6 +622,17 @@ int DiffAgainstBaseline(const std::string& current_path,
                   base_s > 0.0 ? 100.0 * (cur_s - base_s) / base_s : 0.0,
                   ratio);
     }
+    // Throughput trajectory for the compiled-inference hot path
+    // (rows/s, not seconds — higher is better).
+    {
+      double cur_v = NumberAt(w, "dstar_rows_per_s");
+      double base_v = NumberAt(*base, "dstar_rows_per_s");
+      std::printf("| %s | dstar_rows_per_s | %.0f | %.0f | %+.1f%% "
+                  "(%.2fx) |\n",
+                  name.c_str(), base_v, cur_v,
+                  base_v > 0.0 ? 100.0 * (cur_v - base_v) / base_v : 0.0,
+                  base_v > 0.0 ? cur_v / base_v : 0.0);
+    }
   }
   std::printf("\n### Fidelity gate (tolerance %.3g)\n\n", kFidelityDriftTol);
   for (const JsonValue& w : wit->second.array) {
@@ -655,7 +666,7 @@ int DiffAgainstBaseline(const std::string& current_path,
 
 int Run(const Flags& flags) {
   const bool smoke = flags.GetBool("smoke", false);
-  const std::string out_path = flags.GetString("out", "BENCH_PR5.json");
+  const std::string out_path = flags.GetString("out", "BENCH_PR6.json");
   const std::string workload = flags.GetString("workload", "all");
   const std::string serving_paths = flags.GetString("serving", "");
 
