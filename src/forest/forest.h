@@ -23,9 +23,18 @@ namespace internal {
 /// Lazily-built flattened form, shared across copies of a Forest (the
 /// trees are immutable, so copies may share one compilation). Defined
 /// here so Forest stays copyable; filled in forest.cc.
+///
+/// Concurrency proof (DESIGN.md §3.16): `once` is the capability here —
+/// `compiled` is written exactly once inside the call_once body, and
+/// call_once's synchronizes-with guarantee publishes the write to every
+/// passive waiter before their call returns. No mutex is needed and the
+/// field stays immutable afterwards, which is why this is the one
+/// concurrent structure in src/ that is not expressed through
+/// gef::Mutex (std::once_flag is its own, stronger primitive; the
+/// gef_lint concurrency-hygiene pass deliberately allows it).
 struct CompiledForestCache {
   std::once_flag once;
-  std::shared_ptr<const CompiledForest> compiled;
+  std::shared_ptr<const CompiledForest> compiled;  // written under `once`
 };
 
 }  // namespace internal

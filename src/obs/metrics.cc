@@ -2,9 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace obs {
@@ -38,11 +41,17 @@ double BucketLowerBound(size_t bucket) {
 }
 
 // Leaked singleton; handles returned by Get* must outlive every thread.
+// The mutex guards the name → metric maps only; the metric cells behind
+// the returned references are lock-free atomics (see the memory-order
+// audit in metrics.h), so holding it never blocks a recording thread.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      GEF_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges
+      GEF_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      GEF_GUARDED_BY(mutex);
 };
 
 Registry& GetRegistry() {
@@ -75,14 +84,13 @@ std::string FormatValue(double v) {
 }  // namespace
 
 void Histogram::Observe(double value) {
+  // All relaxed (see the audit in metrics.h): each cell is independent,
+  // and min_/max_ start at +/-inf — the CAS fold handles the first
+  // observation like any other, so no seeding store can race a
+  // concurrent observer and clobber a better extremum.
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
-  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
-    // First observation seeds min/max; racing observers still converge
-    // through the CAS loops below.
-    min_.store(value, std::memory_order_relaxed);
-    max_.store(value, std::memory_order_relaxed);
-  }
+  count_.fetch_add(1, std::memory_order_relaxed);
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
 }
@@ -96,10 +104,14 @@ HistogramSnapshot Histogram::Snapshot() const {
     total += counts[b];
   }
   out.count = total;
+  if (total == 0) return out;  // min/max sentinels map to the 0 defaults
   out.sum = sum_.load(std::memory_order_relaxed);
   out.min = min_.load(std::memory_order_relaxed);
   out.max = max_.load(std::memory_order_relaxed);
-  if (total == 0) return out;
+  // A scrape can land between a racer's bucket increment and its CAS
+  // fold; don't leak an infinity into the exposition in that window.
+  if (std::isinf(out.min)) out.min = 0.0;
+  if (std::isinf(out.max)) out.max = 0.0;
 
   auto quantile = [&](double q) {
     double target = q * static_cast<double>(total);
@@ -134,13 +146,15 @@ void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(0.0, std::memory_order_relaxed);
-  max_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 Counter& GetCounter(const std::string& name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto& slot = registry.counters[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
@@ -148,7 +162,7 @@ Counter& GetCounter(const std::string& name) {
 
 Gauge& GetGauge(const std::string& name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto& slot = registry.gauges[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -156,7 +170,7 @@ Gauge& GetGauge(const std::string& name) {
 
 Histogram& GetHistogram(const std::string& name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   auto& slot = registry.histograms[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
@@ -164,7 +178,7 @@ Histogram& GetHistogram(const std::string& name) {
 
 MetricsSnapshot Collect() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   MetricsSnapshot out;
   for (const auto& [name, counter] : registry.counters) {
     out.counters[name] = counter->Value();
@@ -207,7 +221,7 @@ std::string RenderText() {
 
 void ResetAllForTest() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   for (auto& entry : registry.counters) entry.second->Reset();
   for (auto& entry : registry.gauges) entry.second->Reset();
   for (auto& entry : registry.histograms) entry.second->Reset();

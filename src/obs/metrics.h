@@ -30,6 +30,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -37,13 +38,35 @@ namespace gef {
 namespace obs {
 namespace metrics {
 
+// Memory-order audit (every load/store below is an explicit relaxed
+// operation; nothing here publishes non-atomic state):
+//
+//  * Each metric cell is a self-contained std::atomic. Writers never
+//    build a multi-word invariant that a reader could observe halfway —
+//    a counter is one word, a gauge is one word, and a histogram's
+//    cells (buckets / count / sum / min / max) are each independently
+//    atomic with no cross-cell ordering promised to readers.
+//  * Scrapes therefore need no acquire semantics: RenderText reads
+//    "some consistent recent value of each cell". A snapshot racing an
+//    Observe may count the bucket increment but not yet the sum (or
+//    vice versa); the skew is bounded by the in-flight observations and
+//    is the documented contract of a lock-free scrape.
+//  * Relaxed still guarantees per-cell atomicity and modification-order
+//    coherence, which is all a monotonic counter or a CAS min/max loop
+//    needs. Nothing synchronizes *through* a metric value.
+
 /// Monotonic counter.
 class Counter {
  public:
   void Add(uint64_t delta = 1) {
+    // Relaxed: independent one-word cell, no ordering with other state.
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
-  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  uint64_t Value() const {
+    // Relaxed: scrape reads a recent value; per-cell modification order
+    // keeps it monotonic from any single reader's perspective.
+    return value_.load(std::memory_order_relaxed);
+  }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -54,6 +77,7 @@ class Counter {
 class Gauge {
  public:
   void Set(double value) {
+    // Relaxed: last-write-wins by definition; no reader orders on it.
     value_.store(value, std::memory_order_relaxed);
   }
   double Value() const { return value_.load(std::memory_order_relaxed); }
@@ -91,8 +115,13 @@ class Histogram {
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<double> max_{0.0};
+  // min_/max_ start at the identity of their CAS fold (+inf / -inf) so
+  // the very first Observe needs no special seeding store — a seeding
+  // store raced concurrent observers and could overwrite a smaller min
+  // (regression-tested in obs_test.cc). Snapshot maps the empty-state
+  // sentinels back to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Looks up (creating on first use) the named metric. References stay
@@ -112,6 +141,13 @@ MetricsSnapshot Collect();
 /// Flat `name value` text exposition (one line per counter/gauge, a
 /// count/sum/min/max/p50/p90/p99 block per histogram) — the payload of
 /// the server's GET /metrics endpoint.
+///
+/// Scrape-safety: never blocks or slows writers. The only lock taken is
+/// the registry map mutex, which writers touch solely on first-use name
+/// lookup (handles are cached in function-local statics on hot paths);
+/// every metric cell is then read with a relaxed atomic load per the
+/// audit above. Safe to call at any time from any thread, including
+/// concurrently with Observe/Add/Set on every metric.
 std::string RenderText();
 
 /// Zeroes every registered metric (tests share one process registry).

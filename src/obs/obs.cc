@@ -5,10 +5,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/rss.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace obs {
@@ -42,11 +43,19 @@ struct ThreadBuffer {
 // (whose thread-locals reference the registry) may outlive static
 // destruction order, so the registry must never be destroyed.
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::string path;
+  Mutex mutex;
+  // Buffer *contents* (ThreadBuffer::events) are deliberately not
+  // guarded: each buffer is written lock-free by its owning thread, and
+  // Flush() reads them only after the fork-join barrier of the last
+  // parallel region has parked every writer (the header contract). The
+  // mutex guards the registration vector and the flush-side state.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers
+      GEF_GUARDED_BY(mutex);
+  std::string path GEF_GUARDED_BY(mutex);
+  // Read lock-free by NowNs() on every hot-path record; written only by
+  // Enable(), which callers run before any instrumented parallelism.
   Clock::time_point epoch = Clock::now();
-  int flush_seq = 0;
+  int flush_seq GEF_GUARDED_BY(mutex) = 0;
 };
 
 Registry& GetRegistry() {
@@ -62,7 +71,7 @@ ThreadBuffer& LocalBuffer() {
     auto fresh = std::make_shared<ThreadBuffer>();
     fresh->events.reserve(256);
     Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mutex);
+    MutexLock lock(registry.mutex);
     fresh->tid = static_cast<int>(registry.buffers.size());
     registry.buffers.push_back(fresh);
     return fresh;
@@ -102,7 +111,7 @@ namespace internal {
 
 bool ResolveEnabled() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   int state = g_state.load(std::memory_order_relaxed);
   if (state != 0) return state == 2;  // lost the resolution race
   const char* env = std::getenv("GEF_TRACE");
@@ -147,7 +156,7 @@ void RecordMetric(const char* name, double step, double value) {
 
 void Enable(const std::string& path) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   registry.path = path;
   registry.epoch = Clock::now();
   for (auto& buffer : registry.buffers) buffer->events.clear();
@@ -156,7 +165,7 @@ void Enable(const std::string& path) {
 
 void Disable() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   internal::g_state.store(1, std::memory_order_relaxed);
   registry.path.clear();
   for (auto& buffer : registry.buffers) buffer->events.clear();
@@ -164,7 +173,7 @@ void Disable() {
 
 std::string TracePath() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
   return registry.path;
 }
 
@@ -172,7 +181,7 @@ Aggregates Flush() {
   Aggregates out;
   if (!Enabled()) return out;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(registry.mutex);
 
   out.peak_rss_bytes = PeakRssBytes();
 

@@ -34,10 +34,10 @@ RequestBatcher::~RequestBatcher() { Stop(); }
 void RequestBatcher::Stop() {
   if (!options_.enabled) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
@@ -71,7 +71,7 @@ RequestBatcher::Result RequestBatcher::Submit(Pending item) {
   }
   std::future<Result> future = item.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       // Late submits after Stop() still get answered, inline.
       std::vector<Pending> batch;
@@ -84,7 +84,7 @@ RequestBatcher::Result RequestBatcher::Submit(Pending item) {
     }
     queue_.push_back(std::move(item));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return future.get();
 }
 
@@ -92,12 +92,9 @@ void RequestBatcher::DispatcherLoop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mutex_);
+      if (queue_.empty()) return;  // stopping, nothing left to drain
       // Adaptive dispatch: an already-formed batch (>= 2 rows) goes out
       // immediately — batches grow naturally while the previous one
       // executes. Only a lone request lingers, up to max_wait_us since
@@ -109,7 +106,7 @@ void RequestBatcher::DispatcherLoop() {
       while (!stopping_ && queue_.size() == 1 &&
              options_.max_batch > 1 &&
              std::chrono::steady_clock::now() < deadline) {
-        cv_.wait_until(lock, deadline);
+        cv_.WaitUntil(mutex_, deadline);
       }
       if (queue_.size() <= options_.max_batch) {
         batch.swap(queue_);
@@ -125,7 +122,7 @@ void RequestBatcher::DispatcherLoop() {
     }
     ExecuteBatch(&batch);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_ && queue_.empty()) return;
     }
   }

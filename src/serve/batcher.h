@@ -20,15 +20,15 @@
 // submitted request is answered, never dropped.
 
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "gef/local_explanation.h"
 #include "serve/model_registry.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace serve {
@@ -56,31 +56,33 @@ class RequestBatcher {
   /// Blocks until the row's prediction is computed. `row` must span
   /// model->forest.num_features() values (callers validate width).
   Result Predict(std::shared_ptr<const ServedModel> model,
-                 std::vector<double> row);
+                 std::vector<double> row) GEF_EXCLUDES(mutex_);
 
   /// Blocks until the local explanation is computed.
   Result Explain(std::shared_ptr<const ServedModel> model,
                  std::shared_ptr<const GefExplanation> surrogate,
-                 std::vector<double> row, double step_fraction = 0.05);
+                 std::vector<double> row, double step_fraction = 0.05)
+      GEF_EXCLUDES(mutex_);
 
   /// Drains pending requests and joins the dispatcher; idempotent.
-  void Stop();
+  void Stop() GEF_EXCLUDES(mutex_);
 
   const Options& options() const { return options_; }
 
  private:
   struct Pending;
 
-  Result Submit(Pending item);
-  void DispatcherLoop();
+  Result Submit(Pending item) GEF_EXCLUDES(mutex_);
+  void DispatcherLoop() GEF_EXCLUDES(mutex_);
   static void ExecuteBatch(std::vector<Pending>* batch);
 
-  Options options_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Pending> queue_;
-  std::chrono::steady_clock::time_point oldest_enqueue_;
-  bool stopping_ = false;
+  Options options_;  // written once in the constructor, then read-only
+  Mutex mutex_;
+  CondVar cv_;
+  std::vector<Pending> queue_ GEF_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point oldest_enqueue_
+      GEF_GUARDED_BY(mutex_);
+  bool stopping_ GEF_GUARDED_BY(mutex_) = false;
   std::thread dispatcher_;
 };
 

@@ -1,6 +1,5 @@
 #include "serve/model_registry.h"
 
-#include <mutex>
 #include <utility>
 
 #include "forest/lightgbm_import.h"
@@ -47,7 +46,7 @@ Status ModelRegistry::AddModel(
   bool replaced = false;
   size_t count = 0;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     auto [it, inserted] = models_.insert_or_assign(name, std::move(model));
     (void)it;
     replaced = !inserted;
@@ -62,20 +61,20 @@ Status ModelRegistry::AddModel(
 
 std::shared_ptr<const ServedModel> ModelRegistry::Get(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   auto it = models_.find(name);
   return it == models_.end() ? nullptr : it->second;
 }
 
 std::shared_ptr<const ServedModel> ModelRegistry::GetOnly() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   if (models_.size() != 1) return nullptr;
   return models_.begin()->second;
 }
 
 std::vector<std::shared_ptr<const ServedModel>> ModelRegistry::List()
     const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<std::shared_ptr<const ServedModel>> out;
   out.reserve(models_.size());
   for (const auto& entry : models_) out.push_back(entry.second);
@@ -86,7 +85,7 @@ bool ModelRegistry::Remove(const std::string& name) {
   size_t count = 0;
   bool erased = false;
   {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     erased = models_.erase(name) != 0;
     count = models_.size();
   }
@@ -98,7 +97,7 @@ bool ModelRegistry::Remove(const std::string& name) {
 }
 
 size_t ModelRegistry::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return models_.size();
 }
 

@@ -14,14 +14,15 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <map>
 #include <vector>
 
 #include "forest/forest.h"
 #include "gef/explainer.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace serve {
@@ -44,7 +45,8 @@ class ModelRegistry {
   /// (the deserializers run ValidateForest at the trust boundary),
   /// hashes it and registers/replaces `name`.
   Status LoadModel(const std::string& name, const std::string& path,
-                   const std::string& format = "gef");
+                   const std::string& format = "gef")
+      GEF_EXCLUDES(mutex_);
 
   /// Registers/replaces `name` with an in-memory forest. Runs
   /// ValidateForest before accepting (in-memory models skipped the
@@ -52,25 +54,30 @@ class ModelRegistry {
   Status AddModel(const std::string& name, Forest forest,
                   std::string source_path = "",
                   std::shared_ptr<const GefExplanation>
-                      preloaded_explanation = nullptr);
+                      preloaded_explanation = nullptr)
+      GEF_EXCLUDES(mutex_);
 
   /// Snapshot of the named model; nullptr when absent.
-  std::shared_ptr<const ServedModel> Get(const std::string& name) const;
+  std::shared_ptr<const ServedModel> Get(const std::string& name) const
+      GEF_EXCLUDES(mutex_);
 
   /// The single registered model when exactly one exists (lets clients
   /// omit "model" in the common one-model deployment), else nullptr.
-  std::shared_ptr<const ServedModel> GetOnly() const;
+  std::shared_ptr<const ServedModel> GetOnly() const
+      GEF_EXCLUDES(mutex_);
 
   /// All models, name order.
-  std::vector<std::shared_ptr<const ServedModel>> List() const;
+  std::vector<std::shared_ptr<const ServedModel>> List() const
+      GEF_EXCLUDES(mutex_);
 
-  bool Remove(const std::string& name);
+  bool Remove(const std::string& name) GEF_EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const GEF_EXCLUDES(mutex_);
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, std::shared_ptr<const ServedModel>> models_;
+  mutable SharedMutex mutex_;
+  std::map<std::string, std::shared_ptr<const ServedModel>> models_
+      GEF_GUARDED_BY(mutex_);
 };
 
 }  // namespace serve

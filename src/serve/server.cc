@@ -107,7 +107,7 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::ReapFinishedConnections(bool join_all) {
-  std::lock_guard<std::mutex> lock(connections_mutex_);
+  MutexLock lock(connections_mutex_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     Connection& connection = **it;
     if (join_all || connection.finished.load(std::memory_order_acquire)) {
@@ -150,7 +150,7 @@ void HttpServer::AcceptLoop() {
     Connection* raw = connection.get();
     raw->fd = client_fd;
     {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       connections_.push_back(std::move(connection));
     }
     raw->thread = std::thread([this, raw] { ServeConnection(raw); });

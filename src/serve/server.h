@@ -19,13 +19,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "serve/handlers.h"
 #include "serve/http.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace serve {
@@ -68,17 +69,23 @@ class HttpServer {
  private:
   struct Connection;
 
-  void AcceptLoop();
+  void AcceptLoop() GEF_EXCLUDES(connections_mutex_);
   void ServeConnection(Connection* connection);
-  void ReapFinishedConnections(bool join_all);
+  void ReapFinishedConnections(bool join_all)
+      GEF_EXCLUDES(connections_mutex_);
 
   const ServeContext& context_;
   Options options_;
+  // Written by Start() before the accept thread exists, then owned by
+  // the accept loop (which closes it during drain); the destructor only
+  // touches it after Wait() has joined that thread. Single-owner
+  // hand-off, so no capability guards it.
   int listen_fd_ = -1;
   int bound_port_ = 0;
   std::thread accept_thread_;
-  std::mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  Mutex connections_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_
+      GEF_GUARDED_BY(connections_mutex_);
 };
 
 }  // namespace serve

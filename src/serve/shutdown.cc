@@ -2,12 +2,14 @@
 
 #include <csignal>
 #include <cstring>
-#include <mutex>
 
 #include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace serve {
@@ -17,23 +19,32 @@ namespace {
 constexpr int kMaxGuards = 16;
 constexpr size_t kMaxPathBytes = 4096;
 
+Mutex g_guard_mutex;
+
 // Fixed-capacity guard table. Slots are claimed under g_guard_mutex by
 // normal code; the signal handler only reads `active` (acquire) and the
-// path bytes published before the release store, then unlink()s.
+// path bytes published before the release store, then unlink()s. The
+// path bytes are annotated as guarded for every normal-thread writer;
+// the handler itself is the one sanctioned lock-free reader (see its
+// GEF_NO_THREAD_SAFETY_ANALYSIS note).
 struct GuardSlot {
   std::atomic<bool> active{false};
-  char path[kMaxPathBytes];
+  char path[kMaxPathBytes] GEF_GUARDED_BY(g_guard_mutex);
 };
 
 GuardSlot g_guards[kMaxGuards];
-std::mutex g_guard_mutex;
 
 std::atomic<int> g_shutdown_signal{0};
 std::atomic<bool> g_drain_mode{false};
 std::atomic<bool> g_installed{false};
 int g_wake_pipe[2] = {-1, -1};
 
-void ShutdownSignalHandler(int sig) {
+// Opted out of thread-safety analysis: an async-signal handler must
+// never take g_guard_mutex (the interrupted thread may hold it — instant
+// self-deadlock). Safety comes from the publication protocol instead:
+// slot paths are written before the release store to `active`, and the
+// handler only dereferences paths whose acquire load saw `active`.
+void ShutdownSignalHandler(int sig) GEF_NO_THREAD_SAFETY_ANALYSIS {
   // Everything here is async-signal-safe: atomics, unlink, write,
   // _exit. No locks, no allocation, no stdio.
   for (GuardSlot& slot : g_guards) {
@@ -102,7 +113,7 @@ void RequestShutdown() {
 
 ScopedFileGuard::ScopedFileGuard(const std::string& path) {
   if (path.size() + 1 > kMaxPathBytes) return;
-  std::lock_guard<std::mutex> lock(g_guard_mutex);
+  MutexLock lock(g_guard_mutex);
   for (int i = 0; i < kMaxGuards; ++i) {
     if (!g_guards[i].active.load(std::memory_order_relaxed)) {
       std::memcpy(g_guards[i].path, path.c_str(), path.size() + 1);
@@ -125,7 +136,7 @@ void ScopedFileGuard::Commit() {
 namespace internal {
 
 void UnlinkGuardedFilesForTest() {
-  std::lock_guard<std::mutex> lock(g_guard_mutex);
+  MutexLock lock(g_guard_mutex);
   for (GuardSlot& slot : g_guards) {
     if (slot.active.load(std::memory_order_acquire)) {
       ::unlink(slot.path);

@@ -47,7 +47,7 @@ std::shared_ptr<const GefExplanation> SurrogateCache::GetOrFit(
   std::shared_future<std::shared_ptr<const GefExplanation>> future;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       obs::metrics::GetCounter("serve.surrogate_cache.hits").Add();
@@ -59,13 +59,7 @@ std::shared_ptr<const GefExplanation> SurrogateCache::GetOrFit(
       future = promise.get_future().share();
       lru_.push_front(key);
       entries_[key] = Entry{future, lru_.begin()};
-      while (entries_.size() > capacity_) {
-        const Key victim = lru_.back();
-        lru_.pop_back();
-        entries_.erase(victim);
-        obs::metrics::GetCounter("serve.surrogate_cache.evictions")
-            .Add();
-      }
+      EvictOverCapacityLocked();
     }
   }
 
@@ -79,14 +73,23 @@ std::shared_ptr<const GefExplanation> SurrogateCache::GetOrFit(
   return future.get();
 }
 
+void SurrogateCache::EvictOverCapacityLocked() {
+  while (entries_.size() > capacity_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    obs::metrics::GetCounter("serve.surrogate_cache.evictions").Add();
+  }
+}
+
 void SurrogateCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
 }
 
 size_t SurrogateCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -27,9 +27,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "gef/explainer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace serve {
@@ -50,14 +51,15 @@ class SurrogateCache {
   /// failed (singular GAM for every lambda); the failure is cached too
   /// (the pipeline is deterministic, retrying cannot succeed).
   std::shared_ptr<const GefExplanation> GetOrFit(
-      uint64_t forest_hash, const GefConfig& config, const FitFn& fit);
+      uint64_t forest_hash, const GefConfig& config, const FitFn& fit)
+      GEF_EXCLUDES(mutex_);
 
   /// Drops every cached entry (hot-swap tools call this when a model is
   /// replaced and memory matters; correctness never requires it because
   /// keys include the forest hash).
-  void Clear();
+  void Clear() GEF_EXCLUDES(mutex_);
 
-  size_t size() const;
+  size_t size() const GEF_EXCLUDES(mutex_);
 
  private:
   struct Key {
@@ -75,10 +77,15 @@ class SurrogateCache {
     std::list<Key>::iterator lru_it;
   };
 
+  /// Evicts least-recently-used entries until the count fits capacity.
+  /// Eviction only drops the cache's reference — waiters keep their
+  /// shared_future alive.
+  void EvictOverCapacityLocked() GEF_REQUIRES(mutex_);
+
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::map<Key, Entry> entries_;
-  std::list<Key> lru_;  // front = most recent
+  mutable Mutex mutex_;
+  std::map<Key, Entry> entries_ GEF_GUARDED_BY(mutex_);
+  std::list<Key> lru_ GEF_GUARDED_BY(mutex_);  // front = most recent
 };
 
 }  // namespace serve

@@ -1,0 +1,169 @@
+#ifndef GEF_UTIL_MUTEX_H_
+#define GEF_UTIL_MUTEX_H_
+
+// CAPABILITY-annotated synchronization wrappers (DESIGN.md §3.16).
+//
+// gef::Mutex / gef::SharedMutex / gef::CondVar wrap the std primitives
+// one-to-one — same semantics, same cost, zero added state — but carry
+// Clang Thread Safety annotations so `-Wthread-safety` can prove lock
+// discipline at compile time. All library code under src/ must use
+// these wrappers; gef_lint's concurrency-hygiene pass fails the build
+// on raw std::mutex / std::lock_guard / pthread_ use anywhere else
+// (this header is the one sanctioned home of the raw primitives).
+//
+// Idiom:
+//
+//   class Account {
+//    public:
+//     void Deposit(int n) GEF_EXCLUDES(mu_) {
+//       MutexLock lock(mu_);
+//       balance_ += n;
+//     }
+//    private:
+//     void AuditLocked() GEF_REQUIRES(mu_);  // helper: caller holds mu_
+//     Mutex mu_;
+//     int balance_ GEF_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Condition variables: write the predicate loop explicitly at the call
+// site (`while (!cond) cv_.Wait(mu_);`) instead of passing a lambda —
+// the analysis does not propagate REQUIRES into lambda bodies, so a
+// predicate lambda reading guarded fields would defeat the proof.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.h"
+
+namespace gef {
+
+class CondVar;
+
+/// Exclusive mutex. Prefer MutexLock over manual Lock/Unlock.
+class GEF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GEF_ACQUIRE() { mu_.lock(); }
+  void Unlock() GEF_RELEASE() { mu_.unlock(); }
+  bool TryLock() GEF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex; shared holds for snapshot reads, exclusive for
+/// mutation (the model-registry pattern).
+class GEF_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() GEF_ACQUIRE() { mu_.lock(); }
+  void Unlock() GEF_RELEASE() { mu_.unlock(); }
+  void LockShared() GEF_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() GEF_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive hold on a Mutex for the enclosing scope.
+class GEF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GEF_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() GEF_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) hold on a SharedMutex.
+class GEF_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) GEF_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() GEF_RELEASE() { mu_.Unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) hold on a SharedMutex.
+class GEF_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) GEF_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() GEF_RELEASE() { mu_.UnlockShared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to gef::Mutex. Every wait requires the
+/// mutex held; the wrapper adopts/releases the underlying std::mutex
+/// around std::condition_variable so the caller's hold is continuous
+/// from the analysis's point of view (which matches reality: the wait
+/// re-acquires before returning).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). Call in a predicate
+  /// loop: `while (!cond) cv.Wait(mu);`.
+  void Wait(Mutex& mu) GEF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until notified or `deadline`; std::cv_status::timeout when
+  /// the deadline passed.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      GEF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  /// Blocks until notified or `timeout` elapsed.
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(
+      Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      GEF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_UTIL_MUTEX_H_

@@ -3,13 +3,14 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gef {
 namespace {
@@ -43,8 +44,8 @@ struct Job {
   size_t num_chunks = 0;
   int num_participants = 0;
   std::atomic<int> remaining{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  Mutex error_mutex;
+  std::exception_ptr error GEF_GUARDED_BY(error_mutex);
 
   void RunParticipant(int participant) {
     tls_in_parallel_region = true;
@@ -54,10 +55,17 @@ struct Job {
         (*run_chunk)(c);
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
+      MutexLock lock(error_mutex);
       if (!error) error = std::current_exception();
     }
     tls_in_parallel_region = false;
+  }
+
+  // The caller reads the error after every participant has finished
+  // (the fork-join barrier in Run()); no concurrent writer remains.
+  std::exception_ptr TakeError() GEF_EXCLUDES(error_mutex) {
+    MutexLock lock(error_mutex);
+    return error;
   }
 };
 
@@ -72,9 +80,9 @@ class ThreadPool {
   }
 
   void Run(size_t num_chunks, const std::function<void(size_t)>& run_chunk,
-           int num_threads) {
+           int num_threads) GEF_EXCLUDES(dispatch_mutex_, mutex_) {
     // Serialize dispatches: the pool runs one fork-join job at a time.
-    std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+    MutexLock dispatch_lock(dispatch_mutex_);
 
     Job job;
     job.run_chunk = &run_chunk;
@@ -83,7 +91,7 @@ class ThreadPool {
     job.remaining.store(num_threads - 1, std::memory_order_relaxed);
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       // fork() (gtest death tests, daemonizing callers) duplicates this
       // object but not the worker threads; joining or detaching the
       // inherited handles is undefined, so leak them and respawn.
@@ -99,67 +107,78 @@ class ThreadPool {
       }
       job_ = &job;
       ++generation_;
-      cv_.notify_all();
+      cv_.NotifyAll();
     }
 
     job.RunParticipant(0);
 
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_cv_.wait(lock, [&] {
-        return job.remaining.load(std::memory_order_acquire) == 0;
-      });
+      MutexLock lock(mutex_);
+      while (job.remaining.load(std::memory_order_acquire) != 0) {
+        done_cv_.Wait(mutex_);
+      }
       job_ = nullptr;
     }
-    if (job.error) std::rethrow_exception(job.error);
+    if (std::exception_ptr error = job.TakeError()) {
+      std::rethrow_exception(error);
+    }
   }
 
  private:
   ThreadPool() = default;
 
-  ~ThreadPool() {
+  ~ThreadPool() GEF_EXCLUDES(mutex_) {
+    std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shutdown_ = true;
-      cv_.notify_all();
+      cv_.NotifyAll();
+      if (owner_pid_ == ::getpid()) {
+        // Take the handles out under the lock; joining must happen
+        // without it (exiting workers re-acquire mutex_ to leave their
+        // wait).
+        workers.swap(workers_);
+      }
+      // Not the owner (forked child): inherited handles stay behind,
+      // leaked with the process image — see the fork note in Run().
     }
-    if (owner_pid_ == ::getpid()) {
-      for (std::thread& worker : workers_) worker.join();
-    }
+    for (std::thread& worker : workers) worker.join();
   }
 
-  void WorkerLoop(int worker_index) {
+  void WorkerLoop(int worker_index) GEF_EXCLUDES(mutex_) {
     uint64_t seen_generation = 0;
-    std::unique_lock<std::mutex> lock(mutex_);
+    mutex_.Lock();
     while (true) {
-      cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
+      while (!shutdown_ && generation_ == seen_generation) {
+        cv_.Wait(mutex_);
+      }
+      if (shutdown_) {
+        mutex_.Unlock();
+        return;
+      }
       seen_generation = generation_;
       Job* job = job_;
       const int participant = worker_index + 1;
       if (job == nullptr || participant >= job->num_participants) continue;
-      lock.unlock();
+      mutex_.Unlock();
       job->RunParticipant(participant);
-      {
-        std::lock_guard<std::mutex> done_lock(mutex_);
-        job->remaining.fetch_sub(1, std::memory_order_release);
-        done_cv_.notify_all();
-      }
-      lock.lock();
+      mutex_.Lock();
+      job->remaining.fetch_sub(1, std::memory_order_release);
+      done_cv_.NotifyAll();
     }
   }
 
-  std::mutex dispatch_mutex_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  pid_t owner_pid_ = ::getpid();
-  Job* job_ = nullptr;
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  // Lock order: dispatch_mutex_ before mutex_ (Run is the only path
+  // that holds both). Workers only ever take mutex_.
+  Mutex dispatch_mutex_;
+  Mutex mutex_;
+  CondVar cv_;
+  CondVar done_cv_;
+  std::vector<std::thread> workers_ GEF_GUARDED_BY(mutex_);
+  pid_t owner_pid_ GEF_GUARDED_BY(mutex_) = ::getpid();
+  Job* job_ GEF_GUARDED_BY(mutex_) = nullptr;
+  uint64_t generation_ GEF_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GEF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace

@@ -1,0 +1,100 @@
+#ifndef GEF_UTIL_THREAD_ANNOTATIONS_H_
+#define GEF_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis annotations (DESIGN.md §3.16).
+//
+// These macros attach lock-discipline contracts to types, fields and
+// functions so `-Wthread-safety` (always on for Clang builds, enforced
+// with -Werror by the analysis-threadsafety CI job) proves at compile
+// time that every access to a guarded field happens with its capability
+// held — on *every* build, instead of only on the interleavings a TSan
+// run happens to exercise. On non-Clang compilers every macro expands
+// to nothing; the annotations are zero-cost everywhere.
+//
+// Vocabulary (mirrors the LLVM/Abseil convention, GEF_-prefixed):
+//
+//   GEF_CAPABILITY(name)     the class is a capability (a lock).
+//   GEF_SCOPED_CAPABILITY    RAII type that acquires in its constructor
+//                            and releases in its destructor.
+//   GEF_GUARDED_BY(mu)       field may only be read/written with `mu`
+//                            held.
+//   GEF_PT_GUARDED_BY(mu)    the pointee (not the pointer) is guarded.
+//   GEF_REQUIRES(mu)         caller must hold `mu` exclusively.
+//   GEF_REQUIRES_SHARED(mu)  caller must hold `mu` at least shared.
+//   GEF_ACQUIRE(...)         function acquires the capability.
+//   GEF_ACQUIRE_SHARED(...)  function acquires it in shared mode.
+//   GEF_RELEASE(...)         function releases the capability.
+//   GEF_RELEASE_SHARED(...)  releases a shared hold.
+//   GEF_TRY_ACQUIRE(b, ...)  acquires iff the return value equals `b`.
+//   GEF_EXCLUDES(mu)         caller must NOT hold `mu` (the function
+//                            acquires it itself; prevents self-deadlock).
+//   GEF_ASSERT_CAPABILITY(m) runtime-asserts the capability is held.
+//   GEF_RETURN_CAPABILITY(m) function returns a reference to `mu`.
+//   GEF_NO_THREAD_SAFETY_ANALYSIS
+//                            opts a function out. Every use must carry a
+//                            comment explaining why the analysis cannot
+//                            apply (e.g. async-signal context that must
+//                            not take locks).
+//
+// Conventions for this tree: annotate every mutex-protected field at
+// its declaration, prefer gef::MutexLock / gef::ReaderMutexLock RAII
+// over manual Lock/Unlock, and express condition-variable predicates as
+// explicit `while (!cond) cv.Wait(mu);` loops at the call site — the
+// analysis does not propagate REQUIRES into predicate lambdas.
+
+#if defined(__clang__)
+#define GEF_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define GEF_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off Clang
+#endif
+
+#define GEF_CAPABILITY(x) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define GEF_SCOPED_CAPABILITY \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GEF_GUARDED_BY(x) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define GEF_PT_GUARDED_BY(x) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define GEF_REQUIRES(...) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define GEF_REQUIRES_SHARED(...)          \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      requires_shared_capability(__VA_ARGS__))
+
+#define GEF_ACQUIRE(...) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define GEF_ACQUIRE_SHARED(...)           \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      acquire_shared_capability(__VA_ARGS__))
+
+#define GEF_RELEASE(...) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define GEF_RELEASE_SHARED(...)           \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      release_shared_capability(__VA_ARGS__))
+
+#define GEF_TRY_ACQUIRE(...)              \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(      \
+      try_acquire_capability(__VA_ARGS__))
+
+#define GEF_EXCLUDES(...) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define GEF_ASSERT_CAPABILITY(x) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define GEF_RETURN_CAPABILITY(x) \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define GEF_NO_THREAD_SAFETY_ANALYSIS \
+  GEF_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // GEF_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,7 @@
+// Planted violation: wall-clock read in library code.
+
+namespace fixture {
+
+long Stamp() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Planted violation: raw randomness outside the seeded Rng wrapper.
+
+namespace fixture {
+
+int Roll() { return rand() % 6; }
+
+}  // namespace fixture

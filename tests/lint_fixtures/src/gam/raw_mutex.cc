@@ -1,0 +1,10 @@
+// Planted violation: raw std synchronization primitive in library code.
+
+namespace fixture {
+
+struct State {
+  std::mutex mu;
+  int value = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Planted violation: src/quantum/ has no rank in the layer DAG.
+
+namespace fixture {
+
+inline int Answer() { return 42; }
+
+}  // namespace fixture

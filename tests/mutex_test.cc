@@ -1,0 +1,184 @@
+// Tests for the annotated synchronization wrappers (util/mutex.h): the
+// runtime half of the concurrency-proof story. Compile-time discipline
+// is checked by -Wthread-safety (tests/thread_safety_negcompile_*);
+// these tests pin down that the wrappers actually exclude, hand off,
+// and wake — i.e. that the capability semantics the annotations claim
+// match the std primitives underneath.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace gef {
+namespace {
+
+TEST(MutexTest, LockExcludesConcurrentIncrements) {
+  Mutex mutex;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mutex);
+        // Read-modify-write on a plain long: torn updates would lose
+        // increments if the lock did not exclude.
+        counter = counter + 1;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(MutexTest, TryLockReflectsHeldState) {
+  Mutex mutex;
+  ASSERT_TRUE(mutex.TryLock());
+  // A second owner must be refused while held (probe from another
+  // thread: relocking a held std::mutex from the same thread is UB).
+  bool second = true;
+  std::thread probe([&] { second = mutex.TryLock(); });
+  probe.join();
+  EXPECT_FALSE(second);
+  mutex.Unlock();
+  std::thread retry([&] {
+    if (mutex.TryLock()) mutex.Unlock();
+  });
+  retry.join();
+}
+
+TEST(CondVarTest, WaitWakesOnPredicate) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread consumer([&] {
+    MutexLock lock(mutex);
+    while (!ready) cv.Wait(mutex);
+    observed = 42;
+  });
+  {
+    MutexLock lock(mutex);
+    ready = true;
+  }
+  cv.NotifyOne();
+  consumer.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mutex;
+  CondVar cv;
+  MutexLock lock(mutex);
+  const auto start = std::chrono::steady_clock::now();
+  cv.WaitFor(mutex, std::chrono::milliseconds(20));
+  // The wait must return (no notifier exists) and the caller must still
+  // hold the mutex — guaranteed by the adopt/release protocol.
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(1));
+}
+
+TEST(CondVarTest, ProducerConsumerHandsOffEveryItem) {
+  Mutex mutex;
+  CondVar cv;
+  std::vector<int> queue;
+  bool done = false;
+  long consumed_sum = 0;
+  constexpr int kItems = 1000;
+
+  std::thread consumer([&] {
+    for (;;) {
+      int item = -1;
+      {
+        MutexLock lock(mutex);
+        while (queue.empty() && !done) cv.Wait(mutex);
+        if (queue.empty()) return;
+        item = queue.back();
+        queue.pop_back();
+      }
+      consumed_sum += item;
+    }
+  });
+
+  for (int i = 1; i <= kItems; ++i) {
+    {
+      MutexLock lock(mutex);
+      queue.push_back(i);
+    }
+    cv.NotifyOne();
+  }
+  {
+    MutexLock lock(mutex);
+    done = true;
+  }
+  cv.NotifyAll();
+  consumer.join();
+  EXPECT_EQ(consumed_sum, static_cast<long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(SharedMutexTest, ReadersOverlapWriterExcludes) {
+  SharedMutex shared_mutex;
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> max_concurrent_readers{0};
+  int value = 0;
+
+  // Hold the shared lock from several threads at once and record the
+  // high-water mark of simultaneous holders; with real reader sharing
+  // it exceeds 1 (spin until overlap is observed, bounded by the loop).
+  std::vector<std::thread> readers;
+  std::atomic<bool> stop{false};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        ReaderMutexLock lock(shared_mutex);
+        int now = concurrent_readers.fetch_add(1) + 1;
+        int seen = max_concurrent_readers.load();
+        while (now > seen &&
+               !max_concurrent_readers.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::yield();
+        concurrent_readers.fetch_sub(1);
+      }
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (max_concurrent_readers.load() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& thread : readers) thread.join();
+  EXPECT_GE(max_concurrent_readers.load(), 2);
+
+  // Writer exclusion: many exclusive read-modify-writes lose none.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        WriterMutexLock lock(shared_mutex);
+        value = value + 1;
+      }
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+  EXPECT_EQ(value, 4 * 5000);
+}
+
+TEST(SharedMutexTest, ExplicitSharedLockRoundTrips) {
+  SharedMutex shared_mutex;
+  shared_mutex.LockShared();
+  shared_mutex.UnlockShared();
+  shared_mutex.Lock();
+  shared_mutex.Unlock();
+}
+
+}  // namespace
+}  // namespace gef

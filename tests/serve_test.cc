@@ -193,6 +193,49 @@ TEST(MetricsTest, ConcurrentObserveIsConsistent) {
             static_cast<uint64_t>(kThreads * kPerThread));
 }
 
+TEST(MetricsTest, EmptyHistogramSnapshotIsZeroed) {
+  obs::metrics::ResetAllForTest();
+  auto snapshot = obs::metrics::GetHistogram("empty.hist").Snapshot();
+  // min_/max_ live at +/-infinity between observations (the CAS-fold
+  // identity); an empty snapshot must render that as zeros, never leak
+  // the sentinels into /metrics.
+  EXPECT_EQ(snapshot.count, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.min, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.0);
+}
+
+TEST(MetricsTest, HistogramMinMaxSurviveFirstObservationRace) {
+  // Regression test for a seeding race: Observe() used to special-case
+  // the first observation with plain min_/max_ stores, which could
+  // overwrite a racing thread's already-CAS-folded better extremum
+  // (thread A wins the count 0->1 increment, thread B folds its smaller
+  // value first, A's seed store clobbers it). The fix seeds min_/max_
+  // at +/-infinity so every observation goes through the CAS fold.
+  // Repeat the empty->stampede cycle so the first-observation window is
+  // exercised many times.
+  auto& histogram = obs::metrics::GetHistogram("race.hist");
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    obs::metrics::ResetAllForTest();
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      // Thread t observes t+1: the true min (1.0) and max (kThreads)
+      // are each raced against the other threads' first observations.
+      threads.emplace_back(
+          [&histogram, t] { histogram.Observe(static_cast<double>(t + 1)); });
+    }
+    for (auto& thread : threads) thread.join();
+    auto snapshot = histogram.Snapshot();
+    ASSERT_EQ(snapshot.count, static_cast<uint64_t>(kThreads));
+    ASSERT_DOUBLE_EQ(snapshot.min, 1.0) << "lost min in round " << round;
+    ASSERT_DOUBLE_EQ(snapshot.max, static_cast<double>(kThreads))
+        << "lost max in round " << round;
+  }
+}
+
 // ---------------------------------------------------------------------
 // serve/json
 // ---------------------------------------------------------------------

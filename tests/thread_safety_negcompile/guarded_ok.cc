@@ -1,0 +1,65 @@
+// Control fixture: correct lock discipline across every wrapper type —
+// MutexLock scopes, a GEF_REQUIRES helper called under the lock, a
+// CondVar wait loop, and reader/writer scopes on a SharedMutex. Must
+// compile CLEAN under -Wthread-safety -Werror; if it does not, the
+// harness (not the analysis) is broken, so the two negative fixtures
+// would fail for the wrong reason.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int value) {
+    gef::MutexLock lock(mutex_);
+    next_ = value;
+    full_ = true;
+    cv_.NotifyOne();
+  }
+
+  int Pop() {
+    gef::MutexLock lock(mutex_);
+    while (!full_) cv_.Wait(mutex_);
+    return TakeLocked();
+  }
+
+ private:
+  int TakeLocked() GEF_REQUIRES(mutex_) {
+    full_ = false;
+    return next_;
+  }
+
+  gef::Mutex mutex_;
+  gef::CondVar cv_;
+  bool full_ GEF_GUARDED_BY(mutex_) = false;
+  int next_ GEF_GUARDED_BY(mutex_) = 0;
+};
+
+class Table {
+ public:
+  void Set(int value) {
+    gef::WriterMutexLock lock(shared_mutex_);
+    value_ = value;
+  }
+
+  int Get() const {
+    gef::ReaderMutexLock lock(shared_mutex_);
+    return value_;
+  }
+
+ private:
+  mutable gef::SharedMutex shared_mutex_;
+  int value_ GEF_GUARDED_BY(shared_mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.Push(3);
+  Table table;
+  table.Set(queue.Pop());
+  return table.Get() == 3 ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Negative-compile fixture: calling a GEF_REQUIRES(mu) function without
+// holding mu must trip -Wthread-safety (requires-capability diagnostic).
+// The test FAILS if this file compiles cleanly.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    // planted: IncrementLocked requires mutex_, which is not held here.
+    IncrementLocked();
+  }
+
+ private:
+  void IncrementLocked() GEF_REQUIRES(mutex_) { ++count_; }
+
+  gef::Mutex mutex_;
+  long count_ GEF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Negative-compile fixture: reading a GEF_GUARDED_BY field without its
+// mutex must trip -Wthread-safety (guarded_by diagnostic). Compiled with
+// -fsyntax-only under Clang by thread_safety_negcompile_test.cmake; the
+// test FAILS if this file compiles cleanly — that would mean the
+// analysis is disarmed and every annotation in src/ is decorative.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) {
+    gef::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  long UnsafePeek() {
+    return balance_;  // planted: no lock held
+  }
+
+ private:
+  gef::Mutex mutex_;
+  long balance_ GEF_GUARDED_BY(mutex_) = 0;
+};
+
+long Use() {
+  Account account;
+  account.Deposit(1);
+  return account.UnsafePeek();
+}
+
+}  // namespace
+
+int main() { return Use() == 1 ? 0 : 1; }

@@ -1,0 +1,53 @@
+# Proves the thread safety analysis is ARMED, not just silent: the two
+# planted-violation snippets must FAIL to compile under
+# -Wthread-safety -Werror with a thread-safety diagnostic, and the
+# correct-discipline control must compile clean (ruling out harness
+# breakage as the reason the negatives fail).
+#
+# Clang-only — registered as a ctest only when CMAKE_CXX_COMPILER_ID is
+# Clang (tests/CMakeLists.txt); GCC ignores the annotation attributes.
+#
+# Invoked as:
+#   cmake -DCXX=<clang++> -DSRC_DIR=<repo>/src
+#         -DFIXTURE_DIR=<repo>/tests/thread_safety_negcompile
+#         -P thread_safety_negcompile_test.cmake
+
+if(NOT CXX OR NOT SRC_DIR OR NOT FIXTURE_DIR)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DSRC_DIR=... -DFIXTURE_DIR=... -P thread_safety_negcompile_test.cmake")
+endif()
+
+set(flags -fsyntax-only -std=c++20 -Wthread-safety -Werror "-I${SRC_DIR}")
+
+function(check_fixture name expect_failure)
+  execute_process(
+    COMMAND "${CXX}" ${flags} "${FIXTURE_DIR}/${name}"
+    RESULT_VARIABLE exit_code
+    ERROR_VARIABLE stderr
+    OUTPUT_VARIABLE stdout)
+  if(expect_failure)
+    if(exit_code EQUAL 0)
+      message(FATAL_ERROR
+        "${name} compiled CLEAN — the planted lock-discipline violation "
+        "was not diagnosed; -Wthread-safety is disarmed.")
+    endif()
+    if(NOT stderr MATCHES "thread-safety")
+      message(FATAL_ERROR
+        "${name} failed to compile, but not with a -Wthread-safety "
+        "diagnostic — the failure is unrelated breakage.\nstderr:\n${stderr}")
+    endif()
+    message(STATUS "${name}: rejected with a thread-safety diagnostic, as planted")
+  else()
+    if(NOT exit_code EQUAL 0)
+      message(FATAL_ERROR
+        "${name} (correct-discipline control) must compile clean under "
+        "-Wthread-safety -Werror.\nstderr:\n${stderr}")
+    endif()
+    message(STATUS "${name}: control compiles clean")
+  endif()
+endfunction()
+
+check_fixture(guarded_ok.cc FALSE)
+check_fixture(unguarded_read.cc TRUE)
+check_fixture(missing_requires.cc TRUE)
+
+message(STATUS "thread-safety negative-compile suite passed")

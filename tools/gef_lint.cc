@@ -1,9 +1,10 @@
-// gef_lint: fast token-level checker for repo-specific rules that
-// compilers and clang-tidy do not enforce. Registered as a ctest so the
-// gate runs in tier-1 (`ctest -R gef_lint`). Exits 0 when the tree is
-// clean, 1 with one `file:line: [rule] message` diagnostic per finding.
+// gef_lint: fast token-level, multi-pass checker for repo-specific
+// rules that compilers and clang-tidy do not enforce. Registered as a
+// ctest so the gate runs in tier-1 (`ctest -R gef_lint`). Exits 0 when
+// the tree is clean, 1 with one `file:line: [rule] message` diagnostic
+// per finding.
 //
-// Rules (see DESIGN.md §3.11):
+// Per-line rules (see DESIGN.md §3.11):
 //   gef-raw-rand        `rand(`, `srand(` or `std::random_device` anywhere
 //                       outside src/stats/rng.* — all randomness must flow
 //                       through the seeded, reproducible Rng.
@@ -20,10 +21,40 @@
 //   gef-todo-owner      `TODO` comment without an owner: must be written
 //                       `TODO(owner): ...` so stale notes are traceable.
 //
+// Architectural passes (DESIGN.md §3.16):
+//   gef-layer-order     include-graph layering. src/ layers form a total
+//                       order — util → obs → linalg → stats → data →
+//                       forest → gam → explain → gef → serve — and a
+//                       file may only include headers of its own or a
+//                       lower layer. Upward includes (and therefore any
+//                       include cycle) fail the gate. tools/, tests/,
+//                       bench/ and examples/ sit above every layer.
+//   gef-layer-unknown   a directory under src/ that has no assigned
+//                       rank: adding a layer requires declaring its
+//                       place in the DAG here.
+//   gef-raw-mutex       concurrency hygiene. Raw std::mutex /
+//                       std::lock_guard / std::condition_variable /
+//                       pthread_* inside src/ outside util/mutex.h —
+//                       all locking goes through the CAPABILITY-
+//                       annotated gef::Mutex wrappers so Clang thread
+//                       safety analysis sees every acquisition
+//                       (std::once_flag/call_once stay allowed: a
+//                       stronger, self-contained primitive).
+//   gef-wall-time       determinism. Wall-clock reads (`time(`,
+//                       `clock(`, `gettimeofday(`, `localtime(`, ...)
+//                       inside src/ — pipeline results must never
+//                       depend on when they ran; timing belongs to
+//                       util/timer (steady_clock) and the obs layer.
+//
 // The scanner strips comments and string/character literals before
 // applying the code rules (so `"new"` in a string never fires) and keeps
 // the comment text for the TODO rule. A line whose raw text contains
-// `NOLINT` is exempt from all code rules on that line.
+// `NOLINT` is exempt from all code rules on that line. Include
+// directives are parsed from the raw text (their paths live inside
+// string literals). Anything under a `lint_fixtures` directory is
+// skipped when scanning a repo root — those trees are the planted-
+// violation corpus of the gef_lint self-test, which points the linter
+// *at* a fixture root directly.
 
 #include <cctype>
 #include <cstdio>
@@ -150,24 +181,96 @@ bool HasIdent(const std::string& line, const std::string& ident) {
   return false;
 }
 
-// `rand(` / `srand(` with the parenthesis (so `operator_rand` or a
-// member named rand_ never fires).
-bool HasRandCall(const std::string& line) {
-  for (const char* name : {"rand", "srand"}) {
-    size_t pos = 0;
-    std::string ident(name);
-    while ((pos = line.find(ident, pos)) != std::string::npos) {
-      bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
-      size_t end = pos + ident.size();
-      size_t after = end;
-      while (after < line.size() && line[after] == ' ') ++after;
-      if (left_ok && after < line.size() && line[after] == '(') {
-        return true;
-      }
-      pos = end;
-    }
+// Qualified-token search (tokens may contain "::"): boundaries reject
+// identifier characters and further qualification on either side, so
+// `std::condition_variable` does not fire on
+// `std::condition_variable_any` and `mystd::mutex` never matches.
+bool HasQualifiedToken(const std::string& line, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok =
+        pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != ':');
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
   }
   return false;
+}
+
+// Identifier-prefix search: any identifier starting with `prefix`
+// (pthread_create, pthread_mutex_lock, ...).
+bool HasIdentPrefix(const std::string& line, const std::string& prefix) {
+  size_t pos = 0;
+  while ((pos = line.find(prefix, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!IsIdentChar(line[pos - 1]) &&
+                                line[pos - 1] != ':');
+    if (left_ok) return true;
+    pos += prefix.size();
+  }
+  return false;
+}
+
+// `<name>(` call syntax with the parenthesis (so `operator_rand` or a
+// member named rand_ never fires). `allow_member` controls whether
+// `.name(` / `->name(` count (they do not, for wall-time: a method
+// named time() on a repo type is not the C library call).
+bool HasCall(const std::string& line, const char* name,
+             bool flag_member_calls) {
+  const std::string ident(name);
+  size_t pos = 0;
+  while ((pos = line.find(ident, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    if (!flag_member_calls && pos > 0) {
+      char prev = line[pos - 1];
+      // `.time(` / `->time(` are member calls on repo types.
+      if (prev == '.' || (prev == '>' && pos > 1 && line[pos - 2] == '-')) {
+        left_ok = false;
+      }
+    }
+    size_t end = pos + ident.size();
+    size_t after = end;
+    while (after < line.size() && line[after] == ' ') ++after;
+    bool called = after < line.size() && line[after] == '(';
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok && called) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool HasRandCall(const std::string& line) {
+  return HasCall(line, "rand", /*flag_member_calls=*/true) ||
+         HasCall(line, "srand", /*flag_member_calls=*/true);
+}
+
+// Wall-clock reads that would make pipeline output depend on when it
+// ran. steady_clock/chrono stay fine (identifiers differ); member
+// functions that happen to be called time() are skipped.
+bool HasWallTimeCall(const std::string& line) {
+  for (const char* name : {"time", "clock", "gettimeofday", "localtime",
+                           "gmtime", "ctime", "timespec_get"}) {
+    if (HasCall(line, name, /*flag_member_calls=*/false)) return true;
+  }
+  return false;
+}
+
+// Raw synchronization primitives banned outside the wrapper home; all
+// of src/ locks through the annotated gef::Mutex family (util/mutex.h)
+// so -Wthread-safety sees every acquisition.
+bool HasRawSyncPrimitive(const std::string& line) {
+  static const char* const kTokens[] = {
+      "std::mutex",          "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex",   "std::shared_timed_mutex",
+      "std::lock_guard",     "std::unique_lock",
+      "std::scoped_lock",    "std::shared_lock",
+      "std::condition_variable", "std::condition_variable_any",
+  };
+  for (const char* token : kTokens) {
+    if (HasQualifiedToken(line, token)) return true;
+  }
+  return HasIdentPrefix(line, "pthread_");
 }
 
 // `float <ident> = <literal>` / `float <ident>{<literal>}` where the
@@ -221,8 +324,11 @@ bool HasFloatNarrowing(const std::string& line) {
 bool HasOwnerlessTodo(const std::string& comment) {
   size_t pos = 0;
   while ((pos = comment.find("TODO", pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(comment[pos - 1]);
     size_t i = pos + 4;
     pos = i;
+    // "TODOs"/"TODO_LIST" etc. are prose, not a work marker.
+    if (!left_ok || (i < comment.size() && IsIdentChar(comment[i]))) continue;
     if (i >= comment.size() || comment[i] != '(') return true;
     size_t close = comment.find(')', i);
     if (close == std::string::npos || close == i + 1) return true;
@@ -237,62 +343,162 @@ struct Violation {
   std::string message;
 };
 
-bool UnderDir(const fs::path& file, const char* dir) {
-  for (const fs::path& part : file) {
-    if (part == dir) return true;
+// ---------------------------------------------------------------------
+// Layering pass.
+//
+// The src/ layer DAG is pinned as a total order; a file may include only
+// its own or a lower layer, which makes upward edges — and therefore any
+// cycle — impossible to merge. tools/tests/bench/examples rank above
+// everything and may include any layer.
+// ---------------------------------------------------------------------
+
+constexpr int kTopRank = 100;  // tools / tests / bench / examples
+
+// Rank table == the architecture. Growing a new src/ directory means
+// adding it here at its place in the order (gef-layer-unknown fires
+// until it is declared).
+int LayerRank(const std::string& layer) {
+  static const std::pair<const char*, int> kRanks[] = {
+      {"util", 0},  {"obs", 1},     {"linalg", 2}, {"stats", 3},
+      {"data", 4},  {"forest", 5},  {"gam", 6},    {"explain", 7},
+      {"gef", 8},   {"serve", 9},
+  };
+  for (const auto& [name, rank] : kRanks) {
+    if (layer == name) return rank;
   }
-  return false;
+  return -1;  // unknown
 }
 
-void LintFile(const fs::path& path, std::vector<Violation>* out) {
-  const std::string fname = path.filename().string();
-  // The RNG wrapper is the one sanctioned home of raw randomness, and
-  // this checker's own source spells the rule names out.
+// `#include "layer/header.h"` on a raw line; returns the quoted path or
+// "" when the line is not a quoted include.
+std::string ParseQuotedInclude(const std::string& raw) {
+  size_t i = 0;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  if (i >= raw.size() || raw[i] != '#') return "";
+  ++i;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  if (raw.compare(i, 7, "include") != 0) return "";
+  i += 7;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  if (i >= raw.size() || raw[i] != '"') return "";
+  size_t close = raw.find('"', i + 1);
+  if (close == std::string::npos) return "";
+  return raw.substr(i + 1, close - i - 1);
+}
+
+struct ScannedFile {
+  fs::path path;
+  fs::path rel;        // relative to the scan root
+  std::string layer;   // "" when not under src/
+  int rank = kTopRank;
+  FileText text;
+};
+
+void LayeringPass(const ScannedFile& file, std::vector<Violation>* out) {
+  if (file.layer.empty()) return;  // only src/ files are rank-bound
+  if (file.rank < 0) {
+    out->push_back(
+        {file.path.string(), 1, "gef-layer-unknown",
+         "src/" + file.layer +
+             " has no rank in the layer DAG; declare its place in "
+             "LayerRank() (tools/gef_lint.cc) and DESIGN.md §3.16"});
+    return;
+  }
+  for (size_t l = 0; l < file.text.raw.size(); ++l) {
+    if (file.text.raw[l].find("NOLINT") != std::string::npos) continue;
+    const std::string include = ParseQuotedInclude(file.text.raw[l]);
+    if (include.empty()) continue;
+    const size_t slash = include.find('/');
+    if (slash == std::string::npos) continue;  // same-dir or local
+    const std::string target = include.substr(0, slash);
+    const int target_rank = LayerRank(target);
+    if (target_rank < 0) continue;  // not a src/ layer path
+    if (target_rank > file.rank) {
+      out->push_back(
+          {file.path.string(), l + 1, "gef-layer-order",
+           "upward include: src/" + file.layer + " (rank " +
+               std::to_string(file.rank) + ") must not include " +
+               target + "/ (rank " + std::to_string(target_rank) +
+               "); the layer order is util < obs < linalg < stats < "
+               "data < forest < gam < explain < gef < serve"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-line pass (style, hygiene, determinism rules).
+// ---------------------------------------------------------------------
+
+void LineRulesPass(const ScannedFile& file, std::vector<Violation>* out) {
+  const std::string fname = file.path.filename().string();
+  // The RNG wrapper is the one sanctioned home of raw randomness (and
+  // of reading a clock to mix into an explicitly-requested nondeterministic
+  // seed); the mutex wrapper is the one sanctioned home of the raw std
+  // synchronization primitives; this checker's own source spells every
+  // rule out verbatim.
   const bool rng_home = fname == "rng.h" || fname == "rng.cc";
+  const bool mutex_home =
+      fname == "mutex.h" || fname == "thread_annotations.h";
   const bool self = fname == "gef_lint.cc";
-  const bool in_src = UnderDir(path, "src");
+  const bool in_src =
+      !file.rel.empty() && file.rel.begin()->string() == "src";
 
-  std::ifstream in(path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  FileText text = Lex(buffer.str());
-
-  for (size_t l = 0; l < text.code.size(); ++l) {
-    const std::string& code = text.code[l];
-    const std::string& comment = text.comments[l];
+  for (size_t l = 0; l < file.text.code.size(); ++l) {
+    const std::string& code = file.text.code[l];
+    const std::string& comment = file.text.comments[l];
     const size_t line_no = l + 1;
     const bool nolint =
-        text.raw[l].find("NOLINT") != std::string::npos;
+        file.text.raw[l].find("NOLINT") != std::string::npos;
 
     if (self) continue;  // this file spells every rule out verbatim
     if (HasOwnerlessTodo(comment)) {
-      out->push_back({path.string(), line_no, "gef-todo-owner",
+      out->push_back({file.path.string(), line_no, "gef-todo-owner",
                       "TODO without an owner; write TODO(name): ..."});
     }
     if (nolint) continue;
 
     if (!rng_home &&
         (HasRandCall(code) || HasIdent(code, "random_device"))) {
-      out->push_back({path.string(), line_no, "gef-raw-rand",
+      out->push_back({file.path.string(), line_no, "gef-raw-rand",
                       "raw randomness outside src/stats/rng; use Rng"});
     }
+    if (in_src && !rng_home && HasWallTimeCall(code)) {
+      out->push_back({file.path.string(), line_no, "gef-wall-time",
+                      "wall-clock read in library code; results must "
+                      "not depend on when they ran — use "
+                      "util/timer (steady_clock) for durations"});
+    }
+    if (in_src && !mutex_home && HasRawSyncPrimitive(code)) {
+      out->push_back({file.path.string(), line_no, "gef-raw-mutex",
+                      "raw std synchronization primitive in library "
+                      "code; use the annotated gef::Mutex / MutexLock / "
+                      "CondVar wrappers (util/mutex.h) so "
+                      "-Wthread-safety sees the acquisition"});
+    }
     if (in_src && code.find("std::cout") != std::string::npos) {
-      out->push_back({path.string(), line_no, "gef-cout",
+      out->push_back({file.path.string(), line_no, "gef-cout",
                       "std::cout in library code; return Status or take "
                       "an ostream"});
     }
     if (in_src && HasIdent(code, "new")) {
-      out->push_back({path.string(), line_no, "gef-naked-new",
+      out->push_back({file.path.string(), line_no, "gef-naked-new",
                       "naked new in library code; use containers or "
                       "std::make_unique, or annotate a deliberate leak "
                       "with NOLINT(gef-naked-new)"});
     }
     if (in_src && HasFloatNarrowing(code)) {
-      out->push_back({path.string(), line_no, "gef-float-narrow",
+      out->push_back({file.path.string(), line_no, "gef-float-narrow",
                       "double literal narrowed to float; the numeric "
                       "core is double end to end"});
     }
   }
+}
+
+bool UnderFixtures(const fs::path& rel) {
+  for (const fs::path& part : rel) {
+    if (part == "lint_fixtures") return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -304,7 +510,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<fs::path> files;
+  std::vector<ScannedFile> files;
   for (int a = 1; a < argc; ++a) {
     const fs::path root(argv[a]);
     if (!fs::exists(root)) {
@@ -320,13 +526,35 @@ int main(int argc, char** argv) {
       for (const auto& entry : fs::recursive_directory_iterator(sub)) {
         if (!entry.is_regular_file()) continue;
         const std::string ext = entry.path().extension().string();
-        if (ext == ".cc" || ext == ".h") files.push_back(entry.path());
+        if (ext != ".cc" && ext != ".h") continue;
+        ScannedFile file;
+        file.path = entry.path();
+        file.rel = fs::relative(entry.path(), root);
+        if (UnderFixtures(file.rel)) continue;  // self-test corpus
+        auto it = file.rel.begin();
+        if (it != file.rel.end() && it->string() == "src" &&
+            ++it != file.rel.end()) {
+          // src/<layer>/...; a file directly under src/ has no layer.
+          fs::path tail = *it;
+          if (std::next(it) != file.rel.end()) {
+            file.layer = tail.string();
+            file.rank = LayerRank(file.layer);
+          }
+        }
+        std::ifstream in(file.path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        file.text = Lex(buffer.str());
+        files.push_back(std::move(file));
       }
     }
   }
 
   std::vector<Violation> violations;
-  for (const fs::path& file : files) LintFile(file, &violations);
+  for (const ScannedFile& file : files) {
+    LineRulesPass(file, &violations);
+    LayeringPass(file, &violations);
+  }
 
   for (const Violation& v : violations) {
     std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,

@@ -4,11 +4,15 @@
 # what CI runs (see .github/workflows/ci.yml) and what a developer runs
 # locally before a substantial PR:
 #
-#   tools/run_analysis.sh            # release + asan,ubsan + tsan + lint
+#   tools/run_analysis.sh            # every job below (clang jobs skip
+#                                    # with a note when clang is absent)
 #   tools/run_analysis.sh release    # one job only
 #   tools/run_analysis.sh asan-ubsan
 #   tools/run_analysis.sh tsan
 #   tools/run_analysis.sh lint
+#   tools/run_analysis.sh threadsafety  # clang -Wthread-safety -Werror
+#                                       # + negative-compile proof
+#   tools/run_analysis.sh tidy          # blocking clang-tidy (preset)
 #
 # Each job builds into its own out-of-source directory (build-analysis-*)
 # so the matrix never contaminates the default ./build tree. Exits
@@ -57,21 +61,73 @@ job_lint() {
   cmake -B "${dir}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release
   cmake --build "${dir}" -j "${JOBS}" --target gef_lint_cli
   "${dir}/tools/gef_lint" "${ROOT}"
+  echo "=== [lint] gef_lint fixture self-test ==="
+  cmake -DLINT_BIN="${dir}/tools/gef_lint" \
+        -DFIXTURES="${ROOT}/tests/lint_fixtures" \
+        -P "${ROOT}/tests/lint_fixtures_test.cmake"
+}
+
+# Whole-tree Clang build with -Wthread-safety promoted to an error
+# (-Wthread-safety is always-on for Clang; GEF_WERROR supplies -Werror),
+# then the negative-compile + wrapper-semantics ctests that prove the
+# analysis is armed rather than silently inert.
+job_threadsafety() {
+  local cxx="${GEF_CLANGXX:-clang++}"
+  local cc="${GEF_CLANG:-clang}"
+  command -v "${cxx}" >/dev/null || {
+    echo "threadsafety: ${cxx} not found" >&2
+    exit 3
+  }
+  local dir="${ROOT}/build-analysis-threadsafety"
+  echo "=== [threadsafety] clang -Wthread-safety -Werror build ==="
+  cmake -B "${dir}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_C_COMPILER="${cc}" -DCMAKE_CXX_COMPILER="${cxx}" \
+    -DGEF_WERROR=ON
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [threadsafety] negative-compile + wrapper ctests ==="
+  (cd "${dir}" && ctest "${CTEST_ARGS[@]}" \
+    -R 'thread_safety_negcompile|mutex_test|gef_lint')
+}
+
+# Blocking clang-tidy over src/ and tools/ via the `tidy` preset
+# (compile_commands.json comes from the same configure).
+job_tidy() {
+  command -v clang-tidy >/dev/null || {
+    echo "tidy: clang-tidy not found" >&2
+    exit 3
+  }
+  echo "=== [tidy] clang-tidy --warnings-as-errors (preset: tidy) ==="
+  cmake --preset tidy -S "${ROOT}"
+  cmake --build "${ROOT}/build-tidy" -j "${JOBS}"
 }
 
 case "${1:-all}" in
-  release)    job_release ;;
-  asan-ubsan) job_asan_ubsan ;;
-  tsan)       job_tsan ;;
-  lint)       job_lint ;;
+  release)      job_release ;;
+  asan-ubsan)   job_asan_ubsan ;;
+  tsan)         job_tsan ;;
+  lint)         job_lint ;;
+  threadsafety) job_threadsafety ;;
+  tidy)         job_tidy ;;
   all)
     job_lint
     job_release
     job_asan_ubsan
     job_tsan
+    # The clang-based gates run wherever clang exists (CI always has
+    # it); a GCC-only box skips them with a note instead of failing.
+    if command -v "${GEF_CLANGXX:-clang++}" >/dev/null; then
+      job_threadsafety
+    else
+      echo "note: clang++ not found — skipping threadsafety job (CI runs it)"
+    fi
+    if command -v clang-tidy >/dev/null; then
+      job_tidy
+    else
+      echo "note: clang-tidy not found — skipping tidy job (CI runs it)"
+    fi
     ;;
   *)
-    echo "usage: $0 [all|release|asan-ubsan|tsan|lint]" >&2
+    echo "usage: $0 [all|release|asan-ubsan|tsan|lint|threadsafety|tidy]" >&2
     exit 2
     ;;
 esac
