@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -125,16 +126,50 @@ CompiledForest CompiledForest::Compile(const Forest& forest) {
   return compiled;
 }
 
+CompiledForest CompiledForest::FromBorrowed(
+    const BorrowedArrays& arrays, std::shared_ptr<const void> keepalive) {
+  // The caller (the store reader) has already bounds-swept the arrays;
+  // these checks only reject a malformed wrapper construction.
+  GEF_CHECK_GT(arrays.num_trees, 0u);
+  GEF_CHECK_GE(arrays.num_nodes, arrays.num_trees);
+  GEF_CHECK(arrays.feature != nullptr && arrays.threshold != nullptr &&
+            arrays.left != nullptr && arrays.packed != nullptr &&
+            arrays.value != nullptr && arrays.root != nullptr &&
+            arrays.steps != nullptr);
+
+  CompiledForest compiled;
+  compiled.num_features_ = arrays.num_features;
+  compiled.base_score_ = arrays.base_score;
+  compiled.average_ = arrays.average;
+  compiled.objective_ = arrays.objective;
+  compiled.borrowed_ = true;
+  compiled.borrowed_num_nodes_ = arrays.num_nodes;
+  compiled.keepalive_ = std::move(keepalive);
+
+  compiled::ForestView& view = compiled.borrowed_view_;
+  view.feature = arrays.feature;
+  view.threshold = arrays.threshold;
+  view.left = arrays.left;
+  view.packed = arrays.packed;
+  view.value = arrays.value;
+  view.root = arrays.root;
+  view.steps = arrays.steps;
+  view.num_trees = static_cast<int32_t>(arrays.num_trees);
+  view.base_score = arrays.base_score;
+  view.average = arrays.average;
+  return compiled;
+}
+
 size_t CompiledForest::compiled_bytes() const {
   // feature/left + interleaved pair + threshold/value per node,
-  // root/steps per tree.
-  return feature_.size() * 2 * sizeof(int32_t) +
-         packed_.size() * sizeof(uint64_t) +
-         threshold_.size() * 2 * sizeof(double) +
-         root_.size() * 2 * sizeof(int32_t);
+  // root/steps per tree (identical in owned and borrowed mode).
+  return num_nodes() * 2 * sizeof(int32_t) +
+         2 * num_nodes() * sizeof(uint64_t) +
+         num_nodes() * 2 * sizeof(double) + num_trees() * 2 * sizeof(int32_t);
 }
 
 compiled::ForestView CompiledForest::View() const {
+  if (borrowed_) return borrowed_view_;
   compiled::ForestView view;
   view.feature = feature_.data();
   view.threshold = threshold_.data();

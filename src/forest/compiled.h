@@ -25,6 +25,7 @@
 // record it, and the `forest.compile` span attributes it in traces.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "data/dataset.h"
@@ -42,6 +43,36 @@ class CompiledForest {
   /// at every deserialization boundary) — NaN is the leaf sentinel.
   static CompiledForest Compile(const Forest& forest);
 
+  /// Externally owned node arrays for the zero-copy (borrowed) mode:
+  /// the same arrays Compile fills, but living somewhere the caller
+  /// controls — in practice the mmap'd kForestCompiled payload of a
+  /// model store (store/store_reader.cc). Contract: the arrays must
+  /// already satisfy Compile's invariants (leaf self-loops, BFS child
+  /// adjacency, bounded indices); the store reader bounds-sweeps the
+  /// untrusted bytes before constructing one of these.
+  struct BorrowedArrays {
+    const int32_t* feature = nullptr;
+    const double* threshold = nullptr;
+    const int32_t* left = nullptr;
+    const uint64_t* packed = nullptr;
+    const double* value = nullptr;
+    const int32_t* root = nullptr;
+    const int32_t* steps = nullptr;
+    size_t num_nodes = 0;
+    size_t num_trees = 0;
+    size_t num_features = 0;
+    double base_score = 0.0;
+    bool average = false;
+    Objective objective = Objective::kRegression;
+  };
+
+  /// Wraps pre-validated external arrays without copying; `keepalive`
+  /// (typically the shared mmap) is held for the CompiledForest's
+  /// lifetime so the view can never dangle. Prediction entry points
+  /// behave identically to a Compile()d instance.
+  static CompiledForest FromBorrowed(const BorrowedArrays& arrays,
+                                     std::shared_ptr<const void> keepalive);
+
   /// Raw ensemble scores for `n` rows laid out row-major with `stride`
   /// doubles per row; `stride` must cover every feature the forest
   /// splits on. Fans row blocks across the shared pool; output is
@@ -57,17 +88,26 @@ class CompiledForest {
   /// pass for binary objectives).
   std::vector<double> PredictBatch(const Dataset& dataset) const;
 
-  size_t num_trees() const { return root_.size(); }
+  size_t num_trees() const {
+    return borrowed_ ? static_cast<size_t>(borrowed_view_.num_trees)
+                     : root_.size();
+  }
   size_t num_features() const { return num_features_; }
-  size_t num_nodes() const { return feature_.size(); }
+  size_t num_nodes() const {
+    return borrowed_ ? borrowed_num_nodes_ : feature_.size();
+  }
+  Objective objective() const { return objective_; }
 
   /// Total bytes of the node arrays + per-tree metadata.
   size_t compiled_bytes() const;
 
+  /// Borrowed view of the node arrays — the form the batch kernels and
+  /// the store writer (store/store_builder.cc) consume. Valid while
+  /// this CompiledForest is alive.
+  compiled::ForestView View() const;
+
  private:
   CompiledForest() = default;
-
-  compiled::ForestView View() const;
 
   /// Shared chunk body: scores [begin, end) of `dataset` into
   /// out[begin..end), optionally applying the sigmoid.
@@ -91,6 +131,14 @@ class CompiledForest {
   double base_score_ = 0.0;
   bool average_ = false;
   Objective objective_ = Objective::kRegression;
+
+  // Borrowed (zero-copy) mode: the SoA vectors above stay empty and the
+  // view points at external arrays pinned by keepalive_. Set once in
+  // FromBorrowed; immutable afterwards like the owned arrays.
+  bool borrowed_ = false;
+  size_t borrowed_num_nodes_ = 0;
+  compiled::ForestView borrowed_view_;
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace gef

@@ -1,6 +1,7 @@
 #include "forest/forest.h"
 
 #include <cmath>
+#include <utility>
 
 #include "forest/compiled.h"
 #include "util/string_util.h"
@@ -83,6 +84,15 @@ const CompiledForest& Forest::Compiled() const {
         CompiledForest::Compile(*this));
   });
   return *cache.compiled;
+}
+
+void Forest::AdoptCompiled(
+    std::shared_ptr<const CompiledForest> compiled) const {
+  GEF_CHECK(compiled != nullptr);
+  GEF_CHECK_EQ(compiled->num_trees(), trees_.size());
+  GEF_CHECK_EQ(compiled->num_features(), num_features_);
+  internal::CompiledForestCache& cache = *compiled_cache_;
+  std::call_once(cache.once, [&] { cache.compiled = std::move(compiled); });
 }
 
 size_t Forest::num_internal_nodes() const {

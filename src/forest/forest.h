@@ -92,6 +92,14 @@ class Forest {
   /// insert so no request pays the compile.
   const CompiledForest& Compiled() const;
 
+  /// Pre-seeds the lazy compile cache with an externally built compiled
+  /// form — in practice the zero-copy borrowed view of an mmap'd model
+  /// store section, so a store-loaded forest never pays a compile.
+  /// First writer wins (same call_once as Compiled); a forest that
+  /// already compiled keeps its existing form and the adoption is a
+  /// no-op. `compiled` must describe this forest (checked on shape).
+  void AdoptCompiled(std::shared_ptr<const CompiledForest> compiled) const;
+
   size_t num_trees() const { return trees_.size(); }
   size_t num_features() const { return num_features_; }
   const Tree& tree(size_t i) const {

@@ -37,6 +37,9 @@ class Tree {
   /// Appends a node and returns its index.
   int AddNode(const TreeNode& node);
 
+  /// Pre-sizes the node array (deserializers that know the count).
+  void Reserve(size_t num_nodes) { nodes_.reserve(num_nodes); }
+
   /// Turns leaf `index` into an internal node with two fresh leaves;
   /// returns {left_index, right_index}.
   std::pair<int, int> SplitLeaf(int index, int feature, double threshold,

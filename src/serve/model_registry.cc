@@ -1,10 +1,13 @@
 #include "serve/model_registry.h"
 
+#include <chrono>
 #include <utility>
 
 #include "forest/lightgbm_import.h"
 #include "forest/serialization.h"
+#include "gef/explanation_io.h"
 #include "obs/metrics.h"
+#include "store/store_reader.h"
 #include "util/validate.h"
 
 namespace gef {
@@ -26,7 +29,8 @@ Status ModelRegistry::LoadModel(const std::string& name,
 
 Status ModelRegistry::AddModel(
     const std::string& name, Forest forest, std::string source_path,
-    std::shared_ptr<const GefExplanation> preloaded_explanation) {
+    std::shared_ptr<const GefExplanation> preloaded_explanation,
+    uint64_t content_hash) {
   if (name.empty()) {
     return Status::InvalidArgument("model name must be non-empty");
   }
@@ -37,7 +41,11 @@ Status ModelRegistry::AddModel(
   model->name = name;
   model->source_path = std::move(source_path);
   model->forest = std::move(forest);
-  model->hash = model->forest.ContentHash();
+  // A store load passes the pack-time hash (integrity-checked against
+  // the section checksums) so registration does not re-serialize the
+  // whole forest to text just to hash it.
+  model->hash =
+      content_hash != 0 ? content_hash : model->forest.ContentHash();
   // Flatten eagerly: requests hitting this model via the batcher go
   // straight to the compiled kernels without paying the compile.
   model->forest.Compiled();
@@ -56,6 +64,51 @@ Status ModelRegistry::AddModel(
                                     : "serve.model_loads")
       .Add();
   obs::metrics::GetGauge("serve.models").Set(static_cast<double>(count));
+  return Status::Ok();
+}
+
+Status ModelRegistry::LoadStore(const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  auto reader = store::StoreReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  const std::vector<std::string> names = reader->ForestNames();
+  if (names.empty()) {
+    return Status::InvalidArgument("store " + path +
+                                   " contains no forests");
+  }
+  for (const std::string& name : names) {
+    StatusOr<Forest> forest = reader->LoadForest(name);
+    if (!forest.ok()) return forest.status();
+    StatusOr<uint64_t> hash = reader->ForestHash(name);
+    if (!hash.ok()) return hash.status();
+
+    std::shared_ptr<const GefExplanation> explanation;
+    StatusOr<std::string> surrogate = reader->SurrogateText(name);
+    if (surrogate.ok()) {
+      auto parsed = ExplanationFromString(surrogate.value());
+      if (!parsed.ok()) {
+        return Status::ParseError("store surrogate for '" + name +
+                                  "' failed to parse: " +
+                                  parsed.status().message());
+      }
+      explanation = std::shared_ptr<const GefExplanation>(
+          std::move(parsed).value());
+    } else if (surrogate.status().code() != StatusCode::kNotFound) {
+      return surrogate.status();
+    }
+
+    if (Status s = AddModel(name, std::move(forest).value(), path,
+                            std::move(explanation), hash.value());
+        !s.ok()) {
+      return s;
+    }
+  }
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  obs::metrics::GetCounter("store.loads").Add();
+  obs::metrics::GetGauge("store.load_ms").Set(elapsed.count());
+  obs::metrics::GetGauge("store.mmap_bytes")
+      .Set(static_cast<double>(reader->mapped_bytes()));
   return Status::Ok();
 }
 

@@ -50,12 +50,26 @@ class ModelRegistry {
 
   /// Registers/replaces `name` with an in-memory forest. Runs
   /// ValidateForest before accepting (in-memory models skipped the
-  /// deserialization boundary).
+  /// deserialization boundary). `content_hash` carries a precomputed
+  /// ContentHash (the store's on-disk identity, already checksummed) so
+  /// store loads skip the re-serialization hashing costs; 0 means
+  /// "compute it here".
   Status AddModel(const std::string& name, Forest forest,
                   std::string source_path = "",
                   std::shared_ptr<const GefExplanation>
-                      preloaded_explanation = nullptr)
+                      preloaded_explanation = nullptr,
+                  uint64_t content_hash = 0)
       GEF_EXCLUDES(mutex_);
+
+  /// Maps a binary model store (store/store_reader.h) and registers
+  /// every forest in it — zero-copy: batch prediction runs on the
+  /// mmap'd compiled arrays, shared page cache across processes — plus
+  /// its packed surrogate when the store carries one. Names already
+  /// registered are hot-swapped atomically; identical content hashes
+  /// mean downstream caches (the single-flight SurrogateCache) keep
+  /// their entries across the remap. Records `store.mmap_bytes`,
+  /// `store.load_ms` and `store.loads`.
+  Status LoadStore(const std::string& path) GEF_EXCLUDES(mutex_);
 
   /// Snapshot of the named model; nullptr when absent.
   std::shared_ptr<const ServedModel> Get(const std::string& name) const

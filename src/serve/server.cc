@@ -13,7 +13,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
-#include "serve/shutdown.h"
+#include "util/shutdown.h"
 
 namespace gef {
 namespace serve {

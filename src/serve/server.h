@@ -8,7 +8,7 @@
 // because request *work* is already parallelized by the batcher across
 // the shared pool; connection threads mostly sleep in poll(). Every
 // socket wait is bounded by a timeout, and the accept loop polls the
-// shutdown self-pipe (serve/shutdown.h) alongside the listen socket, so
+// shutdown self-pipe (util/shutdown.h) alongside the listen socket, so
 // SIGINT/SIGTERM wakes it instantly.
 //
 // Drain sequence on shutdown: stop accepting, close the listen socket,

@@ -1,0 +1,69 @@
+#include "store/checksum.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace gef {
+namespace store {
+namespace {
+
+/// FNV-1a over one chunk of the fixed grid (only the last is short).
+uint64_t ChunkDigest(const unsigned char* bytes, size_t size, size_t c) {
+  const size_t begin = c * kChecksumChunk;
+  return HashFnv1a64(bytes + begin, std::min(kChecksumChunk, size - begin));
+}
+
+/// Digests chunks [begin_chunk, end_chunk), four full chunks per pass:
+/// the four FNV states are independent, so their multiply chains
+/// overlap in the pipeline instead of serializing.
+void DigestRange(const unsigned char* bytes, size_t size, size_t begin_chunk,
+                 size_t end_chunk, uint64_t* digests) {
+  const size_t full_chunks = size / kChecksumChunk;
+  size_t c = begin_chunk;
+  for (; c + 4 <= end_chunk && c + 4 <= full_chunks; c += 4) {
+    const unsigned char* p0 = bytes + (c + 0) * kChecksumChunk;
+    const unsigned char* p1 = bytes + (c + 1) * kChecksumChunk;
+    const unsigned char* p2 = bytes + (c + 2) * kChecksumChunk;
+    const unsigned char* p3 = bytes + (c + 3) * kChecksumChunk;
+    uint64_t h0 = kFnv1a64OffsetBasis;
+    uint64_t h1 = kFnv1a64OffsetBasis;
+    uint64_t h2 = kFnv1a64OffsetBasis;
+    uint64_t h3 = kFnv1a64OffsetBasis;
+    for (size_t i = 0; i < kChecksumChunk; ++i) {
+      h0 = (h0 ^ p0[i]) * kFnv1a64Prime;
+      h1 = (h1 ^ p1[i]) * kFnv1a64Prime;
+      h2 = (h2 ^ p2[i]) * kFnv1a64Prime;
+      h3 = (h3 ^ p3[i]) * kFnv1a64Prime;
+    }
+    digests[c + 0] = h0;
+    digests[c + 1] = h1;
+    digests[c + 2] = h2;
+    digests[c + 3] = h3;
+  }
+  for (; c < end_chunk; ++c) digests[c] = ChunkDigest(bytes, size, c);
+}
+
+}  // namespace
+
+uint64_t SectionChecksum(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const size_t num_chunks = (size + kChecksumChunk - 1) / kChecksumChunk;
+  uint64_t acc = HashFnv1a64(nullptr, 0);
+  if (num_chunks == 0) return acc;
+  std::vector<uint64_t> digests(num_chunks);
+  // Eight chunks (two interleave passes) per task keeps the scheduling
+  // overhead well under the hash work; small payloads run inline.
+  ParallelForChunked(0, num_chunks, 8, [&](size_t b, size_t e) {
+    DigestRange(bytes, size, b, e, digests.data());
+  });
+  for (size_t c = 0; c < num_chunks; ++c) {
+    acc = HashCombine(acc, digests[c]);
+  }
+  return acc;
+}
+
+}  // namespace store
+}  // namespace gef

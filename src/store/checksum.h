@@ -1,0 +1,33 @@
+#ifndef GEF_STORE_CHECKSUM_H_
+#define GEF_STORE_CHECKSUM_H_
+
+// Section payload checksums (format.h, SectionEntry.payload_checksum).
+//
+// Definition (part of the v1 format): the payload is cut into
+// kChecksumChunk-byte chunks; each chunk is hashed independently with
+// FNV-1a 64 (util/hash); the section checksum is FNV-1a folded over
+// the per-chunk digests in ascending chunk order (HashCombine). A
+// plain whole-payload FNV is one byte-serial 64-bit multiply chain —
+// about a millisecond per MB — and would dominate mmap cold-start;
+// independent chunks verify with instruction-level parallelism (four
+// streams per pass) and across threads, while staying deterministic:
+// the digest array and fold order depend only on the payload bytes.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gef {
+namespace store {
+
+/// Chunk size of the two-level section checksum. Part of the on-disk
+/// format — changing it changes every stored checksum, so it may only
+/// move together with kFormatVersion.
+inline constexpr size_t kChecksumChunk = 64 * 1024;
+
+/// Two-level chunked FNV-1a 64 over a payload (see file comment).
+uint64_t SectionChecksum(const void* data, size_t size);
+
+}  // namespace store
+}  // namespace gef
+
+#endif  // GEF_STORE_CHECKSUM_H_

@@ -1,0 +1,184 @@
+#ifndef GEF_STORE_FORMAT_H_
+#define GEF_STORE_FORMAT_H_
+
+// On-disk layout of the versioned binary model store (DESIGN.md §3.17).
+//
+// A store file is: a fixed 64-byte header, then the section payloads
+// (each starting on a 64-byte boundary), then the section table (one
+// 64-byte entry per section, also 64-byte aligned) at the tail. Writing
+// the table last keeps packing single-pass; readers find it through
+// `table_offset` in the header.
+//
+//   [ StoreHeader | payload 0 .. payload N-1 | SectionEntry 0..N-1 ]
+//
+// Integrity is layered: the header checksums its own first 56 bytes
+// and the table with plain FNV-1a 64 (util/hash.h, the same function
+// that already defines model identity), and each table entry checksums
+// its payload with the chunked two-level FNV of store/checksum.h —
+// same primitive, but verifiable with instruction- and thread-level
+// parallelism so integrity doesn't dominate mmap cold-start. A reader
+// validates outside-in (header →
+// table → entries → payloads) and exposes nothing until every level it
+// was asked to check has passed, so a truncated, bit-flipped or
+// overlapping-section file fails with a clean Status instead of a wild
+// pointer.
+//
+// Canonical byte order is little-endian and the structs below are read
+// and written by memcpy of their in-memory representation, so the
+// format is only defined on little-endian targets (statically asserted
+// — every deployment target of this tree qualifies). Forward compat:
+// readers reject `format_version` above their own and reject any
+// header_bytes / entry layout they do not know, rather than guessing.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gef {
+namespace store {
+
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "the store format is defined as little-endian; a "
+              "byte-swapping reader has not been written");
+
+/// First 8 bytes of every store file. The trailing '1' is a layout
+/// generation, distinct from format_version: bumping format_version
+/// keeps the magic while the header shape is unchanged.
+inline constexpr char kMagic[8] = {'G', 'E', 'F', 'S', 'T', 'O', 'R', '1'};
+
+/// Version this tree writes and the highest it reads. Readers accept
+/// any version <= kFormatVersion whose layout they know and reject
+/// newer files loudly (forward compatibility is explicit, not guessed).
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Every payload and the section table start on this boundary, so
+/// mmap'd numeric arrays (f64 / u64 / i32 SoA blobs) are naturally
+/// aligned and cache-line clean.
+inline constexpr size_t kAlignment = 64;
+
+/// `offset` rounded up to the next kAlignment boundary.
+constexpr uint64_t AlignUp(uint64_t offset) {
+  return (offset + kAlignment - 1) & ~static_cast<uint64_t>(kAlignment - 1);
+}
+
+/// Typed section payloads. Values are part of the on-disk format; never
+/// renumber, only append.
+enum class SectionKind : uint32_t {
+  kInvalid = 0,
+  kForestMeta = 1,      // ForestMetaHeader + '\n'-joined feature names
+  kForestNodes = 2,     // tree offsets + SoA of the original tree nodes
+  kForestCompiled = 3,  // CompiledHeader + the PR 6 SoA traversal arrays
+  kSurrogate = 4,       // canonical GEF explanation text (gef/explanation_io)
+  kDatasetSummary = 5,  // free-form dataset summary text
+};
+
+/// Human-readable kind name for gef_store inspect / error messages.
+constexpr const char* SectionKindName(uint32_t kind) {
+  switch (static_cast<SectionKind>(kind)) {
+    case SectionKind::kForestMeta:
+      return "forest_meta";
+    case SectionKind::kForestNodes:
+      return "forest_nodes";
+    case SectionKind::kForestCompiled:
+      return "forest_compiled";
+    case SectionKind::kSurrogate:
+      return "surrogate";
+    case SectionKind::kDatasetSummary:
+      return "dataset_summary";
+    case SectionKind::kInvalid:
+      break;
+  }
+  return "unknown";
+}
+
+/// Fixed 64-byte file header.
+struct StoreHeader {
+  char magic[8];            // kMagic
+  uint32_t format_version;  // kFormatVersion at write time
+  uint32_t header_bytes;    // sizeof(StoreHeader); readers reject others
+  uint64_t section_count;   // entries in the section table
+  uint64_t table_offset;    // absolute offset of SectionEntry[0]
+  uint64_t file_bytes;      // total file size; readers require an exact match
+  uint64_t table_checksum;  // FNV-1a 64 over the whole section table
+  uint64_t reserved;        // zero; reserved for future format versions
+  uint64_t header_checksum;  // FNV-1a 64 over the 56 bytes above
+};
+static_assert(sizeof(StoreHeader) == 64, "header layout is part of the format");
+
+/// Bytes of StoreHeader covered by header_checksum.
+inline constexpr size_t kHeaderChecksumBytes =
+    sizeof(StoreHeader) - sizeof(uint64_t);
+
+/// Maximum model-name length (the section name field is fixed-width and
+/// NUL-terminated). Enforced at pack time with a clean Status.
+inline constexpr size_t kMaxSectionName = 15;
+
+/// One 64-byte section-table entry.
+struct SectionEntry {
+  uint32_t kind;              // SectionKind
+  uint32_t flags;             // zero; reserved
+  uint64_t offset;            // absolute payload offset, kAlignment-aligned
+  uint64_t payload_bytes;     // exact payload size (no padding included)
+  uint64_t payload_checksum;  // chunked FNV-1a 64 (store/checksum.h)
+  uint64_t model_hash;        // owning model's ContentHash (ties sections)
+  uint64_t artifact_hash;     // this payload's source-artifact ContentHash
+  char name[16];              // model name, NUL-terminated (kMaxSectionName)
+};
+static_assert(sizeof(SectionEntry) == 64, "entry layout is part of the format");
+
+/// Fixed head of a kForestMeta payload; the feature-name blob
+/// ('\n'-joined, no trailing separator) follows immediately.
+struct ForestMetaHeader {
+  uint32_t objective;    // Objective enumerator value
+  uint32_t aggregation;  // Aggregation enumerator value
+  double init_score;
+  uint64_t num_features;
+  uint64_t num_trees;
+  uint64_t names_bytes;  // byte length of the feature-name blob
+};
+static_assert(sizeof(ForestMetaHeader) == 40, "meta layout is fixed");
+
+/// Fixed head of a kForestNodes payload. The arrays that follow, in
+/// order (8-byte fields first so every f64/u64 array stays naturally
+/// aligned from the 64-byte section start):
+///   uint64  tree_offsets[num_trees + 1]   node-index prefix per tree
+///   f64     threshold[num_nodes]
+///   f64     gain[num_nodes]
+///   f64     value[num_nodes]
+///   i32     feature[num_nodes]
+///   i32     left[num_nodes]
+///   i32     right[num_nodes]
+///   i32     count[num_nodes]
+/// Nodes keep their original in-tree order (node 0 is each tree's
+/// root), so reconstruction rebuilds byte-identical text serialization.
+struct ForestNodesHeader {
+  uint64_t num_trees;
+  uint64_t num_nodes;
+};
+static_assert(sizeof(ForestNodesHeader) == 16, "nodes layout is fixed");
+
+/// Fixed head of a kForestCompiled payload. The arrays that follow, in
+/// order (matching compiled::ForestView):
+///   f64     threshold[num_nodes]
+///   f64     value[num_nodes]
+///   u64     packed[2 * num_nodes]
+///   i32     feature[num_nodes]
+///   i32     left[num_nodes]
+///   i32     root[num_trees]
+///   i32     steps[num_trees]
+/// The reader bounds-sweeps these arrays (child monotonicity, root
+/// ranges, packed-word consistency) before handing out a zero-copy
+/// view — the mmap is a trust boundary exactly like the text parser.
+struct CompiledHeader {
+  uint64_t num_nodes;
+  uint64_t num_trees;
+  uint64_t num_features;
+  double base_score;
+  uint32_t objective;  // Objective enumerator value
+  uint32_t average;    // 1 when the fold divides by num_trees
+};
+static_assert(sizeof(CompiledHeader) == 40, "compiled layout is fixed");
+
+}  // namespace store
+}  // namespace gef
+
+#endif  // GEF_STORE_FORMAT_H_

@@ -1,0 +1,50 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gef {
+namespace store {
+
+StatusOr<std::shared_ptr<const MmapFile>> MmapFile::Map(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open store file " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("cannot stat store file " + path + ": " + err);
+  }
+  auto file = std::make_shared<MmapFile>();
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ > 0) {
+    void* mapping =
+        ::mmap(nullptr, file->size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapping == MAP_FAILED) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("cannot mmap store file " + path + ": " + err);
+    }
+    file->data_ = static_cast<uint8_t*>(mapping);
+  }
+  // The mapping pins the file; the descriptor is not needed afterwards.
+  ::close(fd);
+  return std::shared_ptr<const MmapFile>(std::move(file));
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace store
+}  // namespace gef

@@ -1,0 +1,48 @@
+#ifndef GEF_STORE_MMAP_FILE_H_
+#define GEF_STORE_MMAP_FILE_H_
+
+// Read-only memory-mapped file, the substrate under StoreReader. The
+// mapping is shared (page cache), so N server processes serving the
+// same store share one physical copy of the node arrays, and a remap
+// after a model push costs page faults, not a parse.
+//
+// Ownership: Map returns a shared_ptr and every zero-copy view handed
+// out by the reader (compiled-forest arrays, surrogate text) keeps a
+// copy of that pointer alive, so the mapping outlives any view into it
+// regardless of reader lifetime.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace gef {
+namespace store {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Fails with IoError on open/stat/mmap
+  /// failure; an empty file maps to data() == nullptr, size() == 0
+  /// (the store reader rejects it at the header check).
+  static StatusOr<std::shared_ptr<const MmapFile>> Map(
+      const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace store
+}  // namespace gef
+
+#endif  // GEF_STORE_MMAP_FILE_H_

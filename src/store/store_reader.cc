@@ -1,0 +1,488 @@
+#include "store/store_reader.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "forest/compiled.h"
+#include "forest/tree.h"
+#include "store/checksum.h"
+#include "util/hash.h"
+#include "util/string_util.h"
+#include "util/validate.h"
+
+namespace gef {
+namespace store {
+namespace {
+
+template <typename T>
+T LoadPod(const uint8_t* bytes) {
+  T pod;
+  std::memcpy(&pod, bytes, sizeof(pod));
+  return pod;
+}
+
+std::string Describe(const StoreReader::Section& section) {
+  return std::string(SectionKindName(section.kind)) + " '" + section.name +
+         "'";
+}
+
+/// Bounds-sweeps an mmap'd compiled payload (see format.h,
+/// CompiledHeader) against the forest reconstructed from the node
+/// section, and wires it up as a borrowed CompiledForest on success.
+/// The invariants mirror what CompiledForest::Compile produces; the
+/// critical one is child monotonicity (left > id), which bounds every
+/// kernel walk — the scalar kernel loops until it reaches a leaf, so
+/// without it a corrupted section could cycle forever.
+Status AdoptCompiledSection(const StoreReader::Section& section,
+                            const Forest& forest, size_t total_nodes,
+                            std::shared_ptr<const MmapFile> file) {
+  const std::string label = Describe(section);
+  if (section.payload_bytes < sizeof(CompiledHeader)) {
+    return Status::ParseError(label + ": payload shorter than its header");
+  }
+  const CompiledHeader header = LoadPod<CompiledHeader>(section.data);
+  if (header.num_nodes != total_nodes ||
+      header.num_trees != forest.num_trees() ||
+      header.num_features != forest.num_features()) {
+    return Status::ParseError(label +
+                              ": shape disagrees with the node sections");
+  }
+  if (header.objective != static_cast<uint32_t>(forest.objective()) ||
+      header.average > 1 ||
+      (header.average == 1) !=
+          (forest.aggregation() == Aggregation::kAverage)) {
+    return Status::ParseError(label +
+                              ": objective/aggregation disagrees with meta");
+  }
+  if (!std::isfinite(header.base_score)) {
+    return Status::ParseError(label + ": non-finite base score");
+  }
+  const size_t n = total_nodes;
+  const size_t t = forest.num_trees();
+  const uint64_t expected =
+      sizeof(CompiledHeader) +
+      n * (2 * sizeof(double) + 2 * sizeof(uint64_t) + 2 * sizeof(int32_t)) +
+      t * 2 * sizeof(int32_t);
+  if (section.payload_bytes != expected) {
+    return Status::ParseError(label + ": payload size mismatch (have " +
+                              std::to_string(section.payload_bytes) +
+                              " bytes, layout requires " +
+                              std::to_string(expected) + ")");
+  }
+
+  const uint8_t* cursor = section.data + sizeof(CompiledHeader);
+  const double* threshold = reinterpret_cast<const double*>(cursor);
+  cursor += n * sizeof(double);
+  const double* value = reinterpret_cast<const double*>(cursor);
+  cursor += n * sizeof(double);
+  const uint64_t* packed = reinterpret_cast<const uint64_t*>(cursor);
+  cursor += 2 * n * sizeof(uint64_t);
+  const int32_t* feature = reinterpret_cast<const int32_t*>(cursor);
+  cursor += n * sizeof(int32_t);
+  const int32_t* left = reinterpret_cast<const int32_t*>(cursor);
+  cursor += n * sizeof(int32_t);
+  const int32_t* root = reinterpret_cast<const int32_t*>(cursor);
+  cursor += t * sizeof(int32_t);
+  const int32_t* steps = reinterpret_cast<const int32_t*>(cursor);
+
+  const auto node_error = [&label](size_t id, const char* what) {
+    return Status::ParseError(label + ": node " + std::to_string(id) + " " +
+                              what);
+  };
+  const int64_t num_features = static_cast<int64_t>(forest.num_features());
+  for (size_t tree = 0; tree < t; ++tree) {
+    const int64_t lo = root[tree];
+    const int64_t hi = tree + 1 < t ? root[tree + 1] : static_cast<int64_t>(n);
+    if (lo < 0 || lo >= hi || hi > static_cast<int64_t>(n)) {
+      return Status::ParseError(label + ": tree " + std::to_string(tree) +
+                                " has an empty or out-of-range node span");
+    }
+    if (tree == 0 && lo != 0) {
+      return Status::ParseError(label + ": first root must be node 0");
+    }
+    if (steps[tree] < 0 || steps[tree] >= hi - lo) {
+      return Status::ParseError(label + ": tree " + std::to_string(tree) +
+                                " step bound out of range");
+    }
+    for (int64_t id = lo; id < hi; ++id) {
+      const double thr = threshold[id];
+      const int32_t f = feature[id];
+      const int32_t l = left[id];
+      if (std::isnan(thr)) {
+        // Leaf: self-loop encoding.
+        if (f != -1) return node_error(id, "is a leaf with a feature");
+        if (l != static_cast<int32_t>(id) - 1) {
+          return node_error(id, "breaks the leaf self-loop invariant");
+        }
+        if (!std::isfinite(value[id])) {
+          return node_error(id, "has a non-finite leaf value");
+        }
+      } else {
+        if (!std::isfinite(thr)) {
+          return node_error(id, "has a non-finite threshold");
+        }
+        if (f < 0 || f >= num_features) {
+          return node_error(id, "splits on an out-of-range feature");
+        }
+        // Child monotonicity: children strictly after the parent and
+        // inside the same tree span. This is what makes every
+        // traversal terminate in < span steps.
+        if (l <= id || l + 1 >= hi) {
+          return node_error(id, "has out-of-range children");
+        }
+      }
+      // The packed words must be the canonical re-encoding of the
+      // scalar columns, so both kernels walk the same tree.
+      const uint64_t packed_feature =
+          static_cast<uint64_t>(f < 0 ? 0 : f);
+      const uint64_t expected_word =
+          (packed_feature << 32) |
+          (static_cast<uint64_t>(l) & 0xffffffffULL);
+      const uint64_t thr_bits = LoadPod<uint64_t>(
+          section.data + sizeof(CompiledHeader) + id * sizeof(double));
+      if (packed[2 * id] != expected_word || packed[2 * id + 1] != thr_bits) {
+        return node_error(id, "has inconsistent packed words");
+      }
+    }
+  }
+
+  CompiledForest::BorrowedArrays arrays;
+  arrays.feature = feature;
+  arrays.threshold = threshold;
+  arrays.left = left;
+  arrays.packed = packed;
+  arrays.value = value;
+  arrays.root = root;
+  arrays.steps = steps;
+  arrays.num_nodes = n;
+  arrays.num_trees = t;
+  arrays.num_features = forest.num_features();
+  arrays.base_score = header.base_score;
+  arrays.average = header.average == 1;
+  arrays.objective = forest.objective();
+  forest.AdoptCompiled(std::make_shared<const CompiledForest>(
+      CompiledForest::FromBorrowed(arrays, std::move(file))));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<StoreReader> StoreReader::Open(const std::string& path) {
+  return Open(path, Options());
+}
+
+StatusOr<StoreReader> StoreReader::Open(const std::string& path,
+                                        const Options& options) {
+  auto mapped = MmapFile::Map(path);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<const MmapFile> file = std::move(mapped).value();
+  const uint8_t* base = file->data();
+  const size_t size = file->size();
+
+  // 1. Header: size, magic, self-checksum, then the fields it protects.
+  if (size < sizeof(StoreHeader)) {
+    return Status::ParseError("store " + path + " is " +
+                              std::to_string(size) +
+                              " bytes, smaller than the fixed header");
+  }
+  const StoreHeader header = LoadPod<StoreHeader>(base);
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("store " + path + " has a bad magic number");
+  }
+  if (header.header_checksum != HashFnv1a64(base, kHeaderChecksumBytes)) {
+    return Status::ParseError("store " + path + " header checksum mismatch");
+  }
+  if (header.format_version == 0 ||
+      header.format_version > kFormatVersion) {
+    return Status::ParseError(
+        "store " + path + " is format version " +
+        std::to_string(header.format_version) + "; this reader supports up "
+        "to version " + std::to_string(kFormatVersion));
+  }
+  if (header.header_bytes != sizeof(StoreHeader) || header.reserved != 0) {
+    return Status::ParseError("store " + path +
+                              " has an unknown header layout");
+  }
+
+  // 2. Exact size match catches truncation and appended garbage alike.
+  if (header.file_bytes != size) {
+    return Status::ParseError(
+        "store " + path + " declares " + std::to_string(header.file_bytes) +
+        " bytes but the file has " + std::to_string(size));
+  }
+
+  // 3. Section table: bounds, alignment, tail position, checksum.
+  if (header.section_count >
+      (size - sizeof(StoreHeader)) / sizeof(SectionEntry)) {
+    return Status::ParseError("store " + path +
+                              " section count out of range");
+  }
+  const uint64_t table_bytes = header.section_count * sizeof(SectionEntry);
+  if (header.table_offset % kAlignment != 0 ||
+      header.table_offset < sizeof(StoreHeader) ||
+      header.table_offset + table_bytes != header.file_bytes) {
+    return Status::ParseError("store " + path +
+                              " section table out of bounds");
+  }
+  if (header.table_checksum !=
+      HashFnv1a64(base + header.table_offset, table_bytes)) {
+    return Status::ParseError("store " + path +
+                              " section table checksum mismatch");
+  }
+
+  // 4. Entries: known kinds, clean names, aligned non-overlapping
+  // in-bounds payloads (table order must march forward, which also
+  // keeps every payload clear of the header and the table).
+  StoreReader reader;
+  reader.file_ = file;
+  reader.format_version_ = header.format_version;
+  reader.sections_.reserve(header.section_count);
+  uint64_t prev_end = sizeof(StoreHeader);
+  for (uint64_t i = 0; i < header.section_count; ++i) {
+    const SectionEntry entry = LoadPod<SectionEntry>(
+        base + header.table_offset + i * sizeof(SectionEntry));
+    const std::string position = "store " + path + " section " +
+                                 std::to_string(i);
+    if (entry.kind == static_cast<uint32_t>(SectionKind::kInvalid) ||
+        entry.kind > static_cast<uint32_t>(SectionKind::kDatasetSummary)) {
+      return Status::ParseError(position + " has unknown kind " +
+                                std::to_string(entry.kind));
+    }
+    if (entry.flags != 0) {
+      return Status::ParseError(position + " uses unknown flags");
+    }
+    if (entry.name[sizeof(entry.name) - 1] != '\0' || entry.name[0] == '\0') {
+      return Status::ParseError(position + " has a malformed name");
+    }
+    if (entry.payload_bytes == 0) {
+      return Status::ParseError(position + " is zero-length");
+    }
+    if (entry.offset % kAlignment != 0 || entry.offset < prev_end ||
+        entry.offset > header.table_offset ||
+        entry.payload_bytes > header.table_offset - entry.offset) {
+      return Status::ParseError(position +
+                                " payload overlaps or escapes the file");
+    }
+    prev_end = entry.offset + entry.payload_bytes;
+
+    Section section;
+    section.kind = entry.kind;
+    section.name = entry.name;  // NUL-terminated, checked above
+    section.payload_bytes = entry.payload_bytes;
+    section.payload_checksum = entry.payload_checksum;
+    section.model_hash = entry.model_hash;
+    section.artifact_hash = entry.artifact_hash;
+    section.data = base + entry.offset;
+    reader.sections_.push_back(std::move(section));
+  }
+
+  // 5. Payload integrity.
+  if (options.verify_checksums) {
+    if (Status s = reader.VerifyAll(); !s.ok()) return s;
+  }
+  return reader;
+}
+
+Status StoreReader::VerifyAll() const {
+  for (const Section& section : sections_) {
+    if (SectionChecksum(section.data, section.payload_bytes) !=
+        section.payload_checksum) {
+      return Status::ParseError(Describe(section) +
+                                ": payload checksum mismatch");
+    }
+  }
+  return Status::Ok();
+}
+
+const StoreReader::Section* StoreReader::Find(SectionKind kind,
+                                              const std::string& name) const {
+  for (const Section& section : sections_) {
+    if (section.kind == static_cast<uint32_t>(kind) && section.name == name) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> StoreReader::ForestNames() const {
+  std::vector<std::string> names;
+  for (const Section& section : sections_) {
+    if (section.kind == static_cast<uint32_t>(SectionKind::kForestMeta)) {
+      names.push_back(section.name);
+    }
+  }
+  return names;
+}
+
+StatusOr<uint64_t> StoreReader::ForestHash(const std::string& name) const {
+  const Section* meta = Find(SectionKind::kForestMeta, name);
+  if (meta == nullptr) {
+    return Status::NotFound("no forest '" + name + "' in store");
+  }
+  return meta->model_hash;
+}
+
+StatusOr<Forest> StoreReader::LoadForest(const std::string& name) const {
+  const Section* meta_section = Find(SectionKind::kForestMeta, name);
+  if (meta_section == nullptr) {
+    return Status::NotFound("no forest '" + name + "' in store");
+  }
+  const Section* nodes_section = Find(SectionKind::kForestNodes, name);
+  if (nodes_section == nullptr) {
+    return Status::ParseError("forest '" + name +
+                              "' has no node section in store");
+  }
+
+  // Metadata.
+  if (meta_section->payload_bytes < sizeof(ForestMetaHeader)) {
+    return Status::ParseError(Describe(*meta_section) +
+                              ": payload shorter than its header");
+  }
+  const ForestMetaHeader meta = LoadPod<ForestMetaHeader>(meta_section->data);
+  if (meta.objective >
+          static_cast<uint32_t>(Objective::kBinaryClassification) ||
+      meta.aggregation > static_cast<uint32_t>(Aggregation::kAverage)) {
+    return Status::ParseError(Describe(*meta_section) +
+                              ": unknown objective or aggregation");
+  }
+  if (meta.num_features == 0) {
+    return Status::ParseError(Describe(*meta_section) + ": zero features");
+  }
+  if (meta.names_bytes !=
+      meta_section->payload_bytes - sizeof(ForestMetaHeader)) {
+    return Status::ParseError(Describe(*meta_section) +
+                              ": feature-name blob size mismatch");
+  }
+  const std::string names_blob(
+      reinterpret_cast<const char*>(meta_section->data +
+                                    sizeof(ForestMetaHeader)),
+      meta.names_bytes);
+  std::vector<std::string> feature_names = Split(names_blob, '\n');
+  if (feature_names.size() != meta.num_features) {
+    return Status::ParseError(Describe(*meta_section) + ": " +
+                              std::to_string(feature_names.size()) +
+                              " feature names for " +
+                              std::to_string(meta.num_features) +
+                              " features");
+  }
+
+  // Node arrays.
+  if (nodes_section->payload_bytes < sizeof(ForestNodesHeader)) {
+    return Status::ParseError(Describe(*nodes_section) +
+                              ": payload shorter than its header");
+  }
+  const ForestNodesHeader nodes_header =
+      LoadPod<ForestNodesHeader>(nodes_section->data);
+  if (nodes_header.num_trees != meta.num_trees) {
+    return Status::ParseError(Describe(*nodes_section) +
+                              ": tree count disagrees with meta");
+  }
+  const uint64_t num_trees = nodes_header.num_trees;
+  const uint64_t num_nodes = nodes_header.num_nodes;
+  // Size math in uint64 with an early cap so the multiplications below
+  // cannot wrap: the payload already fit inside the file.
+  const uint64_t cap = nodes_section->payload_bytes;
+  if (num_trees > cap / sizeof(uint64_t) || num_nodes > cap / sizeof(double)) {
+    return Status::ParseError(Describe(*nodes_section) +
+                              ": node counts out of range");
+  }
+  const uint64_t expected =
+      sizeof(ForestNodesHeader) + (num_trees + 1) * sizeof(uint64_t) +
+      num_nodes * (3 * sizeof(double) + 4 * sizeof(int32_t));
+  if (nodes_section->payload_bytes != expected) {
+    return Status::ParseError(
+        Describe(*nodes_section) + ": payload size mismatch (have " +
+        std::to_string(nodes_section->payload_bytes) +
+        " bytes, layout requires " + std::to_string(expected) + ")");
+  }
+
+  const uint8_t* cursor = nodes_section->data + sizeof(ForestNodesHeader);
+  const uint64_t* tree_offsets = reinterpret_cast<const uint64_t*>(cursor);
+  cursor += (num_trees + 1) * sizeof(uint64_t);
+  const double* threshold = reinterpret_cast<const double*>(cursor);
+  cursor += num_nodes * sizeof(double);
+  const double* gain = reinterpret_cast<const double*>(cursor);
+  cursor += num_nodes * sizeof(double);
+  const double* value = reinterpret_cast<const double*>(cursor);
+  cursor += num_nodes * sizeof(double);
+  const int32_t* feature = reinterpret_cast<const int32_t*>(cursor);
+  cursor += num_nodes * sizeof(int32_t);
+  const int32_t* left = reinterpret_cast<const int32_t*>(cursor);
+  cursor += num_nodes * sizeof(int32_t);
+  const int32_t* right = reinterpret_cast<const int32_t*>(cursor);
+  cursor += num_nodes * sizeof(int32_t);
+  const int32_t* count = reinterpret_cast<const int32_t*>(cursor);
+
+  if (tree_offsets[0] != 0 || tree_offsets[num_trees] != num_nodes) {
+    return Status::ParseError(Describe(*nodes_section) +
+                              ": tree offsets do not span the node arrays");
+  }
+  std::vector<Tree> trees;
+  trees.reserve(num_trees);
+  for (uint64_t t = 0; t < num_trees; ++t) {
+    if (tree_offsets[t + 1] <= tree_offsets[t] ||
+        tree_offsets[t + 1] > num_nodes) {
+      return Status::ParseError(Describe(*nodes_section) + ": tree " +
+                                std::to_string(t) +
+                                " has an empty or out-of-range node span");
+    }
+    Tree tree;
+    tree.Reserve(tree_offsets[t + 1] - tree_offsets[t]);
+    for (uint64_t i = tree_offsets[t]; i < tree_offsets[t + 1]; ++i) {
+      TreeNode node;
+      node.feature = feature[i];
+      node.threshold = threshold[i];
+      node.gain = gain[i];
+      node.left = left[i];
+      node.right = right[i];
+      node.value = value[i];
+      node.count = count[i];
+      tree.AddNode(node);
+    }
+    trees.push_back(std::move(tree));
+  }
+
+  Forest forest(std::move(trees), meta.init_score,
+                static_cast<Objective>(meta.objective),
+                static_cast<Aggregation>(meta.aggregation),
+                meta.num_features, std::move(feature_names));
+  // Same trust boundary as the text parser: tree shape (child ranges,
+  // acyclicity via indegree) and value finiteness are ValidateForest's
+  // contract, run before anything traverses the reconstruction.
+  if (Status s = ValidateForest(forest); !s.ok()) {
+    return Status::ParseError("store forest '" + name +
+                              "' failed validation: " + s.message());
+  }
+
+  if (const Section* compiled = Find(SectionKind::kForestCompiled, name)) {
+    if (Status s = AdoptCompiledSection(*compiled, forest, num_nodes, file_);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return forest;
+}
+
+StatusOr<std::string> StoreReader::SurrogateText(
+    const std::string& name) const {
+  const Section* section = Find(SectionKind::kSurrogate, name);
+  if (section == nullptr) {
+    return Status::NotFound("no surrogate for '" + name + "' in store");
+  }
+  return std::string(reinterpret_cast<const char*>(section->data),
+                     section->payload_bytes);
+}
+
+StatusOr<std::string> StoreReader::DatasetSummaryText(
+    const std::string& name) const {
+  const Section* section = Find(SectionKind::kDatasetSummary, name);
+  if (section == nullptr) {
+    return Status::NotFound("no dataset summary '" + name + "' in store");
+  }
+  return std::string(reinterpret_cast<const char*>(section->data),
+                     section->payload_bytes);
+}
+
+}  // namespace store
+}  // namespace gef

@@ -1,0 +1,112 @@
+#ifndef GEF_STORE_STORE_READER_H_
+#define GEF_STORE_STORE_READER_H_
+
+// Reader half of the binary model store (DESIGN.md §3.17). Open() mmaps
+// the file and validates outside-in before exposing anything:
+//
+//   1. size covers the fixed header; magic, header_bytes and
+//      header_checksum match; format_version <= kFormatVersion
+//   2. file_bytes equals the real file size (catches truncation and
+//      trailing garbage in one check)
+//   3. the section table lies inside the file, aligned, and matches
+//      table_checksum
+//   4. every entry: known payload bounds (aligned offset, no overflow,
+//      inside [header, table)), non-overlapping in table order,
+//      NUL-terminated name, zero flags
+//   5. (default on) every payload matches its payload_checksum
+//
+// Only then are zero-copy views handed out. Structured payloads cross a
+// second trust boundary when materialized: LoadForest bounds-checks the
+// node arrays and runs ValidateForest — the same contract as the text
+// parser — and bounds-sweeps the compiled traversal arrays (child
+// monotonicity, so a corrupted section cannot send the branchless
+// kernels into an unbounded walk) before wiring them into the forest's
+// compile cache as a borrowed CompiledForest.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forest/forest.h"
+#include "store/format.h"
+#include "store/mmap_file.h"
+#include "util/status.h"
+
+namespace gef {
+namespace store {
+
+class StoreReader {
+ public:
+  struct Options {
+    /// Verify every payload checksum during Open. On by default — the
+    /// whole-file scan is what makes a bit-flipped payload fail loudly
+    /// at load instead of silently mispredicting. VerifyAll() re-runs
+    /// the same sweep on demand (gef_store verify).
+    bool verify_checksums = true;
+  };
+
+  /// A validated section: entry fields plus a pointer into the mapping.
+  struct Section {
+    uint32_t kind = 0;
+    std::string name;
+    uint64_t payload_bytes = 0;
+    uint64_t payload_checksum = 0;
+    uint64_t model_hash = 0;
+    uint64_t artifact_hash = 0;
+    const uint8_t* data = nullptr;
+  };
+
+  /// Maps and validates `path` (see the ordered checks above). Every
+  /// failure is a clean ParseError/IoError; nothing of a rejected store
+  /// is ever exposed. The one-argument overload uses default Options.
+  static StatusOr<StoreReader> Open(const std::string& path);
+  static StatusOr<StoreReader> Open(const std::string& path,
+                                    const Options& options);
+
+  StoreReader() = default;
+
+  const std::vector<Section>& sections() const { return sections_; }
+  uint32_t format_version() const { return format_version_; }
+  size_t mapped_bytes() const { return file_ ? file_->size() : 0; }
+
+  /// Names of the forests in the store (sections of kind kForestMeta),
+  /// table order.
+  std::vector<std::string> ForestNames() const;
+
+  /// The stored ContentHash of forest `name` (its on-disk identity,
+  /// computed at pack time).
+  StatusOr<uint64_t> ForestHash(const std::string& name) const;
+
+  /// Reconstructs forest `name` from the binary node sections (its text
+  /// serialization is byte-identical to the packed original, so
+  /// ContentHash is stable across text and store loads), validates it
+  /// with ValidateForest, and — when the store carries a compiled
+  /// section — adopts the mmap'd traversal arrays as a zero-copy
+  /// CompiledForest so batch prediction runs straight off the mapping
+  /// with no compile step. The mapping stays alive as long as the
+  /// returned Forest (or any copy) does.
+  StatusOr<Forest> LoadForest(const std::string& name) const;
+
+  /// The cached surrogate (canonical GEF explanation text) packed for
+  /// forest `name`; NotFound when the store has none.
+  StatusOr<std::string> SurrogateText(const std::string& name) const;
+
+  /// Dataset summary text under `name`; NotFound when absent.
+  StatusOr<std::string> DatasetSummaryText(const std::string& name) const;
+
+  /// Re-verifies every payload checksum against the current bytes.
+  Status VerifyAll() const;
+
+ private:
+  const Section* Find(SectionKind kind, const std::string& name) const;
+
+  std::shared_ptr<const MmapFile> file_;
+  std::vector<Section> sections_;
+  uint32_t format_version_ = 0;
+};
+
+}  // namespace store
+}  // namespace gef
+
+#endif  // GEF_STORE_STORE_READER_H_

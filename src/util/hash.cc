@@ -6,14 +6,11 @@ namespace gef {
 
 namespace {
 
-constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
-constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
-
 uint64_t FnvAppend(uint64_t state, const unsigned char* bytes,
                    size_t size) {
   for (size_t i = 0; i < size; ++i) {
     state ^= static_cast<uint64_t>(bytes[i]);
-    state *= kFnvPrime;
+    state *= kFnv1a64Prime;
   }
   return state;
 }
@@ -21,7 +18,7 @@ uint64_t FnvAppend(uint64_t state, const unsigned char* bytes,
 }  // namespace
 
 uint64_t HashFnv1a64(const void* data, size_t size) {
-  return FnvAppend(kFnvOffsetBasis,
+  return FnvAppend(kFnv1a64OffsetBasis,
                    static_cast<const unsigned char*>(data), size);
 }
 
@@ -32,7 +29,7 @@ uint64_t HashFnv1a64(std::string_view text) {
 uint64_t HashCombine(uint64_t seed, uint64_t value) {
   unsigned char bytes[sizeof(value)];
   std::memcpy(bytes, &value, sizeof(value));
-  return FnvAppend(seed == 0 ? kFnvOffsetBasis : seed, bytes,
+  return FnvAppend(seed == 0 ? kFnv1a64OffsetBasis : seed, bytes,
                    sizeof(bytes));
 }
 

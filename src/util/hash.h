@@ -16,6 +16,13 @@
 
 namespace gef {
 
+/// FNV-1a 64-bit constants, exposed for callers that run several
+/// independent FNV streams in one pass (store/checksum.cc interleaves
+/// chunk digests to hide the multiply latency of the serial
+/// definition). HashFnv1a64 below is defined by exactly these.
+inline constexpr uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv1a64Prime = 0x100000001b3ULL;
+
 /// FNV-1a 64-bit over a byte range.
 uint64_t HashFnv1a64(const void* data, size_t size);
 

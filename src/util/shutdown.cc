@@ -1,4 +1,4 @@
-#include "serve/shutdown.h"
+#include "util/shutdown.h"
 
 #include <csignal>
 #include <cstring>
@@ -12,7 +12,6 @@
 #include "util/thread_annotations.h"
 
 namespace gef {
-namespace serve {
 
 namespace {
 
@@ -155,5 +154,4 @@ void ResetShutdownStateForTest() {
 
 }  // namespace internal
 
-}  // namespace serve
 }  // namespace gef

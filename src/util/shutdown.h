@@ -1,7 +1,10 @@
-#ifndef GEF_SERVE_SHUTDOWN_H_
-#define GEF_SERVE_SHUTDOWN_H_
+#ifndef GEF_UTIL_SHUTDOWN_H_
+#define GEF_UTIL_SHUTDOWN_H_
 
-// Graceful-shutdown plumbing shared by the server and the batch CLIs.
+// Graceful-shutdown plumbing shared by the HTTP server, the batch CLIs
+// and the binary model store writer. Lives in util/ (the bottom layer)
+// so any artifact writer — store/store_builder.cc included — can guard
+// in-flight files without an upward dependency on serve/.
 //
 // Two problems, one SIGINT/SIGTERM handler:
 //
@@ -28,7 +31,6 @@
 #include <string>
 
 namespace gef {
-namespace serve {
 
 /// Installs the SIGINT/SIGTERM handler (idempotent, first call wins).
 /// Call early in main(), before spawning threads.
@@ -82,7 +84,6 @@ void UnlinkGuardedFilesForTest();
 void ResetShutdownStateForTest();
 }  // namespace internal
 
-}  // namespace serve
 }  // namespace gef
 
-#endif  // GEF_SERVE_SHUTDOWN_H_
+#endif  // GEF_UTIL_SHUTDOWN_H_

@@ -28,7 +28,7 @@
 #include "serve/http.h"
 #include "serve/json.h"
 #include "serve/model_registry.h"
-#include "serve/shutdown.h"
+#include "util/shutdown.h"
 #include "serve/surrogate_cache.h"
 #include "stats/rng.h"
 #include "util/hash.h"
@@ -467,7 +467,7 @@ TEST(HttpTest, FuzzedWireBytesNeverCrash) {
 }
 
 // ---------------------------------------------------------------------
-// serve/shutdown
+// util/shutdown
 // ---------------------------------------------------------------------
 
 TEST(ShutdownTest, GuardedFileIsUnlinkedOnSignalPath) {
@@ -476,13 +476,13 @@ TEST(ShutdownTest, GuardedFileIsUnlinkedOnSignalPath) {
   fs::create_directories(dir);
   fs::path partial = dir / "partial_model.txt";
   {
-    serve::ScopedFileGuard guard(partial.string());
+    ScopedFileGuard guard(partial.string());
     std::FILE* f = std::fopen(partial.string().c_str(), "w");
     ASSERT_NE(f, nullptr);
     std::fputs("half-written", f);
     std::fclose(f);
     ASSERT_TRUE(fs::exists(partial));
-    serve::internal::UnlinkGuardedFilesForTest();
+    internal::UnlinkGuardedFilesForTest();
     EXPECT_FALSE(fs::exists(partial));
   }
 }
@@ -493,28 +493,28 @@ TEST(ShutdownTest, CommittedFileSurvives) {
   fs::create_directories(dir);
   fs::path done = dir / "committed_model.txt";
   {
-    serve::ScopedFileGuard guard(done.string());
+    ScopedFileGuard guard(done.string());
     std::FILE* f = std::fopen(done.string().c_str(), "w");
     ASSERT_NE(f, nullptr);
     std::fputs("complete", f);
     std::fclose(f);
     guard.Commit();
-    serve::internal::UnlinkGuardedFilesForTest();
+    internal::UnlinkGuardedFilesForTest();
   }
   EXPECT_TRUE(fs::exists(done));
   fs::remove(done);
 }
 
 TEST(ShutdownTest, RequestShutdownSetsFlagAndWakesPipe) {
-  serve::InstallShutdownHandler();
-  serve::internal::ResetShutdownStateForTest();
-  EXPECT_FALSE(serve::ShutdownRequested());
-  serve::EnableDrainMode();
-  serve::RequestShutdown();
-  EXPECT_TRUE(serve::ShutdownRequested());
-  EXPECT_GE(serve::ShutdownWakeFd(), 0);
-  serve::internal::ResetShutdownStateForTest();
-  EXPECT_FALSE(serve::ShutdownRequested());
+  InstallShutdownHandler();
+  internal::ResetShutdownStateForTest();
+  EXPECT_FALSE(ShutdownRequested());
+  EnableDrainMode();
+  RequestShutdown();
+  EXPECT_TRUE(ShutdownRequested());
+  EXPECT_GE(ShutdownWakeFd(), 0);
+  internal::ResetShutdownStateForTest();
+  EXPECT_FALSE(ShutdownRequested());
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,428 @@
+// Corruption-proofing for the binary model store reader (src/store).
+// Every mutation of a valid store — truncation at and around section
+// boundaries, bit-flips in the header / table / payloads, wrong magic,
+// future format versions, checksum mismatches, overlapping or
+// out-of-bounds section offsets, zero-length sections, and structurally
+// poisoned-but-rehashed node/compiled arrays — must fail with a clean
+// Status. Nothing here may crash, hang, or trip a sanitizer: the
+// reader's bounds sweep is what makes mmap'd traversal arrays safe to
+// walk, and this file is the proof it is armed.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "store/checksum.h"
+#include "store/format.h"
+#include "store/store_builder.h"
+#include "store/store_reader.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace gef {
+namespace {
+
+using store::kAlignment;
+using store::kFormatVersion;
+using store::kHeaderChecksumBytes;
+using store::SectionEntry;
+using store::StoreHeader;
+
+Forest TrainSmallForest() {
+  Rng rng(77);
+  Dataset data = MakeGPrimeDataset(300, &rng);
+  GbdtConfig config;
+  config.num_trees = 5;
+  config.num_leaves = 6;
+  config.min_samples_leaf = 5;
+  return TrainGbdt(data, nullptr, config).forest;
+}
+
+/// Serialized bytes of a valid store: one forest (meta + nodes +
+/// compiled sections) plus a dataset summary — four sections total.
+std::string ValidStoreBytes() {
+  static const std::string bytes = [] {
+    Forest forest = TrainSmallForest();
+    store::StoreBuilder builder;
+    GEF_CHECK(builder.AddForest("m", forest).ok());
+    GEF_CHECK(builder.AddDatasetSummary("train", "rows=300\n").ok());
+    return builder.Serialize();
+  }();
+  return bytes;
+}
+
+/// Writes `bytes` to a temp file and opens it. The temp file is
+/// removed before returning so failures don't leak fixtures.
+StatusOr<store::StoreReader> OpenBytes(const std::string& bytes) {
+  static int counter = 0;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("gef_store_corrupt_" + std::to_string(counter++) + ".gefs"))
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto reader = store::StoreReader::Open(path);
+  std::remove(path.c_str());
+  return reader;
+}
+
+StoreHeader HeaderOf(const std::string& bytes) {
+  StoreHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  return header;
+}
+
+void PutHeader(std::string* bytes, StoreHeader header) {
+  header.header_checksum = HashFnv1a64(&header, kHeaderChecksumBytes);
+  std::memcpy(bytes->data(), &header, sizeof(header));
+}
+
+SectionEntry EntryOf(const std::string& bytes, size_t index) {
+  const StoreHeader header = HeaderOf(bytes);
+  SectionEntry entry;
+  std::memcpy(&entry,
+              bytes.data() + header.table_offset + index * sizeof(entry),
+              sizeof(entry));
+  return entry;
+}
+
+/// Writes entry `index` back and recomputes the table and header
+/// checksums, so the mutation under test is the *only* inconsistency.
+void PutEntry(std::string* bytes, size_t index, const SectionEntry& entry) {
+  StoreHeader header = HeaderOf(*bytes);
+  std::memcpy(bytes->data() + header.table_offset + index * sizeof(entry),
+              &entry, sizeof(entry));
+  header.table_checksum =
+      HashFnv1a64(bytes->data() + header.table_offset,
+                  header.section_count * sizeof(SectionEntry));
+  PutHeader(bytes, header);
+}
+
+/// Recomputes every payload checksum from the (possibly corrupted)
+/// payload bytes, then the table and header checksums. Lets a test
+/// hand the reader a store whose integrity layers all pass, so the
+/// structural validation behind them is what gets exercised.
+void RehashAll(std::string* bytes) {
+  StoreHeader header = HeaderOf(*bytes);
+  for (size_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry = EntryOf(*bytes, i);
+    entry.payload_checksum = store::SectionChecksum(
+        bytes->data() + entry.offset, entry.payload_bytes);
+    std::memcpy(bytes->data() + header.table_offset + i * sizeof(entry),
+                &entry, sizeof(entry));
+  }
+  header.table_checksum =
+      HashFnv1a64(bytes->data() + header.table_offset,
+                  header.section_count * sizeof(SectionEntry));
+  PutHeader(bytes, header);
+}
+
+void ExpectRejected(const std::string& bytes, const std::string& what) {
+  auto reader = OpenBytes(bytes);
+  EXPECT_FALSE(reader.ok()) << "reader accepted " << what;
+}
+
+TEST(StoreRobustnessTest, ValidStoreOpensAndLoads) {
+  auto reader = OpenBytes(ValidStoreBytes());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->VerifyAll().ok());
+  auto forest = reader->LoadForest("m");
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+}
+
+TEST(StoreRobustnessTest, TruncationAtEveryBoundaryRejected) {
+  const std::string bytes = ValidStoreBytes();
+  const StoreHeader header = HeaderOf(bytes);
+  std::vector<size_t> cuts = {0, 1, sizeof(StoreHeader) - 1,
+                              sizeof(StoreHeader), bytes.size() - 1,
+                              static_cast<size_t>(header.table_offset),
+                              static_cast<size_t>(header.table_offset) - 1};
+  for (size_t i = 0; i < header.section_count; ++i) {
+    const SectionEntry entry = EntryOf(bytes, i);
+    cuts.push_back(entry.offset);  // cut exactly at each section start
+    cuts.push_back(entry.offset + entry.payload_bytes / 2);
+  }
+  for (size_t cut : cuts) {
+    ExpectRejected(bytes.substr(0, cut),
+                   "a file truncated to " + std::to_string(cut) + " bytes");
+  }
+}
+
+TEST(StoreRobustnessTest, AppendedGarbageRejected) {
+  ExpectRejected(ValidStoreBytes() + '\0', "a file with trailing bytes");
+}
+
+TEST(StoreRobustnessTest, BitFlipAnywhereRejected) {
+  const std::string bytes = ValidStoreBytes();
+  // Walk the file flipping one bit per stride; every strided position
+  // in the header, payloads and table must be caught by some layer.
+  // (Alignment padding is the exception — it is not covered by any
+  // checksum — so skip bytes that are zero padding between sections.)
+  const StoreHeader header = HeaderOf(bytes);
+  std::vector<std::pair<size_t, size_t>> covered;
+  covered.emplace_back(0, sizeof(StoreHeader));
+  covered.emplace_back(header.table_offset, bytes.size());
+  for (size_t i = 0; i < header.section_count; ++i) {
+    const SectionEntry entry = EntryOf(bytes, i);
+    covered.emplace_back(entry.offset, entry.offset + entry.payload_bytes);
+  }
+  size_t flipped = 0;
+  for (const auto& [begin, end] : covered) {
+    for (size_t pos = begin; pos < end; pos += 97) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ 0x10);
+      ExpectRejected(mutated,
+                     "a bit flip at byte " + std::to_string(pos));
+      ++flipped;
+    }
+  }
+  EXPECT_GT(flipped, 20u);  // the sweep actually covered the file
+}
+
+TEST(StoreRobustnessTest, WrongMagicRejected) {
+  std::string bytes = ValidStoreBytes();
+  bytes[0] = 'X';
+  ExpectRejected(bytes, "a wrong magic number");
+  // Also with a fixed-up header checksum: magic is checked first.
+  std::string rehashed = ValidStoreBytes();
+  StoreHeader header = HeaderOf(rehashed);
+  header.magic[7] = '2';
+  PutHeader(&rehashed, header);
+  ExpectRejected(rehashed, "a future layout-generation magic");
+}
+
+TEST(StoreRobustnessTest, VersionSkew) {
+  // Reject version N+1 (a future writer) and version 0, accept N.
+  for (uint32_t version : {kFormatVersion + 1, uint32_t{0}}) {
+    std::string bytes = ValidStoreBytes();
+    StoreHeader header = HeaderOf(bytes);
+    header.format_version = version;
+    PutHeader(&bytes, header);
+    ExpectRejected(bytes, "format version " + std::to_string(version));
+  }
+  std::string bytes = ValidStoreBytes();
+  StoreHeader header = HeaderOf(bytes);
+  header.format_version = kFormatVersion;
+  PutHeader(&bytes, header);
+  EXPECT_TRUE(OpenBytes(bytes).ok());
+}
+
+TEST(StoreRobustnessTest, HeaderFieldCorruptionRejected) {
+  {
+    std::string bytes = ValidStoreBytes();
+    StoreHeader header = HeaderOf(bytes);
+    header.header_bytes = 128;
+    PutHeader(&bytes, header);
+    ExpectRejected(bytes, "an unknown header size");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    StoreHeader header = HeaderOf(bytes);
+    header.reserved = 1;
+    PutHeader(&bytes, header);
+    ExpectRejected(bytes, "a nonzero reserved field");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    StoreHeader header = HeaderOf(bytes);
+    header.file_bytes += kAlignment;
+    PutHeader(&bytes, header);
+    ExpectRejected(bytes, "a file_bytes overshoot");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    StoreHeader header = HeaderOf(bytes);
+    header.section_count = 1u << 20;
+    PutHeader(&bytes, header);
+    ExpectRejected(bytes, "an absurd section count");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    StoreHeader header = HeaderOf(bytes);
+    header.table_offset += 8;  // misaligned and off the tail
+    PutHeader(&bytes, header);
+    ExpectRejected(bytes, "a misaligned table offset");
+  }
+}
+
+TEST(StoreRobustnessTest, EntryCorruptionRejected) {
+  {
+    std::string bytes = ValidStoreBytes();
+    SectionEntry entry = EntryOf(bytes, 0);
+    entry.kind = 99;
+    PutEntry(&bytes, 0, entry);
+    ExpectRejected(bytes, "an unknown section kind");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    SectionEntry entry = EntryOf(bytes, 0);
+    entry.flags = 1;
+    PutEntry(&bytes, 0, entry);
+    ExpectRejected(bytes, "unknown section flags");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    SectionEntry entry = EntryOf(bytes, 0);
+    entry.payload_bytes = 0;
+    PutEntry(&bytes, 0, entry);
+    ExpectRejected(bytes, "a zero-length section");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    SectionEntry entry = EntryOf(bytes, 0);
+    std::memset(entry.name, 'a', sizeof(entry.name));  // no terminator
+    PutEntry(&bytes, 0, entry);
+    ExpectRejected(bytes, "an unterminated section name");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    SectionEntry entry = EntryOf(bytes, 0);
+    entry.name[0] = '\0';
+    PutEntry(&bytes, 0, entry);
+    ExpectRejected(bytes, "an empty section name");
+  }
+  {
+    std::string bytes = ValidStoreBytes();
+    SectionEntry entry = EntryOf(bytes, 0);
+    entry.offset += 8;  // misaligned
+    PutEntry(&bytes, 0, entry);
+    ExpectRejected(bytes, "a misaligned payload offset");
+  }
+  {
+    // Overlap: section 1 re-reads section 0's bytes.
+    std::string bytes = ValidStoreBytes();
+    SectionEntry first = EntryOf(bytes, 0);
+    SectionEntry second = EntryOf(bytes, 1);
+    second.offset = first.offset;
+    PutEntry(&bytes, 1, second);
+    ExpectRejected(bytes, "overlapping sections");
+  }
+  {
+    // Out of bounds: payload runs into the section table.
+    std::string bytes = ValidStoreBytes();
+    const StoreHeader header = HeaderOf(bytes);
+    SectionEntry last = EntryOf(bytes, header.section_count - 1);
+    last.payload_bytes = header.table_offset - last.offset + 1;
+    PutEntry(&bytes, header.section_count - 1, last);
+    ExpectRejected(bytes, "a payload escaping into the table");
+  }
+}
+
+TEST(StoreRobustnessTest, ChecksumMismatchCaughtLazily) {
+  // With verification off, Open admits a payload-corrupted store (the
+  // header and table still pass) but VerifyAll still reports it.
+  std::string bytes = ValidStoreBytes();
+  const SectionEntry entry = EntryOf(bytes, 0);
+  bytes[entry.offset] = static_cast<char>(bytes[entry.offset] ^ 0x01);
+
+  ExpectRejected(bytes, "a payload flip with checksums on");
+
+  static int counter = 0;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("gef_store_lazy_" + std::to_string(counter++) + ".gefs"))
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  store::StoreReader::Options options;
+  options.verify_checksums = false;
+  auto reader = store::StoreReader::Open(path, options);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_FALSE(reader->VerifyAll().ok());
+  std::remove(path.c_str());
+}
+
+TEST(StoreRobustnessTest, PoisonedNodeArraysRejectedAfterRehash) {
+  // Corrupt the node section's child indices, then make every checksum
+  // agree again: the structural trust boundary (ValidateForest) is the
+  // layer that must hold.
+  const std::string valid = ValidStoreBytes();
+  size_t nodes_index = 0;
+  const StoreHeader header = HeaderOf(valid);
+  for (size_t i = 0; i < header.section_count; ++i) {
+    if (EntryOf(valid, i).kind ==
+        static_cast<uint32_t>(store::SectionKind::kForestNodes)) {
+      nodes_index = i;
+    }
+  }
+  const SectionEntry nodes = EntryOf(valid, nodes_index);
+  // The int32 child arrays sit after the header, tree offsets and three
+  // f64 arrays; poisoning any int32 there breaks a child index or a
+  // feature id. Sweep a few positions to hit several trees.
+  store::ForestNodesHeader nodes_header;
+  std::memcpy(&nodes_header, valid.data() + nodes.offset,
+              sizeof(nodes_header));
+  const size_t int32_region =
+      nodes.offset + sizeof(nodes_header) +
+      (nodes_header.num_trees + 1) * sizeof(uint64_t) +
+      3 * nodes_header.num_nodes * sizeof(double);
+  for (size_t slot = 0; slot < nodes_header.num_nodes; slot += 7) {
+    std::string bytes = valid;
+    int32_t poison = -1000;
+    std::memcpy(bytes.data() + int32_region +
+                    (nodes_header.num_nodes + slot) * sizeof(int32_t),
+                &poison, sizeof(poison));  // left-child column
+    RehashAll(&bytes);
+    auto reader = OpenBytes(bytes);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_FALSE(reader->LoadForest("m").ok())
+        << "accepted a poisoned left child at node " << slot;
+  }
+}
+
+TEST(StoreRobustnessTest, PoisonedCompiledArraysRejectedAfterRehash) {
+  // Same idea against the compiled traversal arrays: every mutation
+  // must be caught by the bounds sweep before adoption — a walk over a
+  // cyclic or out-of-range compiled tree would never terminate.
+  const std::string valid = ValidStoreBytes();
+  const StoreHeader header = HeaderOf(valid);
+  size_t compiled_index = 0;
+  for (size_t i = 0; i < header.section_count; ++i) {
+    if (EntryOf(valid, i).kind ==
+        static_cast<uint32_t>(store::SectionKind::kForestCompiled)) {
+      compiled_index = i;
+    }
+  }
+  const SectionEntry compiled = EntryOf(valid, compiled_index);
+  store::CompiledHeader compiled_header;
+  std::memcpy(&compiled_header, valid.data() + compiled.offset,
+              sizeof(compiled_header));
+  const size_t n = compiled_header.num_nodes;
+  const size_t left_column = compiled.offset + sizeof(compiled_header) +
+                             2 * n * sizeof(double) +
+                             2 * n * sizeof(uint64_t) + n * sizeof(int32_t);
+  for (size_t slot = 0; slot < n; slot += 5) {
+    for (int32_t poison : {static_cast<int32_t>(slot),  // self-loop
+                           static_cast<int32_t>(n) + 5, -3}) {
+      std::string bytes = valid;
+      std::memcpy(bytes.data() + left_column + slot * sizeof(int32_t),
+                  &poison, sizeof(poison));
+      RehashAll(&bytes);
+      auto reader = OpenBytes(bytes);
+      ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+      EXPECT_FALSE(reader->LoadForest("m").ok())
+          << "accepted compiled left[" << slot << "] = " << poison;
+    }
+  }
+}
+
+TEST(StoreRobustnessTest, EmptyAndTinyFilesRejected) {
+  ExpectRejected("", "an empty file");
+  ExpectRejected("GEFSTOR1", "a magic-only file");
+  ExpectRejected(std::string(63, '\0'), "a sub-header file");
+  ExpectRejected(std::string(4096, '\0'), "an all-zero file");
+}
+
+}  // namespace
+}  // namespace gef

@@ -1,0 +1,332 @@
+// Tests for the versioned binary model store (src/store, DESIGN.md
+// §3.17): text -> binary -> text bit-identity for every forest flavour,
+// ContentHash stability across the mmap boundary, predict/explain
+// bit-parity between a text-parsed forest and the zero-copy store load,
+// surrogate/summary payload round-trips, the chunked checksum
+// definition, and the registry's mmap remap path.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "forest/gbdt_trainer.h"
+#include "forest/lightgbm_import.h"
+#include "forest/random_forest_trainer.h"
+#include "forest/serialization.h"
+#include "gef/explainer.h"
+#include "gef/explanation_io.h"
+#include "serve/model_registry.h"
+#include "store/checksum.h"
+#include "store/store_builder.h"
+#include "store/store_reader.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace gef {
+namespace {
+
+// The miniature LightGBM v3 model from lightgbm_import_test.cc: two
+// trees, one of them a stump, shrinkage applied by the importer.
+constexpr char kLightGbmModel[] = R"(tree
+version=v3
+num_class=1
+num_tree_per_iteration=1
+label_index=0
+max_feature_idx=2
+objective=regression
+feature_names=age income extra
+feature_infos=[0:1] [0:1] [0:1]
+
+Tree=0
+num_leaves=3
+num_cat=0
+split_feature=0 1
+split_gain=10 4
+threshold=0.5 0.3
+decision_type=2 2
+left_child=-1 -2
+right_child=1 -3
+leaf_value=1 2 3
+leaf_weight=1 1 1
+leaf_count=50 20 30
+internal_value=0 0
+internal_weight=0 0
+internal_count=100 50
+is_linear=0
+shrinkage=1
+
+Tree=1
+num_leaves=1
+num_cat=0
+leaf_value=0.25
+leaf_count=100
+is_linear=0
+shrinkage=1
+
+end of trees
+
+feature_importances:
+age=1
+income=1
+)";
+
+std::string TmpPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Forest TrainSmallGbdt(Objective objective = Objective::kRegression) {
+  Rng rng(111);
+  Dataset data = MakeGPrimeDataset(400, &rng);
+  if (objective == Objective::kBinaryClassification) {
+    std::vector<double> labels(data.num_rows());
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      labels[i] = data.target(i) > 2.5 ? 1.0 : 0.0;
+    }
+    data.set_targets(labels);
+  }
+  GbdtConfig config;
+  config.objective = objective;
+  config.num_trees = 8;
+  config.num_leaves = 6;
+  config.min_samples_leaf = 5;
+  return TrainGbdt(data, nullptr, config).forest;
+}
+
+/// Packs `forest` into a store at a fresh temp path and reopens it.
+/// The caller removes the file.
+StatusOr<store::StoreReader> PackAndOpen(const Forest& forest,
+                                         const std::string& path) {
+  store::StoreBuilder builder;
+  if (Status s = builder.AddForest("m", forest); !s.ok()) return s;
+  if (Status s = builder.WriteTo(path); !s.ok()) return s;
+  return store::StoreReader::Open(path);
+}
+
+void ExpectBitIdenticalRoundTrip(const Forest& forest,
+                                 const std::string& tag) {
+  const std::string path = TmpPath("gef_store_" + tag + ".gefs");
+  auto reader = PackAndOpen(forest, path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto restored = reader->LoadForest("m");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // Text -> binary -> text is byte-identical, which also pins the
+  // content hash across the boundary.
+  EXPECT_EQ(ForestToString(forest), ForestToString(*restored));
+  EXPECT_EQ(forest.ContentHash(), restored->ContentHash());
+  auto stored_hash = reader->ForestHash("m");
+  ASSERT_TRUE(stored_hash.ok());
+  EXPECT_EQ(stored_hash.value(), forest.ContentHash());
+
+  // Predict bit-parity: the restored forest serves off the mmap'd
+  // compiled arrays (zero-copy), the original compiles its own.
+  Rng rng(7);
+  std::vector<double> row(forest.num_features());
+  for (size_t i = 0; i < 64; ++i) {
+    for (double& x : row) x = rng.Uniform(-2.0, 2.0);
+    const double a = forest.Predict(row);
+    const double b = restored->Predict(row);
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0)
+        << tag << " diverged at row " << i << ": " << a << " vs " << b;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, GbdtRoundTripBitIdentical) {
+  ExpectBitIdenticalRoundTrip(TrainSmallGbdt(), "gbdt");
+}
+
+TEST(StoreTest, BinaryGbdtRoundTripBitIdentical) {
+  ExpectBitIdenticalRoundTrip(
+      TrainSmallGbdt(Objective::kBinaryClassification), "binary");
+}
+
+TEST(StoreTest, RandomForestRoundTripBitIdentical) {
+  Rng rng(101);
+  Dataset data = MakeGPrimeDataset(400, &rng);
+  RandomForestConfig config;
+  config.num_trees = 6;
+  config.num_leaves = 16;
+  config.min_samples_leaf = 3;
+  ExpectBitIdenticalRoundTrip(TrainRandomForest(data, config), "rf");
+}
+
+TEST(StoreTest, LightGbmRoundTripBitIdentical) {
+  auto forest = ParseLightGbmModel(kLightGbmModel);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  ExpectBitIdenticalRoundTrip(forest.value(), "lgbm");
+}
+
+TEST(StoreTest, ExplainBitParityParsedVsZeroCopy) {
+  Forest original = TrainSmallGbdt();
+  const std::string path = TmpPath("gef_store_explain.gefs");
+  auto reader = PackAndOpen(original, path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto restored = reader->LoadForest("m");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // The pipeline is deterministic given (forest bytes, config): the
+  // surrogates fitted against the parsed and the zero-copy forests
+  // must serialize identically, including fidelity statistics.
+  GefConfig config;
+  config.num_univariate = 3;
+  config.num_bivariate = 1;
+  config.num_samples = 1200;
+  config.k = 12;
+  config.seed = 9;
+  auto a = ExplainForest(original, config);
+  auto b = ExplainForest(*restored, config);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(ExplanationToString(*a), ExplanationToString(*b));
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, SurrogateAndSummaryRoundTripBytes) {
+  Forest forest = TrainSmallGbdt();
+  GefConfig config;
+  config.num_univariate = 2;
+  config.num_samples = 800;
+  config.k = 8;
+  auto explanation = ExplainForest(forest, config);
+  ASSERT_NE(explanation, nullptr);
+  const std::string surrogate_text = ExplanationToString(*explanation);
+  const std::string summary_text = "rows=400\ncols=3\n";
+
+  store::StoreBuilder builder;
+  ASSERT_TRUE(builder.AddForest("m", forest).ok());
+  ASSERT_TRUE(builder.AddSurrogate("m", surrogate_text).ok());
+  ASSERT_TRUE(builder.AddDatasetSummary("train", summary_text).ok());
+  const std::string path = TmpPath("gef_store_surrogate.gefs");
+  ASSERT_TRUE(builder.WriteTo(path).ok());
+
+  auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto surrogate = reader->SurrogateText("m");
+  ASSERT_TRUE(surrogate.ok());
+  EXPECT_EQ(surrogate.value(), surrogate_text);
+  auto parsed = ExplanationFromString(surrogate.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto summary = reader->DatasetSummaryText("train");
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value(), summary_text);
+  EXPECT_FALSE(reader->SurrogateText("absent").ok());
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, BuilderRejectsBadSections) {
+  Forest forest = TrainSmallGbdt();
+  store::StoreBuilder builder;
+  // Surrogates must follow their forest (they inherit its hash).
+  EXPECT_FALSE(builder.AddSurrogate("m", "text").ok());
+  ASSERT_TRUE(builder.AddForest("m", forest).ok());
+  EXPECT_FALSE(builder.AddForest("m", forest).ok());  // duplicate
+  EXPECT_FALSE(builder.AddDatasetSummary("empty", "").ok());
+  EXPECT_FALSE(builder.AddDatasetSummary("", "text").ok());
+  EXPECT_FALSE(
+      builder.AddDatasetSummary("a-name-way-over-fifteen-bytes", "x").ok());
+  EXPECT_EQ(builder.num_sections(), 3u);  // meta + nodes + compiled
+}
+
+TEST(StoreTest, SectionChecksumMatchesDefinitionAndThreadCount) {
+  // Payload sizes straddling the chunk grid: empty-adjacent, one byte,
+  // exactly one chunk, one byte over, and several chunks (exercises the
+  // 4-way interleaved path against the plain per-chunk definition).
+  for (size_t size : {size_t{1}, store::kChecksumChunk,
+                      store::kChecksumChunk + 1,
+                      5 * store::kChecksumChunk + 17}) {
+    std::string payload(size, '\0');
+    for (size_t i = 0; i < size; ++i) {
+      payload[i] = static_cast<char>((i * 131) ^ (i >> 7));
+    }
+    // Reference: FNV-1a folded over per-chunk FNV digests, in order.
+    uint64_t expected = HashFnv1a64(nullptr, 0);
+    for (size_t begin = 0; begin < size; begin += store::kChecksumChunk) {
+      const size_t len = std::min(store::kChecksumChunk, size - begin);
+      expected =
+          HashCombine(expected, HashFnv1a64(payload.data() + begin, len));
+    }
+    EXPECT_EQ(store::SectionChecksum(payload.data(), size), expected);
+    SetNumThreads(1);
+    EXPECT_EQ(store::SectionChecksum(payload.data(), size), expected);
+    SetNumThreads(0);  // restore the default
+  }
+}
+
+TEST(StoreTest, RegistryLoadStoreAndRemap) {
+  Forest forest = TrainSmallGbdt();
+  GefConfig config;
+  config.num_univariate = 2;
+  config.num_samples = 800;
+  config.k = 8;
+  auto explanation = ExplainForest(forest, config);
+  ASSERT_NE(explanation, nullptr);
+
+  store::StoreBuilder builder;
+  ASSERT_TRUE(builder.AddForest("m", forest).ok());
+  ASSERT_TRUE(
+      builder.AddSurrogate("m", ExplanationToString(*explanation)).ok());
+  const std::string path = TmpPath("gef_store_registry.gefs");
+  ASSERT_TRUE(builder.WriteTo(path).ok());
+
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadStore(path).ok());
+  auto first = registry.Get("m");
+  ASSERT_NE(first, nullptr);
+  // The registry trusts the pack-time hash (no re-serialization); it
+  // must still equal the canonical ContentHash.
+  EXPECT_EQ(first->hash, forest.ContentHash());
+  ASSERT_NE(first->preloaded_explanation, nullptr);
+  EXPECT_EQ(ExplanationToString(*first->preloaded_explanation),
+            ExplanationToString(*explanation));
+
+  // Hot-swap remap: loading the same store again replaces the entry
+  // with a fresh mapping; same content hash means every downstream
+  // cache (surrogate single-flight) keeps hitting.
+  ASSERT_TRUE(registry.LoadStore(path).ok());
+  auto second = registry.Get("m");
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(second->hash, first->hash);
+  // The original snapshot stays valid and servable (in-flight requests
+  // finish on the model they started with).
+  Rng rng(7);
+  Dataset probe = MakeGPrimeDataset(8, &rng);
+  std::vector<double> row;
+  probe.GetRowInto(0, &row);
+  const double a = first->forest.Predict(row);
+  const double b = second->forest.Predict(row);
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof(a)), 0);
+  std::remove(path.c_str());
+}
+
+TEST(StoreTest, MultiForestStoreKeepsNamesApart) {
+  Forest regression = TrainSmallGbdt();
+  Forest binary = TrainSmallGbdt(Objective::kBinaryClassification);
+  store::StoreBuilder builder;
+  ASSERT_TRUE(builder.AddForest("reg", regression).ok());
+  ASSERT_TRUE(builder.AddForest("bin", binary).ok());
+  const std::string path = TmpPath("gef_store_multi.gefs");
+  ASSERT_TRUE(builder.WriteTo(path).ok());
+
+  auto reader = store::StoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->ForestNames(),
+            (std::vector<std::string>{"reg", "bin"}));
+  auto reg = reader->LoadForest("reg");
+  auto bin = reader->LoadForest("bin");
+  ASSERT_TRUE(reg.ok());
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(reg->objective(), Objective::kRegression);
+  EXPECT_EQ(bin->objective(), Objective::kBinaryClassification);
+  EXPECT_FALSE(reader->LoadForest("absent").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gef

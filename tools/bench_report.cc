@@ -1,13 +1,13 @@
 // bench_report: runs the standard synthetic + census workloads through
 // the full GEF pipeline under the observability layer (src/obs) and
-// emits a schema-stable BENCH_PR4.json — per-stage wall-times, D*
+// emits a schema-stable BENCH_PRn.json — per-stage wall-times, D*
 // labeling throughput, surrogate fidelity (R² / RMSE) and peak RSS — so
 // every later PR has a perf trajectory to regress against.
 //
 // Usage:
-//   bench_report [--out BENCH_PR6.json] [--smoke] [--workload all]
+//   bench_report [--out BENCH_PR8.json] [--smoke] [--workload all]
 //                [--serving loadgen-on.json,loadgen-off.json]
-//   bench_report --validate BENCH_PR6.json [--baseline BENCH_PR5.json]
+//   bench_report --validate BENCH_PR8.json [--baseline BENCH_PR6.json]
 //
 // `--serving` (comma-separated list of files) merges the serving
 // workloads emitted by gef_loadgen --out
@@ -19,7 +19,14 @@
 //
 // With GEF_TRACE=<path> set, the per-stage JSONL spans land there as a
 // side artifact; without it, tracing runs in-memory only (aggregates
-// still feed the report). `--validate` re-parses an emitted report with
+// still feed the report).
+//
+// Each pipeline workload also carries a "store" object comparing
+// registry cold-start from the binary model store (src/store, mmap +
+// compiled-array adoption) against re-parsing the text model: load
+// wall-times, the speedup ratio, and a bitwise predict-parity flag.
+//
+// `--validate` re-parses an emitted report with
 // a strict JSON parser and checks every schema-required field, which is
 // what the CI bench-report job gates on. Adding `--baseline` diffs the
 // validated report against a prior one: per-stage wall-time deltas are
@@ -28,8 +35,10 @@
 // not buy speed with accuracy.
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -40,12 +49,16 @@
 #include "data/census.h"
 #include "data/synthetic.h"
 #include "forest/gbdt_trainer.h"
+#include "forest/serialization.h"
+#include "store/store_builder.h"
+#include "store/store_reader.h"
 #include "gef/evaluation.h"
 #include "gef/explainer.h"
 #include "explain/pdp.h"
 #include "explain/treeshap.h"
 #include "obs/obs.h"
 #include "obs/rss.h"
+#include "serve/model_registry.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 
@@ -224,7 +237,7 @@ class JsonParser {
 // changes keep the version.
 
 constexpr const char* kSchema = "gef-bench-v1";
-constexpr const char* kPrLabel = "PR6";
+constexpr const char* kPrLabel = "PR8";
 
 // Numeric keys a serving workload's "serving" object must carry (see
 // tools/gef_loadgen.cc, which emits them).
@@ -257,6 +270,11 @@ struct WorkloadResult {
   double fidelity_r2 = 0.0;
   double fidelity_rmse = 0.0;
   uint64_t peak_rss_bytes = 0;
+  // Store stage: registry cold-start comparison (DESIGN.md §3.17).
+  double store_text_load_s = 0.0;
+  double store_mmap_load_s = 0.0;
+  double store_speedup = 0.0;
+  bool store_bit_identical = false;
 };
 
 std::string FormatDouble(double v) {
@@ -303,6 +321,94 @@ void SerializeJson(const JsonValue& value, int indent, std::string* out) {
       break;
     }
   }
+}
+
+// Store stage: packs the trained forest into a binary store, then
+// compares registry cold-start to first prediction — the literal
+// serving boot paths, ModelRegistry::LoadModel (text parse +
+// ContentHash re-serialization + lazy compile forced by the predict)
+// vs ModelRegistry::LoadStore (mmap, packed hash, compiled-array
+// adoption). Both are repeated and the minimum taken so the reported
+// ratio reflects the format, not scheduler noise. Bit-parity is
+// checked over the full training set.
+void MeasureStore(const Dataset& train, const Forest& forest,
+                  WorkloadResult* result) {
+  using Clock = std::chrono::steady_clock;
+  const std::string text_path = "bench_store_" + result->name + ".txt";
+  const std::string store_path = "bench_store_" + result->name + ".gefs";
+
+  if (Status s = SaveForest(forest, text_path); !s.ok()) {
+    std::fprintf(stderr, "store stage: cannot save text model: %s\n",
+                 s.ToString().c_str());
+    return;
+  }
+  store::StoreBuilder builder;
+  if (Status s = builder.AddForest(result->name, forest); !s.ok()) {
+    std::fprintf(stderr, "store stage: cannot pack forest: %s\n",
+                 s.ToString().c_str());
+    return;
+  }
+  if (Status s = builder.WriteTo(store_path); !s.ok()) {
+    std::fprintf(stderr, "store stage: cannot write store: %s\n",
+                 s.ToString().c_str());
+    return;
+  }
+
+  std::vector<double> probe;
+  train.GetRowInto(0, &probe);
+
+  constexpr int kReps = 5;
+  double text_s = 0.0;
+  double mmap_s = 0.0;
+  std::vector<double> text_predictions;
+  std::vector<double> mmap_predictions;
+  bool failed = false;
+  for (int rep = 0; rep < kReps && !failed; ++rep) {
+    {
+      serve::ModelRegistry registry;
+      const Clock::time_point start = Clock::now();
+      if (Status s = registry.LoadModel(result->name, text_path, "gef");
+          !s.ok()) {
+        std::fprintf(stderr, "store stage: text load failed: %s\n",
+                     s.ToString().c_str());
+        failed = true;
+        break;
+      }
+      auto model = registry.Get(result->name);
+      model->forest.Predict(probe);  // forces the lazy compile
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (rep == 0 || elapsed < text_s) text_s = elapsed;
+      if (rep == 0) text_predictions = model->forest.PredictBatch(train);
+    }
+    {
+      serve::ModelRegistry registry;
+      const Clock::time_point start = Clock::now();
+      if (Status s = registry.LoadStore(store_path); !s.ok()) {
+        std::fprintf(stderr, "store stage: mmap load failed: %s\n",
+                     s.ToString().c_str());
+        failed = true;
+        break;
+      }
+      auto model = registry.Get(result->name);
+      model->forest.Predict(probe);  // already compiled: adopted arrays
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (rep == 0 || elapsed < mmap_s) mmap_s = elapsed;
+      if (rep == 0) mmap_predictions = model->forest.PredictBatch(train);
+    }
+  }
+  std::remove(text_path.c_str());
+  std::remove(store_path.c_str());
+  if (failed) return;
+
+  result->store_text_load_s = text_s;
+  result->store_mmap_load_s = mmap_s;
+  result->store_speedup = mmap_s > 0.0 ? text_s / mmap_s : 0.0;
+  result->store_bit_identical =
+      text_predictions.size() == mmap_predictions.size() &&
+      std::memcmp(text_predictions.data(), mmap_predictions.data(),
+                  text_predictions.size() * sizeof(double)) == 0;
 }
 
 // Runs one workload: train a GBDT, run the GEF pipeline, touch the
@@ -354,6 +460,8 @@ WorkloadResult RunWorkload(const std::string& name, const Dataset& train,
   result.peak_rss_bytes = aggregates.peak_rss_bytes != 0
                               ? aggregates.peak_rss_bytes
                               : obs::PeakRssBytes();
+  // After the flush so the store loads don't skew stage attribution.
+  MeasureStore(train, forest, &result);
   return result;
 }
 
@@ -386,6 +494,12 @@ void WriteReport(const std::string& path,
         << FormatDouble(r.dstar_rows_per_s) << ",\n";
     out << "      \"fidelity\": {\"r2\": " << FormatDouble(r.fidelity_r2)
         << ", \"rmse\": " << FormatDouble(r.fidelity_rmse) << "},\n";
+    out << "      \"store\": {\"text_load_s\": "
+        << FormatDouble(r.store_text_load_s)
+        << ", \"mmap_load_s\": " << FormatDouble(r.store_mmap_load_s)
+        << ", \"speedup\": " << FormatDouble(r.store_speedup)
+        << ", \"bit_identical\": "
+        << (r.store_bit_identical ? "true" : "false") << "},\n";
     out << "      \"peak_rss_bytes\": " << r.peak_rss_bytes << "\n";
     out << "    }" << (w + 1 < total ? "," : "") << "\n";
   }
@@ -502,6 +616,24 @@ std::vector<std::string> ValidateReport(const JsonValue& root) {
                     std::isfinite(it->second.number),
                 label + ": fidelity." + key + " must be a finite number");
       }
+    }
+    const JsonValue* store = wfield("store");
+    if (require(store != nullptr &&
+                    store->type == JsonValue::Type::kObject,
+                label + ": store must be an object")) {
+      for (const char* key : {"text_load_s", "mmap_load_s", "speedup"}) {
+        auto it = store->object.find(key);
+        require(it != store->object.end() &&
+                    it->second.type == JsonValue::Type::kNumber &&
+                    std::isfinite(it->second.number) &&
+                    it->second.number >= 0.0,
+                label + ": store." + key +
+                    " must be a non-negative number");
+      }
+      auto bit = store->object.find("bit_identical");
+      require(bit != store->object.end() &&
+                  bit->second.type == JsonValue::Type::kBool,
+              label + ": store.bit_identical must be a bool");
     }
   }
   return problems;
@@ -633,6 +765,20 @@ int DiffAgainstBaseline(const std::string& current_path,
                   base_v > 0.0 ? 100.0 * (cur_v - base_v) / base_v : 0.0,
                   base_v > 0.0 ? cur_v / base_v : 0.0);
     }
+    // Store cold-start trajectory (baselines that predate the store
+    // report 0 — informational only, like the stage table).
+    {
+      auto cur_store = w.object.find("store");
+      if (cur_store != w.object.end()) {
+        auto base_store = base->object.find("store");
+        double cur_v = NumberAt(cur_store->second, "speedup");
+        double base_v = base_store == base->object.end()
+                            ? 0.0
+                            : NumberAt(base_store->second, "speedup");
+        std::printf("| %s | store.speedup | %.1fx | %.1fx | |\n",
+                    name.c_str(), base_v, cur_v);
+      }
+    }
   }
   std::printf("\n### Fidelity gate (tolerance %.3g)\n\n", kFidelityDriftTol);
   for (const JsonValue& w : wit->second.array) {
@@ -666,7 +812,7 @@ int DiffAgainstBaseline(const std::string& current_path,
 
 int Run(const Flags& flags) {
   const bool smoke = flags.GetBool("smoke", false);
-  const std::string out_path = flags.GetString("out", "BENCH_PR6.json");
+  const std::string out_path = flags.GetString("out", "BENCH_PR8.json");
   const std::string workload = flags.GetString("workload", "all");
   const std::string serving_paths = flags.GetString("serving", "");
 
@@ -770,6 +916,11 @@ int Run(const Flags& flags) {
                 r.dstar_rows_per_s, r.stages_s.at("gam_fit"),
                 r.fidelity_r2,
                 static_cast<double>(r.peak_rss_bytes) / (1024.0 * 1024.0));
+    std::printf("  %-10s store cold-start: text %.2fms, mmap %.2fms "
+                "(%.1fx), predictions %s\n",
+                "", r.store_text_load_s * 1e3, r.store_mmap_load_s * 1e3,
+                r.store_speedup,
+                r.store_bit_identical ? "bit-identical" : "DIVERGED");
   }
   return 0;
 }

@@ -14,6 +14,9 @@
 //               [--curves curves.csv] [--points 41]
 //               [--explain "0.5,0.3,0.9,..."] [--seed 7]
 //               [--save explanation.txt] [--load explanation.txt]
+//               [--store-out store.gefs [--store-name model0]]
+//               (pack forest + fitted surrogate into a binary model
+//                store for gef_serve --store; DESIGN.md §3.17)
 //               [--summary]   (print the forest model card and exit)
 //               [--probe data.csv]  (evaluate fidelity on a CSV probe;
 //                                    last column = target, used only for
@@ -37,7 +40,8 @@
 #include "gef/explanation_io.h"
 #include "gef/local_explanation.h"
 #include "gef/report.h"
-#include "serve/shutdown.h"
+#include "store/store_builder.h"
+#include "util/shutdown.h"
 #include "util/flags.h"
 #include "util/hash.h"
 #include "util/string_util.h"
@@ -71,7 +75,7 @@ bool ParseInteraction(const std::string& name, InteractionStrategy* out) {
 
 int Run(int argc, const char* const* argv) {
   // SIGINT mid-save must not leave a half-written explanation behind.
-  serve::InstallShutdownHandler();
+  InstallShutdownHandler();
 
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) {
@@ -126,6 +130,8 @@ int Run(int argc, const char* const* argv) {
   std::string instance_raw = flags.GetString("explain", "");
   std::string save_path = flags.GetString("save", "");
   std::string load_path = flags.GetString("load", "");
+  std::string store_out = flags.GetString("store-out", "");
+  std::string store_name = flags.GetString("store-name", "model0");
   bool summary_only = flags.GetBool("summary", false);
   std::string probe_path = flags.GetString("probe", "");
 
@@ -169,7 +175,7 @@ int Run(int argc, const char* const* argv) {
   }
 
   if (!save_path.empty()) {
-    serve::ScopedFileGuard guard(save_path);
+    ScopedFileGuard guard(save_path);
     Status status = SaveExplanation(*explanation, save_path);
     if (!status.ok()) {
       std::fprintf(stderr, "cannot save explanation: %s\n",
@@ -180,6 +186,24 @@ int Run(int argc, const char* const* argv) {
     std::printf("saved explanation to %s (gam hash %s)\n",
                 save_path.c_str(),
                 HashToHex(explanation->gam.ContentHash()).c_str());
+  }
+
+  if (!store_out.empty()) {
+    store::StoreBuilder builder;
+    Status packed = builder.AddForest(store_name, *forest);
+    if (packed.ok()) {
+      packed = builder.AddSurrogate(store_name,
+                                    ExplanationToString(*explanation));
+    }
+    if (packed.ok()) packed = builder.WriteTo(store_out);
+    if (!packed.ok()) {
+      std::fprintf(stderr, "cannot pack store: %s\n",
+                   packed.ToString().c_str());
+      return 2;
+    }
+    std::printf("packed store %s (%zu sections, model %s + surrogate)\n",
+                store_out.c_str(), builder.num_sections(),
+                store_name.c_str());
   }
 
   std::printf("%s", DescribeExplanation(*explanation, *forest).c_str());

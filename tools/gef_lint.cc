@@ -361,7 +361,7 @@ int LayerRank(const std::string& layer) {
   static const std::pair<const char*, int> kRanks[] = {
       {"util", 0},  {"obs", 1},     {"linalg", 2}, {"stats", 3},
       {"data", 4},  {"forest", 5},  {"gam", 6},    {"explain", 7},
-      {"gef", 8},   {"serve", 9},
+      {"gef", 8},   {"store", 9},   {"serve", 10},
   };
   for (const auto& [name, rank] : kRanks) {
     if (layer == name) return rank;
@@ -420,7 +420,7 @@ void LayeringPass(const ScannedFile& file, std::vector<Violation>* out) {
                std::to_string(file.rank) + ") must not include " +
                target + "/ (rank " + std::to_string(target_rank) +
                "); the layer order is util < obs < linalg < stats < "
-               "data < forest < gam < explain < gef < serve"});
+               "data < forest < gam < explain < gef < store < serve"});
     }
   }
 }

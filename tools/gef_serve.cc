@@ -8,6 +8,11 @@
 //
 // Usage:
 //   gef_serve --model forest.txt [--name census] [--format gef|lightgbm]
+//             [--store store.gefs]  (mmap a binary model store instead
+//                                    of / in addition to --model: every
+//                                    forest in it is registered with its
+//                                    packed surrogate, predictions run
+//                                    zero-copy off the mapping)
 //             [--explanation explanation.txt]  (pre-fitted surrogate)
 //             [--address 127.0.0.1] [--port 8080]   (0 = ephemeral)
 //             [--batching true] [--batch-max 64] [--batch-wait-us 1000]
@@ -35,7 +40,7 @@
 #include "serve/handlers.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
-#include "serve/shutdown.h"
+#include "util/shutdown.h"
 #include "serve/surrogate_cache.h"
 #include "util/flags.h"
 #include "util/hash.h"
@@ -45,8 +50,8 @@ namespace gef {
 namespace {
 
 int Run(int argc, const char* const* argv) {
-  serve::InstallShutdownHandler();
-  serve::EnableDrainMode();
+  InstallShutdownHandler();
+  EnableDrainMode();
 
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) {
@@ -57,13 +62,16 @@ int Run(int argc, const char* const* argv) {
   const Flags& flags = *flags_or;
 
   std::string model_arg = flags.GetString("model", "");
-  if (model_arg.empty()) {
+  std::string store_path = flags.GetString("store", "");
+  if (model_arg.empty() && store_path.empty()) {
     std::fprintf(stderr,
-                 "usage: gef_serve --model <forest file> [options]\n"
+                 "usage: gef_serve --model <forest file> | --store "
+                 "<store file> [options]\n"
                  "see the header of tools/gef_serve.cc for options\n");
     return 1;
   }
-  std::vector<std::string> model_paths = Split(model_arg, ',');
+  std::vector<std::string> model_paths =
+      model_arg.empty() ? std::vector<std::string>() : Split(model_arg, ',');
   std::string name_arg = flags.GetString("name", "");
   std::vector<std::string> names =
       name_arg.empty() ? std::vector<std::string>() : Split(name_arg, ',');
@@ -112,6 +120,22 @@ int Run(int argc, const char* const* argv) {
   }
 
   serve::ModelRegistry registry;
+  if (!store_path.empty()) {
+    Status loaded = registry.LoadStore(store_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load store %s: %s\n",
+                   store_path.c_str(), loaded.ToString().c_str());
+      return 2;
+    }
+    for (const auto& model : registry.List()) {
+      std::printf(
+          "mmap-loaded model '%s' from store %s (hash %s, %zu trees%s)\n",
+          model->name.c_str(), store_path.c_str(),
+          HashToHex(model->hash).c_str(), model->forest.num_trees(),
+          model->preloaded_explanation != nullptr ? ", packed surrogate"
+                                                  : "");
+    }
+  }
   for (size_t i = 0; i < model_paths.size(); ++i) {
     const std::string name =
         i < names.size() ? names[i] : "model" + std::to_string(i);

@@ -14,6 +14,10 @@
 //             [--trees 100] [--leaves 31] [--lr 0.1]
 //             [--min-leaf 20] [--subsample 1.0]
 //             [--valid-fraction 0] [--early-stopping 0] [--seed 42]
+//             [--store-out <store file> [--store-name model0]]
+//
+// --store-out additionally packs the trained forest into a binary model
+// store (src/store/, DESIGN.md §3.17) that gef_serve --store mmaps.
 //
 // Exit codes: 0 success, 1 bad usage, 2 data/training failure.
 
@@ -24,7 +28,8 @@
 #include "forest/gbdt_trainer.h"
 #include "forest/random_forest_trainer.h"
 #include "forest/serialization.h"
-#include "serve/shutdown.h"
+#include "store/store_builder.h"
+#include "util/shutdown.h"
 #include "stats/metrics.h"
 #include "util/flags.h"
 #include "util/hash.h"
@@ -36,7 +41,7 @@ namespace {
 int Run(int argc, const char* const* argv) {
   // SIGINT mid-save must not leave a half-written model behind (the
   // guard around SaveForest below unlinks it from the handler).
-  serve::InstallShutdownHandler();
+  InstallShutdownHandler();
 
   auto flags_or = Flags::Parse(argc, argv);
   if (!flags_or.ok()) {
@@ -48,6 +53,8 @@ int Run(int argc, const char* const* argv) {
 
   std::string data_path = flags.GetString("data", "");
   std::string out_path = flags.GetString("out", "");
+  std::string store_out = flags.GetString("store-out", "");
+  std::string store_name = flags.GetString("store-name", "model0");
   if (data_path.empty() || out_path.empty()) {
     std::fprintf(stderr,
                  "usage: gef_train --data <csv> --out <model file> "
@@ -143,7 +150,7 @@ int Run(int argc, const char* const* argv) {
                 Rmse(forest.PredictRawBatch(*data), data->targets()));
   }
 
-  serve::ScopedFileGuard guard(out_path);
+  ScopedFileGuard guard(out_path);
   Status status = SaveForest(forest, out_path);
   if (!status.ok()) {
     std::fprintf(stderr, "cannot save model: %s\n",
@@ -154,6 +161,20 @@ int Run(int argc, const char* const* argv) {
   std::printf("wrote %zu-tree forest to %s (hash %s)\n",
               forest.num_trees(), out_path.c_str(),
               HashToHex(forest.ContentHash()).c_str());
+
+  if (!store_out.empty()) {
+    store::StoreBuilder builder;
+    Status packed = builder.AddForest(store_name, forest);
+    if (packed.ok()) packed = builder.WriteTo(store_out);
+    if (!packed.ok()) {
+      std::fprintf(stderr, "cannot pack store: %s\n",
+                   packed.ToString().c_str());
+      return 2;
+    }
+    std::printf("packed store %s (%zu sections, model %s)\n",
+                store_out.c_str(), builder.num_sections(),
+                store_name.c_str());
+  }
   return 0;
 }
 

@@ -4,14 +4,19 @@
 # every endpoint through gef_loadgen --check (healthz, models, predict,
 # explain, malformed-input 400, metrics), verifies the surrogate cache
 # answered the repeated explain without a second fit, and finally
-# SIGTERMs the server expecting a clean drain (exit 0).
+# SIGTERMs the server expecting a clean drain (exit 0). A second phase
+# packs the model into a binary store (gef_store pack + verify), boots
+# gef_serve --store from the mmap, and asserts the store metrics
+# (store.mmap_bytes / store.load_ms) plus the same single-fit cache
+# behavior across processes.
 set -euo pipefail
 
 DATASETS_BIN=$1
 TRAIN_BIN=$2
 SERVE_BIN=$3
 LOADGEN_BIN=$4
-WORK_DIR=$5
+STORE_BIN=$5
+WORK_DIR=$6
 
 mkdir -p "$WORK_DIR"
 rm -f "$WORK_DIR/serve.log"
@@ -82,3 +87,81 @@ fi
 grep -q "drained, exiting" "$WORK_DIR/serve.log"
 
 echo "serve smoke passed (port $PORT, fits=$FITS, cache hits=$HITS)"
+
+# ---- Store phase: pack -> verify -> serve from the mmap ----
+
+"$STORE_BIN" pack --out "$WORK_DIR/model.gefs" \
+  --model census="$WORK_DIR/model.txt" > /dev/null
+"$STORE_BIN" verify "$WORK_DIR/model.gefs" > /dev/null
+
+rm -f "$WORK_DIR/serve_store.log"
+"$SERVE_BIN" --store "$WORK_DIR/model.gefs" --port 0 \
+  --univariate 3 --samples 1500 --k 16 \
+  > "$WORK_DIR/serve_store.log" 2>&1 &
+SERVER_PID=$!
+trap 'kill -9 $SERVER_PID 2>/dev/null || true' EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+    "$WORK_DIR/serve_store.log" | head -1)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "store-backed server never reported its port:"
+  cat "$WORK_DIR/serve_store.log"
+  exit 1
+fi
+grep -q "mmap-loaded model 'census'" "$WORK_DIR/serve_store.log"
+
+# Same single-flight contract as the text-loaded server: the repeated
+# explain must be answered by the cache (one fit in this process).
+"$LOADGEN_BIN" --port "$PORT" --check
+"$LOADGEN_BIN" --port "$PORT" --check
+"$LOADGEN_BIN" --port "$PORT" --endpoint predict --connections 2 \
+  --duration-s 1 > "$WORK_DIR/loadgen_store.log"
+cat "$WORK_DIR/loadgen_store.log"
+
+STORE_METRICS="$WORK_DIR/metrics_store.txt"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /metrics HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n' >&3
+cat <&3 > "$STORE_METRICS"
+exec 3<&- 3>&-
+
+MMAP_BYTES=$(sed -n 's/^store.mmap_bytes \([0-9.]*\)$/\1/p' "$STORE_METRICS")
+LOAD_MS=$(sed -n 's/^store.load_ms \([0-9.e+-]*\)$/\1/p' "$STORE_METRICS")
+FITS=$(sed -n 's/^serve.gef_fits \([0-9]*\)$/\1/p' "$STORE_METRICS")
+HITS=$(sed -n 's/^serve.surrogate_cache.hits \([0-9]*\)$/\1/p' \
+  "$STORE_METRICS")
+if [ -z "$MMAP_BYTES" ] || [ "${MMAP_BYTES%%.*}" -le 0 ]; then
+  echo "expected store.mmap_bytes > 0, saw '$MMAP_BYTES'"
+  exit 1
+fi
+if [ -z "$LOAD_MS" ]; then
+  echo "expected a store.load_ms metric, saw none"
+  exit 1
+fi
+if [ "$FITS" != "1" ]; then
+  echo "expected exactly one GEF fit in the store-backed server, saw '$FITS'"
+  exit 1
+fi
+if [ -z "$HITS" ] || [ "$HITS" -lt 1 ]; then
+  echo "expected surrogate cache hits > 0 in the store-backed server, " \
+       "saw '$HITS'"
+  exit 1
+fi
+
+kill -TERM $SERVER_PID
+WAIT_STATUS=0
+wait $SERVER_PID || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ]; then
+  echo "store-backed server did not drain cleanly (exit $WAIT_STATUS):"
+  cat "$WORK_DIR/serve_store.log"
+  exit 1
+fi
+grep -q "drained, exiting" "$WORK_DIR/serve_store.log"
+
+echo "store smoke passed (port $PORT, mmap_bytes=$MMAP_BYTES," \
+     "load_ms=$LOAD_MS, fits=$FITS, cache hits=$HITS)"
