@@ -1,0 +1,157 @@
+#include "serve/conn.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace gef {
+namespace serve {
+
+Conn::Conn(int fd, uint64_t id, const HttpLimits& limits)
+    : fd_(fd), id_(id), parser_(limits) {}
+
+Conn::~Conn() { close(fd_); }
+
+bool Conn::ShouldClose() const {
+  if (io_error_) return true;
+  if (want_close_ && !has_pending_output()) return true;
+  // Peer finished sending and nothing is owed: a half-closed client
+  // with in-flight requests still gets its responses; one with none
+  // is done.
+  if (peer_eof_ && idle()) return true;
+  return false;
+}
+
+bool Conn::OnReadable(RequestSink* sink) {
+  char buffer[16 * 1024];
+  corked_ = true;
+  while (!read_dead_ && !peer_eof_) {
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      peer_eof_ = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      io_error_ = true;
+      corked_ = false;
+      return false;
+    }
+
+    HttpRequestParser::State state =
+        parser_.Consume(std::string_view(buffer, static_cast<size_t>(n)));
+    // One read may complete several pipelined requests; each takes the
+    // next sequence slot so responses come back in request order.
+    while (state == HttpRequestParser::State::kDone) {
+      const uint64_t seq = next_seq_++;
+      ++in_flight_;
+      HttpRequest request = parser_.TakeRequest();
+      state = parser_.Reset();
+      sink->OnRequest(this, seq, std::move(request));
+      if (read_dead_ || io_error_) break;  // a completion closed us
+    }
+    if (state == HttpRequestParser::State::kError) {
+      // Protocol error: answer with the parser's status at the next
+      // slot (after every already-pipelined response) and stop reading.
+      HttpResponse response = MakeErrorResponse(parser_.error_status(),
+                                                parser_.error_message());
+      response.close = true;
+      const uint64_t seq = next_seq_++;
+      ++in_flight_;
+      read_dead_ = true;
+      if (!Complete(seq, SerializeHttpResponse(response), true)) {
+        corked_ = false;
+        return false;
+      }
+      break;
+    }
+    // A short read means the socket buffer is (momentarily) empty —
+    // skip the extra EAGAIN probe recv(). Data arriving later raises a
+    // fresh edge, so this is safe under EPOLLET.
+    if (static_cast<size_t>(n) < sizeof(buffer)) break;
+  }
+  corked_ = false;
+  if (!FlushOut()) return false;
+  return !ShouldClose();
+}
+
+void Conn::ReleaseReady() {
+  auto it = ready_.begin();
+  while (it != ready_.end() && it->first == next_write_seq_) {
+    out_ += it->second.first;
+    if (it->second.second) {
+      // A close-flagged response: everything staged after it will never
+      // reach the wire; stop accepting reads too.
+      want_close_ = true;
+      read_dead_ = true;
+    }
+    ++next_write_seq_;
+    it = ready_.erase(it);
+  }
+}
+
+bool Conn::Complete(uint64_t seq, std::string bytes, bool close) {
+  if (in_flight_ > 0) --in_flight_;
+  ready_.emplace(seq,
+                 std::make_pair(std::move(bytes),
+                                close || (drain_close_ && in_flight_ == 0)));
+  ReleaseReady();
+  if (!FlushOut()) return false;
+  return !ShouldClose();
+}
+
+bool Conn::FlushOut() {
+  if (corked_) return true;  // the read pump flushes the whole burst
+  while (out_off_ < out_.size()) {
+    const ssize_t n = send(fd_, out_.data() + out_off_,
+                           out_.size() - out_off_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      io_error_ = true;
+      return false;
+    }
+    out_off_ += static_cast<size_t>(n);
+  }
+  out_.clear();
+  out_off_ = 0;
+  return true;
+}
+
+bool Conn::Uncork() {
+  corked_ = false;
+  if (!FlushOut()) return false;
+  return !ShouldClose();
+}
+
+bool Conn::OnWritable() {
+  if (!FlushOut()) return false;
+  return !ShouldClose();
+}
+
+void Conn::RefreshDeadline(std::chrono::steady_clock::time_point now,
+                           std::chrono::milliseconds read_timeout,
+                           std::chrono::milliseconds write_timeout) {
+  if (has_pending_output()) {
+    // Write-progress deadline: refreshed on every append/partial send,
+    // so it bounds a client that stopped reading, not total transfer.
+    has_deadline_ = true;
+    deadline_ = now + write_timeout;
+  } else if (in_flight_ > 0) {
+    // Workers own the latency while a request executes; the queue bound
+    // plus the handler's own costs bound it, not the connection timer.
+    has_deadline_ = false;
+  } else {
+    // Waiting for (more of) a request: idle keep-alive and mid-request
+    // stalls share the read deadline, exactly like the blocking server
+    // did — but the wheel enforces it to tick granularity.
+    has_deadline_ = true;
+    deadline_ = now + read_timeout;
+  }
+}
+
+}  // namespace serve
+}  // namespace gef

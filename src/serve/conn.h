@@ -1,0 +1,172 @@
+#ifndef GEF_SERVE_CONN_H_
+#define GEF_SERVE_CONN_H_
+
+// Per-connection state machine for the epoll reactor (serve/reactor.h).
+//
+// A Conn is owned end-to-end by exactly one reactor shard thread, so it
+// carries NO locks: every method below runs on that shard thread only.
+// The one cross-thread interaction — a worker finishing a request — goes
+// through the shard's completion queue, and the shard calls Complete()
+// on its own thread after draining it. That single-owner discipline is
+// the point of SO_REUSEPORT sharding (DESIGN.md §3.18).
+//
+// Responsibilities:
+//  * Edge-triggered read pump: recv() until EAGAIN/EOF, feeding the
+//    incremental HttpRequestParser; a single readable event may complete
+//    many pipelined requests, each handed to the shard in arrival order
+//    with a per-connection sequence number.
+//  * Ordered write-back: requests execute on worker threads and may
+//    finish out of order; Complete() stages each serialized response at
+//    its sequence number and only releases the contiguous prefix to the
+//    socket, so HTTP/1.1 pipelining semantics hold no matter how the
+//    workers interleave.
+//  * Partial-write buffering: whatever send() does not accept stays in
+//    the output buffer; the shard finishes it on the next EPOLLOUT edge
+//    (the fd is registered for EPOLLIN|EPOLLOUT|EPOLLET once, so no
+//    epoll_ctl re-arm syscalls on the hot path).
+//  * Deadline bookkeeping for the shard's timer wheel: one deadline per
+//    connection — read/idle while waiting for request bytes, write
+//    while output is pending, none while requests are in flight.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/http.h"
+
+namespace gef {
+namespace serve {
+
+class Conn;
+
+/// Shard-side hook receiving each completed request, in arrival order.
+/// The implementation must guarantee `seq` eventually completes: either
+/// it enqueues the request for a worker (a completion arrives through
+/// the shard later) or it answers inline via conn->Complete() before
+/// returning (the 429 load-shed path).
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+  virtual void OnRequest(Conn* conn, uint64_t seq,
+                         HttpRequest request) = 0;
+};
+
+class Conn {
+ public:
+  /// Takes ownership of `fd` (closed in the destructor). `id` is the
+  /// shard-unique token stored in epoll event data and used to resolve
+  /// completions; ids are never reused within a shard, so a completion
+  /// for a closed connection simply fails the lookup and is dropped.
+  Conn(int fd, uint64_t id, const HttpLimits& limits);
+  ~Conn();
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+
+  /// Read pump for one EPOLLIN edge. Returns false when the connection
+  /// is dead and the shard must destroy it now; true keeps it alive
+  /// (possibly with buffered output or in-flight requests).
+  bool OnReadable(RequestSink* sink);
+
+  /// Stages the serialized response for request `seq` and flushes every
+  /// response that is now contiguous with the write cursor. `close`
+  /// marks the connection for close once the response (and everything
+  /// before it) has drained. Returns false when the connection is dead.
+  bool Complete(uint64_t seq, std::string bytes, bool close);
+
+  /// Write pump for one EPOLLOUT edge. Returns false when dead.
+  bool OnWritable();
+
+  /// Burst corking for the shard's staged-predict flush. While corked,
+  /// Complete() stages bytes without touching the socket; Uncork()
+  /// sends the whole burst in one syscall and returns false when the
+  /// connection is dead. Cork/Uncork are idempotent, so a flush that
+  /// delivers several responses to one connection may cork it once per
+  /// response and uncork it once per delivery without double-sending.
+  /// (The read pump corks internally for the same reason; these are for
+  /// completions delivered outside OnReadable.)
+  void Cork() { corked_ = true; }
+  bool Uncork();
+
+  /// True while bytes are buffered waiting for the socket.
+  bool has_pending_output() const { return out_.size() > out_off_; }
+
+  /// True when nothing is owed in either direction: no in-flight
+  /// requests, no buffered output. Draining shards close idle
+  /// connections immediately; the timer wheel closes them at the idle
+  /// deadline.
+  bool idle() const { return in_flight_ == 0 && !has_pending_output(); }
+
+  size_t in_flight() const { return in_flight_; }
+
+  /// Drain mode: answer what is owed, then close. Idle connections are
+  /// destroyed by the shard directly; this handles the in-flight ones.
+  void MarkDrainClose() { drain_close_ = true; }
+
+  // --- Timer-wheel bookkeeping (owned by the shard) ------------------
+
+  /// Recomputes this connection's deadline from its state: write
+  /// progress deadline while output is pending, read/idle deadline
+  /// while waiting for request bytes, none while requests are in
+  /// flight (workers own the latency then).
+  void RefreshDeadline(std::chrono::steady_clock::time_point now,
+                       std::chrono::milliseconds read_timeout,
+                       std::chrono::milliseconds write_timeout);
+
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const {
+    return deadline_;
+  }
+  bool in_wheel() const { return in_wheel_; }
+  void set_in_wheel(bool in_wheel) { in_wheel_ = in_wheel; }
+
+ private:
+  /// send() loop over the buffered output. Returns false on a fatal
+  /// transport error.
+  bool FlushOut();
+
+  /// Releases every staged response contiguous with next_write_seq_
+  /// into the output buffer.
+  void ReleaseReady();
+
+  /// Dead connections are destroyed by the shard as soon as a pump
+  /// method returns false.
+  bool ShouldClose() const;
+
+  const int fd_;
+  const uint64_t id_;
+  HttpRequestParser parser_;
+
+  uint64_t next_seq_ = 0;        // next request sequence to hand out
+  uint64_t next_write_seq_ = 0;  // next response owed to the socket
+  /// Completed-out-of-order responses staged until their turn. The
+  /// bool marks a close-after-this-response flag.
+  std::map<uint64_t, std::pair<std::string, bool>> ready_;
+  size_t in_flight_ = 0;
+
+  std::string out_;      // serialized responses awaiting the socket
+  size_t out_off_ = 0;   // bytes of out_ already sent
+
+  /// Write corking: while the read pump processes a pipelined burst,
+  /// inline completions stage their bytes instead of send()ing one
+  /// response at a time; the pump flushes the whole burst in one
+  /// syscall before returning.
+  bool corked_ = false;
+  bool peer_eof_ = false;     // recv() saw EOF; read side is done
+  bool read_dead_ = false;    // parser error answered; stop parsing
+  bool want_close_ = false;   // close once output drains
+  bool drain_close_ = false;  // server drain: close after in-flight
+  bool io_error_ = false;     // fatal transport error
+
+  bool has_deadline_ = false;
+  bool in_wheel_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace serve
+}  // namespace gef
+
+#endif  // GEF_SERVE_CONN_H_

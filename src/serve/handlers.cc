@@ -1,7 +1,9 @@
 #include "serve/handlers.h"
 
+#include <charconv>
 #include <chrono>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -97,6 +99,30 @@ HttpResponse HandlePredict(const ServeContext& context,
   ScopedEndpointMetrics metrics("predict");
   GEF_OBS_SPAN("serve.predict");
 
+  {
+    // Hot path: the canonical {"model":...,"row":[...]} body skips the
+    // Json tree entirely. Any shape or lookup miss falls through to the
+    // generic parse below, which re-reads the body and owns every
+    // error response — the fast path only ever answers successes.
+    bool have_model = false;
+    std::string_view name;
+    std::vector<double> row;
+    if (ScanPredictBody(request.body, &have_model, &name, &row)) {
+      auto model = have_model
+                       ? context.registry->Get(std::string(name))
+                       : context.registry->GetOnly();
+      if (model != nullptr &&
+          row.size() == model->forest.num_features()) {
+        RequestBatcher::Result result =
+            context.batcher->Predict(model, std::move(row));
+        HttpResponse response;
+        response.body = model->predict_prefix + "\"prediction\":" +
+                        JsonNumberText(result.prediction) + "}";
+        return response;
+      }
+    }
+  }
+
   StatusOr<Json> body = ParseJson(request.body);
   if (!body.ok()) {
     return CountedError(400, body.status().message());
@@ -116,8 +142,7 @@ HttpResponse HandlePredict(const ServeContext& context,
         400, "request must carry exactly one of \"row\" or \"rows\"");
   }
 
-  std::string out = "{\"model\":\"" + JsonEscapeString(model->name) +
-                    "\",\"hash\":\"" + HashToHex(model->hash) + "\",";
+  std::string out = model->predict_prefix;
   if (row_json != nullptr) {
     std::vector<double> row;
     Status parsed = ParseRow(*row_json, width, &row);
@@ -352,6 +377,86 @@ HttpResponse HandleMetrics() {
 }
 
 }  // namespace
+
+// Declared in handlers.h (shared with the reactor's burst-batched
+// inline predicts). Numbers go through std::from_chars, which rejects
+// the hex/inf/nan spellings strtod would sneak past JSON.
+bool ScanPredictBody(const std::string& body, bool* have_model,
+                     std::string_view* model_name,
+                     std::vector<double>* row) {
+  const char* p = body.data();
+  const char* const end = p + body.size();
+  const auto skip_ws = [&p, end] {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  };
+  const auto scan_string = [&p, end](std::string_view* out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    const char* start = p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') return false;  // escapes: generic path
+      ++p;
+    }
+    if (p >= end) return false;
+    *out = std::string_view(start, static_cast<size_t>(p - start));
+    ++p;
+    return true;
+  };
+
+  skip_ws();
+  if (p >= end || *p != '{') return false;
+  ++p;
+  bool have_row = false;
+  skip_ws();
+  while (p < end && *p != '}') {
+    std::string_view key;
+    if (!scan_string(&key)) return false;
+    skip_ws();
+    if (p >= end || *p != ':') return false;
+    ++p;
+    skip_ws();
+    if (key == "model" && !*have_model) {
+      if (!scan_string(model_name)) return false;
+      *have_model = true;
+    } else if (key == "row" && !have_row) {
+      if (p >= end || *p != '[') return false;
+      ++p;
+      skip_ws();
+      while (p < end && *p != ']') {
+        if (*p != '-' && (*p < '0' || *p > '9')) return false;
+        double value = 0.0;
+        const auto [next, ec] = std::from_chars(p, end, value);
+        if (ec != std::errc()) return false;
+        row->push_back(value);
+        p = next;
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          skip_ws();
+          if (p >= end || *p == ']') return false;  // trailing comma
+        }
+      }
+      if (p >= end) return false;
+      ++p;  // ']'
+      have_row = true;
+    } else {
+      return false;  // rows / config / duplicate / unknown members
+    }
+    skip_ws();
+    if (p < end && *p == ',') {
+      ++p;
+      skip_ws();
+      if (p < end && *p == '}') return false;  // trailing comma
+    }
+  }
+  if (p >= end) return false;
+  ++p;  // '}'
+  skip_ws();
+  return p == end && have_row;
+}
 
 HttpResponse HandleRequest(const ServeContext& context,
                            const HttpRequest& request) {

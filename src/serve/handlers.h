@@ -21,6 +21,9 @@
 // request body can never crash or wedge the server.
 
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "gef/explainer.h"
 #include "serve/batcher.h"
@@ -44,6 +47,19 @@ struct ServeContext {
 /// a JSON error response with the right status code.
 HttpResponse HandleRequest(const ServeContext& context,
                            const HttpRequest& request);
+
+/// Zero-allocation scan of the canonical single-row predict body — an
+/// object with only "model" (escape-free string, optional) and "row"
+/// (array of plain numbers) members, either order. Returns false
+/// WITHOUT reporting an error on any other shape (escapes, "rows",
+/// unknown members, malformed JSON): callers fall back to the generic
+/// Json-tree path in HandleRequest, which owns the full grammar and
+/// the exact error responses. Shared between the predict handler's
+/// fast path and the reactor's burst-batched inline predicts, which
+/// must accept exactly the same bodies.
+bool ScanPredictBody(const std::string& body, bool* have_model,
+                     std::string_view* model_name,
+                     std::vector<double>* row);
 
 }  // namespace serve
 }  // namespace gef

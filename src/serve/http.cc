@@ -75,6 +75,9 @@ std::string SerializeHttpResponse(const HttpResponse& response) {
          "\r\n";
   out += response.close ? "Connection: close\r\n"
                         : "Connection: keep-alive\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "\r\n";
   out += response.body;
   return out;

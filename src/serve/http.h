@@ -22,6 +22,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace gef {
@@ -46,6 +47,9 @@ struct HttpResponse {
   std::string body;
   /// Set by handlers or the server to force connection close.
   bool close = false;
+  /// Extra response headers appended verbatim (name, value) — e.g.
+  /// Retry-After on the 429 load-shed path.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 };
 
 struct HttpLimits {
@@ -83,6 +87,10 @@ class HttpRequestParser {
 
   State state() const { return state_; }
   const HttpRequest& request() const { return request_; }
+
+  /// Moves the completed request out without copying its body (valid
+  /// only in kDone, before Reset(); the reactor's hot path).
+  HttpRequest TakeRequest() { return std::move(request_); }
 
   /// HTTP status the connection should answer on kError (400, 413,
   /// 431, 501, 505).

@@ -7,7 +7,9 @@
 #include "forest/serialization.h"
 #include "gef/explanation_io.h"
 #include "obs/metrics.h"
+#include "serve/json.h"
 #include "store/store_reader.h"
+#include "util/hash.h"
 #include "util/validate.h"
 
 namespace gef {
@@ -50,6 +52,9 @@ Status ModelRegistry::AddModel(
   // straight to the compiled kernels without paying the compile.
   model->forest.Compiled();
   model->preloaded_explanation = std::move(preloaded_explanation);
+  model->predict_prefix = "{\"model\":\"" + JsonEscapeString(name) +
+                          "\",\"hash\":\"" + HashToHex(model->hash) +
+                          "\",";
 
   bool replaced = false;
   size_t count = 0;

@@ -37,6 +37,10 @@ struct ServedModel {
   /// Pre-fitted surrogate served for explain requests that don't
   /// override the pipeline config; may be null.
   std::shared_ptr<const GefExplanation> preloaded_explanation;
+  /// Precomputed `{"model":"...","hash":"...",` response prefix —
+  /// name escaping and hash hex-formatting are loop-invariant per
+  /// model, and the predict hot path answers with this + the number.
+  std::string predict_prefix;
 };
 
 class ModelRegistry {

@@ -1,238 +1,42 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <cerrno>
-#include <cstring>
 #include <utility>
-
-#include "obs/metrics.h"
-#include "util/shutdown.h"
 
 namespace gef {
 namespace serve {
 
-struct HttpServer::Connection {
-  int fd = -1;
-  std::thread thread;
-  std::atomic<bool> finished{false};
-};
-
 namespace {
 
-/// Sends the whole buffer, bounded by the write timeout per poll cycle.
-/// Returns false when the client went away or stopped reading.
-bool SendAll(int fd, const std::string& bytes, int timeout_ms) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLOUT;
-    const int ready = poll(&pfd, 1, timeout_ms);
-    if (ready <= 0) return false;  // timeout or error
-    const ssize_t n = send(fd, bytes.data() + sent, bytes.size() - sent,
-                           MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+Reactor::Options ToReactorOptions(HttpServer::Options options) {
+  Reactor::Options out;
+  out.address = std::move(options.address);
+  out.port = options.port;
+  out.num_shards = options.num_shards;
+  out.workers_per_shard = options.workers_per_shard;
+  out.queue_capacity = options.queue_capacity;
+  out.read_timeout_ms = options.read_timeout_ms;
+  out.write_timeout_ms = options.write_timeout_ms;
+  out.tick_ms = options.tick_ms;
+  out.limits = options.limits;
+  return out;
 }
 
 }  // namespace
 
 HttpServer::HttpServer(const ServeContext& context, Options options)
-    : context_(context), options_(std::move(options)) {}
+    : reactor_(context, ToReactorOptions(std::move(options))) {}
 
-HttpServer::~HttpServer() {
-  Stop();
-  if (listen_fd_ >= 0) close(listen_fd_);
-}
+HttpServer::~HttpServer() = default;
 
-Status HttpServer::Start() {
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket(): ") +
-                            std::strerror(errno));
-  }
-  const int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+Status HttpServer::Start() { return reactor_.Start(); }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (inet_pton(AF_INET, options_.address.c_str(), &addr.sin_addr) !=
-      1) {
-    return Status::InvalidArgument("bad listen address '" +
-                                   options_.address + "'");
-  }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-           sizeof(addr)) != 0) {
-    return Status::Internal("bind(" + options_.address + ":" +
-                            std::to_string(options_.port) +
-                            "): " + std::strerror(errno));
-  }
-  if (listen(listen_fd_, 128) != 0) {
-    return Status::Internal(std::string("listen(): ") +
-                            std::strerror(errno));
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                  &bound_len) != 0) {
-    return Status::Internal(std::string("getsockname(): ") +
-                            std::strerror(errno));
-  }
-  bound_port_ = ntohs(bound.sin_port);
+void HttpServer::Wait() { reactor_.Wait(); }
 
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  return Status::Ok();
-}
+void HttpServer::Stop() { reactor_.Stop(); }
 
-void HttpServer::Wait() {
-  if (accept_thread_.joinable()) accept_thread_.join();
-}
+int HttpServer::bound_port() const { return reactor_.bound_port(); }
 
-void HttpServer::Stop() {
-  RequestShutdown();
-  Wait();
-}
-
-void HttpServer::ReapFinishedConnections(bool join_all) {
-  MutexLock lock(connections_mutex_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    Connection& connection = **it;
-    if (join_all || connection.finished.load(std::memory_order_acquire)) {
-      if (connection.thread.joinable()) connection.thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void HttpServer::AcceptLoop() {
-  const int wake_fd = ShutdownWakeFd();
-  while (!ShutdownRequested()) {
-    pollfd pfds[2] = {};
-    pfds[0].fd = listen_fd_;
-    pfds[0].events = POLLIN;
-    pfds[1].fd = wake_fd;
-    pfds[1].events = POLLIN;
-    const int ready = poll(pfds, 2, 250);
-    if (ShutdownRequested()) break;
-    if (ready <= 0) {
-      ReapFinishedConnections(/*join_all=*/false);
-      continue;
-    }
-    if ((pfds[0].revents & POLLIN) == 0) continue;
-    const int client_fd =
-        accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (client_fd < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
-        continue;
-      }
-      break;  // listen socket gone — shut down
-    }
-    const int one = 1;
-    setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    obs::metrics::GetCounter("serve.connections.accepted").Add();
-
-    auto connection = std::make_unique<Connection>();
-    Connection* raw = connection.get();
-    raw->fd = client_fd;
-    {
-      MutexLock lock(connections_mutex_);
-      connections_.push_back(std::move(connection));
-    }
-    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
-  }
-  // Drain: no new connections; in-flight requests finish, keep-alive
-  // connections notice the shutdown flag at their next poll tick.
-  close(listen_fd_);
-  listen_fd_ = -1;
-  ReapFinishedConnections(/*join_all=*/true);
-}
-
-void HttpServer::ServeConnection(Connection* connection) {
-  const int fd = connection->fd;
-  HttpRequestParser parser(options_.limits);
-  char buffer[4096];
-  bool open = true;
-
-  while (open && !ShutdownRequested()) {
-    // Wait for request bytes in slices so a drain closes idle
-    // keep-alive connections within ~250 ms.
-    int waited_ms = 0;
-    bool have_bytes = false;
-    while (waited_ms < options_.read_timeout_ms &&
-           !ShutdownRequested()) {
-      pollfd pfd{};
-      pfd.fd = fd;
-      pfd.events = POLLIN;
-      const int slice =
-          options_.read_timeout_ms - waited_ms < 250
-              ? options_.read_timeout_ms - waited_ms
-              : 250;
-      const int ready = poll(&pfd, 1, slice);
-      if (ready > 0) {
-        have_bytes = true;
-        break;
-      }
-      if (ready < 0 && errno != EINTR) break;
-      waited_ms += slice;
-    }
-    if (!have_bytes) break;  // idle timeout or drain
-
-    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
-    if (n == 0) break;  // client closed
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      break;
-    }
-
-    HttpRequestParser::State state =
-        parser.Consume(std::string_view(buffer, static_cast<size_t>(n)));
-    // A single read may complete several pipelined requests.
-    while (state != HttpRequestParser::State::kNeedMore) {
-      if (state == HttpRequestParser::State::kError) {
-        HttpResponse response = MakeErrorResponse(
-            parser.error_status(), parser.error_message());
-        response.close = true;
-        SendAll(fd, SerializeHttpResponse(response),
-                options_.write_timeout_ms);
-        open = false;
-        break;
-      }
-      const HttpRequest& request = parser.request();
-      HttpResponse response = HandleRequest(context_, request);
-      if (request.WantsClose() || ShutdownRequested()) {
-        response.close = true;
-      }
-      if (!SendAll(fd, SerializeHttpResponse(response),
-                   options_.write_timeout_ms)) {
-        open = false;
-        break;
-      }
-      if (response.close) {
-        open = false;
-        break;
-      }
-      state = parser.Reset();
-    }
-  }
-
-  close(fd);
-  connection->finished.store(true, std::memory_order_release);
-}
+int HttpServer::num_shards() const { return reactor_.num_shards(); }
 
 }  // namespace serve
 }  // namespace gef

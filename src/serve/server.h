@@ -1,32 +1,23 @@
 #ifndef GEF_SERVE_SERVER_H_
 #define GEF_SERVE_SERVER_H_
 
-// POSIX-socket HTTP/1.1 server wrapping the pure request handlers.
+// HTTP/1.1 server facade over the epoll reactor (serve/reactor.h).
 //
-// Threading model: one accept loop (its own thread) plus a blocking
-// thread per connection — the simple model is the right one here
-// because request *work* is already parallelized by the batcher across
-// the shared pool; connection threads mostly sleep in poll(). Every
-// socket wait is bounded by a timeout, and the accept loop polls the
-// shutdown self-pipe (util/shutdown.h) alongside the listen socket, so
-// SIGINT/SIGTERM wakes it instantly.
-//
-// Drain sequence on shutdown: stop accepting, close the listen socket,
-// let in-flight requests finish (keep-alive connections close at the
-// next idle poll tick), join every connection thread, return from
-// Wait(). The gef_serve tool then exits 0.
+// PR 5 shipped this as a blocking accept-loop + thread-per-connection
+// design; PR 9 replaced the I/O layer with SO_REUSEPORT-sharded event
+// loops (DESIGN.md §3.18) while keeping this class's API and observable
+// semantics — Start/Wait/Stop, ephemeral-port resolution, and the
+// self-pipe shutdown drain — exactly as tools/gef_serve.cc and the
+// tests consume them. HttpServer stays the stable entry point; Reactor
+// is the engine.
 
-#include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "serve/handlers.h"
 #include "serve/http.h"
-#include "util/mutex.h"
+#include "serve/reactor.h"
 #include "util/status.h"
-#include "util/thread_annotations.h"
 
 namespace gef {
 namespace serve {
@@ -42,6 +33,16 @@ class HttpServer {
     int read_timeout_ms = 5000;
     /// Max time for the client to accept response bytes.
     int write_timeout_ms = 5000;
+    /// Reactor shards (event loops + SO_REUSEPORT listeners);
+    /// 0 = auto (min(4, hardware_concurrency)).
+    int num_shards = 0;
+    /// Handler threads per shard; 0 = auto (2).
+    int workers_per_shard = 0;
+    /// Per-shard request-queue bound; beyond it the shard sheds with
+    /// 429 + Retry-After.
+    size_t queue_capacity = 256;
+    /// Timer-wheel tick; idle/write deadlines fire within one tick.
+    int tick_ms = 100;
     HttpLimits limits;
   };
 
@@ -51,9 +52,9 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens and spawns the accept loop. Requires
+  /// Binds, listens and spawns the shard/worker threads. Requires
   /// InstallShutdownHandler() + EnableDrainMode() to have run (the
-  /// accept loop polls the shutdown wake fd).
+  /// shards poll the shutdown wake fd).
   Status Start();
 
   /// Blocks until shutdown has been requested and every connection has
@@ -64,28 +65,13 @@ class HttpServer {
   void Stop();
 
   /// The actual listening port (resolves port 0). Valid after Start().
-  int bound_port() const { return bound_port_; }
+  int bound_port() const;
+
+  /// Resolved shard count. Valid after Start().
+  int num_shards() const;
 
  private:
-  struct Connection;
-
-  void AcceptLoop() GEF_EXCLUDES(connections_mutex_);
-  void ServeConnection(Connection* connection);
-  void ReapFinishedConnections(bool join_all)
-      GEF_EXCLUDES(connections_mutex_);
-
-  const ServeContext& context_;
-  Options options_;
-  // Written by Start() before the accept thread exists, then owned by
-  // the accept loop (which closes it during drain); the destructor only
-  // touches it after Wait() has joined that thread. Single-owner
-  // hand-off, so no capability guards it.
-  int listen_fd_ = -1;
-  int bound_port_ = 0;
-  std::thread accept_thread_;
-  Mutex connections_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_
-      GEF_GUARDED_BY(connections_mutex_);
+  Reactor reactor_;
 };
 
 }  // namespace serve

@@ -3,13 +3,23 @@
 // shutdown/file-guard plumbing, the model registry, the single-flight
 // surrogate cache, the request batcher and the endpoint handlers.
 //
-// Everything here runs on in-memory buffers — no sockets, no child
-// processes — so the whole suite is TSan/ASan-friendly and fast. The
-// socket layer itself is exercised end-to-end by tools/serve_smoke.sh.
+// Handler/cache/batcher logic runs on in-memory buffers; the epoll
+// reactor (PR 9) is additionally exercised over real loopback sockets
+// (ReactorServeTest) — still in-process, no child processes, so the
+// whole suite is TSan/ASan-friendly. The full binary is exercised
+// end-to-end by tools/serve_smoke.sh.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -28,6 +38,8 @@
 #include "serve/http.h"
 #include "serve/json.h"
 #include "serve/model_registry.h"
+#include "serve/reactor.h"
+#include "serve/server.h"
 #include "util/shutdown.h"
 #include "serve/surrogate_cache.h"
 #include "stats/rng.h"
@@ -997,6 +1009,647 @@ TEST(ServeConcurrencyTest, RegistryCacheBatcherStress) {
   stop.store(true);
   swapper.join();
   EXPECT_EQ(errors.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// serve/reactor — the epoll serving core (PR 9), exercised over real
+// loopback sockets: keep-alive, pipelining order, idle-timeout
+// exactness, 429 load shedding, shutdown drain and multi-shard stress.
+// ---------------------------------------------------------------------
+
+using serve::BoundedRequestQueue;
+using serve::Completion;
+using serve::CompletionQueue;
+using serve::HttpServer;
+using serve::ParsedRequest;
+
+TEST(BoundedRequestQueueTest, CapacityShedAndDrainSemantics) {
+  BoundedRequestQueue queue(2);
+  ParsedRequest item;
+  EXPECT_TRUE(queue.TryPush(item));
+  EXPECT_TRUE(queue.TryPush(item));
+  EXPECT_FALSE(queue.TryPush(item)) << "full queue must shed";
+
+  std::vector<ParsedRequest> out;
+  EXPECT_TRUE(queue.PopAll(&out));
+  EXPECT_EQ(out.size(), 2u) << "PopAll hands over every pending item";
+
+  EXPECT_TRUE(queue.TryPush(item));
+  queue.Stop();
+  EXPECT_FALSE(queue.TryPush(item)) << "stopped queue admits nothing";
+  EXPECT_TRUE(queue.PopAll(&out))
+      << "items admitted before Stop() still drain";
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_FALSE(queue.PopAll(&out)) << "stopped AND empty ends workers";
+  EXPECT_EQ(queue.DepthHighWater(), 2u);
+}
+
+TEST(BoundedRequestQueueTest, PopAllBlocksUntilPushThenStopReleases) {
+  BoundedRequestQueue queue(4);
+  std::vector<ParsedRequest> got;
+  std::thread consumer([&] {
+    std::vector<ParsedRequest> out;
+    while (queue.PopAll(&out)) {
+      for (auto& item : out) got.push_back(std::move(item));
+    }
+  });
+  ParsedRequest item;
+  item.seq = 7;
+  ASSERT_TRUE(queue.TryPush(std::move(item)));
+  queue.Stop();
+  consumer.join();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].seq, 7u);
+}
+
+TEST(CompletionQueueTest, PostSignalsOnlyOnEmptyToNonEmpty) {
+  CompletionQueue queue;
+  Completion completion;
+  EXPECT_TRUE(queue.Post(completion))
+      << "empty->non-empty must request an eventfd kick";
+  EXPECT_FALSE(queue.Post(completion))
+      << "further posts piggyback on the pending kick";
+  std::vector<Completion> out;
+  queue.DrainInto(&out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(queue.Post(completion)) << "drained queue kicks again";
+}
+
+/// Minimal blocking HTTP/1.1 client for driving the reactor over a real
+/// socket: raw byte sends (for pipelined bursts) and full-response
+/// reads with a receive timeout, so a server bug fails an assertion
+/// instead of hanging the suite.
+class TestClient {
+ public:
+  ~TestClient() { Close(); }
+
+  bool Connect(int port, int recv_timeout_ms = 10000) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) == 0;
+  }
+
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads exactly one response (keep-alive aware via Content-Length).
+  bool ReadResponse(int* status, std::string* headers,
+                    std::string* body) {
+    size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) ==
+           std::string::npos) {
+      if (!Fill()) return false;
+    }
+    *headers = buffer_.substr(0, header_end);
+    *status = std::atoi(headers->c_str() + 9);  // "HTTP/1.1 NNN"
+    const size_t cl = headers->find("Content-Length:");
+    if (cl == std::string::npos) return false;
+    const size_t length =
+        static_cast<size_t>(std::atol(headers->c_str() + cl + 15));
+    const size_t total = header_end + 4 + length;
+    while (buffer_.size() < total) {
+      if (!Fill()) return false;
+    }
+    *body = buffer_.substr(header_end + 4, length);
+    buffer_.erase(0, total);
+    return true;
+  }
+
+  /// recv()s until EOF; true when the server closed the connection
+  /// within the receive timeout (leftover bytes are discarded).
+  bool WaitForClose() {
+    char tmp[1024];
+    for (;;) {
+      const ssize_t n = recv(fd_, tmp, sizeof(tmp), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  bool Fill() {
+    char tmp[4096];
+    const ssize_t n = recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buffer_.append(tmp, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string HttpRequestText(const std::string& method,
+                            const std::string& target,
+                            const std::string& body) {
+  std::string out = method + " " + target + " HTTP/1.1\r\nHost: t\r\n";
+  if (!body.empty() || method == "POST") {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+/// One /metrics round trip on `client` (keep-alive); the value of the
+/// named counter/gauge, or -1.0 when absent.
+double ScrapeMetric(TestClient* client, const std::string& name) {
+  if (!client->SendRaw(HttpRequestText("GET", "/metrics", ""))) {
+    return -1.0;
+  }
+  int status = 0;
+  std::string headers, body;
+  if (!client->ReadResponse(&status, &headers, &body) || status != 200) {
+    return -1.0;
+  }
+  const std::string needle = name + " ";
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    if (body.compare(pos, needle.size(), needle) == 0) {
+      return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+/// Polls /metrics until `name` reaches `at_least` — the deterministic
+/// way to wait for "the worker has entered the handler" (counters
+/// increment at handler entry) without sleeping for a guessed duration.
+::testing::AssertionResult WaitForMetric(TestClient* client,
+                                         const std::string& name,
+                                         double at_least,
+                                         int timeout_ms = 20000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  double last = -1.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    last = ScrapeMetric(client, name);
+    if (last >= at_least) return ::testing::AssertionSuccess();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return ::testing::AssertionFailure()
+         << name << " never reached " << at_least << " (last " << last
+         << ")";
+}
+
+class ReactorServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::metrics::ResetAllForTest();
+    InstallShutdownHandler();
+    EnableDrainMode();
+    internal::ResetShutdownStateForTest();
+    ASSERT_TRUE(registry_.AddModel("census", TrainSmallForest()).ok());
+    num_features_ = registry_.Get("census")->forest.num_features();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      server_.reset();
+    }
+    if (batcher_ != nullptr) batcher_->Stop();
+    // HttpServer::Stop() raises the process-wide shutdown flag; clear
+    // it so the next test's server starts serving instead of draining.
+    internal::ResetShutdownStateForTest();
+  }
+
+  void StartServer(HttpServer::Options options,
+                   RequestBatcher::Options batch_options = {},
+                   GefConfig config = TinyGefConfig()) {
+    batcher_ = std::make_unique<RequestBatcher>(batch_options);
+    context_.registry = &registry_;
+    context_.cache = &cache_;
+    context_.batcher = batcher_.get();
+    context_.default_config = config;
+    server_ = std::make_unique<HttpServer>(context_, std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::vector<double> Row(double fill) const {
+    return std::vector<double>(num_features_, fill);
+  }
+
+  /// A config whose surrogate fit takes long enough to hold a worker
+  /// busy while the test probes the server's behaviour around it.
+  GefConfig SlowConfig() const {
+    GefConfig config = TinyGefConfig();
+    config.num_univariate = 3;
+    config.num_samples = 60000;
+    config.k = 32;
+    config.spline_basis = 12;
+    return config;
+  }
+
+  ModelRegistry registry_;
+  SurrogateCache cache_{4};
+  std::unique_ptr<RequestBatcher> batcher_;
+  ServeContext context_;
+  std::unique_ptr<HttpServer> server_;
+  size_t num_features_ = 0;
+};
+
+TEST_F(ReactorServeTest, ServesKeepAliveRequestsOverRealSocket) {
+  HttpServer::Options options;
+  options.num_shards = 1;
+  StartServer(options);
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->bound_port()));
+  int status = 0;
+  std::string headers, body;
+  ASSERT_TRUE(client.SendRaw(HttpRequestText("GET", "/healthz", "")));
+  ASSERT_TRUE(client.ReadResponse(&status, &headers, &body));
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("ok"), std::string::npos);
+
+  // Same connection (keep-alive) serves a predict whose prediction is
+  // bit-identical to the in-process forest.
+  const std::vector<double> row = Row(0.5);
+  ASSERT_TRUE(client.SendRaw(HttpRequestText(
+      "POST", "/v1/predict",
+      "{\"row\":" + serve::JsonNumberArray(row) + "}")));
+  ASSERT_TRUE(client.ReadResponse(&status, &headers, &body));
+  ASSERT_EQ(status, 200) << body;
+  const std::string expected =
+      "\"prediction\":" +
+      serve::JsonNumberText(registry_.Get("census")->forest.Predict(row)) +
+      "}";
+  EXPECT_NE(body.find(expected), std::string::npos) << body;
+}
+
+TEST_F(ReactorServeTest, PipelinedResponsesReturnInRequestOrder) {
+  HttpServer::Options options;
+  options.num_shards = 1;
+  // Two workers make out-of-order completion possible; the connection
+  // must still release responses in request order.
+  options.workers_per_shard = 2;
+  StartServer(options);
+
+  constexpr int kBurst = 6;
+  Rng rng(42);
+  std::string burst;
+  std::vector<std::string> expected;
+  for (int i = 0; i < kBurst; ++i) {
+    std::vector<double> row(num_features_);
+    for (auto& v : row) v = rng.Uniform() * 5.0;
+    const std::string body =
+        "{\"row\":" + serve::JsonNumberArray(row) + "}";
+    burst += HttpRequestText("POST", "/v1/predict", body);
+    // The reactor must transport the handler's output byte-for-byte.
+    HttpRequest direct;
+    direct.method = "POST";
+    direct.target = "/v1/predict";
+    direct.version = "HTTP/1.1";
+    direct.body = body;
+    expected.push_back(HandleRequest(context_, direct).body);
+  }
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->bound_port()));
+  ASSERT_TRUE(client.SendRaw(burst));
+  for (int i = 0; i < kBurst; ++i) {
+    int status = 0;
+    std::string headers, body;
+    ASSERT_TRUE(client.ReadResponse(&status, &headers, &body))
+        << "response " << i;
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, expected[i])
+        << "response " << i << " reordered or altered";
+  }
+}
+
+// With the micro-batcher disabled, canonical predicts stage on the
+// shard and score in one PredictRawRows sweep per dispatch round. The
+// burst path must produce the exact bytes the generic handler would:
+// same scanner, same model resolution, same sigmoid, same formatting.
+TEST_F(ReactorServeTest, BurstBatchedPredictsMatchDirectHandlerByteForByte) {
+  HttpServer::Options options;
+  options.num_shards = 1;
+  options.workers_per_shard = 1;
+  RequestBatcher::Options batching;
+  batching.enabled = false;  // predicts take the inline burst path
+  StartServer(options, batching);
+
+  constexpr int kBurst = 24;
+  Rng rng(7);
+  std::string burst;
+  std::vector<std::string> expected;
+  for (int i = 0; i < kBurst; ++i) {
+    std::vector<double> row(num_features_);
+    for (auto& v : row) v = rng.Uniform() * 5.0;
+    // Alternate the two canonical shapes so named and implied model
+    // lookups land in the same staged sweep.
+    const std::string row_json = serve::JsonNumberArray(row);
+    const std::string body =
+        i % 2 == 0 ? "{\"row\":" + row_json + "}"
+                   : "{\"model\":\"census\",\"row\":" + row_json + "}";
+    burst += HttpRequestText("POST", "/v1/predict", body);
+    HttpRequest direct;
+    direct.method = "POST";
+    direct.target = "/v1/predict";
+    direct.version = "HTTP/1.1";
+    direct.body = body;
+    expected.push_back(HandleRequest(context_, direct).body);
+  }
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->bound_port()));
+  ASSERT_TRUE(client.SendRaw(burst));
+  for (int i = 0; i < kBurst; ++i) {
+    int status = 0;
+    std::string headers, body;
+    ASSERT_TRUE(client.ReadResponse(&status, &headers, &body))
+        << "response " << i;
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, expected[i]) << "response " << i << " diverged";
+  }
+  // Every predict was answered and at least one sweep actually
+  // coalesced rows (the whole burst arrives in one or two dispatch
+  // rounds, far above the 2-row bar).
+  EXPECT_GE(ScrapeMetric(&client, "serve.requests.predict"), kBurst);
+  EXPECT_GE(ScrapeMetric(&client, "serve.predict.burst_rows.max"), 2.0);
+}
+
+TEST_F(ReactorServeTest, IdleKeepAliveClosesWithinReadTimeoutPlusTick) {
+  HttpServer::Options options;
+  options.num_shards = 1;
+  options.read_timeout_ms = 300;
+  options.tick_ms = 100;
+  StartServer(options);
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->bound_port()));
+  int status = 0;
+  std::string headers, body;
+  ASSERT_TRUE(client.SendRaw(HttpRequestText("GET", "/healthz", "")));
+  ASSERT_TRUE(client.ReadResponse(&status, &headers, &body));
+  ASSERT_EQ(status, 200);
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(client.WaitForClose())
+      << "idle keep-alive connection was never closed";
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Deadline is read_timeout_ms, enforced to tick granularity: the
+  // close must land after the timeout but within timeout + one tick
+  // (plus generous scheduling slack for sanitizer CI).
+  EXPECT_GE(elapsed_ms, 250.0) << "closed before the idle deadline";
+  EXPECT_LE(elapsed_ms, 1500.0) << "timer wheel fired far too late";
+
+  TestClient prober;
+  ASSERT_TRUE(prober.Connect(server_->bound_port()));
+  EXPECT_GE(ScrapeMetric(&prober, "serve.timeouts"), 1.0);
+}
+
+TEST_F(ReactorServeTest, OverloadShedsWith429AndRetryAfter) {
+  HttpServer::Options options;
+  options.num_shards = 1;
+  options.workers_per_shard = 1;
+  options.queue_capacity = 1;
+  StartServer(options, RequestBatcher::Options{}, SlowConfig());
+  const int port = server_->bound_port();
+
+  // Occupy the only worker with a surrogate fit.
+  const std::string explain_body =
+      "{\"row\":" + serve::JsonNumberArray(Row(0.5)) + "}";
+  TestClient explainer;
+  ASSERT_TRUE(explainer.Connect(port, 120000));
+  ASSERT_TRUE(explainer.SendRaw(
+      HttpRequestText("POST", "/v1/explain", explain_body)));
+
+  // GETs run inline on the shard thread, so /metrics stays reachable
+  // while the worker is busy; wait until the fit is actually running.
+  TestClient prober;
+  ASSERT_TRUE(prober.Connect(port));
+  ASSERT_TRUE(WaitForMetric(&prober, "serve.requests.explain", 1.0));
+
+  // Burst 4 predicts on separate connections: batching is on, so each
+  // must queue — capacity 1 admits exactly one, the rest shed with an
+  // immediate 429 + Retry-After while the admitted one waits its turn.
+  constexpr int kBurstConns = 4;
+  std::vector<std::unique_ptr<TestClient>> burst;
+  for (int i = 0; i < kBurstConns; ++i) {
+    auto client = std::make_unique<TestClient>();
+    ASSERT_TRUE(client->Connect(port, 120000));
+    ASSERT_TRUE(client->SendRaw(HttpRequestText(
+        "POST", "/v1/predict",
+        "{\"row\":" + serve::JsonNumberArray(Row(0.25)) + "}")));
+    burst.push_back(std::move(client));
+  }
+
+  // The server stays responsive under overload: health checks answer
+  // inline while every worker slot and queue slot is taken.
+  int status = 0;
+  std::string headers, body;
+  ASSERT_TRUE(prober.SendRaw(HttpRequestText("GET", "/healthz", "")));
+  ASSERT_TRUE(prober.ReadResponse(&status, &headers, &body));
+  EXPECT_EQ(status, 200);
+
+  int served = 0;
+  int shed = 0;
+  for (int i = 0; i < kBurstConns; ++i) {
+    ASSERT_TRUE(burst[i]->ReadResponse(&status, &headers, &body))
+        << "burst connection " << i;
+    if (status == 200) {
+      ++served;
+    } else {
+      ASSERT_EQ(status, 429) << body;
+      EXPECT_NE(headers.find("Retry-After:"), std::string::npos)
+          << headers;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(served, 1) << "queue capacity 1 admits exactly one request";
+  EXPECT_EQ(shed, kBurstConns - 1);
+
+  // The explain itself completes once the fit finishes.
+  ASSERT_TRUE(explainer.ReadResponse(&status, &headers, &body));
+  EXPECT_EQ(status, 200) << body;
+
+  EXPECT_GE(ScrapeMetric(&prober, "serve.shed"),
+            static_cast<double>(kBurstConns - 1));
+}
+
+TEST_F(ReactorServeTest, DrainDeliversInFlightResponseThenCloses) {
+  HttpServer::Options options;
+  options.num_shards = 1;
+  StartServer(options, RequestBatcher::Options{}, SlowConfig());
+  const int port = server_->bound_port();
+
+  // An idle keep-alive connection, to watch it die on drain.
+  TestClient idle;
+  ASSERT_TRUE(idle.Connect(port));
+  int status = 0;
+  std::string headers, body;
+  ASSERT_TRUE(idle.SendRaw(HttpRequestText("GET", "/healthz", "")));
+  ASSERT_TRUE(idle.ReadResponse(&status, &headers, &body));
+  ASSERT_EQ(status, 200);
+
+  TestClient explainer;
+  ASSERT_TRUE(explainer.Connect(port, 120000));
+  ASSERT_TRUE(explainer.SendRaw(HttpRequestText(
+      "POST", "/v1/explain",
+      "{\"row\":" + serve::JsonNumberArray(Row(0.5)) + "}")));
+  TestClient prober;
+  ASSERT_TRUE(prober.Connect(port));
+  ASSERT_TRUE(WaitForMetric(&prober, "serve.requests.explain", 1.0));
+
+  // SIGTERM-equivalent while the fit is in flight.
+  RequestShutdown();
+
+  EXPECT_TRUE(idle.WaitForClose())
+      << "idle connections must close immediately on drain";
+  ASSERT_TRUE(explainer.ReadResponse(&status, &headers, &body));
+  EXPECT_EQ(status, 200) << body;
+  EXPECT_NE(headers.find("Connection: close"), std::string::npos)
+      << "drain responses must announce the close:\n"
+      << headers;
+  EXPECT_TRUE(explainer.WaitForClose());
+  server_->Wait();  // returns once every shard's connection table empties
+}
+
+TEST_F(ReactorServeTest, MultiShardStressWithHotSwapThenDrain) {
+  HttpServer::Options options;
+  options.num_shards = 2;
+  options.workers_per_shard = 2;
+  StartServer(options);
+  const int port = server_->bound_port();
+
+  std::atomic<int> errors{0};
+  constexpr int kClients = 4;
+  constexpr int kIters = 25;
+  constexpr int kBurst = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client;
+      if (!client.Connect(port, 60000)) {
+        errors.fetch_add(1);
+        return;
+      }
+      Rng rng(900 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kIters; ++i) {
+        std::string burst;
+        for (int b = 0; b < kBurst; ++b) {
+          std::vector<double> row(num_features_);
+          for (auto& v : row) v = rng.Uniform() * 5.0;
+          burst += HttpRequestText(
+              "POST", "/v1/predict",
+              "{\"row\":" + serve::JsonNumberArray(row) + "}");
+        }
+        if (!client.SendRaw(burst)) {
+          errors.fetch_add(1);
+          return;
+        }
+        for (int b = 0; b < kBurst; ++b) {
+          int status = 0;
+          std::string headers, body;
+          if (!client.ReadResponse(&status, &headers, &body) ||
+              status != 200 ||
+              body.find("\"prediction\":") == std::string::npos) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  // Hot-swap the served model while the pipelined traffic flows.
+  Forest swap_a = TrainSmallForest(7);
+  Forest swap_b = TrainSmallForest(8);
+  for (int round = 0; round < 10; ++round) {
+    Forest copy = (round % 2 == 0) ? swap_a : swap_b;
+    if (!registry_.AddModel("census", std::move(copy)).ok()) {
+      errors.fetch_add(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  // Drain with a live keep-alive connection still open.
+  TestClient lingering;
+  ASSERT_TRUE(lingering.Connect(port));
+  int status = 0;
+  std::string headers, body;
+  ASSERT_TRUE(lingering.SendRaw(HttpRequestText("GET", "/healthz", "")));
+  ASSERT_TRUE(lingering.ReadResponse(&status, &headers, &body));
+  ASSERT_EQ(status, 200);
+  server_->Stop();
+  EXPECT_TRUE(lingering.WaitForClose());
+}
+
+// ---------------------------------------------------------------------
+// Handler fast path (PR 9): the zero-allocation predict-body scanner
+// must be byte-identical to the generic JSON-tree path and must hand
+// anything unusual back to it.
+// ---------------------------------------------------------------------
+
+TEST_F(HandlersTest, PredictFastScanMatchesGenericParserByteForByte) {
+  const std::string canonical = "{\"row\":" + RowLiteral() + "}";
+  // An unknown member forces the generic JSON-tree path (the scanner
+  // only accepts the exact canonical shape, which the generic parser
+  // tolerates plus extras); both must serialize identical responses.
+  const std::string generic =
+      "{\"row\":" + RowLiteral() + ",\"unknown\":1}";
+  auto fast = Call("POST", "/v1/predict", canonical);
+  auto slow = Call("POST", "/v1/predict", generic);
+  ASSERT_EQ(fast.status, 200) << fast.body;
+  ASSERT_EQ(slow.status, 200) << slow.body;
+  EXPECT_EQ(fast.body, slow.body);
+
+  const std::string with_model =
+      "{\"model\":\"census\",\"row\":" + RowLiteral() + "}";
+  auto named = Call("POST", "/v1/predict", with_model);
+  ASSERT_EQ(named.status, 200) << named.body;
+  EXPECT_EQ(named.body, fast.body);
+}
+
+TEST_F(HandlersTest, PredictFastScanRejectsOddBodiesViaGenericPath) {
+  // Shapes the scanner must refuse and hand to the strict parser — the
+  // status comes from the generic path's existing error handling, so a
+  // scanner that wrongly accepted any of these would change the code.
+  EXPECT_EQ(Call("POST", "/v1/predict", "{\"row\":[1,2,]}").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/predict", "{\"row\":[0x1p3]}").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/predict", "{\"row\":[nan]}").status, 400);
+  EXPECT_EQ(Call("POST", "/v1/predict", "{\"row\":[inf,-inf]}").status,
+            400);
+  EXPECT_EQ(Call("POST", "/v1/predict", "{\"row\":[\"a\"],}").status,
+            400);
 }
 
 }  // namespace

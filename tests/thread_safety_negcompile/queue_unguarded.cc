@@ -1,0 +1,22 @@
+// Negative-compile fixture: the reactor's bounded request queue
+// (serve/reactor.h) annotates its fields with GEF_GUARDED_BY and
+// exposes SizeLocked() behind GEF_REQUIRES(mutex_). Calling it without
+// holding the mutex must trip -Wthread-safety — this compiles the REAL
+// serving header, so the test proves the shipped queue's annotations
+// are armed, not a replica's. The test FAILS if this file compiles
+// cleanly under -Wthread-safety -Werror.
+
+#include "serve/reactor.h"
+
+namespace {
+
+size_t UnsafeDepth(gef::serve::BoundedRequestQueue* queue) {
+  return queue->SizeLocked();  // planted: mutex_ not held
+}
+
+}  // namespace
+
+int main() {
+  gef::serve::BoundedRequestQueue queue(4);
+  return UnsafeDepth(&queue) == 0 ? 0 : 1;
+}

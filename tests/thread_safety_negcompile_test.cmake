@@ -49,5 +49,6 @@ endfunction()
 check_fixture(guarded_ok.cc FALSE)
 check_fixture(unguarded_read.cc TRUE)
 check_fixture(missing_requires.cc TRUE)
+check_fixture(queue_unguarded.cc TRUE)
 
 message(STATUS "thread-safety negative-compile suite passed")

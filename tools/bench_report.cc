@@ -5,9 +5,9 @@
 // every later PR has a perf trajectory to regress against.
 //
 // Usage:
-//   bench_report [--out BENCH_PR8.json] [--smoke] [--workload all]
+//   bench_report [--out BENCH_PR9.json] [--smoke] [--workload all]
 //                [--serving loadgen-on.json,loadgen-off.json]
-//   bench_report --validate BENCH_PR8.json [--baseline BENCH_PR6.json]
+//   bench_report --validate BENCH_PR9.json [--baseline BENCH_PR6.json]
 //
 // `--serving` (comma-separated list of files) merges the serving
 // workloads emitted by gef_loadgen --out
@@ -237,7 +237,7 @@ class JsonParser {
 // changes keep the version.
 
 constexpr const char* kSchema = "gef-bench-v1";
-constexpr const char* kPrLabel = "PR8";
+constexpr const char* kPrLabel = "PR9";
 
 // Numeric keys a serving workload's "serving" object must carry (see
 // tools/gef_loadgen.cc, which emits them).

@@ -1,15 +1,30 @@
-// gef_loadgen — closed-loop load generator for gef_serve.
+// gef_loadgen — closed- and open-loop load generator for gef_serve.
 //
-// Opens N persistent keep-alive connections, hammers one endpoint with
-// single-row requests for a fixed duration, and reports throughput and
-// client-side latency quantiles. Rows are drawn deterministically from
-// stats/rng (seeded per connection) over the feature count discovered
-// via GET /v1/models, so runs are reproducible.
+// Closed loop (default): opens N persistent keep-alive connections and
+// hammers one endpoint back-to-back for a fixed duration — measures the
+// server's capacity, but a slow response slows the offered load too.
+//
+// Open loop (--open-loop --target-qps N): each connection runs an
+// independent Poisson arrival process (their superposition is Poisson
+// at the target rate) and every latency sample is measured from the
+// request's INTENDED send time, not the actual write. When the server
+// (or this client) falls behind, the backlog delay is charged to the
+// request — the coordinated-omission correction — so overload shows up
+// as a growing tail instead of silently shrinking the offered load.
+// 429 load-shed responses are counted separately from errors; latency
+// quantiles cover served (200) requests only.
+//
+// Rows are drawn deterministically from stats/rng (seeded per
+// connection) over the feature count discovered via GET /v1/models, so
+// runs are reproducible.
 //
 // Usage:
 //   gef_loadgen --port <port> [--host 127.0.0.1]
 //               [--endpoint predict|explain|mixed] [--connections 4]
 //               [--duration-s 5] [--model <name>] [--seed 1]
+//               [--open-loop] [--target-qps 1000]
+//               [--pipeline 1]   (closed loop: requests per burst sent
+//                                 back-to-back on each connection)
 //               [--out report.json]   (gef-bench-v1 serving workload,
 //                                      mergeable via bench_report --serving)
 //               [--workload-name serving_predict]
@@ -31,6 +46,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,6 +106,14 @@ class ClientConnection {
           std::to_string(body.size()) + "\r\n";
     }
     request += "\r\n" + body;
+    return RoundTripRaw(request, status_out, body_out);
+  }
+
+  /// Hot-path round trip over a pre-serialized request (the timing
+  /// loops pre-build their request bytes so the clock measures the
+  /// server, not client-side string assembly).
+  bool RoundTripRaw(const std::string& request, int* status_out,
+                    std::string* body_out) {
     if (!SendAll(request)) {
       Close();
       return false;
@@ -97,6 +121,27 @@ class ClientConnection {
     if (!ReadResponse(status_out, body_out)) {
       Close();
       return false;
+    }
+    return true;
+  }
+
+  /// Writes `count` back-to-back pipelined requests in one syscall,
+  /// then collects every response. Statuses are appended to
+  /// `statuses_out`. Returns false on transport/protocol failure.
+  bool Pipeline(const std::string& burst, size_t count,
+                std::vector<int>* statuses_out) {
+    if (!SendAll(burst)) {
+      Close();
+      return false;
+    }
+    std::string body;
+    for (size_t i = 0; i < count; ++i) {
+      int status = 0;
+      if (!ReadResponse(&status, &body)) {
+        Close();
+        return false;
+      }
+      statuses_out->push_back(status);
     }
     return true;
   }
@@ -131,24 +176,23 @@ class ClientConnection {
       if (buffer_.size() > 64 * 1024) return false;
       if (!FillBuffer()) return false;
     }
-    const std::string headers = buffer_.substr(0, header_end);
     // Status line: HTTP/1.1 NNN Reason
-    if (headers.size() < 12 || headers.compare(0, 5, "HTTP/") != 0) {
+    if (header_end < 12 || buffer_.compare(0, 5, "HTTP/") != 0) {
       return false;
     }
-    *status_out = std::atoi(headers.c_str() + 9);
+    *status_out = std::atoi(buffer_.c_str() + 9);
 
+    // Header scan without per-line allocation: gef_serve emits
+    // canonical capitalization, so one case-sensitive find with a
+    // lowercase fallback covers any HTTP/1.1 server.
     size_t content_length = 0;
-    for (const std::string& line : Split(headers, '\n')) {
-      std::string lowered = line;
-      for (char& c : lowered) {
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-      }
-      const std::string prefix = "content-length:";
-      if (lowered.compare(0, prefix.size(), prefix) == 0) {
-        content_length = static_cast<size_t>(
-            std::atol(line.c_str() + prefix.size()));
-      }
+    size_t cl = buffer_.find("Content-Length:");
+    if (cl == std::string::npos || cl > header_end) {
+      cl = buffer_.find("content-length:");
+    }
+    if (cl != std::string::npos && cl < header_end) {
+      content_length =
+          static_cast<size_t>(std::atol(buffer_.c_str() + cl + 15));
     }
     const size_t body_start = header_end + 4;
     while (buffer_.size() < body_start + content_length) {
@@ -203,6 +247,7 @@ bool DiscoverFeatures(const std::string& host, int port,
 struct WorkerResult {
   uint64_t requests = 0;
   uint64_t errors = 0;
+  uint64_t shed = 0;  // 429 responses: load shedding, not failure
   std::vector<double> latencies_s;
 };
 
@@ -291,6 +336,9 @@ int Run(int argc, const char* const* argv) {
       flags.GetString("workload-name", "serving_" + endpoint);
   std::string batching_label = flags.GetString("batching-label", "on");
   bool check = flags.GetBool("check", false);
+  bool open_loop = flags.GetBool("open-loop", false);
+  double target_qps = flags.GetDouble("target-qps", 0.0);
+  int pipeline = flags.GetInt("pipeline", 1);
 
   if (!flags.status().ok()) {
     std::fprintf(stderr, "%s\n", flags.status().message().c_str());
@@ -315,6 +363,15 @@ int Run(int argc, const char* const* argv) {
     std::fprintf(stderr, "--connections must be >= 1\n");
     return 1;
   }
+  if (open_loop && target_qps <= 0.0) {
+    std::fprintf(stderr, "--open-loop requires --target-qps > 0\n");
+    return 1;
+  }
+  if (pipeline < 1 || (open_loop && pipeline != 1)) {
+    std::fprintf(stderr,
+                 "--pipeline must be >= 1 (closed loop only)\n");
+    return 1;
+  }
 
   size_t features = 0;
   if (!DiscoverFeatures(host, port, model, &features)) {
@@ -325,18 +382,45 @@ int Run(int argc, const char* const* argv) {
   }
   if (check) return RunCheck(host, port, model, features);
 
-  // Pre-build the request bodies: JSON number formatting costs more
-  // than a loopback round-trip, and paying it inside the timing loop
-  // would measure the client, not the server.
+  // Pre-serialize the full request bytes: JSON number formatting and
+  // header assembly cost more than a loopback round-trip, and paying
+  // them inside the timing loop would measure the client, not the
+  // server (they share this machine's cores).
   constexpr size_t kBodyPool = 1024;
-  std::vector<std::string> bodies;
-  bodies.reserve(kBodyPool);
+  const auto build_request = [](const std::string& target,
+                                const std::string& body) {
+    return "POST " + target +
+           " HTTP/1.1\r\nHost: loadgen\r\nContent-Type: "
+           "application/json\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n\r\n" + body;
+  };
+  const auto use_explain = [&endpoint](size_t i) {
+    return endpoint == "explain" ||
+           (endpoint == "mixed" && (i % 8) == 0);
+  };
+  std::vector<std::string> requests_pool;
+  requests_pool.reserve(kBodyPool);
   {
     Rng rng(seed);
     std::vector<double> row(features);
     for (size_t i = 0; i < kBodyPool; ++i) {
       for (double& v : row) v = rng.Uniform();
-      bodies.push_back(PredictBody(model, row));
+      requests_pool.push_back(build_request(
+          use_explain(i) ? "/v1/explain" : "/v1/predict",
+          PredictBody(model, row)));
+    }
+  }
+  // Pipelined bursts: `pipeline` back-to-back requests per syscall.
+  const size_t burst_len = static_cast<size_t>(pipeline);
+  std::vector<std::string> bursts;
+  if (burst_len > 1) {
+    bursts.reserve(kBodyPool);
+    for (size_t j = 0; j < kBodyPool; ++j) {
+      std::string burst;
+      for (size_t k = 0; k < burst_len; ++k) {
+        burst += requests_pool[(j + k) % kBodyPool];
+      }
+      bursts.push_back(std::move(burst));
     }
   }
 
@@ -349,6 +433,11 @@ int Run(int argc, const char* const* argv) {
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(duration_s));
 
+  // Per-connection Poisson rate; the superposition of `connections`
+  // independent Poisson processes is Poisson at target_qps.
+  const double per_conn_rate =
+      open_loop ? target_qps / static_cast<double>(connections) : 0.0;
+
   for (int c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
       WorkerResult& result = results[static_cast<size_t>(c)];
@@ -358,22 +447,42 @@ int Run(int argc, const char* const* argv) {
         return;
       }
       uint64_t i = static_cast<uint64_t>(c) * 131;
-      while (std::chrono::steady_clock::now() < deadline) {
-        const bool explain =
-            endpoint == "explain" ||
-            (endpoint == "mixed" && (i % 8) == 0);
-        const std::string target =
-            explain ? "/v1/explain" : "/v1/predict";
-        int status = 0;
-        std::string body;
-        const auto start = std::chrono::steady_clock::now();
-        const bool ok =
-            connection.connected() &&
-            connection.RoundTrip("POST", target,
-                                 bodies[i % kBodyPool], &status,
-                                 &body);
+      Rng arrivals(seed * 7919 + static_cast<uint64_t>(c) + 1);
+      auto intended = std::chrono::steady_clock::now();
+      while (true) {
+        if (open_loop) {
+          // Exponential inter-arrival gap. The intended schedule never
+          // waits for the previous response: when a round trip runs
+          // long, the next request fires immediately and its latency
+          // sample is charged from the time it SHOULD have been sent.
+          const double u = arrivals.Uniform();
+          const double gap_s =
+              -std::log(1.0 - std::min(u, 0.999999999)) / per_conn_rate;
+          intended += std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(gap_s));
+          if (intended >= deadline) break;
+          std::this_thread::sleep_until(intended);
+        } else {
+          intended = std::chrono::steady_clock::now();
+          if (intended >= deadline) break;
+        }
+        std::vector<int> statuses;
+        bool ok;
+        if (burst_len > 1) {
+          ok = connection.connected() &&
+               connection.Pipeline(bursts[i % kBodyPool], burst_len,
+                                   &statuses);
+        } else {
+          int status = 0;
+          std::string body;
+          ok = connection.connected() &&
+               connection.RoundTripRaw(requests_pool[i % kBodyPool],
+                                       &status, &body);
+          statuses.push_back(status);
+        }
         const std::chrono::duration<double> elapsed =
-            std::chrono::steady_clock::now() - start;
+            std::chrono::steady_clock::now() - intended;
         ++i;
         if (!ok) {
           // Reconnect once; a dropped keep-alive counts as an error.
@@ -384,9 +493,20 @@ int Run(int argc, const char* const* argv) {
           }
           continue;
         }
-        ++result.requests;
-        if (status != 200) ++result.errors;
-        result.latencies_s.push_back(elapsed.count());
+        for (const int status : statuses) {
+          ++result.requests;
+          if (status == 429) {
+            ++result.shed;
+          } else if (status != 200) {
+            ++result.errors;
+          } else {
+            // Quantiles describe served requests; shed requests are
+            // accounted in `shed`, not hidden inside the tail. A
+            // pipelined burst charges every response the full burst
+            // round trip — pessimistic, never flattering.
+            result.latencies_s.push_back(elapsed.count());
+          }
+        }
       }
     });
   }
@@ -398,27 +518,37 @@ int Run(int argc, const char* const* argv) {
 
   uint64_t requests = 0;
   uint64_t errors = 0;
+  uint64_t shed = 0;
   std::vector<double> latencies;
   for (WorkerResult& result : results) {
     requests += result.requests;
     errors += result.errors;
+    shed += result.shed;
     latencies.insert(latencies.end(), result.latencies_s.begin(),
                      result.latencies_s.end());
   }
   std::sort(latencies.begin(), latencies.end());
   const double qps =
       duration_s > 0 ? static_cast<double>(requests) / duration_s : 0.0;
+  const double served_qps =
+      duration_s > 0
+          ? static_cast<double>(latencies.size()) / duration_s
+          : 0.0;
   const double p50_ms = Percentile(&latencies, 0.50) * 1e3;
   const double p90_ms = Percentile(&latencies, 0.90) * 1e3;
   const double p99_ms = Percentile(&latencies, 0.99) * 1e3;
+  const double p999_ms = Percentile(&latencies, 0.999) * 1e3;
 
   std::printf(
-      "endpoint=%s connections=%d duration=%.1fs requests=%llu "
-      "errors=%llu\nqps=%.0f p50=%.3fms p90=%.3fms p99=%.3fms\n",
-      endpoint.c_str(), connections, duration_s,
+      "mode=%s endpoint=%s connections=%d duration=%.1fs requests=%llu "
+      "errors=%llu shed=%llu\nqps=%.0f served_qps=%.0f p50=%.3fms "
+      "p90=%.3fms p99=%.3fms p999=%.3fms\n",
+      open_loop ? "open-loop" : "closed-loop", endpoint.c_str(),
+      connections, duration_s,
       static_cast<unsigned long long>(requests),
-      static_cast<unsigned long long>(errors), qps, p50_ms, p90_ms,
-      p99_ms);
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(shed), qps, served_qps, p50_ms,
+      p90_ms, p99_ms, p999_ms);
 
   if (errors > requests / 100) {
     std::fprintf(stderr, "error rate above 1%%\n");
@@ -429,7 +559,7 @@ int Run(int argc, const char* const* argv) {
     // One gef-bench-v1 workload carrying a "serving" section;
     // bench_report --serving merges it into the PR report.
     std::string json = "{\n  \"schema\": \"gef-bench-v1\",\n";
-    json += "  \"pr\": \"PR5\",\n  \"smoke\": false,\n";
+    json += "  \"pr\": \"PR9\",\n  \"smoke\": false,\n";
     json += "  \"num_threads\": " + std::to_string(connections) + ",\n";
     json += "  \"workloads\": [\n    {\n";
     json += "      \"name\": \"" +
@@ -437,6 +567,14 @@ int Run(int argc, const char* const* argv) {
     json += "      \"serving\": {\n";
     json += "        \"endpoint\": \"" +
             serve::JsonEscapeString(endpoint) + "\",\n";
+    json += "        \"mode\": \"";
+    json += open_loop ? "open-loop" : "closed-loop";
+    json += "\",\n";
+    json += "        \"pipeline\": " + std::to_string(pipeline) + ",\n";
+    if (open_loop) {
+      json += "        \"target_qps\": " +
+              serve::JsonNumberText(target_qps) + ",\n";
+    }
     json += "        \"batching\": \"" +
             serve::JsonEscapeString(batching_label) + "\",\n";
     json += "        \"connections\": " + std::to_string(connections) +
@@ -445,13 +583,18 @@ int Run(int argc, const char* const* argv) {
             serve::JsonNumberText(duration_s) + ",\n";
     json += "        \"requests\": " + std::to_string(requests) + ",\n";
     json += "        \"errors\": " + std::to_string(errors) + ",\n";
+    json += "        \"shed\": " + std::to_string(shed) + ",\n";
     json += "        \"qps\": " + serve::JsonNumberText(qps) + ",\n";
+    json += "        \"served_qps\": " +
+            serve::JsonNumberText(served_qps) + ",\n";
     json += "        \"latency_p50_ms\": " +
             serve::JsonNumberText(p50_ms) + ",\n";
     json += "        \"latency_p90_ms\": " +
             serve::JsonNumberText(p90_ms) + ",\n";
     json += "        \"latency_p99_ms\": " +
-            serve::JsonNumberText(p99_ms) + "\n";
+            serve::JsonNumberText(p99_ms) + ",\n";
+    json += "        \"latency_p999_ms\": " +
+            serve::JsonNumberText(p999_ms) + "\n";
     json += "      }\n    }\n  ]\n}\n";
     FILE* file = std::fopen(out_path.c_str(), "w");
     if (file == nullptr) {

@@ -15,6 +15,11 @@
 //                                    zero-copy off the mapping)
 //             [--explanation explanation.txt]  (pre-fitted surrogate)
 //             [--address 127.0.0.1] [--port 8080]   (0 = ephemeral)
+//             [--shards 0]        (reactor event loops w/ SO_REUSEPORT
+//                                  listeners; 0 = auto)
+//             [--workers 0]       (handler threads per shard; 0 = auto)
+//             [--queue-capacity 256]  (per-shard request bound; beyond
+//                                      it requests are shed with 429)
 //             [--batching true] [--batch-max 64] [--batch-wait-us 1000]
 //             [--cache-capacity 8]
 //             [--univariate 5] [--bivariate 0] [--samples 20000]
@@ -81,6 +86,12 @@ int Run(int argc, const char* const* argv) {
   serve::HttpServer::Options server_options;
   server_options.address = flags.GetString("address", "127.0.0.1");
   server_options.port = flags.GetInt("port", 8080);
+  server_options.num_shards = flags.GetInt("shards", 0);
+  server_options.workers_per_shard = flags.GetInt("workers", 0);
+  const int queue_capacity = flags.GetInt("queue-capacity", 256);
+  server_options.read_timeout_ms = flags.GetInt("read-timeout-ms", 5000);
+  server_options.write_timeout_ms =
+      flags.GetInt("write-timeout-ms", 5000);
 
   serve::RequestBatcher::Options batch_options;
   batch_options.enabled = flags.GetBool("batching", true);
@@ -118,6 +129,11 @@ int Run(int argc, const char* const* argv) {
     std::fprintf(stderr, "--cache-capacity must be >= 1\n");
     return 1;
   }
+  if (queue_capacity < 1) {
+    std::fprintf(stderr, "--queue-capacity must be >= 1\n");
+    return 1;
+  }
+  server_options.queue_capacity = static_cast<size_t>(queue_capacity);
 
   serve::ModelRegistry registry;
   if (!store_path.empty()) {
@@ -217,6 +233,8 @@ int Run(int argc, const char* const* argv) {
   // (--port 0); flush so they see it before the first request.
   std::printf("listening on %s:%d\n", server_options.address.c_str(),
               server.bound_port());
+  std::printf("reactor: %d shard(s), queue capacity %d\n",
+              server.num_shards(), queue_capacity);
   std::fflush(stdout);
 
   server.Wait();
