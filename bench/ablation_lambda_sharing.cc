@@ -46,11 +46,11 @@ int main() {
                 per_term ? "per-term lambda:" : "shared lambda (paper):",
                 fit_s,
                 explanation->fidelity_rmse_test,
-                explanation->gam.gcv_score(), explanation->gam.edof());
+                explanation->gam().gcv_score(), explanation->gam().edof());
     std::printf("  lambdas:");
-    for (size_t t = 1; t < explanation->gam.num_terms(); ++t) {
-      std::printf(" %s=%s", explanation->gam.TermLabel(t).c_str(),
-                  FormatDouble(explanation->gam.term_lambdas()[t], 3)
+    for (size_t t = 1; t < explanation->gam().num_terms(); ++t) {
+      std::printf(" %s=%s", explanation->gam().TermLabel(t).c_str(),
+                  FormatDouble(explanation->gam().term_lambdas()[t], 3)
                       .c_str());
     }
     std::printf("\n");

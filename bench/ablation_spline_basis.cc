@@ -49,7 +49,7 @@ int main() {
       continue;
     }
     std::vector<double> probe_preds =
-        explanation->gam.PredictBatch(probe);
+        explanation->gam().PredictBatch(probe);
     double probe_rmse = 0.0;
     for (size_t i = 0; i < probe.num_rows(); ++i) {
       double d = probe_preds[i] - probe.target(i);
@@ -59,8 +59,8 @@ int main() {
     bench::Row({std::to_string(basis),
                 FormatDouble(explanation->fidelity_rmse_test, 4),
                 FormatDouble(probe_rmse, 4),
-                FormatDouble(explanation->gam.edof(), 4),
-                FormatDouble(explanation->gam.lambda(), 3)});
+                FormatDouble(explanation->gam().edof(), 4),
+                FormatDouble(explanation->gam().lambda(), 3)});
   }
 
   std::printf(

@@ -84,7 +84,7 @@ int main() {
       double rmse = -1.0;
       if (explanation != nullptr) {
         rmse = explanation->fidelity_rmse_test;
-        probe_rmse[ki][si] = Rmse(explanation->gam.PredictBatch(probe),
+        probe_rmse[ki][si] = Rmse(explanation->gam().PredictBatch(probe),
                                   probe.targets());
       }
       if (strategy == SamplingStrategy::kAllThresholds) {

@@ -83,7 +83,7 @@ int main() {
 
   // --- Audit 4: Kernel SHAP on Γ itself — for an additive GAM its
   // Shapley values should equal its own term contributions. ---
-  const gef::Gam& gam = explanation->gam;
+  const gef::Gam& gam = explanation->gam();
   gef::KernelShapConfig ks_config;
   ks_config.background_rows = 200;
   gef::KernelShapExplainer auditor(

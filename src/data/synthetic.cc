@@ -121,6 +121,65 @@ std::vector<std::vector<std::pair<int, int>>> AllInteractionTriples() {
   return triples;  // C(10, 3) = 120 triples
 }
 
+double AdditivePairComponent(int feature, double x) {
+  switch (feature) {
+    case 0:
+      return 2.0 * (x - 0.5);
+    case 1:
+      return std::sin(2.0 * std::numbers::pi * x);
+    case 2:
+      return std::cos(2.0 * std::numbers::pi * x);
+    case 3:
+      return (x - 0.5) * (x - 0.5) - 1.0 / 12.0;
+    case 4:
+      return x < 0.5 ? -1.0 : 1.0;
+    default:
+      GEF_CHECK_MSG(false,
+                    "additive-pair target has exactly 5 components; got "
+                    "feature "
+                        << feature);
+      return 0.0;
+  }
+}
+
+double AdditivePairInteraction(double u, double v) {
+  return 4.0 * (u - 0.5) * (v - 0.5);
+}
+
+double AdditivePairTarget(const std::vector<double>& x,
+                          const std::vector<std::pair<int, int>>& pairs) {
+  GEF_CHECK_EQ(x.size(), static_cast<size_t>(kNumSyntheticFeatures));
+  double sum = 0.0;
+  for (int j = 0; j < kNumSyntheticFeatures; ++j) {
+    sum += AdditivePairComponent(j, x[j]);
+  }
+  for (const auto& [i, j] : pairs) {
+    GEF_CHECK(i >= 0 && i < kNumSyntheticFeatures);
+    GEF_CHECK(j >= 0 && j < kNumSyntheticFeatures);
+    sum += AdditivePairInteraction(x[i], x[j]);
+  }
+  return sum;
+}
+
+Dataset MakeAdditivePairDataset(
+    size_t n, const std::vector<std::pair<int, int>>& pairs, Rng* rng,
+    double noise_sigma) {
+  std::vector<std::string> names;
+  for (int j = 0; j < kNumSyntheticFeatures; ++j) {
+    names.push_back(IndexedName("x", j + 1));
+  }
+  Dataset dataset(names);
+  dataset.Reserve(n);
+  std::vector<double> x(kNumSyntheticFeatures);
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < kNumSyntheticFeatures; ++j) x[j] = rng->Uniform();
+    double y = AdditivePairTarget(x, pairs);
+    if (noise_sigma > 0.0) y += rng->Normal(0.0, noise_sigma);
+    dataset.AppendRow(x, y);
+  }
+  return dataset;
+}
+
 double SigmoidTarget(double x) {
   double e = std::exp(50.0 * (x - 0.5));
   return e / (e + 1.0);

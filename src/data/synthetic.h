@@ -54,6 +54,32 @@ std::vector<std::pair<int, int>> AllFeaturePairs5();
 /// space swept by Fig 6 / Table 1.
 std::vector<std::vector<std::pair<int, int>>> AllInteractionTriples();
 
+/// Ground-truth additive + pairwise benchmark (beyond the paper) for
+/// surrogate component recovery: every univariate shape below is a
+/// closed form with zero mean under U[0,1], and the pair interaction is
+/// a product of mean-zero factors — already purified under the uniform
+/// product measure. A fitted low-order fANOVA surrogate should recover
+/// each shape up to binning error, which makes per-component assertions
+/// possible (tests/surrogate_test.cc) where g'/g'' only support
+/// aggregate fidelity checks.
+///
+///   a_0(x) = 2 (x - 1/2)            a_1(x) = sin(2πx)
+///   a_2(x) = cos(2πx)               a_3(x) = (x - 1/2)² - 1/12
+///   a_4(x) = sign(x - 1/2)
+///   p(u,v) = 4 (u - 1/2)(v - 1/2)
+double AdditivePairComponent(int feature, double x);
+double AdditivePairInteraction(double u, double v);
+
+/// Σ_j a_j(x_j) + Σ_{(i,j) ∈ pairs} p(x_i, x_j) (no noise).
+double AdditivePairTarget(const std::vector<double>& x,
+                          const std::vector<std::pair<int, int>>& pairs);
+
+/// Samples `n` instances uniformly from [0,1]^5 labelled by the
+/// additive + pairwise target plus Gaussian noise.
+Dataset MakeAdditivePairDataset(
+    size_t n, const std::vector<std::pair<int, int>>& pairs, Rng* rng,
+    double noise_sigma = 0.05);
+
 /// The sigmoid target from Fig 3: y = exp(50(x-0.5)) / (exp(50(x-0.5))+1).
 double SigmoidTarget(double x);
 

@@ -14,7 +14,7 @@ namespace gef {
 FidelityReport EvaluateFidelity(const GefExplanation& explanation,
                                 const Forest& forest,
                                 const Dataset& probe) {
-  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK(explanation.fitted());
   GEF_CHECK_EQ(probe.num_features(), forest.num_features());
   GEF_CHECK_GT(probe.num_rows(), 0u);
 
@@ -29,7 +29,7 @@ FidelityReport EvaluateFidelity(const GefExplanation& explanation,
           probe.GetRowInto(i, &row);
           forest_out[i] = classification ? forest.Predict(row.data())
                                          : forest.PredictRaw(row.data());
-          gam_out[i] = explanation.gam.Predict(row);
+          gam_out[i] = explanation.surrogate->Predict(row);
         }
       });
 
@@ -44,7 +44,7 @@ FidelityReport EvaluateFidelity(const GefExplanation& explanation,
 std::vector<ComponentFidelity> PerComponentFidelity(
     const GefExplanation& explanation, const Forest& forest,
     const Dataset& background, int grid_points) {
-  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK(explanation.fitted());
   GEF_CHECK_EQ(background.num_features(), forest.num_features());
   GEF_CHECK_GE(grid_points, 3);
 
@@ -79,7 +79,7 @@ std::vector<ComponentFidelity> PerComponentFidelity(
     for (int g = 0; g < grid_points; ++g) {
       pd[g] -= pd_mean;
       row[feature] = grid[g];
-      spline[g] = explanation.gam.TermContribution(term, row);
+      spline[g] = explanation.surrogate->TermContribution(term, row);
     }
     double spline_mean = Mean(spline);
     for (double& v : spline) v -= spline_mean;
@@ -96,7 +96,7 @@ std::vector<ComponentFidelity> PerComponentFidelity(
 int ComponentMonotonicity(const GefExplanation& explanation,
                           size_t selected_index, int grid_points,
                           double tolerance) {
-  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK(explanation.fitted());
   GEF_CHECK_LT(selected_index, explanation.selected_features.size());
   GEF_CHECK_GE(grid_points, 3);
   int feature = explanation.selected_features[selected_index];
@@ -116,7 +116,7 @@ int ComponentMonotonicity(const GefExplanation& explanation,
   double previous = 0.0;
   for (int g = 0; g < grid_points; ++g) {
     row[feature] = lo + (hi - lo) * g / (grid_points - 1);
-    double value = explanation.gam.TermContribution(term, row);
+    double value = explanation.surrogate->TermContribution(term, row);
     if (g > 0) {
       if (value < previous - tolerance) increasing = false;
       if (value > previous + tolerance) decreasing = false;
@@ -131,7 +131,7 @@ int ComponentMonotonicity(const GefExplanation& explanation,
 std::vector<double> ShapTrendAgreement(const GefExplanation& explanation,
                                        const Forest& forest,
                                        const Dataset& probe) {
-  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK(explanation.fitted());
   GEF_CHECK_EQ(probe.num_features(), forest.num_features());
   GEF_CHECK_GT(probe.num_rows(), 1u);
 
@@ -151,7 +151,7 @@ std::vector<double> ShapTrendAgreement(const GefExplanation& explanation,
     for (size_t s = 0; s < shap.feature_values[feature].size(); ++s) {
       row[feature] = shap.feature_values[feature][s];
       spline_vals.push_back(
-          explanation.gam.TermContribution(term, row));
+          explanation.surrogate->TermContribution(term, row));
       shap_vals.push_back(shap.shap_values[feature][s]);
     }
     agreement.push_back(PearsonCorrelation(spline_vals, shap_vals));

@@ -7,15 +7,16 @@
 #include "gef/feature_selection.h"
 #include "obs/obs.h"
 #include "stats/metrics.h"
+#include "surrogate/registry.h"
 #include "util/check.h"
 
 namespace gef {
 namespace {
 
-// RMSE between GAM predictions and the D* labels (which are the forest's
-// own outputs — so this is surrogate fidelity, not accuracy).
-double FidelityRmse(const Gam& gam, const Dataset& dstar) {
-  return Rmse(gam.PredictBatch(dstar), dstar.targets());
+// RMSE between surrogate predictions and the D* labels (which are the
+// forest's own outputs — so this is surrogate fidelity, not accuracy).
+double FidelityRmse(const Surrogate& surrogate, const Dataset& dstar) {
+  return Rmse(surrogate.PredictBatch(dstar), dstar.targets());
 }
 
 void ValidateConfig(const GefConfig& config) {
@@ -25,9 +26,41 @@ void ValidateConfig(const GefConfig& config) {
   GEF_CHECK(config.test_fraction > 0.0 && config.test_fraction < 1.0);
   GEF_CHECK_GE(config.spline_basis, 5);
   GEF_CHECK_GE(config.tensor_basis, 4);
+  GEF_CHECK_MSG(SurrogateBackendExists(config.surrogate_backend),
+                "unknown surrogate backend (see SurrogateBackendNames)");
+  GEF_CHECK_GT(config.fanova_rounds, 0);
+  GEF_CHECK(config.fanova_shrinkage > 0.0 &&
+            config.fanova_shrinkage <= 1.0);
+  GEF_CHECK_GE(config.fanova_leaves, 2);
+  GEF_CHECK_GE(config.fanova_max_bins, 2);
+}
+
+// The backend-facing slice of GefConfig. Every field copied here must
+// be covered by serve::GefConfigFingerprint (the cache-key audit test
+// pins that).
+SurrogateConfig MakeSurrogateConfig(const GefConfig& config) {
+  SurrogateConfig out;
+  out.spline_basis = config.spline_basis;
+  out.tensor_basis = config.tensor_basis;
+  out.lambda_grid = config.lambda_grid;
+  out.per_term_lambda = config.per_term_lambda;
+  out.fanova_rounds = config.fanova_rounds;
+  out.fanova_shrinkage = config.fanova_shrinkage;
+  out.fanova_leaves = config.fanova_leaves;
+  out.fanova_max_bins = config.fanova_max_bins;
+  out.seed = config.seed;
+  return out;
 }
 
 }  // namespace
+
+const Gam& GefExplanation::gam() const {
+  GEF_CHECK_MSG(surrogate != nullptr, "explanation has no surrogate");
+  const Gam* gam = surrogate->AsGam();
+  GEF_CHECK_MSG(gam != nullptr,
+                "spline_gam-only accessor on a different backend");
+  return *gam;
+}
 
 GefSamplingArtifacts BuildSamplingArtifacts(const Forest& forest,
                                             const GefConfig& config) {
@@ -81,77 +114,53 @@ std::unique_ptr<GefExplanation> FitExplanation(
                                   config.num_bivariate, hstat_sample_ptr);
   }
 
-  // --- Term construction + GAM fit. ---
+  // --- Component metadata + surrogate fit. ---
   auto explanation = std::make_unique<GefExplanation>();
   explanation->selected_features = selected;
   explanation->selected_pairs = pairs;
   explanation->domains = artifacts.domains;
 
-  TermList terms;
-  terms.push_back(std::make_unique<InterceptTerm>());
-
+  // Term layout is fixed across backends (surrogate/surrogate.h): the
+  // intercept is term 0, univariate components follow in selection
+  // order, then the pairs.
   explanation->is_categorical.resize(selected.size(), false);
   for (size_t i = 0; i < selected.size(); ++i) {
-    int f = selected[i];
-    const std::vector<double>& domain = artifacts.domains[f];
-    bool categorical =
-        static_cast<int>(index.NumDistinctThresholds(f)) <
+    explanation->is_categorical[i] =
+        static_cast<int>(index.NumDistinctThresholds(selected[i])) <
         config.categorical_threshold;
-    explanation->is_categorical[i] = categorical;
     explanation->univariate_term_index.push_back(
-        static_cast<int>(terms.size()));
-    if (categorical || domain.size() < 2 ||
-        static_cast<int>(domain.size()) <= config.spline_basis / 2) {
-      // Few distinct values: a factor term per domain point is both more
-      // faithful and cheaper than a spline.
-      terms.push_back(std::make_unique<FactorTerm>(f, domain));
-    } else {
-      // Cap the basis count by the domain's support: basis functions
-      // without any domain point under them are identified only through
-      // the penalty, which blows up the Bayesian credible intervals.
-      int basis = std::min(
-          config.spline_basis,
-          std::max(5, static_cast<int>(domain.size()) * 2 / 3));
-      // Knots at domain quantiles (BSplineBasis::FromSites): every knot
-      // interval then contains D* support, so GCV cannot leave the
-      // spline free to oscillate between lattice points.
-      terms.push_back(std::make_unique<SplineTerm>(
-          f, BSplineBasis::FromSites(domain, basis)));
-    }
+        static_cast<int>(1 + i));
   }
-  for (const auto& [a, b] : pairs) {
+  for (size_t i = 0; i < pairs.size(); ++i) {
     explanation->bivariate_term_index.push_back(
-        static_cast<int>(terms.size()));
-    auto marginal_basis = [&config, &artifacts](int f) {
-      const std::vector<double>& domain = artifacts.domains[f];
-      if (domain.size() >= 2) {
-        return BSplineBasis::FromSites(domain, config.tensor_basis);
-      }
-      double lo = domain.empty() ? 0.0 : domain.front();
-      return BSplineBasis(lo, lo + 1.0, config.tensor_basis);
-    };
-    terms.push_back(std::make_unique<TensorTerm>(
-        a, marginal_basis(a), b, marginal_basis(b)));
+        static_cast<int>(1 + selected.size() + i));
   }
 
   GEF_OBS_SPAN("gef.gam_stage");
   TrainTestSplit split =
       SplitTrainTest(artifacts.dstar, config.test_fraction, &rng);
 
-  GamConfig gam_config;
-  gam_config.link = forest.objective() == Objective::kBinaryClassification
-                        ? LinkType::kLogit
-                        : LinkType::kIdentity;
-  gam_config.lambda_grid = config.lambda_grid;
-  gam_config.per_term_lambda = config.per_term_lambda;
-  if (!explanation->gam.Fit(std::move(terms), split.train, gam_config)) {
+  SurrogateSpec spec;
+  spec.selected_features = selected;
+  spec.selected_pairs = pairs;
+  spec.is_categorical = explanation->is_categorical;
+  spec.domains = &artifacts.domains;
+  spec.link = forest.objective() == Objective::kBinaryClassification
+                  ? LinkType::kLogit
+                  : LinkType::kIdentity;
+
+  std::unique_ptr<Surrogate> surrogate =
+      CreateSurrogate(config.surrogate_backend);
+  GEF_CHECK(surrogate != nullptr);  // ValidateConfig checked the name
+  if (!surrogate->Fit(spec, MakeSurrogateConfig(config), split.train)) {
     return nullptr;
   }
+  explanation->surrogate = std::move(surrogate);
 
   explanation->fidelity_rmse_train =
-      FidelityRmse(explanation->gam, split.train);
+      FidelityRmse(*explanation->surrogate, split.train);
   explanation->fidelity_rmse_test =
-      FidelityRmse(explanation->gam, split.test);
+      FidelityRmse(*explanation->surrogate, split.test);
   GEF_OBS_GAUGE_SET("gef.fidelity_rmse_train",
                     explanation->fidelity_rmse_train);
   GEF_OBS_GAUGE_SET("gef.fidelity_rmse_test",

@@ -3,10 +3,13 @@
 
 // The end-to-end GEF pipeline (paper Fig 1): feature selection → sampling
 // domain construction → synthetic dataset D* → interaction selection →
-// GAM fit. The input is the forest alone; the original training data is
-// never consulted.
+// surrogate fit. The input is the forest alone; the original training
+// data is never consulted. The surrogate family is pluggable
+// (surrogate/registry.h): the paper's spline GAM is the default
+// backend, selected by GefConfig::surrogate_backend.
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,7 @@
 #include "gam/gam.h"
 #include "gef/interaction.h"
 #include "gef/sampling.h"
+#include "surrogate/surrogate.h"
 
 namespace gef {
 
@@ -52,22 +56,48 @@ struct GefConfig {
   /// fixes λ_1 = … = λ_{p+q}; see GamConfig::per_term_lambda).
   bool per_term_lambda = false;
 
+  /// Surrogate family fitted on D*, by registry name
+  /// (surrogate/registry.h): "spline_gam" (the paper) or
+  /// "boosted_fanova" (GA²M-style boosted trees).
+  std::string surrogate_backend = "spline_gam";
+  /// boosted_fanova only: boosting rounds per component cycle.
+  int fanova_rounds = 200;
+  /// boosted_fanova only: learning rate per tree.
+  double fanova_shrinkage = 0.1;
+  /// boosted_fanova only: leaves per component tree.
+  int fanova_leaves = 8;
+  /// boosted_fanova only: histogram bins per feature.
+  int fanova_max_bins = 64;
+
   uint64_t seed = 7;
 };
 
-/// The fitted explanation: the GAM Γ plus everything the pipeline chose.
+/// The fitted explanation: the surrogate Γ plus everything the pipeline
+/// chose.
 struct GefExplanation {
-  Gam gam;
+  /// The fitted surrogate backend. Always non-null for a fitted
+  /// explanation; move-only like the Gam it replaced.
+  std::unique_ptr<Surrogate> surrogate;
   std::vector<int> selected_features;              // F', importance order
   std::vector<std::pair<int, int>> selected_pairs; // F''
   std::vector<std::vector<double>> domains;        // per forest feature
-  /// Index of the GAM term modelling selected_features[i] (intercept is
-  /// term 0, so univariate terms start at 1).
+  /// Index of the surrogate term modelling selected_features[i]
+  /// (intercept is term 0, so univariate terms start at 1 — the
+  /// convention every backend implements; see surrogate/surrogate.h).
   std::vector<int> univariate_term_index;
-  /// Index of the GAM term modelling selected_pairs[i].
+  /// Index of the surrogate term modelling selected_pairs[i].
   std::vector<int> bivariate_term_index;
   /// Which selected features were deemed categorical (|V_i| < L).
   std::vector<bool> is_categorical;
+
+  bool fitted() const {
+    return surrogate != nullptr && surrogate->fitted();
+  }
+
+  /// The underlying spline GAM. Fatal unless the backend is spline_gam;
+  /// spline-specific consumers (ablation benches, λ introspection) use
+  /// this, everything generic goes through `surrogate`.
+  const Gam& gam() const;
 
   /// Fidelity of Γ to the forest on the held-out D* split (RMSE between
   /// Γ and forest outputs — the paper's main tuning metric).

@@ -3,14 +3,23 @@
 #include <fstream>
 #include <sstream>
 
-#include "gam/gam_io.h"
+#include "surrogate/registry.h"
+#include "surrogate/spline_gam.h"
 #include "util/string_util.h"
 
 namespace gef {
 namespace {
 
 constexpr char kMagic[] = "gef_explanation v1";
+// The spline backend keeps the pre-interface format byte-for-byte
+// (magic, metadata, "--- gam ---", GamToString): every explanation
+// packed into a `.gefs` store before backends existed stays loadable,
+// and the golden byte-parity tests stay green. Other backends insert a
+// "backend <name>" line after the magic and serialize under the
+// generic marker.
 constexpr char kGamMarker[] = "--- gam ---";
+constexpr char kSurrogateMarker[] = "--- surrogate ---";
+constexpr char kBackendKey[] = "backend";
 
 template <typename T>
 void WriteIndexLine(std::ostream& out, const std::string& key,
@@ -23,10 +32,16 @@ void WriteIndexLine(std::ostream& out, const std::string& key,
 }  // namespace
 
 std::string ExplanationToString(const GefExplanation& explanation) {
-  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK(explanation.fitted());
+  const bool spline =
+      explanation.surrogate->backend_name() == SplineGamSurrogate::kName;
   std::ostringstream out;
   out.precision(17);
   out << kMagic << "\n";
+  if (!spline) {
+    out << kBackendKey << ' ' << explanation.surrogate->backend_name()
+        << "\n";
+  }
   out << "fidelity_train " << explanation.fidelity_rmse_train << "\n";
   out << "fidelity_test " << explanation.fidelity_rmse_test << "\n";
 
@@ -51,24 +66,35 @@ std::string ExplanationToString(const GefExplanation& explanation) {
     for (double v : explanation.domains[f]) out << ' ' << v;
     out << "\n";
   }
-  out << kGamMarker << "\n";
-  out << GamToString(explanation.gam);
+  out << (spline ? kGamMarker : kSurrogateMarker) << "\n";
+  out << explanation.surrogate->SerializeText();
   return out.str();
 }
 
 StatusOr<std::unique_ptr<GefExplanation>> ExplanationFromString(
     const std::string& text) {
+  bool spline = true;
   size_t marker = text.find(kGamMarker);
+  size_t marker_size = std::string(kGamMarker).size();
   if (marker == std::string::npos) {
-    return Status::ParseError("missing GAM section");
+    spline = false;
+    marker = text.find(kSurrogateMarker);
+    marker_size = std::string(kSurrogateMarker).size();
+  }
+  if (marker == std::string::npos) {
+    return Status::ParseError("missing surrogate section");
   }
   std::string head = text.substr(0, marker);
-  std::string gam_text =
-      text.substr(marker + std::string(kGamMarker).size());
+  std::string model_text = text.substr(marker + marker_size);
 
   std::istringstream in(head);
   std::string line;
-  auto next_line = [&in, &line]() {
+  bool pushed_back = false;
+  auto next_line = [&in, &line, &pushed_back]() {
+    if (pushed_back) {
+      pushed_back = false;
+      return true;
+    }
     while (std::getline(in, line)) {
       std::string_view trimmed = Trim(line);
       if (!trimmed.empty()) {
@@ -81,6 +107,22 @@ StatusOr<std::unique_ptr<GefExplanation>> ExplanationFromString(
 
   if (!next_line() || line != kMagic) {
     return Status::ParseError("bad or missing explanation header");
+  }
+
+  // Optional backend line; its absence means the spline format.
+  std::string backend = SplineGamSurrogate::kName;
+  if (!next_line()) return Status::ParseError("truncated explanation");
+  {
+    std::vector<std::string> f = Split(line, ' ');
+    if (f.size() == 2 && f[0] == kBackendKey) {
+      backend = f[1];
+    } else {
+      pushed_back = true;
+    }
+  }
+  if (spline != (backend == SplineGamSurrogate::kName)) {
+    return Status::ParseError(
+        "surrogate section does not match backend " + backend);
   }
 
   auto explanation = std::make_unique<GefExplanation>();
@@ -190,18 +232,20 @@ StatusOr<std::unique_ptr<GefExplanation>> ExplanationFromString(
     }
   }
 
-  StatusOr<Gam> gam = GamFromString(gam_text);
-  if (!gam.ok()) return gam.status();
-  explanation->gam = std::move(gam).value();
+  StatusOr<std::unique_ptr<Surrogate>> surrogate =
+      SurrogateFromText(backend, model_text);
+  if (!surrogate.ok()) return surrogate.status();
+  explanation->surrogate = std::move(surrogate).value();
 
-  // Index sanity against the restored GAM.
+  // Index sanity against the restored surrogate.
+  const size_t num_terms = explanation->surrogate->num_terms();
   for (int t : explanation->univariate_term_index) {
-    if (t < 0 || static_cast<size_t>(t) >= explanation->gam.num_terms()) {
+    if (t < 0 || static_cast<size_t>(t) >= num_terms) {
       return Status::ParseError("univariate term index out of range");
     }
   }
   for (int t : explanation->bivariate_term_index) {
-    if (t < 0 || static_cast<size_t>(t) >= explanation->gam.num_terms()) {
+    if (t < 0 || static_cast<size_t>(t) >= num_terms) {
       return Status::ParseError("bivariate term index out of range");
     }
   }

@@ -13,23 +13,23 @@ LocalExplanation ExplainInstance(const GefExplanation& explanation,
                                  const Forest& forest,
                                  const std::vector<double>& x,
                                  double step_fraction) {
-  GEF_CHECK(explanation.gam.fitted());
+  GEF_CHECK(explanation.fitted());
   GEF_CHECK_GE(x.size(), forest.num_features());
   GEF_CHECK(step_fraction > 0.0 && step_fraction < 1.0);
 
+  const Surrogate& surrogate = *explanation.surrogate;
   LocalExplanation local;
-  local.gam_prediction = explanation.gam.Predict(x);
+  local.gam_prediction = surrogate.Predict(x);
   local.forest_prediction = forest.Predict(x);
-  local.intercept = explanation.gam.intercept();
+  local.intercept = surrogate.intercept();
 
-  const Gam& gam = explanation.gam;
-  for (size_t t = 0; t < gam.num_terms(); ++t) {
-    if (gam.term(t).type() == TermType::kIntercept) continue;
+  // Term 0 is the intercept in every backend (surrogate/surrogate.h).
+  for (size_t t = 1; t < surrogate.num_terms(); ++t) {
     LocalTermContribution contribution;
-    contribution.label = gam.TermLabel(t);
-    contribution.features = gam.term(t).Features();
+    contribution.label = surrogate.TermLabel(t);
+    contribution.features = surrogate.TermFeatures(t);
 
-    EffectInterval effect = gam.TermEffect(t, x);
+    EffectInterval effect = surrogate.TermEffect(t, x);
     contribution.contribution = effect.value;
     contribution.lower = effect.lower;
     contribution.upper = effect.upper;
@@ -45,10 +45,10 @@ LocalExplanation ExplainInstance(const GefExplanation& explanation,
     std::vector<double> perturbed = x;
     perturbed[feature] = x[feature] - step;
     contribution.delta_minus =
-        gam.TermContribution(t, perturbed) - effect.value;
+        surrogate.TermContribution(t, perturbed) - effect.value;
     perturbed[feature] = x[feature] + step;
     contribution.delta_plus =
-        gam.TermContribution(t, perturbed) - effect.value;
+        surrogate.TermContribution(t, perturbed) - effect.value;
 
     local.terms.push_back(std::move(contribution));
   }

@@ -38,7 +38,7 @@ std::vector<double> EffectGrid(const std::vector<double>& domain,
 std::string DescribeExplanation(const GefExplanation& explanation,
                                 const Forest& forest) {
   std::ostringstream out;
-  const Gam& gam = explanation.gam;
+  const Surrogate& surrogate = *explanation.surrogate;
   out << "GEF explanation of a forest with " << forest.num_trees()
       << " trees / " << forest.num_internal_nodes() << " split nodes ("
       << (forest.objective() == Objective::kBinaryClassification
@@ -47,24 +47,9 @@ std::string DescribeExplanation(const GefExplanation& explanation,
       << ")\n";
   out << "Surrogate fidelity (RMSE vs forest on held-out D*): "
       << FormatDouble(explanation.fidelity_rmse_test, 5) << "\n";
-  out << "GAM: lambda = " << FormatDouble(gam.lambda(), 4)
-      << ", edof = " << FormatDouble(gam.edof(), 4)
-      << ", GCV = " << FormatDouble(gam.gcv_score(), 5)
-      << ", intercept = " << FormatDouble(gam.intercept(), 5) << "\n";
-  // Per-term smoothing, when the λ refinement diverged from shared.
-  bool shared = true;
-  for (double l : gam.term_lambdas()) {
-    if (l != gam.lambda()) shared = false;
-  }
-  if (!shared) {
-    out << "Per-term lambda:";
-    for (size_t t = 0; t < gam.num_terms(); ++t) {
-      if (gam.term(t).type() == TermType::kIntercept) continue;
-      out << ' ' << gam.TermLabel(t) << '='
-          << FormatDouble(gam.term_lambdas()[t], 3);
-    }
-    out << "\n";
-  }
+  // Backend-specific fit summary; the spline backend emits the exact
+  // "GAM: ..." block this report printed before backends were pluggable.
+  out << surrogate.DescribeFit();
 
   out << "\nUnivariate components (F'):\n";
   const std::vector<double> gains = forest.GainImportance();
@@ -88,8 +73,8 @@ std::string DescribeExplanation(const GefExplanation& explanation,
     std::snprintf(
         line, sizeof(line),
         "  %-30s forest gain %-12.4g GAM importance %-10.4g%s%s\n",
-        gam.TermLabel(term).c_str(), gains[f],
-        gam.term_importances()[term],
+        surrogate.TermLabel(term).c_str(), gains[f],
+        surrogate.TermImportance(term),
         explanation.is_categorical[i] ? " [categorical]" : "", shape);
     out << line;
   }
@@ -100,8 +85,8 @@ std::string DescribeExplanation(const GefExplanation& explanation,
       char line[160];
       std::snprintf(line, sizeof(line),
                     "  %-30s GAM importance %-10.4g\n",
-                    gam.TermLabel(term).c_str(),
-                    gam.term_importances()[term]);
+                    surrogate.TermLabel(term).c_str(),
+                    surrogate.TermImportance(term));
       out << line;
     }
   }
@@ -116,7 +101,7 @@ Status ExportCurvesCsv(const GefExplanation& explanation,
   if (!out) return Status::IoError("cannot write " + path);
   out << "term,feature,x,x2,effect,lower,upper\n";
 
-  const Gam& gam = explanation.gam;
+  const Surrogate& surrogate = *explanation.surrogate;
   std::vector<double> row = AnchorRow(explanation);
 
   // CSV cells must not contain the delimiter; tensor labels are
@@ -131,7 +116,7 @@ Status ExportCurvesCsv(const GefExplanation& explanation,
   auto write_point = [&](const std::string& label,
                          const std::string& feature_name, double x,
                          const std::string& x2, size_t term) {
-    EffectInterval effect = gam.TermEffect(term, row);
+    EffectInterval effect = surrogate.TermEffect(term, row);
     out << label << ',' << feature_name << ',' << FormatDouble(x, 10)
         << ',' << x2 << ',' << FormatDouble(effect.value, 10) << ','
         << FormatDouble(effect.lower, 10) << ','
@@ -143,8 +128,8 @@ Status ExportCurvesCsv(const GefExplanation& explanation,
     size_t term = static_cast<size_t>(
         explanation.univariate_term_index[i]);
     const std::string& name = forest.feature_names()[f];
-    std::string label = sanitize(gam.TermLabel(term));
-    if (gam.term(term).type() == TermType::kFactor) {
+    std::string label = sanitize(surrogate.TermLabel(term));
+    if (surrogate.TermIsFactor(term)) {
       for (double level : explanation.domains[f]) {
         row[f] = level;
         write_point(label, name, level, "", term);
@@ -162,7 +147,7 @@ Status ExportCurvesCsv(const GefExplanation& explanation,
     auto [a, b] = explanation.selected_pairs[i];
     size_t term = static_cast<size_t>(
         explanation.bivariate_term_index[i]);
-    std::string label = sanitize(gam.TermLabel(term));
+    std::string label = sanitize(surrogate.TermLabel(term));
     std::string name = forest.feature_names()[a] + "*" +
                        forest.feature_names()[b];
     for (double xa : EffectGrid(explanation.domains[a], points)) {

@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "serve/json.h"
+#include "surrogate/registry.h"
 #include "util/hash.h"
 
 namespace gef {
@@ -260,6 +261,27 @@ Status ApplyConfigOverrides(const Json& body, GefConfig* config,
       config->seed = static_cast<uint64_t>(member.number);
       *overridden = true;
     }
+    if (key == "surrogate_backend") {
+      known = true;
+      if (!member.is_string()) {
+        return Status::InvalidArgument(
+            "config.surrogate_backend must be a string");
+      }
+      // Validate eagerly: an unknown backend must be a 400 here, never
+      // a fatal check inside the cached fit.
+      if (!SurrogateBackendExists(member.str)) {
+        std::string known_names;
+        for (const std::string& name : SurrogateBackendNames()) {
+          if (!known_names.empty()) known_names += ", ";
+          known_names += name;
+        }
+        return Status::InvalidArgument(
+            "unknown surrogate backend \"" + member.str +
+            "\" (known: " + known_names + ")");
+      }
+      config->surrogate_backend = member.str;
+      *overridden = true;
+    }
     if (!known) {
       return Status::InvalidArgument("unknown config field \"" + key +
                                      "\"");
@@ -330,7 +352,10 @@ HttpResponse HandleExplain(const ServeContext& context,
 
   HttpResponse response;
   response.body = "{\"model\":\"" + JsonEscapeString(model->name) +
-                  "\",\"hash\":\"" + HashToHex(model->hash) + "\"," +
+                  "\",\"hash\":\"" + HashToHex(model->hash) +
+                  "\",\"backend\":\"" +
+                  JsonEscapeString(surrogate->surrogate->backend_name()) +
+                  "\"," +
                   RenderLocalExplanation(*result.local).substr(1) + "}";
   return response;
 }

@@ -30,6 +30,14 @@ uint64_t GefConfigFingerprint(const GefConfig& config) {
     h = HashCombineDouble(h, lambda);
   }
   h = HashCombine(h, config.per_term_lambda ? 1u : 0u);
+  // The backend name separates cache entries across surrogate families:
+  // the same (forest, pipeline settings) fit with spline_gam and
+  // boosted_fanova are different models and must never alias.
+  h = HashCombine(h, HashFnv1a64(config.surrogate_backend));
+  h = HashCombine(h, static_cast<uint64_t>(config.fanova_rounds));
+  h = HashCombineDouble(h, config.fanova_shrinkage);
+  h = HashCombine(h, static_cast<uint64_t>(config.fanova_leaves));
+  h = HashCombine(h, static_cast<uint64_t>(config.fanova_max_bins));
   h = HashCombine(h, config.seed);
   return h;
 }

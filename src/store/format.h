@@ -69,7 +69,12 @@ enum class SectionKind : uint32_t {
   kForestCompiled = 3,  // CompiledHeader + the PR 6 SoA traversal arrays
   kSurrogate = 4,       // canonical GEF explanation text (gef/explanation_io)
   kDatasetSummary = 5,  // free-form dataset summary text
+  kSurrogateFanova = 6,  // GEF explanation text, boosted_fanova backend
 };
+
+/// Highest kind this tree knows; readers reject entries above it.
+inline constexpr uint32_t kMaxSectionKind =
+    static_cast<uint32_t>(SectionKind::kSurrogateFanova);
 
 /// Human-readable kind name for gef_store inspect / error messages.
 constexpr const char* SectionKindName(uint32_t kind) {
@@ -84,6 +89,8 @@ constexpr const char* SectionKindName(uint32_t kind) {
       return "surrogate";
     case SectionKind::kDatasetSummary:
       return "dataset_summary";
+    case SectionKind::kSurrogateFanova:
+      return "surrogate_fanova";
     case SectionKind::kInvalid:
       break;
   }

@@ -214,6 +214,25 @@ Status StoreBuilder::AddForest(const std::string& name, const Forest& forest) {
 
 Status StoreBuilder::AddSurrogate(const std::string& name,
                                   const std::string& explanation_text) {
+  return AddSurrogate(name, explanation_text, "spline_gam");
+}
+
+Status StoreBuilder::AddSurrogate(const std::string& name,
+                                  const std::string& explanation_text,
+                                  const std::string& backend) {
+  // Each backend gets its own on-disk section kind so `gef_store
+  // inspect` identifies the family without parsing the payload. The
+  // mapping lives here (not in surrogate/registry) because kind values
+  // are format, assigned append-only like everything in format.h.
+  SectionKind kind;
+  if (backend == "spline_gam") {
+    kind = SectionKind::kSurrogate;
+  } else if (backend == "boosted_fanova") {
+    kind = SectionKind::kSurrogateFanova;
+  } else {
+    return Status::InvalidArgument("surrogate backend '" + backend +
+                                   "' has no store section kind");
+  }
   uint64_t model_hash = 0;
   bool found = false;
   for (const Pending& section : sections_) {
@@ -229,7 +248,7 @@ Status StoreBuilder::AddSurrogate(const std::string& name,
         "surrogate '" + name + "' has no forest in this store; AddForest "
         "first so the surrogate inherits its model hash");
   }
-  return Add(static_cast<uint32_t>(SectionKind::kSurrogate), name, model_hash,
+  return Add(static_cast<uint32_t>(kind), name, model_hash,
              HashFnv1a64(explanation_text), explanation_text);
 }
 

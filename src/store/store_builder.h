@@ -34,9 +34,16 @@ class StoreBuilder {
   /// Attaches a serialized GEF explanation (gef/explanation_io text) as
   /// the cached surrogate for the forest named `name`, which must have
   /// been added first — the surrogate inherits its model_hash so the
-  /// serving layer can trust the pairing without re-fitting.
+  /// serving layer can trust the pairing without re-fitting. The
+  /// two-argument form packs the default spline_gam backend; the
+  /// `backend` overload selects the section kind per backend name
+  /// (spline_gam → kSurrogate, boosted_fanova → kSurrogateFanova) and
+  /// rejects backends with no registered on-disk kind.
   Status AddSurrogate(const std::string& name,
                       const std::string& explanation_text);
+  Status AddSurrogate(const std::string& name,
+                      const std::string& explanation_text,
+                      const std::string& backend);
 
   /// Attaches free-form dataset summary text under `name`.
   Status AddDatasetSummary(const std::string& name, const std::string& text);

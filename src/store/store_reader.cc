@@ -245,7 +245,7 @@ StatusOr<StoreReader> StoreReader::Open(const std::string& path,
     const std::string position = "store " + path + " section " +
                                  std::to_string(i);
     if (entry.kind == static_cast<uint32_t>(SectionKind::kInvalid) ||
-        entry.kind > static_cast<uint32_t>(SectionKind::kDatasetSummary)) {
+        entry.kind > kMaxSectionKind) {
       return Status::ParseError(position + " has unknown kind " +
                                 std::to_string(entry.kind));
     }
@@ -466,7 +466,14 @@ StatusOr<Forest> StoreReader::LoadForest(const std::string& name) const {
 
 StatusOr<std::string> StoreReader::SurrogateText(
     const std::string& name) const {
+  // Backends pack under distinct kinds (kSurrogate for the spline GAM,
+  // kSurrogateFanova for boosted fANOVA); a forest carries at most one,
+  // and the explanation text names its backend, so readers just take
+  // whichever is present.
   const Section* section = Find(SectionKind::kSurrogate, name);
+  if (section == nullptr) {
+    section = Find(SectionKind::kSurrogateFanova, name);
+  }
   if (section == nullptr) {
     return Status::NotFound("no surrogate for '" + name + "' in store");
   }

@@ -1,0 +1,535 @@
+#include "surrogate/boosted_fanova.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "forest/grower.h"
+#include "forest/tree.h"
+#include "stats/rng.h"
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace gef {
+namespace {
+
+/// Bin index of `x` against ascending upper boundaries: the first bin
+/// whose boundary is >= x; the last bin is unbounded above. Mirrors
+/// BinMapper::BinFor so shape lookups agree with how the trees split.
+size_t BinOf(const std::vector<double>& breaks, double x) {
+  return static_cast<size_t>(
+      std::lower_bound(breaks.begin(), breaks.end(), x) - breaks.begin());
+}
+
+/// A value that lands in bin `b` under both BinOf and the grown trees'
+/// `x <= threshold` predicates (thresholds are the boundaries
+/// themselves): the boundary for interior bins, past-the-end for the
+/// last one.
+double BinRepresentative(const std::vector<double>& breaks, size_t b) {
+  if (b < breaks.size()) return breaks[b];
+  return breaks.empty() ? 0.0 : breaks.back() + 1.0;
+}
+
+std::string FeatureLabel(int feature) {
+  // Built via append: `const char* + std::string&&` trips a GCC 12
+  // -Wrestrict false positive (PR105651) at -O2.
+  std::string label("f");
+  label += std::to_string(feature);
+  return label;
+}
+
+/// One boosted component: its restricted dataset view, binning, grower
+/// and the per-row bin codes used for O(1) prediction updates.
+struct Component {
+  std::vector<int> features;  // 1 (univariate) or 2 (pair)
+  std::unique_ptr<BinMapper> mapper;
+  std::unique_ptr<BinnedData> binned;
+  std::unique_ptr<TreeGrower> grower;
+  /// Flattened shape index per training row (bin, or bx * By + by).
+  std::vector<size_t> codes;
+  size_t grid_size = 0;
+  /// Accumulated (pre-purification) step values on the grid.
+  std::vector<double> values;
+  /// Representative rows, one per grid cell, for reading a grown tree
+  /// back out as a step function.
+  std::vector<std::vector<double>> reps;
+};
+
+}  // namespace
+
+bool BoostedFanovaSurrogate::Fit(const SurrogateSpec& spec,
+                                 const SurrogateConfig& config,
+                                 const Dataset& train) {
+  GEF_CHECK(spec.domains != nullptr);
+  GEF_CHECK_EQ(spec.is_categorical.size(), spec.selected_features.size());
+  GEF_CHECK(train.has_targets());
+  GEF_CHECK_GT(config.fanova_rounds, 0);
+  GEF_CHECK(config.fanova_shrinkage > 0.0 &&
+            config.fanova_shrinkage <= 1.0);
+  GEF_CHECK_GE(config.fanova_leaves, 2);
+  GEF_CHECK_GE(config.fanova_max_bins, 2);
+
+  const size_t n = train.num_rows();
+  const std::vector<double>& y = train.targets();
+
+  GrowerConfig grower_config;
+  grower_config.num_leaves = config.fanova_leaves;
+  grower_config.min_samples_leaf =
+      std::max(1, static_cast<int>(n / 200));
+
+  // --- Per-component restricted datasets + binning. ---
+  std::vector<Component> components;
+  auto add_component = [&](const std::vector<int>& features) {
+    Component c;
+    c.features = features;
+    Dataset restricted(features.size());
+    restricted.Reserve(n);
+    std::vector<double> row(features.size());
+    std::vector<double> full;
+    for (size_t i = 0; i < n; ++i) {
+      train.GetRowInto(i, &full);
+      for (size_t j = 0; j < features.size(); ++j) {
+        row[j] = full[features[j]];
+      }
+      restricted.AppendRow(row);
+    }
+    c.mapper =
+        std::make_unique<BinMapper>(restricted, config.fanova_max_bins);
+    c.binned = std::make_unique<BinnedData>(restricted, *c.mapper);
+    c.grower = std::make_unique<TreeGrower>(*c.binned, *c.mapper,
+                                            grower_config);
+    if (features.size() == 1) {
+      const std::vector<double>& breaks = c.mapper->boundaries(0);
+      c.grid_size = breaks.size() + 1;
+      c.codes.resize(n);
+      for (size_t i = 0; i < n; ++i) c.codes[i] = c.binned->Bin(i, 0);
+      c.reps.reserve(c.grid_size);
+      for (size_t b = 0; b < c.grid_size; ++b) {
+        c.reps.push_back({BinRepresentative(breaks, b)});
+      }
+    } else {
+      const std::vector<double>& ba = c.mapper->boundaries(0);
+      const std::vector<double>& bb = c.mapper->boundaries(1);
+      size_t na = ba.size() + 1, nb = bb.size() + 1;
+      c.grid_size = na * nb;
+      c.codes.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        c.codes[i] = static_cast<size_t>(c.binned->Bin(i, 0)) * nb +
+                     static_cast<size_t>(c.binned->Bin(i, 1));
+      }
+      c.reps.reserve(c.grid_size);
+      for (size_t bx = 0; bx < na; ++bx) {
+        for (size_t by = 0; by < nb; ++by) {
+          c.reps.push_back({BinRepresentative(ba, bx),
+                            BinRepresentative(bb, by)});
+        }
+      }
+    }
+    c.values.assign(c.grid_size, 0.0);
+    components.push_back(std::move(c));
+  };
+  for (int f : spec.selected_features) add_component({f});
+  for (const auto& [a, b] : spec.selected_pairs) add_component({a, b});
+
+  // --- Cyclic boosting: one shrunk tree per component per round. ---
+  double base = 0.0;
+  for (double v : y) base += v;
+  base /= static_cast<double>(n);
+  std::vector<double> pred(n, base);
+
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<int> all_rows(n);
+  for (size_t i = 0; i < n; ++i) all_rows[i] = static_cast<int>(i);
+  std::vector<double> gradients(n);
+  const std::vector<double> hessians(n, 1.0);
+  std::vector<double> delta;
+  for (int round = 0; round < config.fanova_rounds; ++round) {
+    for (Component& c : components) {
+      if (c.grid_size <= 1) continue;  // constant feature, nothing to fit
+      for (size_t i = 0; i < n; ++i) gradients[i] = pred[i] - y[i];
+      Tree tree = c.grower->Grow(gradients, hessians, all_rows, &rng);
+      delta.resize(c.grid_size);
+      for (size_t g = 0; g < c.grid_size; ++g) {
+        delta[g] = config.fanova_shrinkage * tree.Predict(c.reps[g]);
+      }
+      for (size_t g = 0; g < c.grid_size; ++g) c.values[g] += delta[g];
+      for (size_t i = 0; i < n; ++i) pred[i] += delta[c.codes[i]];
+    }
+  }
+
+  // --- Extract shapes. ---
+  intercept_ = base;
+  rounds_ = config.fanova_rounds;
+  shrinkage_ = config.fanova_shrinkage;
+  uni_.clear();
+  pairs_.clear();
+  const size_t num_uni = spec.selected_features.size();
+  for (size_t i = 0; i < num_uni; ++i) {
+    Shape1d shape;
+    shape.feature = spec.selected_features[i];
+    shape.categorical = spec.is_categorical[i];
+    shape.breaks = components[i].mapper->boundaries(0);
+    shape.values = std::move(components[i].values);
+    uni_.push_back(std::move(shape));
+  }
+  for (size_t j = 0; j < spec.selected_pairs.size(); ++j) {
+    const Component& c = components[num_uni + j];
+    Shape2d shape;
+    shape.feature_a = spec.selected_pairs[j].first;
+    shape.feature_b = spec.selected_pairs[j].second;
+    shape.breaks_a = c.mapper->boundaries(0);
+    shape.breaks_b = c.mapper->boundaries(1);
+    shape.values = std::move(components[num_uni + j].values);
+    pairs_.push_back(std::move(shape));
+  }
+
+  // --- Purify pair surfaces: push weighted marginal means into the
+  // univariate shapes under the empirical D* distribution. Both pair
+  // members are in F' (interaction selection draws from the selected
+  // set) and their axis binnings are byte-identical to the univariate
+  // ones (same column, same deterministic BinMapper), so the moved mass
+  // lands on the same grid. ---
+  for (size_t j = 0; j < pairs_.size(); ++j) {
+    Shape2d& pair = pairs_[j];
+    const Component& c = components[num_uni + j];
+    size_t ua = num_uni, ub = num_uni;
+    for (size_t i = 0; i < num_uni; ++i) {
+      if (uni_[i].feature == pair.feature_a) ua = i;
+      if (uni_[i].feature == pair.feature_b) ub = i;
+    }
+    GEF_CHECK_LT(ua, num_uni);
+    GEF_CHECK_LT(ub, num_uni);
+    GEF_CHECK(uni_[ua].breaks == pair.breaks_a);
+    GEF_CHECK(uni_[ub].breaks == pair.breaks_b);
+
+    const size_t na = pair.breaks_a.size() + 1;
+    const size_t nb = pair.breaks_b.size() + 1;
+    std::vector<double> joint(na * nb, 0.0);
+    std::vector<double> wa(na, 0.0), wb(nb, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      joint[c.codes[i]] += 1.0;
+      wa[c.codes[i] / nb] += 1.0;
+      wb[c.codes[i] % nb] += 1.0;
+    }
+
+    for (int iter = 0; iter < 100; ++iter) {
+      double moved = 0.0;
+      for (size_t bx = 0; bx < na; ++bx) {
+        if (wa[bx] <= 0.0) continue;
+        double m = 0.0;
+        for (size_t by = 0; by < nb; ++by) {
+          m += joint[bx * nb + by] * pair.values[bx * nb + by];
+        }
+        m /= wa[bx];
+        for (size_t by = 0; by < nb; ++by) pair.values[bx * nb + by] -= m;
+        uni_[ua].values[bx] += m;
+        moved = std::max(moved, std::fabs(m));
+      }
+      for (size_t by = 0; by < nb; ++by) {
+        if (wb[by] <= 0.0) continue;
+        double m = 0.0;
+        for (size_t bx = 0; bx < na; ++bx) {
+          m += joint[bx * nb + by] * pair.values[bx * nb + by];
+        }
+        m /= wb[by];
+        for (size_t bx = 0; bx < na; ++bx) pair.values[bx * nb + by] -= m;
+        uni_[ub].values[by] += m;
+        moved = std::max(moved, std::fabs(m));
+      }
+      if (moved < 1e-12) break;
+    }
+  }
+
+  // --- Center univariate shapes; the means join the intercept. ---
+  for (size_t i = 0; i < num_uni; ++i) {
+    const Component& c = components[i];
+    double mean = 0.0;
+    for (size_t r = 0; r < n; ++r) mean += uni_[i].values[c.codes[r]];
+    mean /= static_cast<double>(n);
+    for (double& v : uni_[i].values) v -= mean;
+    intercept_ += mean;
+  }
+
+  // --- Empirical term importances (std of contribution on D* train),
+  // matching the GAM's definition so plots order identically. ---
+  importances_.assign(num_terms(), 0.0);
+  for (size_t t = 1; t < num_terms(); ++t) {
+    const Component& c = components[t - 1];
+    const std::vector<double>& values =
+        t - 1 < num_uni ? uni_[t - 1].values : pairs_[t - 1 - num_uni].values;
+    double mean = 0.0, sq = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      double v = values[c.codes[r]];
+      mean += v;
+      sq += v * v;
+    }
+    mean /= static_cast<double>(n);
+    sq /= static_cast<double>(n);
+    importances_[t] = std::sqrt(std::max(0.0, sq - mean * mean));
+  }
+
+  fitted_ = true;
+  return true;
+}
+
+double BoostedFanovaSurrogate::PredictRaw(
+    const std::vector<double>& row) const {
+  GEF_CHECK(fitted_);
+  double out = intercept_;
+  for (const Shape1d& shape : uni_) {
+    GEF_DCHECK(static_cast<size_t>(shape.feature) < row.size());
+    out += shape.values[BinOf(shape.breaks, row[shape.feature])];
+  }
+  for (const Shape2d& shape : pairs_) {
+    size_t bx = BinOf(shape.breaks_a, row[shape.feature_a]);
+    size_t by = BinOf(shape.breaks_b, row[shape.feature_b]);
+    out += shape.values[bx * (shape.breaks_b.size() + 1) + by];
+  }
+  return out;
+}
+
+std::vector<double> BoostedFanovaSurrogate::PredictBatch(
+    const Dataset& data) const {
+  GEF_CHECK(fitted_);
+  std::vector<double> out(data.num_rows());
+  ParallelForChunked(0, data.num_rows(), 256,
+                     [&](size_t begin, size_t end) {
+                       std::vector<double> row;
+                       for (size_t i = begin; i < end; ++i) {
+                         data.GetRowInto(i, &row);
+                         out[i] = PredictRaw(row);
+                       }
+                     });
+  return out;
+}
+
+std::vector<int> BoostedFanovaSurrogate::TermFeatures(size_t t) const {
+  GEF_CHECK_LT(t, num_terms());
+  if (t == 0) return {};
+  if (t - 1 < uni_.size()) return {uni_[t - 1].feature};
+  const Shape2d& shape = pairs_[t - 1 - uni_.size()];
+  return {shape.feature_a, shape.feature_b};
+}
+
+bool BoostedFanovaSurrogate::TermIsFactor(size_t t) const {
+  GEF_CHECK_LT(t, num_terms());
+  return t >= 1 && t - 1 < uni_.size() && uni_[t - 1].categorical;
+}
+
+std::string BoostedFanovaSurrogate::TermLabel(size_t t) const {
+  GEF_CHECK_LT(t, num_terms());
+  if (t == 0) return "intercept";
+  if (t - 1 < uni_.size()) {
+    return "g(" + FeatureLabel(uni_[t - 1].feature) + ")";
+  }
+  const Shape2d& shape = pairs_[t - 1 - uni_.size()];
+  return "g(" + FeatureLabel(shape.feature_a) + ", " +
+         FeatureLabel(shape.feature_b) + ")";
+}
+
+double BoostedFanovaSurrogate::TermImportance(size_t t) const {
+  GEF_CHECK_LT(t, importances_.size());
+  return importances_[t];
+}
+
+double BoostedFanovaSurrogate::TermContribution(
+    size_t t, const std::vector<double>& row) const {
+  GEF_CHECK(fitted_);
+  GEF_CHECK_LT(t, num_terms());
+  if (t == 0) return 0.0;
+  if (t - 1 < uni_.size()) {
+    const Shape1d& shape = uni_[t - 1];
+    return shape.values[BinOf(shape.breaks, row[shape.feature])];
+  }
+  const Shape2d& shape = pairs_[t - 1 - uni_.size()];
+  size_t bx = BinOf(shape.breaks_a, row[shape.feature_a]);
+  size_t by = BinOf(shape.breaks_b, row[shape.feature_b]);
+  return shape.values[bx * (shape.breaks_b.size() + 1) + by];
+}
+
+EffectInterval BoostedFanovaSurrogate::TermEffect(
+    size_t t, const std::vector<double>& row, double /*z*/) const {
+  // Point estimates only: boosted step functions carry no posterior.
+  double value = TermContribution(t, row);
+  return EffectInterval{value, value, value};
+}
+
+std::string BoostedFanovaSurrogate::DescribeFit() const {
+  std::string out;
+  out += "fANOVA: rounds = " + std::to_string(rounds_) +
+         ", shrinkage = " + FormatDouble(shrinkage_, 4) +
+         ", components = " + std::to_string(uni_.size() + pairs_.size()) +
+         ", intercept = " + FormatDouble(intercept_, 5) + "\n";
+  return out;
+}
+
+std::string BoostedFanovaSurrogate::SerializeText() const {
+  GEF_CHECK(fitted_);
+  std::ostringstream out;
+  out.precision(17);
+  out << "fanova v1\n";
+  out << "rounds " << rounds_ << "\n";
+  out << "shrinkage " << shrinkage_ << "\n";
+  out << "intercept " << intercept_ << "\n";
+  auto write_list = [&out](const char* key,
+                           const std::vector<double>& values) {
+    out << key << ' ' << values.size();
+    for (double v : values) out << ' ' << v;
+    out << "\n";
+  };
+  out << "num_uni " << uni_.size() << "\n";
+  for (const Shape1d& shape : uni_) {
+    out << "uni " << shape.feature << ' ' << (shape.categorical ? 1 : 0)
+        << "\n";
+    write_list("breaks", shape.breaks);
+    write_list("values", shape.values);
+  }
+  out << "num_pairs " << pairs_.size() << "\n";
+  for (const Shape2d& shape : pairs_) {
+    out << "pair " << shape.feature_a << ' ' << shape.feature_b << "\n";
+    write_list("breaks_a", shape.breaks_a);
+    write_list("breaks_b", shape.breaks_b);
+    write_list("values", shape.values);
+  }
+  write_list("importances", importances_);
+  return out.str();
+}
+
+uint64_t BoostedFanovaSurrogate::ContentHash() const {
+  return HashFnv1a64(SerializeText());
+}
+
+StatusOr<std::unique_ptr<Surrogate>> BoostedFanovaSurrogate::FromText(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  auto next_line = [&in, &line]() {
+    while (std::getline(in, line)) {
+      std::string_view trimmed = Trim(line);
+      if (!trimmed.empty()) {
+        line = std::string(trimmed);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "fanova v1") {
+    return Status::ParseError("bad or missing fanova header");
+  }
+  auto model = std::make_unique<BoostedFanovaSurrogate>();
+
+  auto read_scalar = [&](const std::string& key, double* out) -> Status {
+    if (!next_line()) return Status::ParseError("truncated: " + key);
+    std::vector<std::string> f = Split(line, ' ');
+    if (f.size() != 2 || f[0] != key || !ParseDouble(f[1], out)) {
+      return Status::ParseError("bad " + key + " line: " + line);
+    }
+    return Status::Ok();
+  };
+  auto read_count = [&](const std::string& key, int* out) -> Status {
+    if (!next_line()) return Status::ParseError("truncated: " + key);
+    std::vector<std::string> f = Split(line, ' ');
+    if (f.size() != 2 || f[0] != key || !ParseInt(f[1], out) || *out < 0) {
+      return Status::ParseError("bad " + key + " line: " + line);
+    }
+    return Status::Ok();
+  };
+  auto read_list = [&](const std::string& key,
+                       std::vector<double>* out) -> Status {
+    if (!next_line()) return Status::ParseError("truncated: " + key);
+    std::vector<std::string> f = Split(line, ' ');
+    int count = 0;
+    if (f.size() < 2 || f[0] != key || !ParseInt(f[1], &count) ||
+        count < 0 || f.size() != static_cast<size_t>(count) + 2) {
+      return Status::ParseError("bad " + key + " line: " + line);
+    }
+    out->clear();
+    out->reserve(count);
+    for (int i = 0; i < count; ++i) {
+      double v = 0.0;
+      if (!ParseDouble(f[i + 2], &v)) {
+        return Status::ParseError("bad value in " + key);
+      }
+      out->push_back(v);
+    }
+    return Status::Ok();
+  };
+
+  int rounds = 0;
+  if (Status s = read_count("rounds", &rounds); !s.ok()) return s;
+  model->rounds_ = rounds;
+  if (Status s = read_scalar("shrinkage", &model->shrinkage_); !s.ok()) {
+    return s;
+  }
+  if (Status s = read_scalar("intercept", &model->intercept_); !s.ok()) {
+    return s;
+  }
+
+  int num_uni = 0;
+  if (Status s = read_count("num_uni", &num_uni); !s.ok()) return s;
+  for (int i = 0; i < num_uni; ++i) {
+    if (!next_line()) return Status::ParseError("truncated uni shape");
+    std::vector<std::string> f = Split(line, ' ');
+    Shape1d shape;
+    int cat = 0;
+    if (f.size() != 3 || f[0] != "uni" ||
+        !ParseInt(f[1], &shape.feature) || shape.feature < 0 ||
+        !ParseInt(f[2], &cat) || (cat != 0 && cat != 1)) {
+      return Status::ParseError("bad uni line: " + line);
+    }
+    shape.categorical = cat == 1;
+    if (Status s = read_list("breaks", &shape.breaks); !s.ok()) return s;
+    if (Status s = read_list("values", &shape.values); !s.ok()) return s;
+    if (shape.values.size() != shape.breaks.size() + 1) {
+      return Status::ParseError("uni shape size mismatch");
+    }
+    if (!std::is_sorted(shape.breaks.begin(), shape.breaks.end())) {
+      return Status::ParseError("uni breaks not sorted");
+    }
+    model->uni_.push_back(std::move(shape));
+  }
+
+  int num_pairs = 0;
+  if (Status s = read_count("num_pairs", &num_pairs); !s.ok()) return s;
+  for (int j = 0; j < num_pairs; ++j) {
+    if (!next_line()) return Status::ParseError("truncated pair shape");
+    std::vector<std::string> f = Split(line, ' ');
+    Shape2d shape;
+    if (f.size() != 3 || f[0] != "pair" ||
+        !ParseInt(f[1], &shape.feature_a) || shape.feature_a < 0 ||
+        !ParseInt(f[2], &shape.feature_b) || shape.feature_b < 0) {
+      return Status::ParseError("bad pair line: " + line);
+    }
+    if (Status s = read_list("breaks_a", &shape.breaks_a); !s.ok()) {
+      return s;
+    }
+    if (Status s = read_list("breaks_b", &shape.breaks_b); !s.ok()) {
+      return s;
+    }
+    if (Status s = read_list("values", &shape.values); !s.ok()) return s;
+    if (shape.values.size() !=
+        (shape.breaks_a.size() + 1) * (shape.breaks_b.size() + 1)) {
+      return Status::ParseError("pair shape size mismatch");
+    }
+    if (!std::is_sorted(shape.breaks_a.begin(), shape.breaks_a.end()) ||
+        !std::is_sorted(shape.breaks_b.begin(), shape.breaks_b.end())) {
+      return Status::ParseError("pair breaks not sorted");
+    }
+    model->pairs_.push_back(std::move(shape));
+  }
+
+  if (Status s = read_list("importances", &model->importances_); !s.ok()) {
+    return s;
+  }
+  if (model->importances_.size() != model->num_terms()) {
+    return Status::ParseError("importances size mismatch");
+  }
+  model->fitted_ = true;
+  return std::unique_ptr<Surrogate>(std::move(model));
+}
+
+}  // namespace gef

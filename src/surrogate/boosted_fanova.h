@@ -1,0 +1,105 @@
+#ifndef GEF_SURROGATE_BOOSTED_FANOVA_H_
+#define GEF_SURROGATE_BOOSTED_FANOVA_H_
+
+// GA²M-style boosted low-order fANOVA surrogate (Hu/Chen/Nair,
+// PAPERS.md; DESIGN.md §3.19). Cyclic gradient boosting fits one small
+// histogram tree per component per round, with each tree restricted to
+// that component's feature(s) — the interaction constraint is
+// structural, not penalized. Because every split threshold is a bin
+// boundary, the fitted component is exactly a step function on the bin
+// grid; after boosting the pair grids are *purified* (weighted marginal
+// means pushed into the univariate shapes, univariate means pushed into
+// the intercept, under the empirical D* distribution), so each shape is
+// the mean-zero fANOVA component and contributions are comparable
+// across backends.
+//
+// The backend always fits least squares on the response scale (the D*
+// labels are the forest's response-scale outputs), so PredictRaw ==
+// Predict regardless of SurrogateSpec::link; a logit-scale fit would
+// need label clipping and buys no fidelity on RMSE, which is measured
+// on the response scale.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "surrogate/surrogate.h"
+#include "util/status.h"
+
+namespace gef {
+
+class BoostedFanovaSurrogate : public Surrogate {
+ public:
+  static constexpr char kName[] = "boosted_fanova";
+
+  /// Purified univariate step function. `breaks` are ascending bin
+  /// upper boundaries; value i applies to (breaks[i-1], breaks[i]], the
+  /// last value to everything above breaks.back().
+  struct Shape1d {
+    int feature = -1;
+    bool categorical = false;
+    std::vector<double> breaks;  // size bins - 1
+    std::vector<double> values;  // size bins
+  };
+
+  /// Purified pair step surface on the product of two bin grids;
+  /// values are row-major [bin_a][bin_b].
+  struct Shape2d {
+    int feature_a = -1;
+    int feature_b = -1;
+    std::vector<double> breaks_a;
+    std::vector<double> breaks_b;
+    std::vector<double> values;  // (breaks_a+1) * (breaks_b+1)
+  };
+
+  BoostedFanovaSurrogate() = default;
+
+  static StatusOr<std::unique_ptr<Surrogate>> FromText(
+      const std::string& text);
+
+  std::string backend_name() const override { return kName; }
+  bool fitted() const override { return fitted_; }
+
+  bool Fit(const SurrogateSpec& spec, const SurrogateConfig& config,
+           const Dataset& train) override;
+
+  double PredictRaw(const std::vector<double>& row) const override;
+  double Predict(const std::vector<double>& row) const override {
+    return PredictRaw(row);
+  }
+  std::vector<double> PredictBatch(const Dataset& data) const override;
+
+  double intercept() const override { return intercept_; }
+  size_t num_terms() const override {
+    return 1 + uni_.size() + pairs_.size();
+  }
+  std::vector<int> TermFeatures(size_t t) const override;
+  bool TermIsFactor(size_t t) const override;
+  std::string TermLabel(size_t t) const override;
+  double TermImportance(size_t t) const override;
+  double TermContribution(size_t t,
+                          const std::vector<double>& row) const override;
+  EffectInterval TermEffect(size_t t, const std::vector<double>& row,
+                            double z) const override;
+
+  std::string DescribeFit() const override;
+  std::string SerializeText() const override;
+  uint64_t ContentHash() const override;
+
+  const std::vector<Shape1d>& univariate_shapes() const { return uni_; }
+  const std::vector<Shape2d>& pair_shapes() const { return pairs_; }
+
+ private:
+  bool fitted_ = false;
+  double intercept_ = 0.0;
+  int rounds_ = 0;
+  double shrinkage_ = 0.0;
+  std::vector<Shape1d> uni_;
+  std::vector<Shape2d> pairs_;
+  /// Indexed like terms (entry 0, the intercept, is 0).
+  std::vector<double> importances_;
+};
+
+}  // namespace gef
+
+#endif  // GEF_SURROGATE_BOOSTED_FANOVA_H_

@@ -1,0 +1,63 @@
+#include "surrogate/registry.h"
+
+#include <map>
+
+#include "surrogate/boosted_fanova.h"
+#include "surrogate/spline_gam.h"
+
+namespace gef {
+namespace {
+
+struct BackendEntry {
+  std::unique_ptr<Surrogate> (*create)();
+  StatusOr<std::unique_ptr<Surrogate>> (*from_text)(const std::string&);
+};
+
+const std::map<std::string, BackendEntry>& Backends() {
+  // Leaked singleton: immutable after construction, safe under
+  // concurrent serving threads, no destruction-order hazards.
+  static const auto* backends =
+      new std::map<std::string, BackendEntry>{  // NOLINT(gef-naked-new)
+      {SplineGamSurrogate::kName,
+       {+[]() -> std::unique_ptr<Surrogate> {
+          return std::make_unique<SplineGamSurrogate>();
+        },
+        &SplineGamSurrogate::FromText}},
+      {BoostedFanovaSurrogate::kName,
+       {+[]() -> std::unique_ptr<Surrogate> {
+          return std::make_unique<BoostedFanovaSurrogate>();
+        },
+        &BoostedFanovaSurrogate::FromText}},
+  };
+  return *backends;
+}
+
+}  // namespace
+
+std::unique_ptr<Surrogate> CreateSurrogate(const std::string& name) {
+  auto it = Backends().find(name);
+  if (it == Backends().end()) return nullptr;
+  return it->second.create();
+}
+
+bool SurrogateBackendExists(const std::string& name) {
+  return Backends().count(name) > 0;
+}
+
+std::vector<std::string> SurrogateBackendNames() {
+  std::vector<std::string> names;
+  names.reserve(Backends().size());
+  for (const auto& [name, entry] : Backends()) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+StatusOr<std::unique_ptr<Surrogate>> SurrogateFromText(
+    const std::string& name, const std::string& text) {
+  auto it = Backends().find(name);
+  if (it == Backends().end()) {
+    return Status::ParseError("unknown surrogate backend: " + name);
+  }
+  return it->second.from_text(text);
+}
+
+}  // namespace gef

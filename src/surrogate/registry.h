@@ -1,0 +1,35 @@
+#ifndef GEF_SURROGATE_REGISTRY_H_
+#define GEF_SURROGATE_REGISTRY_H_
+
+// Backend registry keyed by stable name. Names are API: they appear in
+// GefConfig.surrogate_backend, the /v1/explain config override, the
+// explanation text format and `.gefs` section kinds — renaming one is a
+// format break. Builtins are registered here explicitly (no
+// static-initializer self-registration: these are static libraries and
+// the linker would drop unreferenced registrars).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "surrogate/surrogate.h"
+#include "util/status.h"
+
+namespace gef {
+
+/// A fresh unfitted backend, or nullptr when `name` is unknown.
+std::unique_ptr<Surrogate> CreateSurrogate(const std::string& name);
+
+bool SurrogateBackendExists(const std::string& name);
+
+/// Registered backend names, sorted.
+std::vector<std::string> SurrogateBackendNames();
+
+/// Deserializes a backend's canonical text (Surrogate::SerializeText).
+/// Unknown names are a ParseError, not fatal: the text came from disk.
+StatusOr<std::unique_ptr<Surrogate>> SurrogateFromText(
+    const std::string& name, const std::string& text);
+
+}  // namespace gef
+
+#endif  // GEF_SURROGATE_REGISTRY_H_

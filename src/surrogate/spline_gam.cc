@@ -1,0 +1,99 @@
+#include "surrogate/spline_gam.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gam/gam_io.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace gef {
+
+bool SplineGamSurrogate::Fit(const SurrogateSpec& spec,
+                             const SurrogateConfig& config,
+                             const Dataset& train) {
+  GEF_CHECK(spec.domains != nullptr);
+  GEF_CHECK_EQ(spec.is_categorical.size(), spec.selected_features.size());
+  const std::vector<std::vector<double>>& domains = *spec.domains;
+
+  TermList terms;
+  terms.push_back(std::make_unique<InterceptTerm>());
+
+  for (size_t i = 0; i < spec.selected_features.size(); ++i) {
+    int f = spec.selected_features[i];
+    const std::vector<double>& domain = domains[f];
+    if (spec.is_categorical[i] || domain.size() < 2 ||
+        static_cast<int>(domain.size()) <= config.spline_basis / 2) {
+      // Few distinct values: a factor term per domain point is both more
+      // faithful and cheaper than a spline.
+      terms.push_back(std::make_unique<FactorTerm>(f, domain));
+    } else {
+      // Cap the basis count by the domain's support: basis functions
+      // without any domain point under them are identified only through
+      // the penalty, which blows up the Bayesian credible intervals.
+      int basis = std::min(
+          config.spline_basis,
+          std::max(5, static_cast<int>(domain.size()) * 2 / 3));
+      // Knots at domain quantiles (BSplineBasis::FromSites): every knot
+      // interval then contains D* support, so GCV cannot leave the
+      // spline free to oscillate between lattice points.
+      terms.push_back(std::make_unique<SplineTerm>(
+          f, BSplineBasis::FromSites(domain, basis)));
+    }
+  }
+  for (const auto& [a, b] : spec.selected_pairs) {
+    auto marginal_basis = [&config, &domains](int f) {
+      const std::vector<double>& domain = domains[f];
+      if (domain.size() >= 2) {
+        return BSplineBasis::FromSites(domain, config.tensor_basis);
+      }
+      double lo = domain.empty() ? 0.0 : domain.front();
+      return BSplineBasis(lo, lo + 1.0, config.tensor_basis);
+    };
+    terms.push_back(std::make_unique<TensorTerm>(
+        a, marginal_basis(a), b, marginal_basis(b)));
+  }
+
+  GamConfig gam_config;
+  gam_config.link = spec.link;
+  gam_config.lambda_grid = config.lambda_grid;
+  gam_config.per_term_lambda = config.per_term_lambda;
+  return gam_.Fit(std::move(terms), train, gam_config);
+}
+
+std::string SplineGamSurrogate::DescribeFit() const {
+  std::string out;
+  out += "GAM: lambda = " + FormatDouble(gam_.lambda(), 4) +
+         ", edof = " + FormatDouble(gam_.edof(), 4) +
+         ", GCV = " + FormatDouble(gam_.gcv_score(), 5) +
+         ", intercept = " + FormatDouble(gam_.intercept(), 5) + "\n";
+  // Per-term smoothing, when the λ refinement diverged from shared.
+  bool shared = true;
+  for (double l : gam_.term_lambdas()) {
+    if (l != gam_.lambda()) shared = false;
+  }
+  if (!shared) {
+    out += "Per-term lambda:";
+    for (size_t t = 0; t < gam_.num_terms(); ++t) {
+      if (gam_.term(t).type() == TermType::kIntercept) continue;
+      out += ' ' + gam_.TermLabel(t) + '=' +
+             FormatDouble(gam_.term_lambdas()[t], 3);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string SplineGamSurrogate::SerializeText() const {
+  return GamToString(gam_);
+}
+
+StatusOr<std::unique_ptr<Surrogate>> SplineGamSurrogate::FromText(
+    const std::string& text) {
+  StatusOr<Gam> gam = GamFromString(text);
+  if (!gam.ok()) return gam.status();
+  return std::unique_ptr<Surrogate>(
+      std::make_unique<SplineGamSurrogate>(std::move(gam).value()));
+}
+
+}  // namespace gef

@@ -1,0 +1,122 @@
+// GefConfigFingerprint is the surrogate-cache key (together with the
+// forest hash). A config field the fingerprint misses means two
+// different pipelines silently share one cached model — a correctness
+// bug that no functional test would catch until the wrong explanation
+// ships. This file pins the contract from both sides:
+//
+//  1. A size tripwire: adding a field to GefConfig changes its size and
+//     fails the static_assert below, pointing whoever did it at the
+//     fingerprint. (Guarded to x86-64 libstdc++, the CI ABI; other
+//     ABIs still run the behavioral tests.)
+//  2. Behavioral sensitivity: mutating *every* field one at a time must
+//     change the fingerprint.
+
+#include "serve/surrogate_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gef/explainer.h"
+
+namespace gef {
+namespace serve {
+namespace {
+
+#if defined(__x86_64__) && defined(__GLIBCXX__) && !defined(_GLIBCXX_DEBUG)
+// If this fires you added/removed/re-typed a GefConfig field. Update
+// GefConfigFingerprint (serve/surrogate_cache.cc) so the new field
+// participates in the cache key, extend MutateEveryField below, and
+// only then adjust the expected size.
+static_assert(sizeof(GefConfig) == 168,
+              "GefConfig changed: update GefConfigFingerprint and "
+              "config_fingerprint_test before bumping this size");
+#endif
+
+/// One mutation per GefConfig field, each a distinct valid config.
+std::vector<GefConfig> MutateEveryField() {
+  std::vector<GefConfig> mutants;
+  auto add = [&mutants](void (*mutate)(GefConfig*)) {
+    GefConfig config;
+    mutate(&config);
+    mutants.push_back(std::move(config));
+  };
+  add([](GefConfig* c) { c->num_univariate += 1; });
+  add([](GefConfig* c) { c->num_bivariate += 1; });
+  add([](GefConfig* c) {
+    c->sampling = c->sampling == SamplingStrategy::kEquiSize
+                      ? SamplingStrategy::kEquiWidth
+                      : SamplingStrategy::kEquiSize;
+  });
+  add([](GefConfig* c) { c->k += 1; });
+  add([](GefConfig* c) { c->epsilon_fraction += 0.01; });
+  add([](GefConfig* c) { c->num_samples += 1; });
+  add([](GefConfig* c) { c->test_fraction += 0.01; });
+  add([](GefConfig* c) {
+    c->interaction = c->interaction == InteractionStrategy::kGainPath
+                         ? InteractionStrategy::kHStat
+                         : InteractionStrategy::kGainPath;
+  });
+  add([](GefConfig* c) { c->hstat_sample_rows += 1; });
+  add([](GefConfig* c) { c->categorical_threshold += 1; });
+  add([](GefConfig* c) { c->spline_basis += 1; });
+  add([](GefConfig* c) { c->tensor_basis += 1; });
+  add([](GefConfig* c) { c->lambda_grid.push_back(1e3); });
+  add([](GefConfig* c) { c->lambda_grid[0] *= 2.0; });
+  add([](GefConfig* c) { c->per_term_lambda = !c->per_term_lambda; });
+  add([](GefConfig* c) { c->surrogate_backend = "boosted_fanova"; });
+  add([](GefConfig* c) { c->fanova_rounds += 1; });
+  add([](GefConfig* c) { c->fanova_shrinkage += 0.01; });
+  add([](GefConfig* c) { c->fanova_leaves += 1; });
+  add([](GefConfig* c) { c->fanova_max_bins += 1; });
+  add([](GefConfig* c) { c->seed += 1; });
+  return mutants;
+}
+
+TEST(GefConfigFingerprint, EveryFieldParticipates) {
+  const uint64_t base = GefConfigFingerprint(GefConfig{});
+  std::vector<GefConfig> mutants = MutateEveryField();
+  // Keep this count in sync with the field-by-field list above; a new
+  // GefConfig field must add a mutation here (the static_assert is what
+  // forces you to look).
+  EXPECT_EQ(mutants.size(), 21u);
+  for (size_t i = 0; i < mutants.size(); ++i) {
+    EXPECT_NE(GefConfigFingerprint(mutants[i]), base)
+        << "mutation " << i << " did not change the fingerprint — "
+           "the field is missing from GefConfigFingerprint";
+  }
+}
+
+TEST(GefConfigFingerprint, MutantsAreMutuallyDistinct) {
+  std::vector<GefConfig> mutants = MutateEveryField();
+  std::vector<uint64_t> prints;
+  prints.push_back(GefConfigFingerprint(GefConfig{}));
+  for (const GefConfig& config : mutants) {
+    prints.push_back(GefConfigFingerprint(config));
+  }
+  for (size_t i = 0; i < prints.size(); ++i) {
+    for (size_t j = i + 1; j < prints.size(); ++j) {
+      EXPECT_NE(prints[i], prints[j]) << "collision between " << i
+                                      << " and " << j;
+    }
+  }
+}
+
+TEST(GefConfigFingerprint, BackendSeparatesCacheKeys) {
+  GefConfig spline;
+  GefConfig fanova;
+  fanova.surrogate_backend = "boosted_fanova";
+  EXPECT_NE(GefConfigFingerprint(spline), GefConfigFingerprint(fanova));
+}
+
+TEST(GefConfigFingerprint, IsDeterministic) {
+  GefConfig config;
+  config.surrogate_backend = "boosted_fanova";
+  config.lambda_grid = {1e-2, 1.0};
+  EXPECT_EQ(GefConfigFingerprint(config), GefConfigFingerprint(config));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace gef

@@ -37,7 +37,7 @@ class GamIoFixture : public ::testing::Test {
 };
 
 TEST_F(GamIoFixture, RoundTripPreservesPredictions) {
-  const Gam& original = explanation_->gam;
+  const Gam& original = explanation_->gam();
   auto restored = GamFromString(GamToString(original));
   ASSERT_TRUE(restored.ok()) << restored.status().ToString();
   Rng rng(67);
@@ -50,7 +50,7 @@ TEST_F(GamIoFixture, RoundTripPreservesPredictions) {
 }
 
 TEST_F(GamIoFixture, RoundTripPreservesTermStructure) {
-  const Gam& original = explanation_->gam;
+  const Gam& original = explanation_->gam();
   auto restored = GamFromString(GamToString(original));
   ASSERT_TRUE(restored.ok());
   ASSERT_EQ(restored->num_terms(), original.num_terms());
@@ -68,7 +68,7 @@ TEST_F(GamIoFixture, RoundTripPreservesTermStructure) {
 }
 
 TEST_F(GamIoFixture, RoundTripPreservesEffectIntervals) {
-  const Gam& original = explanation_->gam;
+  const Gam& original = explanation_->gam();
   auto restored = GamFromString(GamToString(original));
   ASSERT_TRUE(restored.ok());
   std::vector<double> x = {0.3, 0.6, 0.2, 0.8, 0.5};
@@ -85,23 +85,23 @@ TEST_F(GamIoFixture, FileRoundTrip) {
   std::string path =
       (std::filesystem::temp_directory_path() / "gef_gam_test.txt")
           .string();
-  ASSERT_TRUE(SaveGam(explanation_->gam, path).ok());
+  ASSERT_TRUE(SaveGam(explanation_->gam(), path).ok());
   auto restored = LoadGam(path);
   ASSERT_TRUE(restored.ok());
-  EXPECT_NEAR(restored->intercept(), explanation_->gam.intercept(),
+  EXPECT_NEAR(restored->intercept(), explanation_->gam().intercept(),
               1e-12);
   std::remove(path.c_str());
 }
 
 TEST_F(GamIoFixture, TruncatedInputRejected) {
-  std::string text = GamToString(explanation_->gam);
+  std::string text = GamToString(explanation_->gam());
   auto result = GamFromString(text.substr(0, text.size() / 3));
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 TEST_F(GamIoFixture, TamperedTermRejected) {
-  std::string text = GamToString(explanation_->gam);
+  std::string text = GamToString(explanation_->gam());
   size_t pos = text.find("term spline");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, std::string("term spline").size(), "term mystery");

@@ -136,7 +136,7 @@ TEST(KernelShapTest, ExplainsTheGefSurrogateItself) {
   gef_config.k = 24;
   auto explanation = ExplainForest(forest, gef_config);
   ASSERT_NE(explanation, nullptr);
-  const Gam& gam = explanation->gam;
+  const Gam& gam = explanation->gam();
 
   KernelShapConfig config;
   config.background_rows = 200;

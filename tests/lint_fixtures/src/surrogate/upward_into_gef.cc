@@ -1,0 +1,6 @@
+// Planted violation: surrogate (rank 7) reaching up into gef (rank 9).
+// Backends receive a SurrogateSpec from the gef layer; they must never
+// include it back.
+#include "gef/explainer.h"
+
+int fixture_symbol() { return 0; }

@@ -1,7 +1,7 @@
 #ifndef FIXTURE_UPWARD_INCLUDE_H_
 #define FIXTURE_UPWARD_INCLUDE_H_
 
-// Planted violation: util (rank 0) reaching up into serve (rank 9).
+// Planted violation: util (rank 0) reaching up into serve (rank 11).
 #include "serve/handlers.h"
 
 #endif  // FIXTURE_UPWARD_INCLUDE_H_

@@ -947,6 +947,90 @@ TEST_F(HandlersTest, PreloadedExplanationSkipsCache) {
 }
 
 // ---------------------------------------------------------------------
+// Surrogate backend selection through /v1/explain (DESIGN.md §3.19).
+// ---------------------------------------------------------------------
+
+TEST_F(HandlersTest, ExplainDefaultBackendIsSplineGam) {
+  auto response =
+      Call("POST", "/v1/explain", "{\"row\": " + RowLiteral() + "}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("backend"), nullptr);
+  EXPECT_EQ(parsed->Find("backend")->str, "spline_gam");
+}
+
+TEST_F(HandlersTest, ExplainBackendOverrideSelectsFanova) {
+  auto response = Call(
+      "POST", "/v1/explain",
+      "{\"row\": " + RowLiteral() +
+          ", \"config\": {\"surrogate_backend\": \"boosted_fanova\"}}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("backend")->str, "boosted_fanova");
+  EXPECT_GT(parsed->Find("terms")->array.size(), 0u);
+}
+
+TEST_F(HandlersTest, ExplainUnknownBackendIs400) {
+  auto response = Call(
+      "POST", "/v1/explain",
+      "{\"row\": " + RowLiteral() +
+          ", \"config\": {\"surrogate_backend\": \"rule_list\"}}");
+  EXPECT_EQ(response.status, 400) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  const Json* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  // The message names the offender and lists the registered backends.
+  EXPECT_NE(error->str.find("rule_list"), std::string::npos);
+  EXPECT_NE(error->str.find("spline_gam"), std::string::npos);
+  EXPECT_NE(error->str.find("boosted_fanova"), std::string::npos);
+  // A rejected override never reaches the cache or triggers a fit.
+  EXPECT_EQ(obs::metrics::GetCounter("serve.gef_fits").Value(), 0u);
+}
+
+TEST_F(HandlersTest, ExplainBackendsCacheIndependently) {
+  const std::string row = RowLiteral();
+  const std::string fanova_body =
+      "{\"row\": " + row +
+      ", \"config\": {\"surrogate_backend\": \"boosted_fanova\"}}";
+  // Two backends on the same forest: two distinct cache keys, one fit
+  // each, and repeat queries hit their own entry.
+  ASSERT_EQ(Call("POST", "/v1/explain", "{\"row\": " + row + "}").status,
+            200);
+  ASSERT_EQ(Call("POST", "/v1/explain", fanova_body).status, 200);
+  EXPECT_EQ(obs::metrics::GetCounter("serve.gef_fits").Value(), 2u);
+  EXPECT_EQ(cache_.size(), 2u);
+
+  ASSERT_EQ(Call("POST", "/v1/explain", "{\"row\": " + row + "}").status,
+            200);
+  ASSERT_EQ(Call("POST", "/v1/explain", fanova_body).status, 200);
+  EXPECT_EQ(obs::metrics::GetCounter("serve.gef_fits").Value(), 2u)
+      << "repeat queries must not refit either backend";
+}
+
+TEST_F(HandlersTest, ExplainBackendSurvivesModelHotSwap) {
+  const std::string fanova_body =
+      "{\"row\": " + RowLiteral() +
+      ", \"config\": {\"surrogate_backend\": \"boosted_fanova\"}}";
+  ASSERT_EQ(Call("POST", "/v1/explain", fanova_body).status, 200);
+
+  // Swap the model under the same name: the forest hash changes, so the
+  // override must fit fresh instead of serving the stale surrogate.
+  ASSERT_TRUE(registry_.AddModel("census", TrainSmallForest(222)).ok());
+  num_features_ = registry_.Get("census")->forest.num_features();
+  auto response = Call("POST", "/v1/explain", fanova_body);
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("backend")->str, "boosted_fanova");
+  EXPECT_EQ(parsed->Find("hash")->str,
+            HashToHex(registry_.Get("census")->hash));
+  EXPECT_EQ(obs::metrics::GetCounter("serve.gef_fits").Value(), 2u);
+}
+
+// ---------------------------------------------------------------------
 // Concurrency stress: registry hot-swap + cache + batcher under TSan
 // (satellite (c): run with GEF_SANITIZE=thread in the CI matrix).
 // ---------------------------------------------------------------------

@@ -5,9 +5,9 @@
 // every later PR has a perf trajectory to regress against.
 //
 // Usage:
-//   bench_report [--out BENCH_PR9.json] [--smoke] [--workload all]
+//   bench_report [--out BENCH_PR10.json] [--smoke] [--workload all]
 //                [--serving loadgen-on.json,loadgen-off.json]
-//   bench_report --validate BENCH_PR9.json [--baseline BENCH_PR6.json]
+//   bench_report --validate BENCH_PR10.json [--baseline BENCH_PR9.json]
 //
 // `--serving` (comma-separated list of files) merges the serving
 // workloads emitted by gef_loadgen --out
@@ -25,6 +25,14 @@
 // registry cold-start from the binary model store (src/store, mmap +
 // compiled-array adoption) against re-parsing the text model: load
 // wall-times, the speedup ratio, and a bitwise predict-parity flag.
+//
+// Each pipeline workload also carries a "surrogates" object: the
+// two-backend fidelity head-to-head (DESIGN.md §3.19). The
+// boosted_fanova backend is fitted on the *same* sampling artifacts
+// (domains + D*) the spline pipeline consumed, so the r2/rmse/fit_s
+// entries isolate the surrogate family from the sampling noise. The
+// baseline diff drift-gates both backends once the baseline carries
+// the object.
 //
 // `--validate` re-parses an emitted report with
 // a strict JSON parser and checks every schema-required field, which is
@@ -237,7 +245,12 @@ class JsonParser {
 // changes keep the version.
 
 constexpr const char* kSchema = "gef-bench-v1";
-constexpr const char* kPrLabel = "PR9";
+constexpr const char* kPrLabel = "PR10";
+
+// Surrogate backends every pipeline workload must report head-to-head
+// (see surrogate/registry.h for the stable names).
+const std::vector<const char*> kHeadToHeadBackends = {"spline_gam",
+                                                     "boosted_fanova"};
 
 // Numeric keys a serving workload's "serving" object must carry (see
 // tools/gef_loadgen.cc, which emits them).
@@ -261,6 +274,13 @@ const std::vector<std::pair<const char*, const char*>> kStageSpans = {
     {"baseline_pdp", "explain.pdp_1d"},
 };
 
+// One backend's entry in the fidelity head-to-head.
+struct SurrogateStat {
+  double fit_s = 0.0;
+  double r2 = 0.0;
+  double rmse = 0.0;
+};
+
 struct WorkloadResult {
   std::string name;
   size_t train_rows = 0;
@@ -269,6 +289,8 @@ struct WorkloadResult {
   double dstar_rows_per_s = 0.0;
   double fidelity_r2 = 0.0;
   double fidelity_rmse = 0.0;
+  // Backend name → head-to-head fit on the shared sampling artifacts.
+  std::map<std::string, SurrogateStat> surrogates;
   uint64_t peak_rss_bytes = 0;
   // Store stage: registry cold-start comparison (DESIGN.md §3.17).
   double store_text_load_s = 0.0;
@@ -424,8 +446,13 @@ WorkloadResult RunWorkload(const std::string& name, const Dataset& train,
   obs::Flush();  // start the stage attribution from a clean buffer
 
   Forest forest = TrainGbdt(train, nullptr, forest_config).forest;
+  // Staged rather than ExplainForest so the sampling artifacts survive
+  // for the surrogate head-to-head below: both backends must fit on the
+  // same domains and the same D*.
+  GefSamplingArtifacts artifacts =
+      BuildSamplingArtifacts(forest, gef_config);
   std::unique_ptr<GefExplanation> explanation =
-      ExplainForest(forest, gef_config);
+      FitExplanation(forest, artifacts, gef_config);
   if (explanation == nullptr) {
     std::fprintf(stderr, "workload %s: GAM fit failed\n", name.c_str());
     return result;
@@ -462,6 +489,35 @@ WorkloadResult RunWorkload(const std::string& name, const Dataset& train,
                               : obs::PeakRssBytes();
   // After the flush so the store loads don't skew stage attribution.
   MeasureStore(train, forest, &result);
+
+  // Two-backend fidelity head-to-head (DESIGN.md §3.19). spline_gam
+  // reuses the pipeline fit — same fidelity, gam_fit stage wall-time —
+  // while boosted_fanova is fitted fresh on the identical artifacts.
+  // Runs after the flush so its spans don't pollute stage attribution;
+  // its fit_s includes the (cheap, deterministic) component re-selection
+  // FitExplanation performs, which is shared overhead, not model cost.
+  result.surrogates["spline_gam"] = {result.stages_s.at("gam_fit"),
+                                     result.fidelity_r2,
+                                     result.fidelity_rmse};
+  {
+    using Clock = std::chrono::steady_clock;
+    GefConfig fanova_config = gef_config;
+    fanova_config.surrogate_backend = "boosted_fanova";
+    const Clock::time_point start = Clock::now();
+    std::unique_ptr<GefExplanation> fanova =
+        FitExplanation(forest, artifacts, fanova_config);
+    const double fit_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (fanova == nullptr) {
+      std::fprintf(stderr, "workload %s: boosted_fanova fit failed\n",
+                   name.c_str());
+    } else {
+      FidelityReport fanova_fidelity =
+          EvaluateFidelity(*fanova, forest, fanova->dstar_test);
+      result.surrogates["boosted_fanova"] = {fit_s, fanova_fidelity.r2,
+                                             fanova_fidelity.rmse};
+    }
+  }
   return result;
 }
 
@@ -494,6 +550,16 @@ void WriteReport(const std::string& path,
         << FormatDouble(r.dstar_rows_per_s) << ",\n";
     out << "      \"fidelity\": {\"r2\": " << FormatDouble(r.fidelity_r2)
         << ", \"rmse\": " << FormatDouble(r.fidelity_rmse) << "},\n";
+    out << "      \"surrogates\": {";
+    bool sfirst = true;
+    for (const auto& [backend, stat] : r.surrogates) {
+      out << (sfirst ? "" : ", ") << "\"" << backend
+          << "\": {\"fit_s\": " << FormatDouble(stat.fit_s)
+          << ", \"r2\": " << FormatDouble(stat.r2)
+          << ", \"rmse\": " << FormatDouble(stat.rmse) << "}";
+      sfirst = false;
+    }
+    out << "},\n";
     out << "      \"store\": {\"text_load_s\": "
         << FormatDouble(r.store_text_load_s)
         << ", \"mmap_load_s\": " << FormatDouble(r.store_mmap_load_s)
@@ -615,6 +681,28 @@ std::vector<std::string> ValidateReport(const JsonValue& root) {
                     it->second.type == JsonValue::Type::kNumber &&
                     std::isfinite(it->second.number),
                 label + ": fidelity." + key + " must be a finite number");
+      }
+    }
+    const JsonValue* surrogates = wfield("surrogates");
+    if (require(surrogates != nullptr &&
+                    surrogates->type == JsonValue::Type::kObject,
+                label + ": surrogates must be an object")) {
+      for (const char* backend : kHeadToHeadBackends) {
+        auto bit = surrogates->object.find(backend);
+        if (!require(bit != surrogates->object.end() &&
+                         bit->second.type == JsonValue::Type::kObject,
+                     label + ": surrogates." + backend +
+                         " must be an object")) {
+          continue;
+        }
+        for (const char* key : {"fit_s", "r2", "rmse"}) {
+          auto it = bit->second.object.find(key);
+          require(it != bit->second.object.end() &&
+                      it->second.type == JsonValue::Type::kNumber &&
+                      std::isfinite(it->second.number),
+                  label + ": surrogates." + backend + "." + key +
+                      " must be a finite number");
+        }
       }
     }
     const JsonValue* store = wfield("store");
@@ -798,6 +886,28 @@ int DiffAgainstBaseline(const std::string& current_path,
                   name.c_str(), key, base_v, cur_v, drift,
                   ok ? "OK" : "FAIL");
     }
+    // Head-to-head gate: every backend present in BOTH reports must hold
+    // its fidelity. Baselines that predate the surrogates object (PR9
+    // and earlier) skip this silently — the plain fidelity gate above
+    // still covers the default backend there.
+    auto csur = w.object.find("surrogates");
+    auto bsur = base->object.find("surrogates");
+    if (csur == w.object.end() || bsur == base->object.end()) continue;
+    for (const auto& [backend, stat] : csur->second.object) {
+      auto bstat = bsur->second.object.find(backend);
+      if (bstat == bsur->second.object.end()) continue;
+      for (const char* key : {"r2", "rmse"}) {
+        double cur_v = NumberAt(stat, key);
+        double base_v = NumberAt(bstat->second, key);
+        double drift = std::fabs(cur_v - base_v);
+        bool ok = drift <= kFidelityDriftTol;
+        if (!ok) ++failures;
+        std::printf(
+            "- %s %s.%s: baseline %.6g, current %.6g, drift %.3g — %s\n",
+            name.c_str(), backend.c_str(), key, base_v, cur_v, drift,
+            ok ? "OK" : "FAIL");
+      }
+    }
   }
   if (failures > 0) {
     std::fprintf(stderr,
@@ -812,7 +922,7 @@ int DiffAgainstBaseline(const std::string& current_path,
 
 int Run(const Flags& flags) {
   const bool smoke = flags.GetBool("smoke", false);
-  const std::string out_path = flags.GetString("out", "BENCH_PR8.json");
+  const std::string out_path = flags.GetString("out", "BENCH_PR10.json");
   const std::string workload = flags.GetString("workload", "all");
   const std::string serving_paths = flags.GetString("serving", "");
 
@@ -921,6 +1031,11 @@ int Run(const Flags& flags) {
                 "", r.store_text_load_s * 1e3, r.store_mmap_load_s * 1e3,
                 r.store_speedup,
                 r.store_bit_identical ? "bit-identical" : "DIVERGED");
+    for (const auto& [backend, stat] : r.surrogates) {
+      std::printf("  %-10s surrogate %-14s fit %.3fs  R2 %.4f  "
+                  "RMSE %.5f\n",
+                  "", backend.c_str(), stat.fit_s, stat.r2, stat.rmse);
+    }
   }
   return 0;
 }

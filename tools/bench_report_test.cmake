@@ -5,7 +5,7 @@
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 
-set(REPORT ${WORK_DIR}/BENCH_PR4.json)
+set(REPORT ${WORK_DIR}/BENCH_PR10.json)
 set(TRACE ${WORK_DIR}/trace.jsonl)
 
 execute_process(

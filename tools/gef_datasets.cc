@@ -3,10 +3,10 @@
 // Python GEF, LightGBM or PyGAM).
 //
 // Usage:
-//   gef_datasets --name gprime|gdouble|sigmoid|superconductivity|
-//                       census|census-raw
+//   gef_datasets --name gprime|gdouble|additive-pair|sigmoid|
+//                       superconductivity|census|census-raw
 //                --out data.csv [--rows 10000] [--seed 42]
-//                [--pairs "0-1,0-4,1-4"]      (gdouble only)
+//                [--pairs "0-1,0-4,1-4"]   (gdouble / additive-pair)
 //
 // Exit codes: 0 success, 1 bad usage, 2 write failure.
 
@@ -81,6 +81,13 @@ int Run(int argc, const char* const* argv) {
       return 1;
     }
     dataset = MakeGDoublePrimeDataset(rows, pairs, &rng);
+  } else if (name == "additive-pair") {
+    std::vector<std::pair<int, int>> pairs;
+    if (!ParsePairs(pairs_raw, &pairs)) {
+      std::fprintf(stderr, "bad --pairs '%s'\n", pairs_raw.c_str());
+      return 1;
+    }
+    dataset = MakeAdditivePairDataset(rows, pairs, &rng);
   } else if (name == "sigmoid") {
     dataset = MakeSigmoidDataset(rows, &rng);
   } else if (name == "superconductivity") {

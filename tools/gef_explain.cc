@@ -11,6 +11,7 @@
 //                           k-means|equi-size]
 //               [--k 64] [--samples 10000]
 //               [--interaction pair-gain|count-path|gain-path|h-stat]
+//               [--surrogate spline_gam|boosted_fanova]
 //               [--curves curves.csv] [--points 41]
 //               [--explain "0.5,0.3,0.9,..."] [--seed 7]
 //               [--save explanation.txt] [--load explanation.txt]
@@ -41,6 +42,7 @@
 #include "gef/local_explanation.h"
 #include "gef/report.h"
 #include "store/store_builder.h"
+#include "surrogate/registry.h"
 #include "util/shutdown.h"
 #include "util/flags.h"
 #include "util/hash.h"
@@ -124,6 +126,14 @@ int Run(int argc, const char* const* argv) {
                  interaction.c_str());
     return 1;
   }
+  config.surrogate_backend =
+      flags.GetString("surrogate", config.surrogate_backend);
+  if (!SurrogateBackendExists(config.surrogate_backend)) {
+    std::fprintf(stderr, "unknown --surrogate '%s' (known: %s)\n",
+                 config.surrogate_backend.c_str(),
+                 Join(SurrogateBackendNames(), ", ").c_str());
+    return 1;
+  }
 
   std::string curves_path = flags.GetString("curves", "");
   int points = flags.GetInt("points", 41);
@@ -168,8 +178,8 @@ int Run(int argc, const char* const* argv) {
   } else {
     explanation = ExplainForest(*forest, config);
     if (explanation == nullptr) {
-      std::fprintf(stderr,
-                   "GAM fit failed (singular for every lambda)\n");
+      std::fprintf(stderr, "surrogate fit failed (%s)\n",
+                   config.surrogate_backend.c_str());
       return 2;
     }
   }
@@ -183,9 +193,10 @@ int Run(int argc, const char* const* argv) {
       return 2;
     }
     guard.Commit();
-    std::printf("saved explanation to %s (gam hash %s)\n",
+    std::printf("saved explanation to %s (%s hash %s)\n",
                 save_path.c_str(),
-                HashToHex(explanation->gam.ContentHash()).c_str());
+                explanation->surrogate->backend_name().c_str(),
+                HashToHex(explanation->surrogate->ContentHash()).c_str());
   }
 
   if (!store_out.empty()) {
@@ -193,7 +204,8 @@ int Run(int argc, const char* const* argv) {
     Status packed = builder.AddForest(store_name, *forest);
     if (packed.ok()) {
       packed = builder.AddSurrogate(store_name,
-                                    ExplanationToString(*explanation));
+                                    ExplanationToString(*explanation),
+                                    explanation->surrogate->backend_name());
     }
     if (packed.ok()) packed = builder.WriteTo(store_out);
     if (!packed.ok()) {

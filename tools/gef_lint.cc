@@ -359,9 +359,9 @@ constexpr int kTopRank = 100;  // tools / tests / bench / examples
 // until it is declared).
 int LayerRank(const std::string& layer) {
   static const std::pair<const char*, int> kRanks[] = {
-      {"util", 0},  {"obs", 1},     {"linalg", 2}, {"stats", 3},
-      {"data", 4},  {"forest", 5},  {"gam", 6},    {"explain", 7},
-      {"gef", 8},   {"store", 9},   {"serve", 10},
+      {"util", 0},      {"obs", 1},     {"linalg", 2},  {"stats", 3},
+      {"data", 4},      {"forest", 5},  {"gam", 6},     {"surrogate", 7},
+      {"explain", 8},   {"gef", 9},     {"store", 10},  {"serve", 11},
   };
   for (const auto& [name, rank] : kRanks) {
     if (layer == name) return rank;
@@ -420,7 +420,8 @@ void LayeringPass(const ScannedFile& file, std::vector<Violation>* out) {
                std::to_string(file.rank) + ") must not include " +
                target + "/ (rank " + std::to_string(target_rank) +
                "); the layer order is util < obs < linalg < stats < "
-               "data < forest < gam < explain < gef < store < serve"});
+               "data < forest < gam < surrogate < explain < gef < "
+               "store < serve"});
     }
   }
 }

@@ -15,9 +15,14 @@
 //             [--min-leaf 20] [--subsample 1.0]
 //             [--valid-fraction 0] [--early-stopping 0] [--seed 42]
 //             [--store-out <store file> [--store-name model0]]
+//             [--surrogate spline_gam|boosted_fanova]
 //
 // --store-out additionally packs the trained forest into a binary model
 // store (src/store/, DESIGN.md §3.17) that gef_serve --store mmaps.
+// With --surrogate, the GEF pipeline also runs on the fresh forest and
+// the fitted explanation is packed alongside it (requires --store-out),
+// so gef_serve boots with the surrogate preloaded — no first-request
+// fit.
 //
 // Exit codes: 0 success, 1 bad usage, 2 data/training failure.
 
@@ -28,7 +33,10 @@
 #include "forest/gbdt_trainer.h"
 #include "forest/random_forest_trainer.h"
 #include "forest/serialization.h"
+#include "gef/explainer.h"
+#include "gef/explanation_io.h"
 #include "store/store_builder.h"
+#include "surrogate/registry.h"
 #include "util/shutdown.h"
 #include "stats/metrics.h"
 #include "util/flags.h"
@@ -80,6 +88,19 @@ int Run(int argc, const char* const* argv) {
   double valid_fraction = flags.GetDouble("valid-fraction", 0.0);
   int early_stopping = flags.GetInt("early-stopping", 0);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  std::string surrogate = flags.GetString("surrogate", "");
+  if (!surrogate.empty() && !SurrogateBackendExists(surrogate)) {
+    std::fprintf(stderr, "unknown --surrogate '%s' (known: %s)\n",
+                 surrogate.c_str(),
+                 Join(SurrogateBackendNames(), ", ").c_str());
+    return 1;
+  }
+  if (!surrogate.empty() && store_out.empty()) {
+    std::fprintf(stderr,
+                 "--surrogate packs the fitted explanation into a store; "
+                 "pass --store-out too\n");
+    return 1;
+  }
 
   if (!flags.status().ok()) {
     std::fprintf(stderr, "%s\n", flags.status().message().c_str());
@@ -165,15 +186,32 @@ int Run(int argc, const char* const* argv) {
   if (!store_out.empty()) {
     store::StoreBuilder builder;
     Status packed = builder.AddForest(store_name, forest);
+    if (packed.ok() && !surrogate.empty()) {
+      GefConfig gef_config;
+      gef_config.surrogate_backend = surrogate;
+      gef_config.seed = seed;
+      std::unique_ptr<GefExplanation> explanation =
+          ExplainForest(forest, gef_config);
+      if (explanation == nullptr) {
+        std::fprintf(stderr, "surrogate fit failed (%s)\n",
+                     surrogate.c_str());
+        return 2;
+      }
+      std::printf("fitted %s surrogate (fidelity RMSE %.5f)\n",
+                  surrogate.c_str(), explanation->fidelity_rmse_test);
+      packed = builder.AddSurrogate(
+          store_name, ExplanationToString(*explanation), surrogate);
+    }
     if (packed.ok()) packed = builder.WriteTo(store_out);
     if (!packed.ok()) {
       std::fprintf(stderr, "cannot pack store: %s\n",
                    packed.ToString().c_str());
       return 2;
     }
-    std::printf("packed store %s (%zu sections, model %s)\n",
+    std::printf("packed store %s (%zu sections, model %s%s)\n",
                 store_out.c_str(), builder.num_sections(),
-                store_name.c_str());
+                store_name.c_str(),
+                surrogate.empty() ? "" : " + surrogate");
   }
   return 0;
 }
